@@ -1,0 +1,113 @@
+//! A-rtlb ablation: the per-processor reverse TLB (§4.1).
+//!
+//! "To provide efficient signal delivery in the common case, a
+//! per-processor reverse-TLB is provided … Thus, signal delivery to the
+//! active thread is fast and the overhead of signal delivery to the
+//! non-active thread is more." With the reverse TLB disabled, every
+//! delivery pays the two-stage physical-memory-map lookup.
+
+use bench::{timed_loop, Bench};
+use cache_kernel::{SpaceDesc, ThreadDesc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hw::{Paddr, Pte, Vaddr};
+
+fn setup(h: &mut Bench, receivers: u32) -> Vec<u16> {
+    // Several message pages, one receiver thread each, plus background
+    // mappings so the two-stage lookup walks realistic bucket chains.
+    let mut slots = Vec::new();
+    let sp =
+        h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+            .unwrap();
+    for i in 0..receivers {
+        let t =
+            h.ck.load_thread(h.srm, ThreadDesc::new(sp, 1, 20), false, &mut h.mpm)
+                .unwrap();
+        h.ck.load_mapping(
+            h.srm,
+            sp,
+            Vaddr(0xa000 + i * 0x1000),
+            Paddr(0x40_0000 + i * 0x1000),
+            Pte::MESSAGE,
+            Some(t),
+            None,
+            &mut h.mpm,
+        )
+        .unwrap();
+        slots.push(t.slot);
+    }
+    for i in 0..512u32 {
+        h.ck.load_mapping(
+            h.srm,
+            sp,
+            Vaddr(0x80_0000 + i * 0x1000),
+            Paddr(0x90_0000 + i * 0x1000),
+            Pte::CACHEABLE,
+            None,
+            None,
+            &mut h.mpm,
+        )
+        .unwrap();
+    }
+    slots
+}
+
+fn rtlb_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rtlb");
+
+    g.bench_function("enabled", |b| {
+        let mut h = Bench::new();
+        let slots = setup(&mut h, 8);
+        // Warm the fast path.
+        for i in 0..8u32 {
+            h.ck.raise_signal(&mut h.mpm, 0, Paddr(0x40_0000 + i * 0x1000));
+        }
+        for s in &slots {
+            while h.ck.take_signal(*s).is_some() {}
+        }
+        let mut st = (h, 0u32);
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut st,
+                |(h, i)| {
+                    h.ck.raise_signal(&mut h.mpm, 0, Paddr(0x40_0000 + (*i % 8) * 0x1000));
+                    *i += 1;
+                },
+                |(h, i)| {
+                    let s = slots[(*i - 1) as usize % 8];
+                    h.ck.take_signal(s);
+                    h.ck.signal_return(s);
+                },
+            )
+        });
+    });
+
+    g.bench_function("disabled", |b| {
+        let mut h = Bench::new();
+        let slots = setup(&mut h, 8);
+        for cpu in h.mpm.cpus.iter_mut() {
+            cpu.rtlb.set_enabled(false);
+        }
+        let mut st = (h, 0u32);
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut st,
+                |(h, i)| {
+                    h.ck.raise_signal(&mut h.mpm, 0, Paddr(0x40_0000 + (*i % 8) * 0x1000));
+                    *i += 1;
+                },
+                |(h, i)| {
+                    let s = slots[(*i - 1) as usize % 8];
+                    h.ck.take_signal(s);
+                    h.ck.signal_return(s);
+                },
+            )
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, rtlb_ablation);
+criterion_main!(benches);

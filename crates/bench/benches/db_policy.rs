@@ -1,0 +1,49 @@
+//! A-policy: application-controlled page replacement versus fixed
+//! defaults (§1 motivation). Wall-clock of the whole query stream per
+//! policy; the disk-read counts behind the shape are printed by
+//! `report -- policy`.
+
+use cache_kernel::{CacheKernel, CkConfig, KernelDesc, MemoryAccessArray};
+use criterion::{criterion_group, criterion_main, Criterion};
+use db_kernel::{DbKernel, DbOp, Policy};
+use hw::{MachineConfig, Mpm};
+
+fn run_policy(policy: Policy, ops: &[DbOp]) -> u64 {
+    let mut ck = CacheKernel::new(CkConfig::default());
+    let mut mpm = Mpm::new(MachineConfig {
+        phys_frames: 4096,
+        l2_bytes: 256 * 1024,
+        clock_interval: u64::MAX / 4,
+        ..MachineConfig::default()
+    });
+    let me = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    let mut db = DbKernel::create(&mut ck, &mut mpm, me, 64, 16, 64..1024, policy).unwrap();
+    db.run(&mut ck, &mut mpm, ops).unwrap().disk_reads
+}
+
+fn db_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("db_policy");
+    g.sample_size(20);
+
+    let scans: Vec<DbOp> = (0..4).map(|_| DbOp::Scan).collect();
+    let mixed: Vec<DbOp> = workloads::mixed_stream(64, 4, 10, 2, 6)
+        .into_iter()
+        .map(DbOp::Lookup)
+        .collect();
+
+    for p in Policy::all() {
+        g.bench_function(format!("scan/{}", p.name()), |b| {
+            b.iter(|| run_policy(p, &scans))
+        });
+        g.bench_function(format!("mixed/{}", p.name()), |b| {
+            b.iter(|| run_policy(p, &mixed))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, db_policies);
+criterion_main!(benches);

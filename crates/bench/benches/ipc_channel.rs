@@ -1,0 +1,121 @@
+//! §2.2 communication claims: "the Cache Kernel is only involved in
+//! communication setup. The performance-critical data transfer aspect of
+//! interprocess communication is performed directly through the memory
+//! system" — so throughput should scale with message size at memory-copy
+//! speed while the per-message kernel cost (one signal) stays flat.
+
+use bench::{timed_loop, Bench};
+use cache_kernel::{SpaceDesc, ThreadDesc};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hw::{Paddr, Vaddr};
+use libkern::Channel;
+
+fn setup(h: &mut Bench) -> (Channel, u16) {
+    let tx_sp =
+        h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+            .unwrap();
+    let rx_sp =
+        h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+            .unwrap();
+    let rx =
+        h.ck.load_thread(h.srm, ThreadDesc::new(rx_sp, 1, 20), false, &mut h.mpm)
+            .unwrap();
+    let chan = Channel::setup(
+        &mut h.ck,
+        &mut h.mpm,
+        h.srm,
+        tx_sp,
+        Vaddr(0xa000),
+        rx_sp,
+        Vaddr(0xb000),
+        rx,
+        Paddr(0x40_0000),
+    )
+    .unwrap();
+    // Warm the reverse TLB.
+    let mut chan = chan;
+    chan.send_bytes(&mut h.ck, &mut h.mpm, 0, b"warm").unwrap();
+    h.ck.take_signal(rx.slot);
+    h.ck.signal_return(rx.slot);
+    (chan, rx.slot)
+}
+
+fn channel_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipc_channel");
+    for size in [16usize, 64, 256, 1024, 3900] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("send_recv", size), &size, |b, &size| {
+            let mut h = Bench::new();
+            let (chan, slot) = setup(&mut h);
+            let payload = vec![0xabu8; size];
+            let mut st = (h, chan);
+            b.iter_custom(|iters| {
+                timed_loop(
+                    iters,
+                    &mut st,
+                    |(h, chan)| {
+                        chan.send_bytes(&mut h.ck, &mut h.mpm, 0, &payload).unwrap();
+                        let _ = chan.read(&h.mpm).unwrap();
+                    },
+                    |(h, _)| {
+                        h.ck.take_signal(slot);
+                        h.ck.signal_return(slot);
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+
+    // Setup cost: the only part the Cache Kernel is involved in.
+    let mut g = c.benchmark_group("ipc_setup");
+    g.bench_function("channel_setup_teardown", |b| {
+        let mut h = Bench::new();
+        let tx_sp =
+            h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                .unwrap();
+        let rx_sp =
+            h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                .unwrap();
+        let rx =
+            h.ck.load_thread(h.srm, ThreadDesc::new(rx_sp, 1, 20), false, &mut h.mpm)
+                .unwrap();
+        let mut st = h;
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut st,
+                |h| {
+                    Channel::setup(
+                        &mut h.ck,
+                        &mut h.mpm,
+                        h.srm,
+                        tx_sp,
+                        Vaddr(0xa000),
+                        rx_sp,
+                        Vaddr(0xb000),
+                        rx,
+                        Paddr(0x40_0000),
+                    )
+                    .unwrap();
+                },
+                |h| {
+                    // Tearing down the receiver's signal mapping flushes
+                    // the sender's too (multi-mapping consistency).
+                    h.ck.unload_mapping_range(
+                        h.srm,
+                        rx_sp,
+                        Vaddr(0xb000),
+                        hw::PAGE_SIZE,
+                        &mut h.mpm,
+                    )
+                    .unwrap();
+                },
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, channel_throughput);
+criterion_main!(benches);

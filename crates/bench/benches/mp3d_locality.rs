@@ -1,0 +1,41 @@
+//! §5.2: the MP3D page-locality experiment ("up to a 25 percent
+//! degradation in performance … from processors accessing particles
+//! scattered across too many pages").
+//!
+//! Wall-clock here measures the simulator throughput; the interesting
+//! output is the simulated-cycle ratio, printed by `report -- mp3d`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_kernel::mp3d::{run, Mp3dConfig};
+
+fn mp3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mp3d");
+    g.sample_size(10);
+    let base = Mp3dConfig {
+        cells: 64,
+        particles_per_cell: 16,
+        sweeps: 2,
+        workers: 2,
+        l2_bytes: 8 * 1024,
+        ..Mp3dConfig::default()
+    };
+
+    g.bench_function("per_cell_locality", |b| {
+        let cfg = Mp3dConfig {
+            locality: true,
+            ..base.clone()
+        };
+        b.iter(|| run(&cfg));
+    });
+    g.bench_function("scattered_pages", |b| {
+        let cfg = Mp3dConfig {
+            locality: false,
+            ..base.clone()
+        };
+        b.iter(|| run(&cfg));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, mp3d);
+criterion_main!(benches);

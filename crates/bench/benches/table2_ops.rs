@@ -1,0 +1,505 @@
+//! Table 2: basic operations — load / load-with-writeback / unload for
+//! each object type, plus the optimized combined mapping load.
+//!
+//! The paper's Table 2 (elapsed microseconds on a 25 MHz 68040):
+//!
+//! | object     | load | load+wb | unload |
+//! |------------|------|---------|--------|
+//! | Mappings   |   45 |     145 |    160 |
+//! | (optimized)|   67 |     167 |        |
+//! | Threads    |  113 |     489 |    206 |
+//! | AddrSpaces |  101 |     229 |    152 |
+//! | Kernel     |  244 |     291 |     80 |
+//!
+//! Shape to reproduce: mappings are by far the cheapest; writeback
+//! roughly doubles-to-quadruples a load; kernels are the most expensive
+//! to load and cheap to unload once empty.
+
+use bench::{timed_loop, Bench};
+use cache_kernel::{CkConfig, KernelDesc, MemoryAccessArray, ObjId, SpaceDesc, ThreadDesc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hw::{Paddr, Pte, Vaddr, PAGE_SIZE};
+
+/// Shared mutable state for one benchmark cell.
+struct St {
+    h: Bench,
+    sp: Option<ObjId>,
+    id: Option<ObjId>,
+    next: u32,
+}
+
+impl St {
+    fn new(h: Bench) -> Self {
+        St {
+            h,
+            sp: None,
+            id: None,
+            next: 0,
+        }
+    }
+    fn with_space(mut h: Bench) -> Self {
+        let sp =
+            h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                .unwrap();
+        St {
+            h,
+            sp: Some(sp),
+            id: None,
+            next: 0,
+        }
+    }
+}
+
+const VA: Vaddr = Vaddr(0x10_0000);
+const PA: Paddr = Paddr(0x40_0000);
+
+fn mapping_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/mappings");
+
+    g.bench_function("load", |b| {
+        let mut s = St::with_space(Bench::new());
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .load_mapping(
+                            s.h.srm,
+                            s.sp.unwrap(),
+                            VA,
+                            PA,
+                            Pte::CACHEABLE,
+                            None,
+                            None,
+                            &mut s.h.mpm,
+                        )
+                        .unwrap();
+                },
+                |s| {
+                    s.h.ck
+                        .unload_mapping_range(s.h.srm, s.sp.unwrap(), VA, PAGE_SIZE, &mut s.h.mpm)
+                        .unwrap();
+                },
+            )
+        });
+    });
+
+    g.bench_function("load_writeback", |b| {
+        // A small descriptor pool, pre-filled: every load displaces.
+        let mut s = St::with_space(Bench::with_config(
+            CkConfig {
+                mapping_capacity: 256,
+                ..CkConfig::default()
+            },
+            16 * 1024,
+        ));
+        for i in 0..256u32 {
+            s.h.ck
+                .load_mapping(
+                    s.h.srm,
+                    s.sp.unwrap(),
+                    Vaddr(0x10_0000 + i * PAGE_SIZE),
+                    Paddr(0x40_0000 + i * PAGE_SIZE),
+                    Pte::CACHEABLE,
+                    None,
+                    None,
+                    &mut s.h.mpm,
+                )
+                .unwrap();
+        }
+        s.next = 256;
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .load_mapping(
+                            s.h.srm,
+                            s.sp.unwrap(),
+                            Vaddr(0x10_0000 + s.next * PAGE_SIZE),
+                            Paddr(0x40_0000 + (s.next % 2048) * PAGE_SIZE),
+                            Pte::CACHEABLE,
+                            None,
+                            None,
+                            &mut s.h.mpm,
+                        )
+                        .unwrap();
+                    s.next += 1;
+                },
+                |s| {
+                    s.h.ck.take_writebacks();
+                },
+            )
+        });
+    });
+
+    g.bench_function("unload", |b| {
+        let mut s = St::with_space(Bench::new());
+        s.h.ck
+            .load_mapping(
+                s.h.srm,
+                s.sp.unwrap(),
+                VA,
+                PA,
+                Pte::CACHEABLE,
+                None,
+                None,
+                &mut s.h.mpm,
+            )
+            .unwrap();
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .unload_mapping_range(s.h.srm, s.sp.unwrap(), VA, PAGE_SIZE, &mut s.h.mpm)
+                        .unwrap();
+                },
+                |s| {
+                    s.h.ck
+                        .load_mapping(
+                            s.h.srm,
+                            s.sp.unwrap(),
+                            VA,
+                            PA,
+                            Pte::CACHEABLE,
+                            None,
+                            None,
+                            &mut s.h.mpm,
+                        )
+                        .unwrap();
+                },
+            )
+        });
+    });
+
+    g.bench_function("load_optimized", |b| {
+        // The combined load-and-resume call (§2.1).
+        let mut s = St::with_space(Bench::new());
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .load_mapping_and_resume(
+                            s.h.srm,
+                            s.sp.unwrap(),
+                            VA,
+                            PA,
+                            Pte::CACHEABLE,
+                            None,
+                            None,
+                            &mut s.h.mpm,
+                            0,
+                        )
+                        .unwrap();
+                },
+                |s| {
+                    s.h.ck
+                        .unload_mapping_range(s.h.srm, s.sp.unwrap(), VA, PAGE_SIZE, &mut s.h.mpm)
+                        .unwrap();
+                },
+            )
+        });
+    });
+    g.finish();
+}
+
+fn thread_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/threads");
+
+    g.bench_function("load", |b| {
+        let mut s = St::with_space(Bench::new());
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.id = Some(
+                        s.h.ck
+                            .load_thread(
+                                s.h.srm,
+                                ThreadDesc::new(s.sp.unwrap(), 1, 5),
+                                false,
+                                &mut s.h.mpm,
+                            )
+                            .unwrap(),
+                    );
+                },
+                |s| {
+                    s.h.ck
+                        .unload_thread(s.h.srm, s.id.take().unwrap(), &mut s.h.mpm)
+                        .unwrap();
+                },
+            )
+        });
+    });
+
+    g.bench_function("load_writeback", |b| {
+        let mut s = St::with_space(Bench::with_config(
+            CkConfig {
+                thread_slots: 64,
+                ..CkConfig::default()
+            },
+            16 * 1024,
+        ));
+        for _ in 0..64 {
+            s.h.ck
+                .load_thread(
+                    s.h.srm,
+                    ThreadDesc::new(s.sp.unwrap(), 1, 5),
+                    false,
+                    &mut s.h.mpm,
+                )
+                .unwrap();
+        }
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .load_thread(
+                            s.h.srm,
+                            ThreadDesc::new(s.sp.unwrap(), 1, 5),
+                            false,
+                            &mut s.h.mpm,
+                        )
+                        .unwrap();
+                },
+                |s| {
+                    s.h.ck.take_writebacks();
+                },
+            )
+        });
+    });
+
+    g.bench_function("unload", |b| {
+        let mut s = St::with_space(Bench::new());
+        s.id = Some(
+            s.h.ck
+                .load_thread(
+                    s.h.srm,
+                    ThreadDesc::new(s.sp.unwrap(), 1, 5),
+                    false,
+                    &mut s.h.mpm,
+                )
+                .unwrap(),
+        );
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .unload_thread(s.h.srm, s.id.take().unwrap(), &mut s.h.mpm)
+                        .unwrap();
+                },
+                |s| {
+                    s.id = Some(
+                        s.h.ck
+                            .load_thread(
+                                s.h.srm,
+                                ThreadDesc::new(s.sp.unwrap(), 1, 5),
+                                false,
+                                &mut s.h.mpm,
+                            )
+                            .unwrap(),
+                    );
+                },
+            )
+        });
+    });
+    g.finish();
+}
+
+fn space_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/addrspaces");
+
+    g.bench_function("load", |b| {
+        let mut s = St::new(Bench::new());
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.id = Some(
+                        s.h.ck
+                            .load_space(s.h.srm, SpaceDesc::default(), &mut s.h.mpm)
+                            .unwrap(),
+                    );
+                },
+                |s| {
+                    s.h.ck
+                        .unload_space(s.h.srm, s.id.take().unwrap(), &mut s.h.mpm)
+                        .unwrap();
+                },
+            )
+        });
+    });
+
+    g.bench_function("load_writeback", |b| {
+        // Fill the space cache; give each space a couple of mappings so
+        // writeback does representative dependent work.
+        let mut s = St::new(Bench::with_config(
+            CkConfig {
+                space_slots: 16,
+                ..CkConfig::default()
+            },
+            16 * 1024,
+        ));
+        for i in 0..16u32 {
+            let sp =
+                s.h.ck
+                    .load_space(s.h.srm, SpaceDesc::default(), &mut s.h.mpm)
+                    .unwrap();
+            for p in 0..2u32 {
+                s.h.ck
+                    .load_mapping(
+                        s.h.srm,
+                        sp,
+                        Vaddr(0x10_0000 + p * PAGE_SIZE),
+                        Paddr(0x40_0000 + (i * 2 + p) * PAGE_SIZE),
+                        Pte::CACHEABLE,
+                        None,
+                        None,
+                        &mut s.h.mpm,
+                    )
+                    .unwrap();
+            }
+        }
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .load_space(s.h.srm, SpaceDesc::default(), &mut s.h.mpm)
+                        .unwrap();
+                },
+                |s| {
+                    s.h.ck.take_writebacks();
+                },
+            )
+        });
+    });
+
+    g.bench_function("unload", |b| {
+        let mut s = St::new(Bench::new());
+        s.id = Some(
+            s.h.ck
+                .load_space(s.h.srm, SpaceDesc::default(), &mut s.h.mpm)
+                .unwrap(),
+        );
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .unload_space(s.h.srm, s.id.take().unwrap(), &mut s.h.mpm)
+                        .unwrap();
+                },
+                |s| {
+                    s.id = Some(
+                        s.h.ck
+                            .load_space(s.h.srm, SpaceDesc::default(), &mut s.h.mpm)
+                            .unwrap(),
+                    );
+                },
+            )
+        });
+    });
+    g.finish();
+}
+
+fn kernel_desc() -> KernelDesc {
+    KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    }
+}
+
+fn kernel_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/kernels");
+
+    g.bench_function("load", |b| {
+        let mut s = St::new(Bench::new());
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.id = Some(
+                        s.h.ck
+                            .load_kernel(s.h.srm, kernel_desc(), &mut s.h.mpm)
+                            .unwrap(),
+                    );
+                },
+                |s| {
+                    s.h.ck
+                        .unload_kernel(s.h.srm, s.id.take().unwrap(), &mut s.h.mpm)
+                        .unwrap();
+                },
+            )
+        });
+    });
+
+    g.bench_function("load_writeback", |b| {
+        let mut s = St::new(Bench::new()); // 16 slots; fill the other 15
+        for _ in 0..15 {
+            s.h.ck
+                .load_kernel(s.h.srm, kernel_desc(), &mut s.h.mpm)
+                .unwrap();
+        }
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .load_kernel(s.h.srm, kernel_desc(), &mut s.h.mpm)
+                        .unwrap();
+                },
+                |s| {
+                    s.h.ck.take_writebacks();
+                },
+            )
+        });
+    });
+
+    g.bench_function("unload", |b| {
+        let mut s = St::new(Bench::new());
+        s.id = Some(
+            s.h.ck
+                .load_kernel(s.h.srm, kernel_desc(), &mut s.h.mpm)
+                .unwrap(),
+        );
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .unload_kernel(s.h.srm, s.id.take().unwrap(), &mut s.h.mpm)
+                        .unwrap();
+                },
+                |s| {
+                    s.id = Some(
+                        s.h.ck
+                            .load_kernel(s.h.srm, kernel_desc(), &mut s.h.mpm)
+                            .unwrap(),
+                    );
+                },
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, mapping_ops, thread_ops, space_ops, kernel_ops);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! §5.3: "The cost of a simple trap from a UNIX program to its emulator
+//! is 37 microseconds, effectively the cost of a getpid operation."
+//!
+//! We measure the full forwarding path: trap entry + mode switch into
+//! the emulator, the emulator's getpid dispatch, and the return — the
+//! exact boundary the paper times.
+
+use bench::timed_loop;
+use cache_kernel::{CacheKernel, CkConfig, Executive, KernelDesc, MemoryAccessArray, NullKernel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hw::{MachineConfig, Mpm};
+use unix_emu::{syscall::SYS_GETPID, UnixConfig, UnixEmulator};
+
+fn setup() -> (Executive, cache_kernel::ObjId, cache_kernel::ObjId, u16) {
+    let mut ck = CacheKernel::new(CkConfig::default());
+    let mut mpm = Mpm::new(MachineConfig {
+        phys_frames: 4096,
+        l2_bytes: 256 * 1024,
+        clock_interval: u64::MAX / 4,
+        ..MachineConfig::default()
+    });
+    let srm = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    let unix = ck
+        .load_kernel(
+            srm,
+            KernelDesc {
+                memory_access: MemoryAccessArray::all(),
+                ..KernelDesc::default()
+            },
+            &mut mpm,
+        )
+        .unwrap();
+    let mut ex = Executive::new(ck, mpm);
+    ex.register_kernel(srm, Box::new(NullKernel));
+    ex.register_kernel(
+        unix,
+        Box::new(UnixEmulator::new(unix, UnixConfig::default())),
+    );
+    // One process whose thread slot we trap on behalf of.
+    let pid = ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, env| {
+            u.spawn(
+                env.ck,
+                env.mpm,
+                env.code,
+                Box::new(cache_kernel::Script::new(vec![cache_kernel::Step::Yield])),
+                None,
+                0,
+            )
+            .unwrap()
+        })
+        .unwrap();
+    let tslot = ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| u.proc(pid).unwrap().thread.unwrap().slot)
+        .unwrap();
+    (ex, srm, unix, tslot)
+}
+
+fn trap_getpid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trap");
+    g.bench_function("getpid_roundtrip", |b| {
+        let (mut ex, _srm, unix, tslot) = setup();
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut ex,
+                |ex| {
+                    // Fig. 2 path: forward, dispatch, return.
+                    let owner = ex.ck.begin_trap_forward(&mut ex.mpm, 0, tslot).unwrap();
+                    let tid = ex.ck.thread_id(tslot).unwrap();
+                    ex.call_kernel(owner.slot, 0, |k, env| {
+                        k.on_trap(env, tid, SYS_GETPID, [0; 4])
+                    })
+                    .unwrap();
+                    ex.ck.end_forward(&mut ex.mpm, 0);
+                    let _ = unix;
+                },
+                |_| {},
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, trap_getpid);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Shared measurement scaffolding for the evaluation harness.
+//!
+//! Every table and figure of the paper's §5 is regenerated twice: in
+//! *host* time (Criterion wall-clock of this implementation) and in
+//! *simulated* time (the machine's cycle clock under the §4-style cost
+//! model). The paper's absolute numbers came from 25 MHz 68040s; the
+//! claim we reproduce is the *shape* — which operations are cheap, which
+//! are expensive, who wins and by roughly what factor.
+
+use cache_kernel::{CacheKernel, CkConfig, KernelDesc, MemoryAccessArray, ObjId};
+use hw::{MachineConfig, Mpm};
+
+/// A Cache Kernel + machine pair sized like the prototype, booted with
+/// an all-access first kernel, for micro-benchmarks that call the
+/// interface directly.
+pub struct Bench {
+    /// The Cache Kernel under test.
+    pub ck: CacheKernel,
+    /// The machine.
+    pub mpm: Mpm,
+    /// The first kernel (caller identity for the benched operations).
+    pub srm: ObjId,
+}
+
+impl Bench {
+    /// Prototype-geometry instance (Table 1 cache sizes).
+    pub fn new() -> Self {
+        Self::with_config(CkConfig::default(), 16 * 1024)
+    }
+
+    /// Custom geometry.
+    pub fn with_config(ck_cfg: CkConfig, phys_frames: usize) -> Self {
+        let mut ck = CacheKernel::new(ck_cfg);
+        let mpm = Mpm::new(MachineConfig {
+            phys_frames,
+            l2_bytes: 8 * 1024 * 1024,
+            clock_interval: u64::MAX / 4, // no ticks during micro-benches
+            ..MachineConfig::default()
+        });
+        let srm = ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        Bench { ck, mpm, srm }
+    }
+
+    /// Simulated microseconds elapsed on this machine so far.
+    pub fn sim_micros(&self) -> f64 {
+        self.mpm.clock.micros(&self.mpm.config.cost)
+    }
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Time `iters` repetitions of `op`, running `reset` untimed between
+/// them. The shared mutable state is threaded through both closures so
+/// they can work on the same harness without conflicting borrows.
+/// Returns total elapsed host time (Criterion `iter_custom` body).
+pub fn timed_loop<S>(
+    iters: u64,
+    state: &mut S,
+    mut op: impl FnMut(&mut S),
+    mut reset: impl FnMut(&mut S),
+) -> std::time::Duration {
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        op(state);
+        total += t0.elapsed();
+        reset(state);
+    }
+    total
+}
+
+/// Median host nanoseconds per call of `op` with untimed `reset`,
+/// over `samples` measurements of `batch` calls each (the report
+/// binary's Criterion-free quick path).
+pub fn quick_median_ns<S>(
+    samples: usize,
+    batch: u64,
+    state: &mut S,
+    mut op: impl FnMut(&mut S),
+    mut reset: impl FnMut(&mut S),
+) -> f64 {
+    let mut meas = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let d = timed_loop(batch, state, &mut op, &mut reset);
+        meas.push(d.as_nanos() as f64 / batch as f64);
+    }
+    meas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    meas[meas.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_harness_boots() {
+        let b = Bench::new();
+        assert_eq!(b.ck.occupancy()[0], (1, 16));
+        assert_eq!(b.sim_micros(), 0.0);
+    }
+
+    #[test]
+    fn quick_median_is_positive() {
+        let mut x = 0u64;
+        let ns = quick_median_ns(5, 100, &mut x, |x| *x = x.wrapping_add(1), |_| {});
+        assert!(ns >= 0.0);
+        assert!(x > 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! The application-kernel interface.
+//!
+//! An application kernel is "any program that is written to interface
+//! directly to the Cache Kernel, handling its own memory management,
+//! processing management and communication" (§3). In the simulation an
+//! application kernel is a Rust object implementing [`AppKernel`]; the
+//! executive invokes its handlers exactly where the hardware prototype
+//! would start the forwarded thread in the kernel's handler code (Fig. 2),
+//! charging the same boundary-crossing costs.
+
+use crate::ck::{CacheKernel, Writeback};
+use crate::fault::{FaultDisposition, TrapDisposition};
+use crate::ids::ObjId;
+use crate::program::CodeStore;
+use hw::{Fault, Mpm, Packet};
+
+/// The controlled view of the machine an application kernel handler gets:
+/// the Cache Kernel interface plus the hardware it is entitled to drive.
+pub struct Env<'a> {
+    /// The Cache Kernel instance of this MPM.
+    pub ck: &'a mut CacheKernel,
+    /// The MPM hardware.
+    pub mpm: &'a mut Mpm,
+    /// The code store (for creating thread programs).
+    pub code: &'a mut CodeStore,
+    /// CPU on which the handler is (logically) executing.
+    pub cpu: usize,
+    /// Node index of this MPM in the cluster.
+    pub node: usize,
+    /// Outgoing packets toward the fabric (drained by the cluster loop).
+    pub outbox: &'a mut Vec<Packet>,
+}
+
+/// An application kernel: the UNIX emulator, the SRM, a simulation or
+/// database kernel, or any application that is its own kernel.
+pub trait AppKernel: Send + 'static {
+    /// Downcast hook so embedders (tests, examples, the report harness)
+    /// can reach the concrete kernel behind the trait object.
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+
+    /// Called once when the kernel is registered with the executive,
+    /// with its own kernel-object identifier.
+    fn on_start(&mut self, _env: &mut Env, _self_id: ObjId) {}
+
+    /// A thread of this kernel took a mapping fault (Fig. 2 step 2-3).
+    /// The handler typically locates a frame and calls
+    /// [`CacheKernel::load_mapping_and_resume`].
+    fn on_page_fault(&mut self, env: &mut Env, thread: ObjId, fault: Fault) -> FaultDisposition;
+
+    /// A thread of this kernel trapped (its "system call", §2.3).
+    fn on_trap(&mut self, env: &mut Env, thread: ObjId, no: u32, args: [u32; 4])
+        -> TrapDisposition;
+
+    /// A non-mapping exception (protection, COW, privilege, consistency)
+    /// was forwarded. Defaults to the page-fault handler, which receives
+    /// the full fault record either way.
+    fn on_exception(&mut self, env: &mut Env, thread: ObjId, fault: Fault) -> FaultDisposition {
+        self.on_page_fault(env, thread, fault)
+    }
+
+    /// An object owned by this kernel was written back (displaced).
+    fn on_writeback(&mut self, _env: &mut Env, _wb: Writeback) {}
+
+    /// The interval clock fired (application-kernel scheduling threads
+    /// hang their rescheduling work here, §2.3).
+    fn on_tick(&mut self, _env: &mut Env) {}
+
+    /// A network packet arrived on a channel registered to this kernel.
+    fn on_packet(&mut self, _env: &mut Env, _src: usize, _channel: u32, _data: &[u8]) {}
+
+    /// A thread of this kernel exited.
+    fn on_thread_exit(&mut self, _env: &mut Env, _thread: ObjId, _code: i32) {}
+
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "app-kernel"
+    }
+}
+
+/// A trivial kernel that kills faulting threads and echoes traps: useful
+/// as a default and in tests.
+pub struct NullKernel;
+
+impl AppKernel for NullKernel {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn on_page_fault(&mut self, _env: &mut Env, _thread: ObjId, _fault: Fault) -> FaultDisposition {
+        FaultDisposition::Kill
+    }
+    fn on_trap(
+        &mut self,
+        _env: &mut Env,
+        _thread: ObjId,
+        no: u32,
+        _args: [u32; 4],
+    ) -> TrapDisposition {
+        TrapDisposition::Return(no)
+    }
+    fn name(&self) -> &str {
+        "null"
+    }
+}

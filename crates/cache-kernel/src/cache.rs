@@ -1,0 +1,278 @@
+//! Fixed-capacity object caches with generational slots.
+//!
+//! Each of the three object types lives in one of these: a slab of slots
+//! sized at boot (Table 1's "Cache Size" column), a free list, and a clock
+//! hand for victim selection when a load finds no free slot. A slot's
+//! generation is bumped on every insertion so stale [`ObjId`]s can never
+//! resolve to a newer occupant.
+
+use crate::ids::{ObjId, ObjKind};
+
+struct Slot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A fixed-capacity generational cache for objects of type `T`.
+pub struct ObjCache<T> {
+    kind: ObjKind,
+    slots: Vec<Slot<T>>,
+    free: Vec<u16>,
+    hand: usize,
+    live: usize,
+}
+
+impl<T> ObjCache<T> {
+    /// A cache of `capacity` slots holding objects of `kind`.
+    pub fn new(kind: ObjKind, capacity: usize) -> Self {
+        assert!(capacity > 0 && capacity <= u16::MAX as usize);
+        ObjCache {
+            kind,
+            slots: (0..capacity).map(|_| Slot { gen: 0, val: None }).collect(),
+            free: (0..capacity as u16).rev().collect(),
+            hand: 0,
+            live: 0,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of loaded objects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no objects are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.live == self.slots.len()
+    }
+
+    /// Insert into a free slot, returning the new id, or `None` when full
+    /// (the caller must first select and write back a victim).
+    pub fn insert(&mut self, val: T) -> Option<ObjId> {
+        let slot = self.free.pop()?;
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.val.is_none());
+        s.gen = s.gen.wrapping_add(1);
+        s.val = Some(val);
+        self.live += 1;
+        Some(ObjId::new(self.kind, slot, s.gen))
+    }
+
+    fn check(&self, id: ObjId) -> bool {
+        id.kind == self.kind
+            && (id.slot as usize) < self.slots.len()
+            && self.slots[id.slot as usize].gen == id.gen
+            && self.slots[id.slot as usize].val.is_some()
+    }
+
+    /// Resolve an id to the object, if the id is current.
+    pub fn get(&self, id: ObjId) -> Option<&T> {
+        if !self.check(id) {
+            return None;
+        }
+        self.slots[id.slot as usize].val.as_ref()
+    }
+
+    /// Resolve an id mutably.
+    pub fn get_mut(&mut self, id: ObjId) -> Option<&mut T> {
+        if !self.check(id) {
+            return None;
+        }
+        self.slots[id.slot as usize].val.as_mut()
+    }
+
+    /// Access by raw slot index regardless of generation (Cache Kernel
+    /// internal paths that hold a slot reference, e.g. the scheduler).
+    pub fn get_slot(&self, slot: u16) -> Option<&T> {
+        self.slots.get(slot as usize)?.val.as_ref()
+    }
+
+    /// Mutable access by raw slot index.
+    pub fn get_slot_mut(&mut self, slot: u16) -> Option<&mut T> {
+        self.slots.get_mut(slot as usize)?.val.as_mut()
+    }
+
+    /// Current id for an occupied slot.
+    pub fn id_of_slot(&self, slot: u16) -> Option<ObjId> {
+        let s = self.slots.get(slot as usize)?;
+        s.val.as_ref()?;
+        Some(ObjId::new(self.kind, slot, s.gen))
+    }
+
+    /// Remove the object named by `id`, freeing its slot.
+    pub fn remove(&mut self, id: ObjId) -> Option<T> {
+        if !self.check(id) {
+            return None;
+        }
+        let v = self.slots[id.slot as usize].val.take();
+        self.free.push(id.slot);
+        self.live -= 1;
+        v
+    }
+
+    /// Pick a writeback victim with the clock algorithm: sweep slots,
+    /// skipping any for which `pinned` returns true; an occupied,
+    /// unpinned slot whose `referenced` flag (reported by `referenced`)
+    /// is set gets a second chance (the flag is cleared by the caller via
+    /// `clear_ref`). Returns `None` if everything is pinned.
+    pub fn victim<P, R>(&mut self, mut pinned: P, mut referenced: R) -> Option<ObjId>
+    where
+        P: FnMut(&T) -> bool,
+        R: FnMut(&mut T) -> bool, // returns prior referenced bit, clearing it
+    {
+        let n = self.slots.len();
+        // Two full sweeps guarantee a second-chance pass completes.
+        for _ in 0..2 * n {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % n;
+            let gen = self.slots[i].gen;
+            if let Some(v) = self.slots[i].val.as_mut() {
+                if pinned(v) {
+                    continue;
+                }
+                if referenced(v) {
+                    continue; // second chance
+                }
+                return Some(ObjId::new(self.kind, i as u16, gen));
+            }
+        }
+        None
+    }
+
+    /// Iterate over `(id, object)` for all loaded objects.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, &T)> + '_ {
+        self.slots.iter().enumerate().filter_map(move |(i, s)| {
+            s.val
+                .as_ref()
+                .map(|v| (ObjId::new(self.kind, i as u16, s.gen), v))
+        })
+    }
+
+    /// Collect the ids of all loaded objects matching a predicate (used by
+    /// dependency-ordered reclamation to find an object's dependents).
+    pub fn ids_where<F: FnMut(&T) -> bool>(&self, mut f: F) -> Vec<ObjId> {
+        self.iter()
+            .filter_map(|(id, v)| f(v).then_some(id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(cap: usize) -> ObjCache<String> {
+        ObjCache::new(ObjKind::Thread, cap)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c = cache(2);
+        let a = c.insert("a".into()).unwrap();
+        let b = c.insert("b".into()).unwrap();
+        assert!(c.is_full());
+        assert_eq!(c.insert("c".into()), None);
+        assert_eq!(c.get(a).unwrap(), "a");
+        assert_eq!(c.remove(a).unwrap(), "a");
+        assert_eq!(c.get(a), None);
+        assert_eq!(c.len(), 1);
+        let c2 = c.insert("c".into()).unwrap();
+        assert_eq!(c.get(c2).unwrap(), "c");
+        assert_eq!(c.get(b).unwrap(), "b");
+    }
+
+    #[test]
+    fn stale_id_never_resolves() {
+        let mut c = cache(1);
+        let a = c.insert("a".into()).unwrap();
+        c.remove(a);
+        let b = c.insert("b".into()).unwrap();
+        assert_eq!(b.slot, a.slot, "slot reused");
+        assert_ne!(b.gen, a.gen, "generation advanced");
+        assert_eq!(c.get(a), None, "stale id rejected");
+        assert_eq!(c.get_mut(a), None);
+        assert_eq!(c.remove(a), None);
+        assert_eq!(c.get(b).unwrap(), "b");
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let mut c = cache(1);
+        let a = c.insert("a".into()).unwrap();
+        let forged = ObjId::new(ObjKind::Kernel, a.slot, a.gen);
+        assert_eq!(c.get(forged), None);
+    }
+
+    #[test]
+    fn victim_skips_pinned() {
+        let mut c = cache(3);
+        let _a = c.insert("pinned".into()).unwrap();
+        let b = c.insert("plain".into()).unwrap();
+        let _c2 = c.insert("pinned".into()).unwrap();
+        let v = c.victim(|s| s == "pinned", |_| false).unwrap();
+        assert_eq!(v, b);
+    }
+
+    #[test]
+    fn victim_none_when_all_pinned() {
+        let mut c = cache(2);
+        c.insert("x".into()).unwrap();
+        c.insert("y".into()).unwrap();
+        assert_eq!(c.victim(|_| true, |_| false), None);
+    }
+
+    #[test]
+    fn victim_second_chance() {
+        // Objects whose referenced bit is set survive the first sweep.
+        let mut c: ObjCache<(String, bool)> = ObjCache::new(ObjKind::Thread, 2);
+        let a = c.insert(("a".into(), true)).unwrap();
+        let b = c.insert(("b".into(), false)).unwrap();
+        let v = c
+            .victim(
+                |_| false,
+                |t| {
+                    let r = t.1;
+                    t.1 = false;
+                    r
+                },
+            )
+            .unwrap();
+        assert_eq!(v, b, "unreferenced object chosen first");
+        // Now a's bit has been cleared; it is the next victim.
+        let v2 = c
+            .victim(|_| false, |t| core::mem::replace(&mut t.1, false))
+            .unwrap();
+        assert!(v2 == a || v2 == b);
+    }
+
+    #[test]
+    fn iter_and_ids_where() {
+        let mut c = cache(4);
+        let a = c.insert("keep".into()).unwrap();
+        let b = c.insert("drop".into()).unwrap();
+        c.insert("keep".into()).unwrap();
+        c.remove(b);
+        let ids = c.ids_where(|s| s == "keep");
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&a));
+        assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn id_of_slot_tracks_generation() {
+        let mut c = cache(1);
+        let a = c.insert("a".into()).unwrap();
+        assert_eq!(c.id_of_slot(0), Some(a));
+        c.remove(a);
+        assert_eq!(c.id_of_slot(0), None);
+    }
+}

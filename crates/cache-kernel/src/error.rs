@@ -1,0 +1,72 @@
+//! Cache Kernel error codes.
+
+use crate::ids::ObjId;
+use hw::Paddr;
+
+/// Errors returned across the Cache Kernel interface.
+///
+/// Note what is *not* here: there is no "out of descriptors" hard error for
+/// ordinary loads. "The Cache Kernel always allows more objects to be
+/// loaded, writing back other objects to make space if necessary" (§7).
+/// [`CkError::CacheFull`] arises only when every slot is pinned by a fully
+/// locked object, which the locked-object quotas are sized to prevent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CkError {
+    /// The identifier does not name a currently loaded object — either it
+    /// was never valid or the object was written back (possibly
+    /// concurrently). The application kernel reloads the parent object and
+    /// retries, per §2.
+    StaleId(ObjId),
+    /// The calling kernel does not own the object it tried to operate on.
+    NotOwner(ObjId),
+    /// The calling kernel lacks rights on the physical page it tried to
+    /// map, per its memory access array (§2.1, §4.3).
+    NoAccess(Paddr),
+    /// Requested priority exceeds the kernel's authorized maximum (§4.3).
+    PriorityTooHigh(u8),
+    /// The kernel's locked-object quota for this object type is exhausted.
+    LockQuota,
+    /// Every slot in the relevant cache is pinned by locked objects; the
+    /// load cannot displace anything.
+    CacheFull,
+    /// No mapping exists at the given address.
+    NoMapping,
+    /// Malformed request (bad range, misaligned address, …).
+    Invalid,
+    /// Operation restricted to the first kernel (the SRM).
+    FirstKernelOnly,
+}
+
+/// Convenience result alias.
+pub type CkResult<T> = Result<T, CkError>;
+
+impl core::fmt::Display for CkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CkError::StaleId(id) => write!(f, "stale object identifier {id:?}"),
+            CkError::NotOwner(id) => write!(f, "caller does not own {id:?}"),
+            CkError::NoAccess(p) => write!(f, "no rights on physical page {p:?}"),
+            CkError::PriorityTooHigh(p) => write!(f, "priority {p} above kernel maximum"),
+            CkError::LockQuota => write!(f, "locked-object quota exhausted"),
+            CkError::CacheFull => write!(f, "all descriptors locked; cannot displace"),
+            CkError::NoMapping => write!(f, "no mapping at address"),
+            CkError::Invalid => write!(f, "invalid request"),
+            CkError::FirstKernelOnly => write!(f, "operation restricted to the first kernel"),
+        }
+    }
+}
+
+impl std::error::Error for CkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjKind;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CkError::StaleId(ObjId::new(ObjKind::Thread, 1, 2));
+        assert!(format!("{e}").contains("stale"));
+        assert!(format!("{}", CkError::CacheFull).contains("locked"));
+    }
+}

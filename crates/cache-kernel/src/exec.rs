@@ -1,0 +1,1092 @@
+//! The executive: the per-MPM simulation loop.
+//!
+//! Stands in for the hardware's instruction stream: it dispatches loaded
+//! threads onto simulated CPUs at fixed priority with round-robin time
+//! slicing, executes their [`Program`] steps against the machine (with
+//! real TLB misses, page faults and message-mode signals), forwards
+//! faults/traps/exceptions to the owning application kernels per Fig. 2,
+//! delivers writebacks over the writeback channel, polls devices, and
+//! closes accounting periods for §4.3 quota enforcement.
+//!
+//! A [`Cluster`] connects several executives through the fabric for
+//! multi-MPM configurations (Fig. 4/5).
+
+use crate::appkernel::{AppKernel, Env};
+use crate::ck::CacheKernel;
+use crate::error::CkResult;
+use crate::fault::{FaultDisposition, TrapDisposition};
+use crate::ids::ObjId;
+use crate::objects::{Priority, ThreadDesc, ThreadState};
+use crate::program::{CodeStore, Program, Step};
+use hw::{Access, Fabric, Fault, FaultKind, Mpm, Packet, Pte, Vaddr};
+use std::collections::HashMap;
+
+/// Outcome of executing one program step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Outcome {
+    /// Keep running within the slice.
+    Continue,
+    /// The thread stopped (blocked, yielded, exited, or was unloaded).
+    Stopped,
+}
+
+/// How many times a single access is retried through fault handling
+/// before the thread is killed (guards against handlers that never
+/// actually resolve the fault).
+const MAX_FAULT_RETRIES: usize = 4;
+
+/// One MPM's executive.
+pub struct Executive {
+    /// The node's Cache Kernel.
+    pub ck: CacheKernel,
+    /// The node's hardware.
+    pub mpm: Mpm,
+    /// Program store.
+    pub code: CodeStore,
+    kernels: HashMap<u16, Box<dyn AppKernel>>,
+    /// Network channel → owning kernel slot (stand-in for the SRM channel
+    /// manager's registry).
+    pub channel_owners: HashMap<u32, u16>,
+    /// Packets awaiting the fabric.
+    pub outbox: Vec<Packet>,
+    /// Optional Ethernet driver (the DMA-to-messaging adaptation).
+    pub ether_driver: Option<crate::drivers::EtherDriver>,
+    /// Channels routed through the Ethernet interface instead of the
+    /// fiber channel.
+    pub ether_channels: std::collections::HashSet<u32>,
+    last_period_end: u64,
+    /// Quanta executed (diagnostics).
+    pub quanta_run: u64,
+}
+
+impl Executive {
+    /// An executive over a booted Cache Kernel and machine.
+    pub fn new(ck: CacheKernel, mpm: Mpm) -> Self {
+        Executive {
+            ck,
+            mpm,
+            code: CodeStore::new(),
+            kernels: HashMap::new(),
+            channel_owners: HashMap::new(),
+            outbox: Vec::new(),
+            ether_driver: None,
+            ether_channels: std::collections::HashSet::new(),
+            last_period_end: 0,
+            quanta_run: 0,
+        }
+    }
+
+    /// Node index.
+    pub fn node(&self) -> usize {
+        self.mpm.node()
+    }
+
+    /// Register the application-kernel object behind a loaded kernel id.
+    pub fn register_kernel(&mut self, id: ObjId, mut k: Box<dyn AppKernel>) {
+        {
+            let mut env = Env {
+                ck: &mut self.ck,
+                mpm: &mut self.mpm,
+                code: &mut self.code,
+                cpu: 0,
+                node: 0,
+                outbox: &mut self.outbox,
+            };
+            env.node = env.mpm.node();
+            k.on_start(&mut env, id);
+        }
+        self.kernels.insert(id.slot, k);
+    }
+
+    /// Remove an application kernel object (after unloading its kernel).
+    pub fn unregister_kernel(&mut self, id: ObjId) -> Option<Box<dyn AppKernel>> {
+        self.kernels.remove(&id.slot)
+    }
+
+    /// Route `channel` to `kernel` for incoming packets.
+    pub fn register_channel(&mut self, channel: u32, kernel: ObjId) {
+        self.channel_owners.insert(channel, kernel.slot);
+    }
+
+    /// Invoke a registered kernel with an [`Env`] (take-out/put-back so
+    /// the kernel can re-enter the Cache Kernel).
+    pub fn call_kernel<R>(
+        &mut self,
+        kslot: u16,
+        cpu: usize,
+        f: impl FnOnce(&mut dyn AppKernel, &mut Env) -> R,
+    ) -> Option<R> {
+        let mut k = self.kernels.remove(&kslot)?;
+        let node = self.mpm.node();
+        let r = {
+            let mut env = Env {
+                ck: &mut self.ck,
+                mpm: &mut self.mpm,
+                code: &mut self.code,
+                cpu,
+                node,
+                outbox: &mut self.outbox,
+            };
+            f(k.as_mut(), &mut env)
+        };
+        self.kernels.insert(kslot, k);
+        Some(r)
+    }
+
+    /// Invoke a registered kernel downcast to its concrete type (tests,
+    /// examples and the report harness drive kernels this way).
+    pub fn with_kernel<T: 'static, R>(
+        &mut self,
+        id: ObjId,
+        f: impl FnOnce(&mut T, &mut Env) -> R,
+    ) -> Option<R> {
+        self.call_kernel(id.slot, 0, |k, env| {
+            k.as_any().downcast_mut::<T>().map(|t| f(t, env))
+        })
+        .flatten()
+    }
+
+    /// Convenience: install `program` and load a thread running it.
+    pub fn spawn_thread(
+        &mut self,
+        kernel: ObjId,
+        space: ObjId,
+        program: Box<dyn Program>,
+        priority: Priority,
+    ) -> CkResult<ObjId> {
+        let pc = self.code.register(program);
+        let desc = ThreadDesc::new(space, pc, priority);
+        match self.ck.load_thread(kernel, desc, false, &mut self.mpm) {
+            Ok(id) => Ok(id),
+            Err(e) => {
+                self.code.remove(pc);
+                Err(e)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Run `quanta` scheduling quanta. Each quantum polls devices,
+    /// delivers writebacks, gives every CPU one time slice, and closes the
+    /// accounting period when due.
+    pub fn run(&mut self, quanta: usize) {
+        for _ in 0..quanta {
+            if self.mpm.halted {
+                return;
+            }
+            self.quanta_run += 1;
+            self.poll_devices();
+            self.dispatch_writebacks();
+            for cpu in 0..self.mpm.cpus.len() {
+                self.run_cpu_slice(cpu);
+            }
+            self.close_accounting_period();
+            self.loopback_outbox();
+        }
+    }
+
+    /// Run until no thread is runnable or `max_quanta` elapse. Returns
+    /// the number of quanta used.
+    pub fn run_until_idle(&mut self, max_quanta: usize) -> usize {
+        for q in 0..max_quanta {
+            if self.mpm.halted {
+                return q;
+            }
+            let busy = self.ck.sched.ready_count() > 0
+                || self.mpm.cpus.iter().any(|c| c.current.is_some())
+                || self.ck.pending_writebacks() > 0;
+            if !busy {
+                return q;
+            }
+            self.run(1);
+        }
+        max_quanta
+    }
+
+    /// Deliver queued writebacks to their owning application kernels.
+    pub fn dispatch_writebacks(&mut self) {
+        for wb in self.ck.take_writebacks() {
+            let owner = wb.owner();
+            self.call_kernel(owner.slot, 0, |k, env| k.on_writeback(env, wb));
+        }
+    }
+
+    fn poll_devices(&mut self) {
+        // Interval clock: its tick refreshes the time page, which the
+        // Cache Kernel turns into an address-valued signal; registered
+        // kernels also get their rescheduling hook.
+        let now = self.mpm.clock.cycles();
+        let tick = self.mpm.clockdev.poll(&mut self.mpm.mem, now);
+        if let Some(pa) = tick {
+            self.ck.raise_signal(&mut self.mpm, 0, pa);
+            let kslots: Vec<u16> = self.kernels.keys().copied().collect();
+            for ks in kslots {
+                self.call_kernel(ks, 0, |k, env| k.on_tick(env));
+            }
+        }
+        // Ethernet driver: reclaim transmit descriptors and turn receive
+        // completions into address-valued signals on the buffer pages.
+        if let Some(drv) = self.ether_driver.as_mut() {
+            drv.poll(&mut self.ck, &mut self.mpm);
+        }
+    }
+
+    fn close_accounting_period(&mut self) {
+        let period = self.ck.config.accounting_period;
+        let now = self.mpm.clock.cycles();
+        if now - self.last_period_end >= period {
+            self.last_period_end = now;
+            self.ck.end_accounting_period(period);
+        }
+    }
+
+    /// Packets addressed to this very node are delivered locally at the
+    /// end of a quantum; the rest wait for the cluster loop.
+    fn loopback_outbox(&mut self) {
+        let node = self.mpm.node();
+        let (local, remote): (Vec<Packet>, Vec<Packet>) =
+            self.outbox.drain(..).partition(|p| p.dst == node);
+        self.outbox = remote;
+        for pkt in local {
+            self.deliver_packet(pkt);
+        }
+    }
+
+    /// Deliver an incoming fabric packet through the fiber interface: it
+    /// lands in a reception slot and raises an address-valued signal on
+    /// the slot page (§2.2 device model).
+    pub fn deliver_packet(&mut self, pkt: Packet) {
+        if self.ether_driver.is_some() && self.ether_channels.contains(&pkt.channel) {
+            // DMA into the Ethernet receive ring; the driver raises the
+            // signal on the buffer page at the next poll.
+            self.mpm.ether.deliver(&mut self.mpm.mem, &pkt);
+        } else if let Some(pa) = self.mpm.fiber.deliver(&mut self.mpm.mem, &pkt) {
+            self.ck.raise_signal(&mut self.mpm, 0, pa);
+        }
+        if let Some(ks) = self.channel_owners.get(&pkt.channel).copied() {
+            self.call_kernel(ks, 0, |k, env| {
+                k.on_packet(env, pkt.src, pkt.channel, &pkt.data)
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CPU dispatch
+    // ------------------------------------------------------------------
+
+    fn run_cpu_slice(&mut self, cpu: usize) {
+        let slot = match self.mpm.cpus[cpu].current {
+            Some(s) => s as u16,
+            None => {
+                let Some((slot, _p)) = self.ck.sched.pick() else {
+                    // Idle: real time still passes on this CPU.
+                    self.mpm.clock.charge(self.mpm.config.cost.idle_slice);
+                    return;
+                };
+                let cost = self.mpm.config.cost.context_switch;
+                self.mpm.clock.charge(cost);
+                self.mpm.cpus[cpu].consume(cost);
+                self.mpm.cpus[cpu].current = Some(slot as u32);
+                if let Some(t) = self.ck.threads.get_slot_mut(slot) {
+                    t.desc.state = ThreadState::Running(cpu as u8);
+                    t.referenced = true;
+                }
+                slot
+            }
+        };
+        let slice = self.ck.sched.slice;
+        for _ in 0..slice {
+            match self.exec_one(cpu, slot) {
+                Outcome::Continue => {}
+                Outcome::Stopped => {
+                    return;
+                }
+            }
+            if self.mpm.cpus[cpu].current != Some(slot as u32) {
+                return; // thread vanished under a handler
+            }
+            // Fixed-priority preemption: a strictly higher-priority thread
+            // that became ready (a signal arrival, a wakeup) takes the CPU
+            // at the next step boundary.
+            if let Some(top) = self.ck.sched.top_priority() {
+                if top > self.ck.effective_priority(slot) {
+                    let cost = self.mpm.config.cost.context_switch;
+                    self.mpm.clock.charge(cost);
+                    self.mpm.cpus[cpu].consume(cost);
+                    break;
+                }
+            }
+        }
+        // Slice expired: back to the tail of its priority queue.
+        self.mpm.cpus[cpu].current = None;
+        if let Some(t) = self.ck.threads.get_slot_mut(slot) {
+            t.desc.state = ThreadState::Ready;
+            self.ck.enqueue_thread(slot);
+        }
+    }
+
+    /// Execute one program step for the thread in `slot` on `cpu`.
+    fn exec_one(&mut self, cpu: usize, slot: u16) -> Outcome {
+        let Some(tid) = self.ck.thread_id(slot) else {
+            self.mpm.cpus[cpu].current = None;
+            return Outcome::Stopped;
+        };
+        let pc = match self.ck.thread(tid) {
+            Ok(t) => t.desc.regs.pc,
+            Err(_) => {
+                self.mpm.cpus[cpu].current = None;
+                return Outcome::Stopped;
+            }
+        };
+        let Some((mut prog, mut ctx)) = self.code.take(pc) else {
+            // No program behind the pc: treat as an exited thread.
+            self.terminate_thread(cpu, slot, -1);
+            return Outcome::Stopped;
+        };
+        ctx.thread = Some(tid);
+        ctx.cpu = cpu;
+
+        // Fulfil a pending signal wait before stepping again.
+        if ctx.waiting {
+            match self.ck.take_signal(slot) {
+                Some(va) => {
+                    ctx.signal = Some(va);
+                    ctx.waiting = false;
+                }
+                None => {
+                    // Spurious wakeup: block again.
+                    self.ck.wait_signal(slot);
+                    self.mpm.cpus[cpu].current = None;
+                    self.code.put(pc, prog, ctx);
+                    return Outcome::Stopped;
+                }
+            }
+        }
+
+        let consumed_before = self.mpm.cpus[cpu].consumed;
+        self.mpm.clock.charge(1);
+        self.mpm.cpus[cpu].consume(1);
+
+        let step = prog.step(&mut ctx);
+        // The program and its context go back into the store *before* the
+        // step is processed, so application-kernel handlers see it there
+        // (fork duplicates it, blocked traps park it).
+        self.code.put(pc, prog, ctx);
+
+        let outcome = match step {
+            Step::Compute(n) => {
+                self.mpm.clock.charge(n);
+                self.mpm.cpus[cpu].consume(n);
+                Outcome::Continue
+            }
+            Step::Privileged => {
+                // Privilege violation: forwarded like any exception.
+                let fault = Fault {
+                    kind: FaultKind::Privilege,
+                    vaddr: Vaddr(0),
+                    write: false,
+                };
+                match self.forward_fault(cpu, slot, tid, fault) {
+                    Outcome::Continue => Outcome::Continue,
+                    Outcome::Stopped => Outcome::Stopped,
+                }
+            }
+            Step::Load(va) => self.do_access(cpu, slot, pc, va, Access::Read, AccessOp::ReadU32),
+            Step::Store(va, v) => {
+                self.do_access(cpu, slot, pc, va, Access::Write, AccessOp::WriteU32(v))
+            }
+            Step::LoadBytes(va, len) => {
+                self.do_access(cpu, slot, pc, va, Access::Read, AccessOp::ReadBytes(len))
+            }
+            Step::StoreBytes(va, bytes) => self.do_access(
+                cpu,
+                slot,
+                pc,
+                va,
+                Access::Write,
+                AccessOp::WriteBytes(bytes),
+            ),
+            Step::Trap { no, args } => self.do_trap(cpu, slot, pc, tid, no, args),
+            Step::WaitSignal => {
+                self.ck.signal_return(slot);
+                match self.ck.take_signal(slot) {
+                    Some(va) => {
+                        self.code.with_ctx(pc, |c| c.signal = Some(va));
+                        Outcome::Continue
+                    }
+                    None => {
+                        self.code.with_ctx(pc, |c| c.waiting = true);
+                        self.ck.wait_signal(slot);
+                        self.mpm.cpus[cpu].current = None;
+                        Outcome::Stopped
+                    }
+                }
+            }
+            Step::Yield => {
+                self.mpm.cpus[cpu].current = None;
+                if let Some(t) = self.ck.threads.get_slot_mut(slot) {
+                    t.desc.state = ThreadState::Ready;
+                    self.ck.enqueue_thread(slot);
+                }
+                Outcome::Stopped
+            }
+            Step::Exit(code) => {
+                self.terminate_thread(cpu, slot, code);
+                return Outcome::Stopped;
+            }
+        };
+
+        // Attribute the consumed cycles to the owning kernel (§4.3).
+        let delta = self.mpm.cpus[cpu].consumed - consumed_before;
+        self.ck.account_consumption(slot, cpu, delta);
+
+        // The handler may have unloaded the thread; its program state
+        // stays in the store for the reload.
+        if self.ck.thread_id(slot) != Some(tid) {
+            if self.mpm.cpus[cpu].current == Some(slot as u32) {
+                self.mpm.cpus[cpu].current = None;
+            }
+            return Outcome::Stopped;
+        }
+        outcome
+    }
+
+    fn do_trap(
+        &mut self,
+        cpu: usize,
+        slot: u16,
+        pc: crate::program::ProgId,
+        tid: ObjId,
+        no: u32,
+        args: [u32; 4],
+    ) -> Outcome {
+        let Some(owner) = self.ck.begin_trap_forward(&mut self.mpm, cpu, slot) else {
+            self.terminate_thread(cpu, slot, -1);
+            return Outcome::Stopped;
+        };
+        let disp = self
+            .call_kernel(owner.slot, cpu, |k, env| k.on_trap(env, tid, no, args))
+            .unwrap_or(TrapDisposition::Exit);
+        self.ck.end_forward(&mut self.mpm, cpu);
+        match disp {
+            TrapDisposition::Return(v) => {
+                self.code.set_trap_ret(pc, v);
+                Outcome::Continue
+            }
+            TrapDisposition::Block => {
+                // The kernel parks the thread (it may also have unloaded
+                // it); if still loaded and running, suspend it.
+                if self.ck.thread_id(slot) == Some(tid) {
+                    if let Some(t) = self.ck.threads.get_slot_mut(slot) {
+                        if matches!(t.desc.state, ThreadState::Running(_)) {
+                            t.desc.state = ThreadState::Suspended;
+                        }
+                    }
+                    self.ck.sched.remove(slot);
+                }
+                self.mpm.cpus[cpu].current = None;
+                Outcome::Stopped
+            }
+            TrapDisposition::Exit => {
+                self.terminate_thread(cpu, slot, no as i32);
+                Outcome::Stopped
+            }
+        }
+    }
+
+    fn do_access(
+        &mut self,
+        cpu: usize,
+        slot: u16,
+        pc: crate::program::ProgId,
+        vaddr: Vaddr,
+        access: Access,
+        op: AccessOp,
+    ) -> Outcome {
+        self.code.with_ctx(pc, |c| c.faulted = false);
+        for _attempt in 0..MAX_FAULT_RETRIES {
+            let Some(tid) = self.ck.thread_id(slot) else {
+                self.mpm.cpus[cpu].current = None;
+                return Outcome::Stopped;
+            };
+            let space = match self.ck.thread(tid) {
+                Ok(t) => t.desc.space,
+                Err(_) => return Outcome::Stopped,
+            };
+            let asid = CacheKernel::asid_of(space);
+            let result = match self.ck.spaces.get_mut(space) {
+                Some(s) => self.mpm.translate(cpu, asid, &mut s.pt, vaddr, access),
+                None => {
+                    // Address space vanished: fatal for the thread.
+                    self.terminate_thread(cpu, slot, -2);
+                    return Outcome::Stopped;
+                }
+            };
+            match result {
+                Ok(tr) => {
+                    match &op {
+                        AccessOp::ReadU32 => {
+                            let v = self.mpm.mem.read_u32(tr.paddr).unwrap_or(0);
+                            self.code.with_ctx(pc, |c| c.loaded = v);
+                        }
+                        AccessOp::WriteU32(v) => {
+                            let _ = self.mpm.mem.write_u32(tr.paddr, *v);
+                        }
+                        AccessOp::ReadBytes(len) => {
+                            let mut buf = vec![0u8; *len as usize];
+                            let _ = self.mpm.mem.read(tr.paddr, &mut buf);
+                            self.code.with_ctx(pc, |c| c.data = buf);
+                        }
+                        AccessOp::WriteBytes(bytes) => {
+                            let _ = self.mpm.mem.write(tr.paddr, bytes);
+                        }
+                    }
+                    // A store to a message-mode page raises an
+                    // address-valued signal — or rings a device doorbell
+                    // if the page belongs to a device region.
+                    if access == Access::Write && tr.pte.has(Pte::MESSAGE) {
+                        self.message_store(cpu, tr.paddr);
+                    }
+                    return Outcome::Continue;
+                }
+                Err(fault) => {
+                    self.code.with_ctx(pc, |c| c.faulted = true);
+                    match self.forward_fault(cpu, slot, tid, fault) {
+                        Outcome::Continue => continue, // retry the access
+                        Outcome::Stopped => return Outcome::Stopped,
+                    }
+                }
+            }
+        }
+        // The handler kept "resolving" without fixing the fault.
+        self.terminate_thread(cpu, slot, -3);
+        Outcome::Stopped
+    }
+
+    /// A store hit a message-mode page: device doorbell or thread signal.
+    fn message_store(&mut self, cpu: usize, paddr: hw::Paddr) {
+        // Fiber-channel transmit region?
+        let fiber_tx0 = self.mpm.fiber.tx_slot(0);
+        let slots = self.mpm.fiber.slots();
+        let tx_end = fiber_tx0.0 + slots * hw::PAGE_SIZE;
+        if paddr.0 >= fiber_tx0.0 && paddr.0 < tx_end {
+            let cost = self.mpm.config.cost.device_cmd;
+            self.mpm.clock.charge(cost);
+            self.mpm.cpus[cpu].consume(cost);
+            if let Some(pkt) = self.mpm.fiber.transmit(&self.mpm.mem, paddr) {
+                self.outbox.push(pkt);
+            }
+            return;
+        }
+        self.ck.raise_signal(&mut self.mpm, cpu, paddr);
+    }
+
+    fn forward_fault(&mut self, cpu: usize, slot: u16, tid: ObjId, fault: Fault) -> Outcome {
+        let Some(owner) = self.ck.begin_fault_forward(&mut self.mpm, cpu, slot) else {
+            self.terminate_thread(cpu, slot, -1);
+            return Outcome::Stopped;
+        };
+        self.ck.resume_armed = false;
+        let is_mapping_fault = fault.kind == FaultKind::Unmapped;
+        let disp = self
+            .call_kernel(owner.slot, cpu, |k, env| {
+                if is_mapping_fault {
+                    k.on_page_fault(env, tid, fault)
+                } else {
+                    k.on_exception(env, tid, fault)
+                }
+            })
+            .unwrap_or(FaultDisposition::Kill);
+        match disp {
+            FaultDisposition::Resume => {
+                // The combined load-and-resume call already paid the
+                // return; otherwise charge the separate completion trap.
+                if !self.ck.resume_armed {
+                    self.ck.end_forward(&mut self.mpm, cpu);
+                }
+                self.ck.resume_armed = false;
+                if self.ck.thread_id(slot) != Some(tid) {
+                    self.mpm.cpus[cpu].current = None;
+                    return Outcome::Stopped;
+                }
+                Outcome::Continue
+            }
+            FaultDisposition::Block => {
+                if self.ck.thread_id(slot) == Some(tid) {
+                    if let Some(t) = self.ck.threads.get_slot_mut(slot) {
+                        if matches!(t.desc.state, ThreadState::Running(_)) {
+                            t.desc.state = ThreadState::Suspended;
+                        }
+                    }
+                    self.ck.sched.remove(slot);
+                }
+                self.mpm.cpus[cpu].current = None;
+                Outcome::Stopped
+            }
+            FaultDisposition::Kill => {
+                if self.ck.thread_id(slot) == Some(tid) {
+                    self.terminate_thread(cpu, slot, -11); // SIGSEGV flavor
+                } else {
+                    self.mpm.cpus[cpu].current = None;
+                }
+                Outcome::Stopped
+            }
+        }
+    }
+
+    /// Tear down a thread: notify its kernel, unload it, drop its program.
+    pub fn terminate_thread(&mut self, cpu: usize, slot: u16, code: i32) {
+        if let Some(tid) = self.ck.thread_id(slot) {
+            let owner = self.ck.thread_owner(slot);
+            let pc = self.ck.thread(tid).map(|t| t.desc.regs.pc).ok();
+            if let Some(owner) = owner {
+                self.call_kernel(owner.slot, cpu, |k, env| k.on_thread_exit(env, tid, code));
+            }
+            // The kernel may have already unloaded it in the callback.
+            if self.ck.thread_id(slot) == Some(tid) {
+                let _ = self.ck.do_unload_thread(tid, &mut self.mpm);
+            }
+            if let Some(pc) = pc {
+                self.code.remove(pc);
+            }
+        }
+        if self.mpm.cpus[cpu].current == Some(slot as u32) {
+            self.mpm.cpus[cpu].current = None;
+        }
+    }
+}
+
+/// The operation to perform once an access translates.
+enum AccessOp {
+    ReadU32,
+    WriteU32(u32),
+    ReadBytes(u32),
+    WriteBytes(Vec<u8>),
+}
+
+/// A cluster of MPMs connected by the fabric (Fig. 4).
+pub struct Cluster {
+    /// The per-node executives.
+    pub nodes: Vec<Executive>,
+    /// The interconnect.
+    pub fabric: Fabric,
+}
+
+impl Cluster {
+    /// Assemble a cluster from executives (their machine configs should
+    /// carry distinct node indices).
+    pub fn new(nodes: Vec<Executive>) -> Self {
+        let fabric = Fabric::new(nodes.len());
+        Cluster { nodes, fabric }
+    }
+
+    /// Run every node for `quanta`, then move fabric traffic. A failed
+    /// (halted) MPM simply stops executing; the fabric drops its traffic
+    /// (fault containment, §3).
+    pub fn step(&mut self, quanta: usize) {
+        for node in self.nodes.iter_mut() {
+            node.run(quanta);
+        }
+        // Drain outboxes into the fabric.
+        for node in self.nodes.iter_mut() {
+            let halted = node.mpm.halted;
+            for pkt in node.outbox.drain(..) {
+                if !halted {
+                    self.fabric.send(pkt);
+                }
+            }
+        }
+        // Deliver incoming traffic.
+        for i in 0..self.nodes.len() {
+            if self.fabric.is_failed(i) || self.nodes[i].mpm.halted {
+                continue;
+            }
+            while let Some(pkt) = self.fabric.recv(i) {
+                self.nodes[i].deliver_packet(pkt);
+            }
+        }
+    }
+
+    /// Halt a node (simulated MPM hardware failure) and stop its traffic.
+    pub fn fail_node(&mut self, node: usize) {
+        self.nodes[node].mpm.halt();
+        self.fabric.fail_node(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appkernel::NullKernel;
+    use crate::ck::CkConfig;
+    use crate::objects::{KernelDesc, MemoryAccessArray, SpaceDesc};
+    use crate::program::{Script, ThreadCtx};
+    use hw::{MachineConfig, Paddr};
+
+    fn exec() -> (Executive, ObjId) {
+        let mut ck = CacheKernel::new(CkConfig::default());
+        let mpm = Mpm::new(MachineConfig {
+            phys_frames: 2048,
+            l2_bytes: 256 * 1024,
+            cpus: 2,
+            ..MachineConfig::default()
+        });
+        let srm = ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        let mut ex = Executive::new(ck, mpm);
+        ex.register_kernel(srm, Box::new(NullKernel));
+        (ex, srm)
+    }
+
+    /// A kernel that resolves page faults by identity-mapping the page to
+    /// a fixed frame region, using the optimized combined call.
+    struct IdentityPager {
+        me: ObjId,
+        frame_base: u32,
+        faults: usize,
+    }
+    impl AppKernel for IdentityPager {
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn on_start(&mut self, _env: &mut Env, id: ObjId) {
+            self.me = id;
+        }
+        fn on_page_fault(
+            &mut self,
+            env: &mut Env,
+            thread: ObjId,
+            fault: Fault,
+        ) -> FaultDisposition {
+            self.faults += 1;
+            let space = env.ck.thread(thread).unwrap().desc.space;
+            let frame = Paddr(self.frame_base + (fault.vaddr.vpn().0 % 64) * hw::PAGE_SIZE);
+            env.ck
+                .load_mapping_and_resume(
+                    self.me,
+                    space,
+                    fault.vaddr.page_base(),
+                    frame,
+                    Pte::WRITABLE | Pte::CACHEABLE,
+                    None,
+                    None,
+                    env.mpm,
+                    env.cpu,
+                )
+                .unwrap();
+            FaultDisposition::Resume
+        }
+        fn on_trap(
+            &mut self,
+            _env: &mut Env,
+            _t: ObjId,
+            no: u32,
+            args: [u32; 4],
+        ) -> TrapDisposition {
+            TrapDisposition::Return(no + args[0])
+        }
+        fn name(&self) -> &str {
+            "identity-pager"
+        }
+    }
+
+    #[test]
+    fn program_runs_with_demand_paging() {
+        let (mut ex, srm) = exec();
+        let pager = ex
+            .ck
+            .load_kernel(
+                srm,
+                KernelDesc {
+                    memory_access: MemoryAccessArray::all(),
+                    ..KernelDesc::default()
+                },
+                &mut ex.mpm,
+            )
+            .unwrap();
+        ex.register_kernel(
+            pager,
+            Box::new(IdentityPager {
+                me: pager,
+                frame_base: 0x10_0000,
+                faults: 0,
+            }),
+        );
+        let sp = ex
+            .ck
+            .load_space(pager, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        let pc = ex.code.register(Box::new(Script::new(vec![
+            Step::Store(Vaddr(0x4000), 42),
+            Step::Load(Vaddr(0x4000)),
+            Step::Trap {
+                no: 7,
+                args: [1, 0, 0, 0],
+            },
+            Step::Exit(0),
+        ])));
+        let t = ex
+            .ck
+            .load_thread(pager, ThreadDesc::new(sp, pc, 10), false, &mut ex.mpm)
+            .unwrap();
+        ex.run_until_idle(100);
+        // The thread exited: unloaded, program removed.
+        assert!(ex.ck.thread(t).is_err());
+        assert_eq!(ex.code.len(), 0);
+        assert_eq!(ex.ck.stats.faults_forwarded, 1, "one demand-paging fault");
+        assert_eq!(ex.ck.stats.traps_forwarded, 1);
+    }
+
+    #[test]
+    fn load_and_trap_results_reach_program() {
+        let (mut ex, srm) = exec();
+        let sp = ex
+            .ck
+            .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        // Pre-map the page so no fault occurs (NullKernel kills on fault).
+        ex.ck
+            .load_mapping(
+                srm,
+                sp,
+                Vaddr(0x4000),
+                Paddr(0x8000),
+                Pte::WRITABLE | Pte::CACHEABLE,
+                None,
+                None,
+                &mut ex.mpm,
+            )
+            .unwrap();
+        let pc = ex.code.register(Box::new(crate::program::FnProgram({
+            let mut stage = 0;
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => Step::Store(Vaddr(0x4010), 0xfeed),
+                    2 => Step::Load(Vaddr(0x4010)),
+                    3 => {
+                        assert_eq!(ctx.loaded, 0xfeed);
+                        Step::Trap {
+                            no: 100,
+                            args: [23, 0, 0, 0],
+                        }
+                    }
+                    4 => {
+                        // NullKernel returns the trap number.
+                        assert_eq!(ctx.trap_ret, 100);
+                        Step::Exit(5)
+                    }
+                    _ => Step::Exit(5),
+                }
+            }
+        })));
+        ex.ck
+            .load_thread(srm, ThreadDesc::new(sp, pc, 10), false, &mut ex.mpm)
+            .unwrap();
+        ex.run_until_idle(100);
+        assert_eq!(ex.code.len(), 0, "program completed and was removed");
+    }
+
+    #[test]
+    fn null_kernel_kills_faulting_thread() {
+        let (mut ex, srm) = exec();
+        let sp = ex
+            .ck
+            .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        let pc = ex
+            .code
+            .register(Box::new(Script::new(vec![Step::Load(Vaddr(0xdead_0000))])));
+        let t = ex
+            .ck
+            .load_thread(srm, ThreadDesc::new(sp, pc, 10), false, &mut ex.mpm)
+            .unwrap();
+        ex.run_until_idle(50);
+        assert!(ex.ck.thread(t).is_err(), "thread killed");
+    }
+
+    #[test]
+    fn signal_ping_pong_between_threads() {
+        let (mut ex, srm) = exec();
+        // Two spaces sharing a message frame (Fig. 3).
+        let frame = Paddr(0x20_0000);
+        let sp_a = ex
+            .ck
+            .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        let sp_b = ex
+            .ck
+            .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+
+        // Receiver thread: waits for one signal, records it, exits.
+        let rx_pc = ex.code.register(Box::new(crate::program::FnProgram({
+            let mut stage = 0;
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => Step::WaitSignal,
+                    2 => {
+                        let sig = ctx.signal.expect("signal delivered");
+                        assert_eq!(sig, Vaddr(0xb010));
+                        Step::Exit(0)
+                    }
+                    _ => Step::Exit(0),
+                }
+            }
+        })));
+        let rx = ex
+            .ck
+            .load_thread(srm, ThreadDesc::new(sp_b, rx_pc, 12), false, &mut ex.mpm)
+            .unwrap();
+        // Receiver maps the frame in message mode with itself as the
+        // signal thread.
+        ex.ck
+            .load_mapping(
+                srm,
+                sp_b,
+                Vaddr(0xb000),
+                frame,
+                Pte::MESSAGE,
+                Some(rx),
+                None,
+                &mut ex.mpm,
+            )
+            .unwrap();
+        // Sender maps the frame writable + message mode.
+        ex.ck
+            .load_mapping(
+                srm,
+                sp_a,
+                Vaddr(0xa000),
+                frame,
+                Pte::WRITABLE | Pte::MESSAGE | Pte::CACHEABLE,
+                None,
+                None,
+                &mut ex.mpm,
+            )
+            .unwrap();
+        let tx_pc = ex.code.register(Box::new(Script::new(vec![
+            Step::Store(Vaddr(0xa010), 0x1234),
+            Step::Exit(0),
+        ])));
+        ex.ck
+            .load_thread(srm, ThreadDesc::new(sp_a, tx_pc, 10), false, &mut ex.mpm)
+            .unwrap();
+
+        ex.run_until_idle(100);
+        assert_eq!(ex.code.len(), 0, "both programs finished");
+        assert_eq!(ex.ck.stats.signals_slow + ex.ck.stats.signals_fast, 1);
+        // The message data went through memory, untouched by the kernel.
+        assert_eq!(ex.mpm.mem.read_u32(Paddr(0x20_0010)).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn higher_priority_wakeup_preempts_within_slice() {
+        let (mut ex, srm) = exec();
+        let sp = ex
+            .ck
+            .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        // A low-priority spinner and a high-priority thread blocked on a
+        // signal. When the signal arrives mid-slice, the high-priority
+        // thread must run before the spinner's slice would have ended.
+        let order = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let o1 = order.clone();
+        let spin_pc = ex.code.register(Box::new(crate::program::FnProgram({
+            let mut n = 0u32;
+            move |_ctx: &mut ThreadCtx| {
+                n += 1;
+                o1.lock().unwrap().push("spin");
+                if n > 400 {
+                    Step::Exit(0)
+                } else {
+                    Step::Compute(10)
+                }
+            }
+        })));
+        ex.ck
+            .load_thread(srm, ThreadDesc::new(sp, spin_pc, 5), false, &mut ex.mpm)
+            .unwrap();
+        let o2 = order.clone();
+        let hi_pc = ex.code.register(Box::new(crate::program::FnProgram({
+            let mut stage = 0;
+            move |_ctx: &mut ThreadCtx| {
+                stage += 1;
+                if stage == 1 {
+                    Step::WaitSignal
+                } else {
+                    o2.lock().unwrap().push("hi");
+                    Step::Exit(0)
+                }
+            }
+        })));
+        let hi = ex
+            .ck
+            .load_thread(srm, ThreadDesc::new(sp, hi_pc, 25), false, &mut ex.mpm)
+            .unwrap();
+        ex.ck
+            .load_mapping(
+                srm,
+                sp,
+                Vaddr(0xa000),
+                Paddr(0x9000),
+                Pte::MESSAGE,
+                Some(hi),
+                None,
+                &mut ex.mpm,
+            )
+            .unwrap();
+        // Use a single-CPU machine so the spinner owns the only CPU.
+        // (exec() gives two CPUs; the high thread parks first, so only
+        // the spinner is runnable; CPU 1 idles.)
+        ex.run(2);
+        // Mid-run, raise the signal; within the same run call the high
+        // thread must appear in the order soon after.
+        ex.ck.raise_signal(&mut ex.mpm, 0, Paddr(0x9000));
+        ex.run(3);
+        let v = order.lock().unwrap().clone();
+        let hi_pos = v.iter().position(|s| *s == "hi");
+        assert!(hi_pos.is_some(), "high-priority thread ran: {v:?}");
+        assert!(
+            v.len() > hi_pos.unwrap(),
+            "preemption happened before the spinner finished"
+        );
+        assert!(ex.ck.thread(hi).is_err(), "high thread completed");
+    }
+
+    #[test]
+    fn quota_demotion_lets_other_kernel_run() {
+        // A rogue compute-bound kernel with a small quota shares the MPM
+        // with a modest kernel; after demotion the modest kernel's thread
+        // gets the CPU even at lower nominal priority.
+        let (mut ex, srm) = exec();
+        let mk = |q: u8| KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            cpu_quota_pct: [q; crate::objects::MAX_CPUS],
+            ..KernelDesc::default()
+        };
+        let rogue = ex.ck.load_kernel(srm, mk(10), &mut ex.mpm).unwrap();
+        ex.register_kernel(rogue, Box::new(NullKernel));
+        let sp = ex
+            .ck
+            .load_space(rogue, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        let pc = ex.code.register(Box::new(crate::program::FnProgram(
+            move |_ctx: &mut ThreadCtx| Step::Compute(2_000),
+        )));
+        ex.ck
+            .load_thread(rogue, ThreadDesc::new(sp, pc, 20), false, &mut ex.mpm)
+            .unwrap();
+        // Run enough periods for the EWMA to cross the quota.
+        ex.run(200);
+        assert!(ex.ck.kernel_demoted(rogue), "rogue kernel demoted");
+        // Its thread now sits at idle priority.
+        assert_eq!(ex.ck.effective_priority(0), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Fault, trap and exception forwarding (Fig. 2, §2.1, §2.3).
+//!
+//! On a hardware fault the Cache Kernel's access-error handler saves the
+//! faulting thread's state, switches the thread to its application
+//! kernel's address space and exception stack, and starts it in the
+//! kernel's handler (steps 1–2). The handler resolves the fault — usually
+//! by loading a new page mapping — and either returns through a separate
+//! "exception complete" call (step 5) or uses the optimized call that
+//! both loads the mapping and resumes the thread in one trap.
+//!
+//! In the simulation the application kernel handler is a direct method
+//! call; this module charges the costs of the boundary crossings so the
+//! §5.3 measurements (trap ≈ getpid cost, page fault = transfer +
+//! optimized load) can be reproduced, and implements the optimized
+//! combined call.
+
+use crate::ck::CacheKernel;
+use crate::error::CkResult;
+use crate::ids::ObjId;
+use hw::{Mpm, Paddr, Vaddr};
+
+/// What the application kernel decided about a forwarded fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDisposition {
+    /// Resolved (mapping loaded); resume the thread. If the handler used
+    /// [`CacheKernel::load_mapping_and_resume`] the return trap is free.
+    Resume,
+    /// The thread must block (e.g. page-in started asynchronously); the
+    /// application kernel will resume or reload it later.
+    Block,
+    /// The thread was terminated (e.g. an unhandleable SEGV).
+    Kill,
+}
+
+/// What the application kernel decided about a forwarded trap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrapDisposition {
+    /// Return this value to the trapping thread.
+    Return(u32),
+    /// The thread blocks in the "system call"; the application kernel
+    /// completes it later (a return value is delivered on resume).
+    Block,
+    /// The thread exits.
+    Exit,
+}
+
+impl CacheKernel {
+    /// Charge the forwarding path into an application kernel handler
+    /// (Fig. 2 steps 1–2: trap entry, state save, switch to the kernel's
+    /// space and exception stack) and return the owning kernel to invoke.
+    pub fn begin_fault_forward(
+        &mut self,
+        mpm: &mut Mpm,
+        cpu: usize,
+        thread_slot: u16,
+    ) -> Option<ObjId> {
+        let owner = self.thread_owner(thread_slot)?;
+        let cost = &mpm.config.cost;
+        let charge = cost.trap + cost.mode_switch;
+        mpm.clock.charge(charge);
+        mpm.cpus[cpu].consume(charge);
+        self.stats.faults_forwarded += 1;
+        Some(owner)
+    }
+
+    /// Charge the trap-forwarding path (a thread's "system call" to its
+    /// application kernel, §2.3) and return the owning kernel.
+    pub fn begin_trap_forward(
+        &mut self,
+        mpm: &mut Mpm,
+        cpu: usize,
+        thread_slot: u16,
+    ) -> Option<ObjId> {
+        let owner = self.thread_owner(thread_slot)?;
+        let cost = &mpm.config.cost;
+        let charge = cost.trap + cost.mode_switch;
+        mpm.clock.charge(charge);
+        mpm.cpus[cpu].consume(charge);
+        self.stats.traps_forwarded += 1;
+        Some(owner)
+    }
+
+    /// Return from a forwarded handler the plain way (Fig. 2 step 5: a
+    /// separate "exception processing complete" trap, then step 6 resume).
+    pub fn end_forward(&mut self, mpm: &mut Mpm, cpu: usize) {
+        let cost = &mpm.config.cost;
+        let charge = cost.trap + cost.mode_switch;
+        mpm.clock.charge(charge);
+        mpm.cpus[cpu].consume(charge);
+    }
+
+    /// The optimized call that both loads a new mapping and returns from
+    /// the exception handler (§2.1): one trap instead of two. The
+    /// executive treats a `Resume` disposition after this call as already
+    /// paid for.
+    #[allow(clippy::too_many_arguments)]
+    pub fn load_mapping_and_resume(
+        &mut self,
+        caller: ObjId,
+        space: ObjId,
+        vaddr: Vaddr,
+        paddr: Paddr,
+        flags: u32,
+        signal_thread: Option<ObjId>,
+        cow_source: Option<Paddr>,
+        mpm: &mut Mpm,
+        cpu: usize,
+    ) -> CkResult<()> {
+        self.load_mapping(
+            caller,
+            space,
+            vaddr,
+            paddr,
+            flags,
+            signal_thread,
+            cow_source,
+            mpm,
+        )?;
+        // Combined return: charge only the resume mode switch, not a
+        // second full trap, and mark the pending fault return as paid.
+        let charge = mpm.config.cost.mode_switch;
+        mpm.clock.charge(charge);
+        mpm.cpus[cpu].consume(charge);
+        self.resume_armed = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ck::CkConfig;
+    use crate::objects::*;
+    use hw::{MachineConfig, Pte};
+
+    fn setup() -> (CacheKernel, Mpm, ObjId) {
+        let mut ck = CacheKernel::new(CkConfig::default());
+        let mpm = Mpm::new(MachineConfig {
+            phys_frames: 1024,
+            l2_bytes: 64 * 1024,
+            ..MachineConfig::default()
+        });
+        let srm = ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        (ck, mpm, srm)
+    }
+
+    #[test]
+    fn forward_charges_and_counts() {
+        let (mut ck, mut mpm, srm) = setup();
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let t = ck
+            .load_thread(srm, ThreadDesc::new(sp, 1, 5), false, &mut mpm)
+            .unwrap();
+        let c0 = mpm.clock.cycles();
+        let owner = ck.begin_fault_forward(&mut mpm, 0, t.slot).unwrap();
+        assert_eq!(owner, srm);
+        assert!(mpm.clock.cycles() > c0);
+        assert_eq!(ck.stats.faults_forwarded, 1);
+        ck.begin_trap_forward(&mut mpm, 0, t.slot).unwrap();
+        assert_eq!(ck.stats.traps_forwarded, 1);
+    }
+
+    #[test]
+    fn optimized_resume_cheaper_than_separate() {
+        let (mut ck, mut mpm, srm) = setup();
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+
+        // Separate: load_mapping + end_forward.
+        let c0 = mpm.clock.cycles();
+        ck.load_mapping(
+            srm,
+            sp,
+            Vaddr(0x1000),
+            Paddr(0x2000),
+            Pte::CACHEABLE,
+            None,
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+        ck.end_forward(&mut mpm, 0);
+        let separate = mpm.clock.cycles() - c0;
+
+        // Combined call.
+        let c1 = mpm.clock.cycles();
+        ck.load_mapping_and_resume(
+            srm,
+            sp,
+            Vaddr(0x3000),
+            Paddr(0x4000),
+            Pte::CACHEABLE,
+            None,
+            None,
+            &mut mpm,
+            0,
+        )
+        .unwrap();
+        let combined = mpm.clock.cycles() - c1;
+        assert!(
+            combined < separate,
+            "combined {combined} should beat separate {separate}"
+        );
+    }
+
+    #[test]
+    fn forward_to_unloaded_thread_is_none() {
+        let (mut ck, mut mpm, _srm) = setup();
+        assert!(ck.begin_fault_forward(&mut mpm, 0, 99).is_none());
+    }
+}

@@ -1,0 +1,74 @@
+//! Generational object identifiers.
+//!
+//! "Each loaded object is identified by an object identifier, returned when
+//! the object is loaded. … a new identifier is assigned each time an object
+//! is loaded" (§2). Identifiers therefore name a *cache slot occupancy*,
+//! not a persistent entity: if the object is written back and reloaded, the
+//! old identifier goes stale and any operation using it fails, prompting the
+//! application kernel to reload the parent object and retry.
+
+/// The three kinds of first-class Cache Kernel objects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// An application kernel.
+    Kernel,
+    /// An address space.
+    AddrSpace,
+    /// A thread.
+    Thread,
+}
+
+/// An identifier for a loaded Cache Kernel object.
+///
+/// Identifiers are only meaningful across the Cache Kernel interface;
+/// application kernels keep their own stable names (e.g. UNIX pids) and
+/// record the current `ObjId` alongside, replacing it on every reload.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjId {
+    /// Which object cache this id refers into.
+    pub kind: ObjKind,
+    /// Slot index within that cache.
+    pub slot: u16,
+    /// Generation stamp; must match the slot's current generation.
+    pub gen: u32,
+}
+
+impl ObjId {
+    /// Construct an id (used by the object caches when loading).
+    pub fn new(kind: ObjKind, slot: u16, gen: u32) -> Self {
+        ObjId { kind, slot, gen }
+    }
+}
+
+impl core::fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let k = match self.kind {
+            ObjKind::Kernel => "K",
+            ObjKind::AddrSpace => "A",
+            ObjKind::Thread => "T",
+        };
+        write!(f, "{}#{}.g{}", k, self.slot, self.gen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compare_by_all_fields() {
+        let a = ObjId::new(ObjKind::Thread, 3, 7);
+        let b = ObjId::new(ObjKind::Thread, 3, 7);
+        let stale = ObjId::new(ObjKind::Thread, 3, 8);
+        let other = ObjId::new(ObjKind::AddrSpace, 3, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, stale);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn debug_format() {
+        let a = ObjId::new(ObjKind::Kernel, 0, 1);
+        assert_eq!(format!("{a:?}"), "K#0.g1");
+    }
+}

@@ -1,0 +1,237 @@
+//! Whole-kernel invariant checking.
+//!
+//! The §4.2 dependency discipline (Fig. 6) is only worth anything if it
+//! holds after *every* interleaving of loads, unloads, writebacks and
+//! signals. This module states the invariants once; unit tests, property
+//! tests and the integration suite all call
+//! [`CacheKernel::check_invariants`] after arbitrary operation sequences.
+
+use crate::ck::CacheKernel;
+use crate::ids::ObjKind;
+use crate::objects::ThreadState;
+use crate::physmap::{CTX_COW, CTX_SIGNAL};
+use hw::Vaddr;
+use std::collections::HashSet;
+
+impl CacheKernel {
+    /// Verify every cross-structure invariant; returns a description of
+    /// the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // 1. Occupancy within capacity.
+        let occ = self.occupancy();
+        for (i, (used, cap)) in occ.iter().enumerate() {
+            if used > cap {
+                return Err(format!("cache {i} over capacity: {used}/{cap}"));
+            }
+        }
+
+        // 2. Every loaded thread references a loaded space owned by the
+        //    same kernel; every loaded space references a loaded kernel.
+        for (tid, t) in self.threads.iter() {
+            let s = self.spaces.get(t.desc.space).ok_or_else(|| {
+                format!("thread {tid:?} references missing space {:?}", t.desc.space)
+            })?;
+            if s.owner != t.owner {
+                return Err(format!(
+                    "thread {tid:?} and its space have different owners"
+                ));
+            }
+            self.kernels
+                .get(t.owner)
+                .ok_or_else(|| format!("thread {tid:?} references missing kernel {:?}", t.owner))?;
+        }
+        for (sid, s) in self.spaces.iter() {
+            self.kernels
+                .get(s.owner)
+                .ok_or_else(|| format!("space {sid:?} references missing kernel {:?}", s.owner))?;
+        }
+
+        // 3. Page tables and the physical memory map agree exactly.
+        let mut pt_pairs: HashSet<(u32, u32, u32)> = HashSet::new(); // (asid, vpage, ppage)
+        for (sid, s) in self.spaces.iter() {
+            let asid = CacheKernel::asid_of(sid) as u32;
+            for (vpn, pte) in s.pt.iter() {
+                pt_pairs.insert((asid, vpn.base().0, pte.pfn().base().0));
+            }
+        }
+        let records = self.physmap.records();
+        let mut p2v_handles: HashSet<u32> = HashSet::new();
+        let mut p2v_pairs: HashSet<(u32, u32, u32)> = HashSet::new();
+        for (h, r) in &records {
+            if r.context < CTX_COW {
+                p2v_handles.insert(*h);
+                if !p2v_pairs.insert((r.context, r.dependent, r.key)) {
+                    return Err(format!(
+                        "duplicate p2v record for {:?}",
+                        (r.context, r.dependent)
+                    ));
+                }
+            }
+        }
+        if pt_pairs != p2v_pairs {
+            let missing: Vec<_> = pt_pairs.difference(&p2v_pairs).take(3).collect();
+            let orphans: Vec<_> = p2v_pairs.difference(&pt_pairs).take(3).collect();
+            return Err(format!(
+                "page tables and physmap disagree; pt-only={missing:?} physmap-only={orphans:?}"
+            ));
+        }
+
+        // 4. Signal and COW records attach to live p2v records; signal
+        //    targets are loaded threads (Fig. 6: signal mapping → thread).
+        for (_, r) in &records {
+            if r.context == CTX_SIGNAL {
+                if !p2v_handles.contains(&r.key) {
+                    return Err(format!(
+                        "signal record attached to dead p2v handle {}",
+                        r.key
+                    ));
+                }
+                if self.threads.get_slot(r.dependent as u16).is_none() {
+                    return Err(format!(
+                        "signal record targets unloaded thread slot {}",
+                        r.dependent
+                    ));
+                }
+            } else if r.context == CTX_COW && !p2v_handles.contains(&r.key) {
+                return Err(format!("COW record attached to dead p2v handle {}", r.key));
+            }
+        }
+
+        // 5. Locked-object counts match reality.
+        for (kid, k) in self.kernels.iter() {
+            let spaces = self
+                .spaces
+                .iter()
+                .filter(|(_, s)| s.owner == kid && s.locked)
+                .count() as u16;
+            if spaces != k.locked_spaces {
+                return Err(format!(
+                    "kernel {kid:?} locked_spaces={} actual={}",
+                    k.locked_spaces, spaces
+                ));
+            }
+            let threads = self
+                .threads
+                .iter()
+                .filter(|(_, t)| t.owner == kid && t.locked)
+                .count() as u16;
+            if threads != k.locked_threads {
+                return Err(format!(
+                    "kernel {kid:?} locked_threads={} actual={}",
+                    k.locked_threads, threads
+                ));
+            }
+            let mut mappings = 0u16;
+            for (sid, s) in self.spaces.iter() {
+                if s.owner == kid {
+                    mappings += s.pt.iter().filter(|(_, p)| p.has(hw::Pte::LOCKED)).count() as u16;
+                }
+                let _ = sid;
+            }
+            if mappings != k.locked_mappings {
+                return Err(format!(
+                    "kernel {kid:?} locked_mappings={} actual={}",
+                    k.locked_mappings, mappings
+                ));
+            }
+        }
+
+        // 6. Scheduler holds only loaded Ready threads, no duplicates.
+        let mut seen = HashSet::new();
+        for slot in 0..self.threads.capacity() as u16 {
+            if self.sched.contains(slot) {
+                if !seen.insert(slot) {
+                    return Err(format!("slot {slot} queued twice"));
+                }
+                match self.threads.get_slot(slot) {
+                    Some(t) => {
+                        if !matches!(t.desc.state, ThreadState::Ready) {
+                            return Err(format!(
+                                "queued slot {slot} is {:?}, not Ready",
+                                t.desc.state
+                            ));
+                        }
+                    }
+                    None => return Err(format!("scheduler references empty slot {slot}")),
+                }
+            }
+        }
+
+        // 7. The first kernel exists, is locked, owns itself.
+        let first = self.first_kernel();
+        debug_assert_eq!(first.kind, ObjKind::Kernel);
+        let fk = self
+            .kernels
+            .get(first)
+            .ok_or_else(|| "first kernel unloaded".to_string())?;
+        if !fk.locked || fk.owner != first {
+            return Err("first kernel must stay locked and self-owned".into());
+        }
+
+        // 8. Thread signal queues hold page-aligned-or-offset addresses
+        //    within the 32-bit space (sanity; Vaddr is u32 by type).
+        for (_, t) in self.threads.iter() {
+            for va in &t.signal_queue {
+                let _: Vaddr = *va;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ck::{CacheKernel, CkConfig};
+    use crate::objects::*;
+    use hw::{MachineConfig, Mpm, Paddr, Pte, Vaddr};
+
+    #[test]
+    fn fresh_kernel_is_consistent() {
+        let mut ck = CacheKernel::new(CkConfig::default());
+        ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        ck.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn consistent_through_basic_ops() {
+        let mut ck = CacheKernel::new(CkConfig {
+            kernel_slots: 4,
+            space_slots: 4,
+            thread_slots: 8,
+            mapping_capacity: 16,
+            ..CkConfig::default()
+        });
+        let mut mpm = Mpm::new(MachineConfig {
+            phys_frames: 1024,
+            l2_bytes: 32 * 1024,
+            ..MachineConfig::default()
+        });
+        let srm = ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let t = ck
+            .load_thread(srm, ThreadDesc::new(sp, 1, 5), false, &mut mpm)
+            .unwrap();
+        ck.load_mapping(
+            srm,
+            sp,
+            Vaddr(0x1000),
+            Paddr(0x2000),
+            Pte::MESSAGE,
+            Some(t),
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+        ck.check_invariants().unwrap();
+        ck.unload_thread(srm, t, &mut mpm).unwrap();
+        ck.check_invariants().unwrap();
+        ck.unload_space(srm, sp, &mut mpm).unwrap();
+        ck.check_invariants().unwrap();
+    }
+}

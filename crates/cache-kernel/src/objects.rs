@@ -1,0 +1,340 @@
+//! Descriptors for the three cached object types.
+//!
+//! A *descriptor* (`…Desc`) is the state that crosses the Cache Kernel
+//! interface: the application kernel constructs one to load an object and
+//! receives one back on writeback (it is the "backing store" for the
+//! object, §2). The in-cache representation (`…Obj`) wraps the descriptor
+//! with Cache Kernel bookkeeping that never leaves the kernel.
+
+use crate::ids::ObjId;
+use hw::{Paddr, PageTable, Pfn, RegisterFile, Rights, Vaddr, PAGE_GROUPS_TOTAL};
+
+/// Scheduling priority. Higher numbers are preferred; priority 0 is the
+/// idle level that over-quota kernels' threads are demoted to (§4.3).
+pub type Priority = u8;
+
+/// Number of distinct priority levels.
+pub const PRIORITY_LEVELS: usize = 32;
+/// Highest legal priority.
+pub const MAX_PRIORITY: Priority = (PRIORITY_LEVELS - 1) as Priority;
+/// Idle level used for demoted threads.
+pub const IDLE_PRIORITY: Priority = 0;
+
+/// Maximum CPUs per MPM the quota table covers.
+pub const MAX_CPUS: usize = 8;
+
+/// The 2-bit-per-page-group memory access array of a kernel object: 2 KiB
+/// covering the 4 GiB physical address space (§4.3).
+#[derive(Clone)]
+#[repr(C)]
+pub struct MemoryAccessArray {
+    bits: [u8; (PAGE_GROUPS_TOTAL as usize * 2) / 8],
+}
+
+impl Default for MemoryAccessArray {
+    fn default() -> Self {
+        MemoryAccessArray {
+            bits: [0; (PAGE_GROUPS_TOTAL as usize * 2) / 8],
+        }
+    }
+}
+
+impl MemoryAccessArray {
+    /// An array granting no access at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An array granting read/write on all of physical memory (the first
+    /// kernel boots with "full permissions on all physical resources", §3).
+    pub fn all() -> Self {
+        MemoryAccessArray {
+            bits: [0b10101010; (PAGE_GROUPS_TOTAL as usize * 2) / 8],
+        }
+    }
+
+    /// Rights recorded for page group `group`.
+    pub fn get(&self, group: u32) -> Rights {
+        let byte = (group / 4) as usize;
+        let shift = (group % 4) * 2;
+        Rights::from_bits((self.bits[byte] >> shift) & 0b11)
+    }
+
+    /// Set rights for page group `group`.
+    pub fn set(&mut self, group: u32, rights: Rights) {
+        let byte = (group / 4) as usize;
+        let shift = (group % 4) * 2;
+        self.bits[byte] &= !(0b11 << shift);
+        self.bits[byte] |= (rights as u8) << shift;
+    }
+
+    /// Rights covering the page group of `paddr`.
+    pub fn rights_for(&self, paddr: Paddr) -> Rights {
+        self.get(paddr.group())
+    }
+
+    /// Rights covering the page group of frame `pfn`.
+    pub fn rights_for_frame(&self, pfn: Pfn) -> Rights {
+        self.get(pfn.group())
+    }
+}
+
+/// Per-type quotas on objects a kernel may keep *locked* in the Cache
+/// Kernel (locking is bounded so reclamation can always make progress).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
+pub struct LockedQuota {
+    /// Locked address spaces allowed.
+    pub spaces: u16,
+    /// Locked threads allowed.
+    pub threads: u16,
+    /// Locked page mappings allowed.
+    pub mappings: u16,
+}
+
+impl Default for LockedQuota {
+    fn default() -> Self {
+        LockedQuota {
+            spaces: 2,
+            threads: 4,
+            mappings: 64,
+        }
+    }
+}
+
+/// Descriptor of an application kernel (§2.4): its handler entry points,
+/// resource authorizations and memory access array.
+#[derive(Clone)]
+#[repr(C)]
+pub struct KernelDesc {
+    // (fields below; Debug is implemented manually to keep the 2 KiB
+    // access array out of debug output)
+    /// Physical pages the kernel may map, as 2-bit rights per page group.
+    pub memory_access: MemoryAccessArray,
+    /// Entry point of the kernel's page-fault handler (attribute of the
+    /// kernel object, §2.1).
+    pub fault_handler: Vaddr,
+    /// Entry point of the kernel's trap handler.
+    pub trap_handler: Vaddr,
+    /// Entry point of the kernel's exception handler.
+    pub exception_handler: Vaddr,
+    /// Percentage of each processor the kernel is allowed to consume.
+    pub cpu_quota_pct: [u8; MAX_CPUS],
+    /// Highest priority the kernel may assign its threads.
+    pub max_priority: Priority,
+    /// How many objects of each type it may lock.
+    pub locked_quota: LockedQuota,
+}
+
+impl Default for KernelDesc {
+    fn default() -> Self {
+        KernelDesc {
+            memory_access: MemoryAccessArray::none(),
+            fault_handler: Vaddr(0),
+            trap_handler: Vaddr(0),
+            exception_handler: Vaddr(0),
+            cpu_quota_pct: [100; MAX_CPUS],
+            max_priority: MAX_PRIORITY,
+            locked_quota: LockedQuota::default(),
+        }
+    }
+}
+
+impl core::fmt::Debug for KernelDesc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KernelDesc")
+            .field("fault_handler", &self.fault_handler)
+            .field("trap_handler", &self.trap_handler)
+            .field("max_priority", &self.max_priority)
+            .field("cpu_quota_pct", &self.cpu_quota_pct)
+            .field("locked_quota", &self.locked_quota)
+            .finish_non_exhaustive()
+    }
+}
+
+/// In-cache kernel object.
+pub struct KernelObj {
+    /// The descriptor loaded by (and written back to) the owning kernel.
+    pub desc: KernelDesc,
+    /// The kernel object that owns this one — normally the first kernel
+    /// (SRM). The first kernel owns itself.
+    pub owner: ObjId,
+    /// Locked against writeback.
+    pub locked: bool,
+    /// Clock-algorithm reference bit.
+    pub referenced: bool,
+    /// Kernel exceeded its processor quota; its threads run at idle
+    /// priority until usage decays (§4.3).
+    pub demoted: bool,
+    /// Count of locked objects held, checked against `desc.locked_quota`.
+    pub locked_spaces: u16,
+    /// Locked threads held.
+    pub locked_threads: u16,
+    /// Locked mappings held.
+    pub locked_mappings: u16,
+}
+
+/// Descriptor of an address space. Loaded "with minimal state (currently,
+/// just the lock bit)" (§2.1); the page mappings are loaded separately and
+/// on demand.
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(C)]
+pub struct SpaceDesc {
+    /// Lock the space against writeback at load time.
+    pub locked: bool,
+}
+
+/// In-cache address space object: the root of the space's page tables plus
+/// bookkeeping. The page tables are "logically part of the address space
+/// object" (§4.1).
+pub struct SpaceObj {
+    /// Owning application kernel.
+    pub owner: ObjId,
+    /// Locked against reclamation-driven writeback.
+    pub locked: bool,
+    /// Clock-algorithm reference bit.
+    pub referenced: bool,
+    /// Hardware page tables for this space.
+    pub pt: PageTable,
+}
+
+/// Scheduling state of a cached thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ThreadState {
+    /// Eligible to run, queued at its priority.
+    #[default]
+    Ready,
+    /// Executing on the given CPU.
+    Running(u8),
+    /// Waiting for an address-valued signal ("a thread can also remain
+    /// loaded … when it suspends itself by waiting on a signal so it is
+    /// resumed more quickly", §2.3).
+    WaitSignal,
+    /// Suspended by its application kernel (e.g. while being examined
+    /// under a debugger before reload).
+    Suspended,
+}
+
+/// Descriptor of a thread (§2.3): "loaded with the values for all the
+/// registers and the location of the kernel stack to be used by this
+/// thread if it takes an exception". Other process state (signal masks,
+/// open files) belongs to the application kernel alone.
+#[derive(Clone, Debug)]
+#[repr(C)]
+pub struct ThreadDesc {
+    /// Full register context.
+    pub regs: RegisterFile,
+    /// Address space the thread executes in (must be loaded).
+    pub space: ObjId,
+    /// Exception stack pointer supplied by the application kernel, used
+    /// when the thread is forwarded to its kernel's handlers (Fig. 2).
+    pub exception_sp: Vaddr,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Initial state (Ready, or WaitSignal for an on-demand signal thread).
+    pub state: ThreadState,
+}
+
+impl ThreadDesc {
+    /// A ready thread with `pc` as its program entry, running in `space`.
+    pub fn new(space: ObjId, pc: u32, priority: Priority) -> Self {
+        let regs = RegisterFile {
+            pc,
+            ..RegisterFile::default()
+        };
+        ThreadDesc {
+            regs,
+            space,
+            exception_sp: Vaddr(0),
+            priority,
+            state: ThreadState::Ready,
+        }
+    }
+}
+
+/// In-cache thread object.
+pub struct ThreadObj {
+    /// The cached descriptor.
+    pub desc: ThreadDesc,
+    /// Owning application kernel.
+    pub owner: ObjId,
+    /// Locked against reclamation (real-time threads, scheduler threads).
+    pub locked: bool,
+    /// Clock-algorithm reference bit.
+    pub referenced: bool,
+    /// Pending address-valued signals; "while the thread is running in its
+    /// signal function, additional signals are queued within the Cache
+    /// Kernel" (§2.2).
+    pub signal_queue: std::collections::VecDeque<Vaddr>,
+    /// Thread is currently inside its signal function.
+    pub in_signal: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjKind;
+
+    #[test]
+    fn access_array_is_2k() {
+        assert_eq!(core::mem::size_of::<MemoryAccessArray>(), 2048);
+    }
+
+    #[test]
+    fn access_array_get_set() {
+        let mut a = MemoryAccessArray::none();
+        assert_eq!(a.get(0), Rights::None);
+        a.set(0, Rights::ReadWrite);
+        a.set(1, Rights::Read);
+        a.set(8191, Rights::ReadWrite);
+        assert_eq!(a.get(0), Rights::ReadWrite);
+        assert_eq!(a.get(1), Rights::Read);
+        assert_eq!(a.get(2), Rights::None);
+        assert_eq!(a.get(8191), Rights::ReadWrite);
+        a.set(0, Rights::None);
+        assert_eq!(a.get(0), Rights::None);
+        assert_eq!(a.get(1), Rights::Read, "neighbors unaffected");
+    }
+
+    #[test]
+    fn all_grants_everything() {
+        let a = MemoryAccessArray::all();
+        for g in [0u32, 17, 8191] {
+            assert_eq!(a.get(g), Rights::ReadWrite);
+        }
+    }
+
+    #[test]
+    fn rights_for_addresses() {
+        let mut a = MemoryAccessArray::none();
+        a.set(1, Rights::ReadWrite); // group 1 = bytes 512K..1M
+        assert_eq!(a.rights_for(Paddr(512 * 1024)), Rights::ReadWrite);
+        assert_eq!(a.rights_for(Paddr(512 * 1024 - 1)), Rights::None);
+        assert_eq!(a.rights_for_frame(Pfn(128)), Rights::ReadWrite);
+        assert_eq!(a.rights_for_frame(Pfn(127)), Rights::None);
+    }
+
+    #[test]
+    fn kernel_desc_size_is_table1_scale() {
+        // Table 1 reports 2160 bytes per kernel descriptor; ours is the
+        // 2 KiB access array plus handler/quota state — same scale.
+        let sz = core::mem::size_of::<KernelDesc>();
+        assert!((2048..=2304).contains(&sz), "kernel descriptor is {sz} bytes");
+    }
+
+    #[test]
+    fn thread_desc_size_is_table1_scale() {
+        // Table 1 reports 532 bytes; ours carries the same register file
+        // plus ids — allow the same ballpark.
+        let sz = core::mem::size_of::<ThreadDesc>();
+        assert!((184..=532).contains(&sz), "thread descriptor is {sz} bytes");
+    }
+
+    #[test]
+    fn thread_desc_new_sets_pc() {
+        let t = ThreadDesc::new(ObjId::new(ObjKind::AddrSpace, 1, 1), 42, 5);
+        assert_eq!(t.regs.pc, 42);
+        assert_eq!(t.priority, 5);
+        assert_eq!(t.state, ThreadState::Ready);
+    }
+}

@@ -1,0 +1,291 @@
+//! Simulated user programs.
+//!
+//! We do not emulate 68040 machine code; a thread's "text" is a Rust state
+//! machine implementing [`Program`]. Each call to [`Program::step`]
+//! surrenders one architectural action — a memory access, a trap, a block —
+//! which the executive performs against the simulated machine, with all the
+//! real consequences: TLB misses, page faults forwarded to application
+//! kernels, message-mode stores raising signals, time slices expiring.
+//!
+//! A thread descriptor's program counter holds the program's id in the
+//! [`CodeStore`]; programs persist across thread unload/reload just as code
+//! pages persist in memory.
+
+use crate::ids::ObjId;
+use hw::Vaddr;
+use std::collections::HashMap;
+
+/// Program identifier (carried in a thread's `regs.pc`).
+pub type ProgId = u32;
+
+/// One architectural action yielded by a program step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Step {
+    /// Load a little-endian `u32`; the value arrives in `ctx.loaded`.
+    Load(Vaddr),
+    /// Store a little-endian `u32`.
+    Store(Vaddr, u32),
+    /// Load `len` bytes; they arrive in `ctx.data`.
+    LoadBytes(Vaddr, u32),
+    /// Store a byte string.
+    StoreBytes(Vaddr, Vec<u8>),
+    /// Trap to the owning application kernel ("system call", §2.3); the
+    /// result arrives in `ctx.trap_ret`.
+    Trap {
+        /// Trap number.
+        no: u32,
+        /// Arguments.
+        args: [u32; 4],
+    },
+    /// Consume raw CPU cycles.
+    Compute(u64),
+    /// Attempt a privileged-mode instruction: raises a privilege
+    /// violation that the Cache Kernel forwards to the application
+    /// kernel (§2.1).
+    Privileged,
+    /// Block until an address-valued signal arrives; it is delivered in
+    /// `ctx.signal`.
+    WaitSignal,
+    /// Give up the rest of the time slice.
+    Yield,
+    /// Terminate the thread with an exit code.
+    Exit(i32),
+}
+
+/// Per-thread architectural context visible to the program: results of the
+/// previous step. Persisted in the [`CodeStore`] beside the program (it is
+/// "memory" from the system's point of view).
+#[derive(Clone, Debug, Default)]
+pub struct ThreadCtx {
+    /// Current thread identifier (refreshed by the executive; changes
+    /// across unload/reload).
+    pub thread: Option<ObjId>,
+    /// CPU currently executing the thread.
+    pub cpu: usize,
+    /// Result of the last `Load`.
+    pub loaded: u32,
+    /// Result of the last `LoadBytes`.
+    pub data: Vec<u8>,
+    /// Result of the last `Trap`.
+    pub trap_ret: u32,
+    /// Signal delivered by the last `WaitSignal`.
+    pub signal: Option<Vaddr>,
+    /// Whether the last memory access took a (resolved) fault — programs
+    /// can observe their own paging behavior in tests.
+    pub faulted: bool,
+    /// The thread is blocked in `WaitSignal`; the executive fulfils the
+    /// wait before stepping the program again.
+    pub waiting: bool,
+}
+
+/// A simulated user program.
+pub trait Program: Send {
+    /// Yield the next architectural action.
+    fn step(&mut self, ctx: &mut ThreadCtx) -> Step;
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "program"
+    }
+    /// Duplicate this program for a UNIX-style fork (both copies continue
+    /// from the current state). Programs that cannot be duplicated return
+    /// `None` and fork fails with EAGAIN at the emulator level.
+    fn fork(&self) -> Option<Box<dyn Program>> {
+        None
+    }
+}
+
+/// Owns the program objects and their contexts, keyed by [`ProgId`].
+#[derive(Default)]
+pub struct CodeStore {
+    progs: HashMap<ProgId, (Box<dyn Program>, ThreadCtx)>,
+    next: ProgId,
+}
+
+impl CodeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CodeStore {
+            progs: HashMap::new(),
+            next: 1,
+        }
+    }
+
+    /// Install a program, returning the id to put in a thread's `pc`.
+    pub fn register(&mut self, p: Box<dyn Program>) -> ProgId {
+        let id = self.next;
+        self.next += 1;
+        self.progs.insert(id, (p, ThreadCtx::default()));
+        id
+    }
+
+    /// Temporarily remove a program and its context (executive's
+    /// take-out/put-back around a step).
+    pub fn take(&mut self, id: ProgId) -> Option<(Box<dyn Program>, ThreadCtx)> {
+        self.progs.remove(&id)
+    }
+
+    /// Put a program back after a step.
+    pub fn put(&mut self, id: ProgId, p: Box<dyn Program>, ctx: ThreadCtx) {
+        self.progs.insert(id, (p, ctx));
+    }
+
+    /// Remove a program permanently (thread exited).
+    pub fn remove(&mut self, id: ProgId) {
+        self.progs.remove(&id);
+    }
+
+    /// Read a program's persistent context (tests, diagnostics).
+    pub fn ctx(&self, id: ProgId) -> Option<&ThreadCtx> {
+        self.progs.get(&id).map(|(_, c)| c)
+    }
+
+    /// Deliver the result of a blocked trap: the application kernel calls
+    /// this before resuming a thread it blocked in `on_trap`.
+    pub fn set_trap_ret(&mut self, id: ProgId, v: u32) {
+        if let Some((_, ctx)) = self.progs.get_mut(&id) {
+            ctx.trap_ret = v;
+        }
+    }
+
+    /// Mutate a program's persistent context (executive result delivery).
+    pub fn with_ctx<R>(&mut self, id: ProgId, f: impl FnOnce(&mut ThreadCtx) -> R) -> Option<R> {
+        self.progs.get_mut(&id).map(|(_, ctx)| f(ctx))
+    }
+
+    /// Ask a program to fork (for UNIX-style fork emulation). Returns the
+    /// child program id if the program supports forking.
+    pub fn fork(&mut self, id: ProgId) -> Option<ProgId> {
+        let child = {
+            let (p, _) = self.progs.get(&id)?;
+            p.fork()?
+        };
+        let ctx = self
+            .progs
+            .get(&id)
+            .map(|(_, c)| c.clone())
+            .unwrap_or_default();
+        let cid = self.next;
+        self.next += 1;
+        self.progs.insert(cid, (child, ctx));
+        Some(cid)
+    }
+
+    /// Number of installed programs.
+    pub fn len(&self) -> usize {
+        self.progs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.progs.is_empty()
+    }
+}
+
+/// A program built from a fixed script of steps (test and workload
+/// helper). Repeats its last `Exit` forever if stepped again.
+pub struct Script {
+    steps: Vec<Step>,
+    at: usize,
+}
+
+impl Script {
+    /// A program that performs `steps` then exits 0 (if the script does
+    /// not end with an `Exit`, one is appended).
+    pub fn new(mut steps: Vec<Step>) -> Self {
+        if !matches!(steps.last(), Some(Step::Exit(_))) {
+            steps.push(Step::Exit(0));
+        }
+        Script { steps, at: 0 }
+    }
+}
+
+impl Program for Script {
+    fn step(&mut self, _ctx: &mut ThreadCtx) -> Step {
+        let s = self.steps[self.at.min(self.steps.len() - 1)].clone();
+        if self.at < self.steps.len() {
+            self.at += 1;
+        }
+        s
+    }
+    fn name(&self) -> &str {
+        "script"
+    }
+    fn fork(&self) -> Option<Box<dyn Program>> {
+        Some(Box::new(Script {
+            steps: self.steps.clone(),
+            at: self.at,
+        }))
+    }
+}
+
+/// A program driven by a closure (workload helper). Not forkable; see
+/// [`ForkableFn`] for a version UNIX `fork` can duplicate.
+pub struct FnProgram<F: FnMut(&mut ThreadCtx) -> Step + Send>(pub F);
+
+impl<F: FnMut(&mut ThreadCtx) -> Step + Send> Program for FnProgram<F> {
+    fn step(&mut self, ctx: &mut ThreadCtx) -> Step {
+        (self.0)(ctx)
+    }
+    fn name(&self) -> &str {
+        "fn"
+    }
+}
+
+/// A closure program whose captured state is `Clone`, so a UNIX-style
+/// fork can duplicate it mid-execution (both copies continue from the
+/// same point, like a real forked process image).
+pub struct ForkableFn<F: FnMut(&mut ThreadCtx) -> Step + Send + Clone + 'static>(pub F);
+
+impl<F: FnMut(&mut ThreadCtx) -> Step + Send + Clone + 'static> Program for ForkableFn<F> {
+    fn step(&mut self, ctx: &mut ThreadCtx) -> Step {
+        (self.0)(ctx)
+    }
+    fn name(&self) -> &str {
+        "forkable-fn"
+    }
+    fn fork(&self) -> Option<Box<dyn Program>> {
+        Some(Box::new(ForkableFn(self.0.clone())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codestore_lifecycle() {
+        let mut cs = CodeStore::new();
+        let id = cs.register(Box::new(Script::new(vec![Step::Yield])));
+        assert_eq!(cs.len(), 1);
+        let (mut p, mut ctx) = cs.take(id).unwrap();
+        assert_eq!(p.step(&mut ctx), Step::Yield);
+        cs.put(id, p, ctx);
+        assert!(cs.ctx(id).is_some());
+        cs.remove(id);
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn script_appends_exit_and_sticks() {
+        let mut s = Script::new(vec![Step::Compute(5)]);
+        let mut ctx = ThreadCtx::default();
+        assert_eq!(s.step(&mut ctx), Step::Compute(5));
+        assert_eq!(s.step(&mut ctx), Step::Exit(0));
+        assert_eq!(s.step(&mut ctx), Step::Exit(0), "exit repeats");
+    }
+
+    #[test]
+    fn fn_program_sees_ctx() {
+        let mut p = FnProgram(|ctx: &mut ThreadCtx| {
+            if ctx.loaded == 7 {
+                Step::Exit(1)
+            } else {
+                Step::Load(Vaddr(0x100))
+            }
+        });
+        let mut ctx = ThreadCtx::default();
+        assert_eq!(p.step(&mut ctx), Step::Load(Vaddr(0x100)));
+        ctx.loaded = 7;
+        assert_eq!(p.step(&mut ctx), Step::Exit(1));
+    }
+}

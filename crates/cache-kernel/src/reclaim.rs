@@ -1,0 +1,856 @@
+//! Object replacement: dependency-ordered unload and writeback (§4.2).
+//!
+//! The caches hold objects with relationships among themselves, with the
+//! hardware and internally (Fig. 6):
+//!
+//! ```text
+//!   signal mapping ─▶ thread ─▶ address space ─▶ kernel
+//!   p2v mapping ────────────────▲
+//! ```
+//!
+//! "When an object is unloaded … the object first unloads the objects that
+//! directly depend on it." Unloading an address space therefore unloads
+//! its threads and page mappings first; unloading a thread unloads the
+//! signal mappings registered on it; unloading a mapping removes its TLB
+//! entries and dependency records and — if it carried a signal — flushes
+//! all writable mappings of the frame for multi-mapping consistency.
+//!
+//! Locking protects an object from *reclamation* only while the objects it
+//! depends on are locked as well; explicit unloads always proceed.
+
+use crate::ck::{CacheKernel, CkStats, MappingState, Writeback, STAT_MAPPING};
+use crate::ids::{ObjId, ObjKind};
+use crate::objects::{KernelDesc, ThreadDesc, ThreadState};
+use hw::{Mpm, Pte, Vpn};
+
+impl CacheKernel {
+    // ------------------------------------------------------------------
+    // Mapping unload
+    // ------------------------------------------------------------------
+
+    /// Unload the mapping at `vpn` in `space`, flushing TLBs and removing
+    /// dependency records. If `queue_wb` the state is queued on the
+    /// writeback channel; either way it is returned.
+    ///
+    /// Multi-mapping consistency (§4.2): if the mapping carried a signal
+    /// registration, every *writable* mapping of the same frame is flushed
+    /// too, so a sender can never signal on an address whose receivers
+    /// have silently lost their mappings.
+    pub(crate) fn do_unload_mapping(
+        &mut self,
+        space: ObjId,
+        vpn: Vpn,
+        mpm: &mut Mpm,
+        queue_wb: bool,
+    ) -> Option<MappingState> {
+        let (owner, locked_bit, pte) = {
+            let s = self.spaces.get_mut(space)?;
+            let pte = s.pt.remove(vpn)?;
+            (s.owner, pte.has(Pte::LOCKED), pte)
+        };
+        if locked_bit {
+            if let Some(k) = self.kernels.get_mut(owner) {
+                k.locked_mappings = k.locked_mappings.saturating_sub(1);
+            }
+        }
+        let asid = CacheKernel::asid_of(space);
+        let vaddr = vpn.base();
+        let paddr = pte.pfn().base();
+
+        // Hardware coherence: drop the translation and any reverse-TLB
+        // entry for the frame on every CPU — the shootdown dominates the
+        // cost of a mapping unload (Table 2's unload > load).
+        mpm.clock
+            .charge(CacheKernel::shootdown_cost(mpm) + 2 * mpm.config.cost.hash_probe);
+        mpm.flush_page_all_cpus(asid, vaddr);
+        mpm.rtlb_invalidate_all_cpus(pte.pfn());
+
+        // Remove the dependency records; note whether a signal was
+        // registered before they go.
+        let had_signal = self
+            .physmap
+            .find_p2v_exact(paddr, asid as u32, vaddr)
+            .map(|h| {
+                let sig = self.physmap.signal_of(h).is_some();
+                self.physmap.remove_p2v(h);
+                sig
+            })
+            .unwrap_or(false);
+
+        let state = MappingState {
+            vaddr,
+            paddr,
+            flags: pte.flags(),
+        };
+        if queue_wb {
+            self.writebacks.push_back(Writeback::Mapping {
+                owner,
+                space,
+                vaddr,
+                paddr,
+                flags: pte.flags(),
+            });
+        }
+
+        if had_signal {
+            // Flush all writable mappings of this frame, in any space.
+            let others = self.physmap.find_p2v(paddr);
+            for m in others {
+                let sp = match self.spaces.id_of_slot(m.asid as u16) {
+                    Some(id) => id,
+                    None => continue,
+                };
+                let opte = self.spaces.get(sp).map(|s| s.pt.lookup(m.vaddr.vpn()));
+                if let Some(opte) = opte {
+                    if opte.is_valid() && opte.has(Pte::WRITABLE) {
+                        self.stats.consistency_flushes += 1;
+                        self.do_unload_mapping(sp, m.vaddr.vpn(), mpm, true);
+                    }
+                }
+            }
+        }
+        Some(state)
+    }
+
+    /// Reclaim one mapping descriptor to make room, honoring lock rules
+    /// and giving referenced mappings a second chance. Returns false if
+    /// nothing could be reclaimed (everything pinned).
+    pub(crate) fn reclaim_one_mapping(&mut self, mpm: &mut Mpm) -> bool {
+        let budget = self.mapping_fifo.len();
+        for _ in 0..=budget {
+            let (slot, gen, vpn) = match self.mapping_fifo.pop_front() {
+                Some(e) => e,
+                None => return false,
+            };
+            // Entry may be stale: space reloaded or mapping replaced.
+            let space = ObjId::new(ObjKind::AddrSpace, slot, gen);
+            let pte = match self.spaces.get(space) {
+                Some(s) => s.pt.lookup(vpn),
+                None => continue,
+            };
+            if !pte.is_valid() {
+                continue;
+            }
+            if self.mapping_pinned(space, vpn, pte) {
+                self.mapping_fifo.push_back((slot, gen, vpn));
+                continue;
+            }
+            if pte.has(Pte::REFERENCED) {
+                // Second chance: clear and requeue.
+                if let Some(s) = self.spaces.get_mut(space) {
+                    s.pt.update(vpn, |p| p.without(Pte::REFERENCED));
+                }
+                self.mapping_fifo.push_back((slot, gen, vpn));
+                continue;
+            }
+            if self.do_unload_mapping(space, vpn, mpm, true).is_some() {
+                self.stats.writebacks[STAT_MAPPING] += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether a mapping is protected from reclamation: it is locked *and*
+    /// its address space, owning kernel and signal thread (if any) are all
+    /// locked (§4.2: "a locked mapping can be reclaimed unless its address
+    /// space, its kernel object and its signal thread … are locked").
+    fn mapping_pinned(&self, space: ObjId, vpn: Vpn, pte: Pte) -> bool {
+        if !pte.has(Pte::LOCKED) {
+            return false;
+        }
+        let s = match self.spaces.get(space) {
+            Some(s) => s,
+            None => return false,
+        };
+        if !s.locked {
+            return false;
+        }
+        let k = match self.kernels.get(s.owner) {
+            Some(k) => k,
+            None => return false,
+        };
+        if !k.locked {
+            return false;
+        }
+        let asid = CacheKernel::asid_of(space) as u32;
+        if let Some(h) = self
+            .physmap
+            .find_p2v_exact(pte.pfn().base(), asid, vpn.base())
+        {
+            if let Some(tslot) = self.physmap.signal_of(h) {
+                match self.threads.get_slot(tslot as u16) {
+                    Some(t) if t.locked => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Thread unload
+    // ------------------------------------------------------------------
+
+    /// Unload a thread: first the signal mappings that depend on it, then
+    /// the thread itself (descheduled, reverse-TLB entries invalidated).
+    pub(crate) fn do_unload_thread(&mut self, id: ObjId, mpm: &mut Mpm) -> Box<ThreadDesc> {
+        // Copy the context out; invalidate reverse-TLB entries everywhere.
+        mpm.clock.charge(
+            CacheKernel::copy_cost(mpm, core::mem::size_of::<ThreadDesc>())
+                + CacheKernel::shootdown_cost(mpm),
+        );
+        // Signal mappings depending on this thread go first (Fig. 6).
+        for (paddr, vaddr, asid) in self.physmap.signal_mappings_of_thread(id.slot as u32) {
+            let _ = paddr;
+            if let Some(sp) = self.spaces.id_of_slot(asid as u16) {
+                self.do_unload_mapping(sp, vaddr.vpn(), mpm, true);
+            }
+        }
+        // Defensive: drop any orphan signal records.
+        self.physmap.remove_signals_of_thread(id.slot as u32);
+
+        self.sched.remove(id.slot);
+        for cpu in mpm.cpus.iter_mut() {
+            if cpu.current == Some(id.slot as u32) {
+                cpu.current = None;
+            }
+            cpu.rtlb.invalidate_thread(id.slot as u32);
+        }
+        let t = self.threads.remove(id).expect("checked by caller");
+        if t.locked {
+            if let Some(k) = self.kernels.get_mut(t.owner) {
+                k.locked_threads = k.locked_threads.saturating_sub(1);
+            }
+        }
+        Box::new(t.desc)
+    }
+
+    /// Reclamation writeback of a thread: unload and queue its state to
+    /// its owner.
+    pub(crate) fn writeback_thread(&mut self, id: ObjId, mpm: &mut Mpm) {
+        let owner = match self.threads.get(id) {
+            Some(t) => t.owner,
+            None => return,
+        };
+        // Writeback channel message: copy the descriptor out and signal.
+        mpm.clock.charge(
+            CacheKernel::copy_cost(mpm, core::mem::size_of::<ThreadDesc>())
+                + mpm.config.cost.signal_fast,
+        );
+        let desc = self.do_unload_thread(id, mpm);
+        self.stats.writebacks[CkStats::idx_pub(ObjKind::Thread)] += 1;
+        self.writebacks
+            .push_back(Writeback::Thread { owner, id, desc });
+    }
+
+    /// Choose a thread to displace. A thread is pinned if it is currently
+    /// running, or if it is locked *and* its address space and owning
+    /// kernel are locked too. Unreferenced candidates are preferred
+    /// (clock-style second chance).
+    pub(crate) fn thread_victim(&mut self) -> Option<ObjId> {
+        let candidates: Vec<ObjId> = self
+            .threads
+            .iter()
+            .filter(|(_, t)| {
+                if matches!(t.desc.state, ThreadState::Running(_)) {
+                    return false;
+                }
+                if !t.locked {
+                    return true;
+                }
+                let fully_locked = self
+                    .spaces
+                    .get(t.desc.space)
+                    .map(|s| {
+                        s.locked && self.kernels.get(s.owner).map(|k| k.locked).unwrap_or(false)
+                    })
+                    .unwrap_or(false);
+                !fully_locked
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if let Some(id) = candidates.iter().find(|id| {
+            self.threads
+                .get(**id)
+                .map(|t| !t.referenced)
+                .unwrap_or(false)
+        }) {
+            return Some(*id);
+        }
+        for id in &candidates {
+            if let Some(t) = self.threads.get_mut(*id) {
+                t.referenced = false;
+            }
+        }
+        candidates.first().copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Address-space unload
+    // ------------------------------------------------------------------
+
+    /// Unload an address space: all threads in it, then all its page
+    /// mappings, then the space itself. If `queue_space_wb`, a `Space`
+    /// writeback is queued (reclamation); explicit unloads skip it.
+    pub(crate) fn do_unload_space(&mut self, id: ObjId, mpm: &mut Mpm, queue_space_wb: bool) {
+        let owner = match self.spaces.get(id) {
+            Some(s) => s.owner,
+            None => return,
+        };
+        // Threads first: "before an address space object is written back,
+        // all the page mappings in the address space and all the
+        // associated threads are written back" (§2.1).
+        for tid in self.threads.ids_where(|t| t.desc.space == id) {
+            let towner = self.threads.get(tid).map(|t| t.owner).unwrap();
+            let desc = self.do_unload_thread(tid, mpm);
+            self.writebacks.push_back(Writeback::Thread {
+                owner: towner,
+                id: tid,
+                desc,
+            });
+        }
+        // Then every mapping.
+        let vpns: Vec<Vpn> = self
+            .spaces
+            .get(id)
+            .map(|s| s.pt.iter().map(|(v, _)| v).collect())
+            .unwrap_or_default();
+        for vpn in vpns {
+            self.do_unload_mapping(id, vpn, mpm, true);
+        }
+        mpm.flush_asid_all_cpus(CacheKernel::asid_of(id));
+        if let Some(s) = self.spaces.remove(id) {
+            if s.locked {
+                if let Some(k) = self.kernels.get_mut(owner) {
+                    k.locked_spaces = k.locked_spaces.saturating_sub(1);
+                }
+            }
+        }
+        if queue_space_wb {
+            self.writebacks.push_back(Writeback::Space { owner, id });
+        }
+    }
+
+    /// Reclamation writeback of a space.
+    pub(crate) fn writeback_space(&mut self, id: ObjId, mpm: &mut Mpm) {
+        mpm.clock
+            .charge(CacheKernel::shootdown_cost(mpm) + mpm.config.cost.signal_fast);
+        self.stats.writebacks[CkStats::idx_pub(ObjKind::AddrSpace)] += 1;
+        self.do_unload_space(id, mpm, true);
+    }
+
+    /// Choose an address space to displace. A space is pinned if locked
+    /// with a locked owner kernel, or if it contains a running thread.
+    pub(crate) fn space_victim(&mut self) -> Option<ObjId> {
+        let candidates: Vec<ObjId> = self
+            .spaces
+            .iter()
+            .filter(|(id, s)| {
+                let fully_locked =
+                    s.locked && self.kernels.get(s.owner).map(|k| k.locked).unwrap_or(false);
+                let has_running = self.threads.iter().any(|(_, t)| {
+                    t.desc.space == *id && matches!(t.desc.state, ThreadState::Running(_))
+                });
+                !fully_locked && !has_running
+            })
+            .map(|(id, _)| id)
+            .collect();
+        // Prefer an unreferenced candidate (clock flavor).
+        if let Some(id) = candidates.iter().find(|id| {
+            self.spaces
+                .get(**id)
+                .map(|s| !s.referenced)
+                .unwrap_or(false)
+        }) {
+            return Some(*id);
+        }
+        for id in &candidates {
+            if let Some(s) = self.spaces.get_mut(*id) {
+                s.referenced = false;
+            }
+        }
+        candidates.first().copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel unload
+    // ------------------------------------------------------------------
+
+    /// Unload a kernel object with all its spaces (and their threads and
+    /// mappings).
+    pub(crate) fn do_unload_kernel(&mut self, id: ObjId, mpm: &mut Mpm) -> Box<KernelDesc> {
+        for sp in self.spaces.ids_where(|s| s.owner == id) {
+            self.do_unload_space(sp, mpm, true);
+        }
+        self.accounts.remove(&id.slot);
+        let k = self.kernels.remove(id).expect("checked by caller");
+        Box::new(k.desc)
+    }
+
+    /// Reclamation writeback of a kernel object (to the first kernel).
+    pub(crate) fn writeback_kernel(
+        &mut self,
+        id: ObjId,
+        mpm: &mut Mpm,
+    ) -> crate::error::CkResult<()> {
+        let owner = self
+            .kernels
+            .get(id)
+            .map(|k| k.owner)
+            .ok_or(crate::error::CkError::StaleId(id))?;
+        mpm.clock.charge(
+            CacheKernel::copy_cost(mpm, core::mem::size_of::<crate::objects::KernelDesc>())
+                + mpm.config.cost.signal_fast,
+        );
+        let desc = self.do_unload_kernel(id, mpm);
+        self.stats.writebacks[CkStats::idx_pub(ObjKind::Kernel)] += 1;
+        self.writebacks
+            .push_back(Writeback::Kernel { owner, id, desc });
+        Ok(())
+    }
+
+    /// Choose a kernel object to displace: never the first kernel, never a
+    /// locked kernel (a kernel has no dependencies, so its lock alone pins
+    /// it).
+    pub(crate) fn kernel_victim(&mut self) -> Option<ObjId> {
+        let first = self.first_kernel();
+        let candidates: Vec<ObjId> = self
+            .kernels
+            .iter()
+            .filter(|(id, k)| *id != first && !k.locked)
+            .map(|(id, _)| id)
+            .collect();
+        if let Some(id) = candidates.iter().find(|id| {
+            self.kernels
+                .get(**id)
+                .map(|k| !k.referenced)
+                .unwrap_or(false)
+        }) {
+            return Some(*id);
+        }
+        for id in &candidates {
+            if let Some(k) = self.kernels.get_mut(*id) {
+                k.referenced = false;
+            }
+        }
+        candidates.first().copied()
+    }
+}
+
+impl CkStats {
+    /// Public index helper for the per-kind counters.
+    pub fn idx_pub(kind: ObjKind) -> usize {
+        match kind {
+            ObjKind::Kernel => 0,
+            ObjKind::AddrSpace => 1,
+            ObjKind::Thread => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ck::CkConfig;
+    use crate::error::CkError;
+    use crate::objects::*;
+    use hw::{MachineConfig, Paddr, Rights};
+
+    fn setup(cfg: CkConfig) -> (CacheKernel, Mpm, ObjId) {
+        let mut ck = CacheKernel::new(cfg);
+        let mpm = Mpm::new(MachineConfig {
+            phys_frames: 4096,
+            l2_bytes: 64 * 1024,
+            ..MachineConfig::default()
+        });
+        let srm = ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        (ck, mpm, srm)
+    }
+
+    fn small() -> CkConfig {
+        CkConfig {
+            kernel_slots: 3,
+            space_slots: 3,
+            thread_slots: 4,
+            mapping_capacity: 8,
+            ..CkConfig::default()
+        }
+    }
+
+    #[test]
+    fn mapping_capacity_triggers_writeback() {
+        let (mut ck, mut mpm, srm) = setup(small());
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        // Fill the 8-descriptor pool, then load one more.
+        for i in 0..9u32 {
+            ck.load_mapping(
+                srm,
+                sp,
+                hw::Vaddr(0x10_0000 + i * 0x1000),
+                Paddr(0x20_0000 + i * 0x1000),
+                Pte::CACHEABLE,
+                None,
+                None,
+                &mut mpm,
+            )
+            .unwrap();
+        }
+        assert_eq!(ck.physmap.len(), 8);
+        assert_eq!(ck.stats.writebacks[STAT_MAPPING], 1);
+        let wbs = ck.take_writebacks();
+        assert_eq!(wbs.len(), 1);
+        match &wbs[0] {
+            Writeback::Mapping { vaddr, .. } => assert_eq!(*vaddr, hw::Vaddr(0x10_0000)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The oldest mapping is gone from the page table too.
+        assert_eq!(
+            ck.query_mapping(srm, sp, hw::Vaddr(0x10_0000)),
+            Err(CkError::NoMapping)
+        );
+    }
+
+    #[test]
+    fn referenced_mappings_get_second_chance() {
+        let (mut ck, mut mpm, srm) = setup(small());
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        for i in 0..8u32 {
+            ck.load_mapping(
+                srm,
+                sp,
+                hw::Vaddr(0x10_0000 + i * 0x1000),
+                Paddr(0x20_0000 + i * 0x1000),
+                Pte::CACHEABLE,
+                None,
+                None,
+                &mut mpm,
+            )
+            .unwrap();
+        }
+        // Touch the oldest mapping so its REFERENCED bit is set.
+        ck.space_mut(sp)
+            .unwrap()
+            .pt
+            .update(hw::Vaddr(0x10_0000).vpn(), |p| p.with(Pte::REFERENCED));
+        ck.load_mapping(
+            srm,
+            sp,
+            hw::Vaddr(0x30_0000),
+            Paddr(0x40_0000),
+            Pte::CACHEABLE,
+            None,
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+        // The referenced first mapping survived; the second-oldest went.
+        assert!(ck.query_mapping(srm, sp, hw::Vaddr(0x10_0000)).is_ok());
+        assert_eq!(
+            ck.query_mapping(srm, sp, hw::Vaddr(0x10_1000)),
+            Err(CkError::NoMapping)
+        );
+    }
+
+    #[test]
+    fn space_unload_cascades_threads_and_mappings() {
+        let (mut ck, mut mpm, srm) = setup(small());
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let _t1 = ck
+            .load_thread(srm, ThreadDesc::new(sp, 1, 5), false, &mut mpm)
+            .unwrap();
+        let _t2 = ck
+            .load_thread(srm, ThreadDesc::new(sp, 2, 5), false, &mut mpm)
+            .unwrap();
+        ck.load_mapping(
+            srm,
+            sp,
+            hw::Vaddr(0x1000),
+            Paddr(0x2000),
+            0,
+            None,
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+        ck.unload_space(srm, sp, &mut mpm).unwrap();
+        assert!(ck.threads.is_empty());
+        assert!(ck.physmap.is_empty());
+        assert_eq!(ck.sched.ready_count(), 0);
+        // Two thread writebacks + one mapping writeback (explicit space
+        // unload itself returns no Space record).
+        let wbs = ck.take_writebacks();
+        assert_eq!(wbs.len(), 3);
+    }
+
+    #[test]
+    fn thread_unload_removes_its_signal_mappings() {
+        let (mut ck, mut mpm, srm) = setup(small());
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let t = ck
+            .load_thread(srm, ThreadDesc::new(sp, 1, 5), false, &mut mpm)
+            .unwrap();
+        ck.load_mapping(
+            srm,
+            sp,
+            hw::Vaddr(0x5000),
+            Paddr(0x6000),
+            Pte::MESSAGE,
+            Some(t),
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+        assert_eq!(ck.physmap.len(), 2); // p2v + signal record
+        ck.unload_thread(srm, t, &mut mpm).unwrap();
+        assert!(ck.physmap.is_empty(), "signal mapping unloaded with thread");
+        assert_eq!(
+            ck.query_mapping(srm, sp, hw::Vaddr(0x5000)),
+            Err(CkError::NoMapping)
+        );
+    }
+
+    #[test]
+    fn multi_mapping_consistency_flush() {
+        // Receiver holds a signal mapping; sender holds a writable mapping
+        // of the same frame. Unloading the receiver's signal mapping must
+        // flush the sender's writable mapping (§4.2).
+        let (mut ck, mut mpm, srm) = setup(small());
+        let recv_sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let send_sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let t = ck
+            .load_thread(srm, ThreadDesc::new(recv_sp, 1, 5), false, &mut mpm)
+            .unwrap();
+        let frame = Paddr(0x9000);
+        ck.load_mapping(
+            srm,
+            recv_sp,
+            hw::Vaddr(0xa000),
+            frame,
+            Pte::MESSAGE,
+            Some(t),
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+        ck.load_mapping(
+            srm,
+            send_sp,
+            hw::Vaddr(0xb000),
+            frame,
+            Pte::WRITABLE | Pte::MESSAGE,
+            None,
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+        ck.unload_mapping_range(srm, recv_sp, hw::Vaddr(0xa000), 0x1000, &mut mpm)
+            .unwrap();
+        assert_eq!(ck.stats.consistency_flushes, 1);
+        assert_eq!(
+            ck.query_mapping(srm, send_sp, hw::Vaddr(0xb000)),
+            Err(CkError::NoMapping),
+            "sender's writable mapping flushed for consistency"
+        );
+    }
+
+    #[test]
+    fn kernel_cache_reclaims_on_pressure() {
+        let (mut ck, mut mpm, srm) = setup(small());
+        let all = || KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        };
+        let k1 = ck.load_kernel(srm, all(), &mut mpm).unwrap();
+        let _k2 = ck.load_kernel(srm, all(), &mut mpm).unwrap();
+        // Cache is full (srm + k1 + k2 = 3 slots). Next load displaces one.
+        let sp = ck.load_space(k1, SpaceDesc::default(), &mut mpm).unwrap();
+        ck.load_mapping(
+            k1,
+            sp,
+            hw::Vaddr(0x1000),
+            Paddr(0x2000),
+            0,
+            None,
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+        let _k3 = ck.load_kernel(srm, all(), &mut mpm).unwrap();
+        let wbs = ck.take_writebacks();
+        // k1 (least recently loaded unlocked kernel) was displaced along
+        // with its space and mapping.
+        assert!(wbs
+            .iter()
+            .any(|w| matches!(w, Writeback::Kernel { id, .. } if *id == k1)));
+        assert!(wbs.iter().any(|w| matches!(w, Writeback::Space { .. })));
+        assert!(wbs.iter().any(|w| matches!(w, Writeback::Mapping { .. })));
+        assert!(ck.kernel(k1).is_err());
+        assert!(ck.space(sp).is_err());
+    }
+
+    #[test]
+    fn locked_kernel_not_reclaimed() {
+        let (mut ck, mut mpm, srm) = setup(small());
+        let all = || KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        };
+        let k1 = ck.load_kernel(srm, all(), &mut mpm).unwrap();
+        let k2 = ck.load_kernel(srm, all(), &mut mpm).unwrap();
+        ck.lock(srm, k1).unwrap();
+        let _k3 = ck.load_kernel(srm, all(), &mut mpm).unwrap();
+        assert!(ck.kernel(k1).is_ok(), "locked kernel survived");
+        assert!(ck.kernel(k2).is_err(), "unlocked kernel displaced");
+        // With every kernel locked, a further load fails CacheFull.
+        let k3 = ck.kernels.ids_where(|_| true);
+        for id in k3 {
+            let _ = ck.lock(srm, id);
+        }
+        assert_eq!(
+            ck.load_kernel(srm, all(), &mut mpm),
+            Err(CkError::CacheFull)
+        );
+    }
+
+    #[test]
+    fn thread_cache_reclaims_on_pressure() {
+        let (mut ck, mut mpm, srm) = setup(small());
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            ids.push(
+                ck.load_thread(srm, ThreadDesc::new(sp, i, 5), false, &mut mpm)
+                    .unwrap(),
+            );
+        }
+        // Fifth thread displaces one (they are all Ready, none running).
+        let t5 = ck
+            .load_thread(srm, ThreadDesc::new(sp, 99, 5), false, &mut mpm)
+            .unwrap();
+        assert!(ck.thread(t5).is_ok());
+        assert_eq!(ck.threads.len(), 4);
+        let wbs = ck.take_writebacks();
+        assert_eq!(wbs.len(), 1);
+        match &wbs[0] {
+            Writeback::Thread { desc, .. } => assert!(desc.regs.pc < 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Scheduler no longer references the displaced slot's stale entry.
+        assert_eq!(ck.sched.ready_count(), 4);
+    }
+
+    #[test]
+    fn space_cache_reclaims_on_pressure() {
+        let (mut ck, mut mpm, srm) = setup(small());
+        let s1 = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let _s2 = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let _s3 = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let _t = ck
+            .load_thread(srm, ThreadDesc::new(s1, 1, 5), false, &mut mpm)
+            .unwrap();
+        let s4 = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        assert!(ck.space(s4).is_ok());
+        let wbs = ck.take_writebacks();
+        assert!(wbs.iter().any(|w| matches!(w, Writeback::Space { .. })));
+        // If s1 was the victim, its thread was written back first.
+        if ck.space(s1).is_err() {
+            assert!(wbs.iter().any(|w| matches!(w, Writeback::Thread { .. })));
+        }
+    }
+
+    #[test]
+    fn fully_locked_mapping_survives_pool_pressure() {
+        // §4.2: "a locked mapping can be reclaimed unless its address
+        // space, its kernel object and its signal thread (if any) are
+        // locked" — lock the whole chain and squeeze the pool.
+        let (mut ck, mut mpm, srm) = setup(CkConfig {
+            kernel_slots: 3,
+            space_slots: 3,
+            thread_slots: 4,
+            mapping_capacity: 4,
+            ..CkConfig::default()
+        });
+        let sp = ck
+            .load_space(srm, SpaceDesc { locked: true }, &mut mpm)
+            .unwrap();
+        // srm is locked at boot; space is locked; mapping locked below.
+        ck.load_mapping(
+            srm,
+            sp,
+            hw::Vaddr(0x1000),
+            Paddr(0x2000),
+            Pte::LOCKED | Pte::CACHEABLE,
+            None,
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+        // Flood the pool with plain mappings.
+        for i in 0..12u32 {
+            ck.load_mapping(
+                srm,
+                sp,
+                hw::Vaddr(0x10_0000 + i * 0x1000),
+                Paddr(0x20_0000 + i * 0x1000),
+                Pte::CACHEABLE,
+                None,
+                None,
+                &mut mpm,
+            )
+            .unwrap();
+        }
+        assert!(
+            ck.query_mapping(srm, sp, hw::Vaddr(0x1000)).is_ok(),
+            "fully locked mapping never reclaimed"
+        );
+        ck.check_invariants().unwrap();
+
+        // Unlock the space: the mapping's chain is broken, so pressure
+        // may now take it.
+        ck.unlock(srm, sp).unwrap();
+        for i in 0..8u32 {
+            ck.load_mapping(
+                srm,
+                sp,
+                hw::Vaddr(0x30_0000 + i * 0x1000),
+                Paddr(0x40_0000 + i * 0x1000),
+                Pte::CACHEABLE,
+                None,
+                None,
+                &mut mpm,
+            )
+            .unwrap();
+        }
+        assert!(
+            ck.query_mapping(srm, sp, hw::Vaddr(0x1000)).is_err(),
+            "once the chain is unlocked the mapping is reclaimable"
+        );
+        ck.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grant_modification_ops() {
+        let (mut ck, mut mpm, srm) = setup(small());
+        let k = ck
+            .load_kernel(srm, KernelDesc::default(), &mut mpm)
+            .unwrap();
+        ck.modify_kernel_grant(srm, k, 0, 2, Rights::ReadWrite)
+            .unwrap();
+        assert_eq!(
+            ck.kernel(k).unwrap().desc.memory_access.get(1),
+            Rights::ReadWrite
+        );
+        ck.set_kernel_cpu_quota(srm, k, [25; MAX_CPUS]).unwrap();
+        ck.set_kernel_max_priority(srm, k, 12).unwrap();
+        assert_eq!(ck.kernel(k).unwrap().desc.max_priority, 12);
+        // Non-first kernels may not call these.
+        assert_eq!(
+            ck.modify_kernel_grant(k, k, 0, 1, Rights::Read),
+            Err(CkError::FirstKernelOnly)
+        );
+    }
+}

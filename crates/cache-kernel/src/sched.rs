@@ -1,0 +1,137 @@
+//! Fixed-priority, time-sliced scheduling of loaded threads (§2.3, §4.3).
+//!
+//! The Cache Kernel schedules only what is loaded: "the application kernel
+//! loads a thread to schedule it, unloads a thread to deschedule it, and
+//! relies on the Cache Kernel's fixed priority scheduling to designate
+//! preference among the loaded threads." Within one priority the kernel
+//! time-slices round-robin so equal-priority real-time threads of
+//! different application kernels cannot starve one another.
+
+use crate::objects::{Priority, PRIORITY_LEVELS};
+use std::collections::VecDeque;
+
+/// The ready queues: one FIFO per priority level over thread slots.
+pub struct Scheduler {
+    queues: [VecDeque<u16>; PRIORITY_LEVELS],
+    /// Time-slice length in program steps.
+    pub slice: u32,
+}
+
+impl Scheduler {
+    /// A scheduler with the given time-slice length (in executor steps).
+    pub fn new(slice: u32) -> Self {
+        assert!(slice > 0);
+        Scheduler {
+            queues: core::array::from_fn(|_| VecDeque::new()),
+            slice,
+        }
+    }
+
+    /// Enqueue a thread slot at `priority` (to the queue tail).
+    pub fn enqueue(&mut self, slot: u16, priority: Priority) {
+        debug_assert!(!self.contains(slot), "slot double-enqueued");
+        self.queues[priority as usize].push_back(slot);
+    }
+
+    /// Dequeue the highest-priority ready thread, if any.
+    pub fn pick(&mut self) -> Option<(u16, Priority)> {
+        for p in (0..PRIORITY_LEVELS).rev() {
+            if let Some(slot) = self.queues[p].pop_front() {
+                return Some((slot, p as Priority));
+            }
+        }
+        None
+    }
+
+    /// Highest priority currently ready, if any (for preemption checks).
+    pub fn top_priority(&self) -> Option<Priority> {
+        (0..PRIORITY_LEVELS)
+            .rev()
+            .find(|p| !self.queues[*p].is_empty())
+            .map(|p| p as Priority)
+    }
+
+    /// Remove a specific slot from wherever it is queued (thread unloaded
+    /// or blocked). Returns whether it was queued.
+    pub fn remove(&mut self, slot: u16) -> bool {
+        for q in self.queues.iter_mut() {
+            if let Some(pos) = q.iter().position(|s| *s == slot) {
+                q.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Move a queued slot to a new priority (the `set_priority`
+    /// optimization call avoids unload/modify/reload, §2.3). No-op if the
+    /// slot is not queued (the caller updates the descriptor either way).
+    pub fn requeue(&mut self, slot: u16, new_priority: Priority) {
+        if self.remove(slot) {
+            self.enqueue(slot, new_priority);
+        }
+    }
+
+    /// Whether a slot is in some ready queue.
+    pub fn contains(&self, slot: u16) -> bool {
+        self.queues.iter().any(|q| q.contains(&slot))
+    }
+
+    /// Total ready threads.
+    pub fn ready_count(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order() {
+        let mut s = Scheduler::new(10);
+        s.enqueue(1, 5);
+        s.enqueue(2, 20);
+        s.enqueue(3, 5);
+        assert_eq!(s.top_priority(), Some(20));
+        assert_eq!(s.pick(), Some((2, 20)));
+        assert_eq!(s.pick(), Some((1, 5)));
+        assert_eq!(s.pick(), Some((3, 5)));
+        assert_eq!(s.pick(), None);
+    }
+
+    #[test]
+    fn round_robin_within_priority() {
+        let mut s = Scheduler::new(10);
+        s.enqueue(1, 7);
+        s.enqueue(2, 7);
+        // 1 runs a slice then is requeued at the tail.
+        let (a, p) = s.pick().unwrap();
+        assert_eq!((a, p), (1, 7));
+        s.enqueue(1, 7);
+        assert_eq!(s.pick(), Some((2, 7)));
+        s.enqueue(2, 7);
+        assert_eq!(s.pick(), Some((1, 7)));
+    }
+
+    #[test]
+    fn remove_and_requeue() {
+        let mut s = Scheduler::new(10);
+        s.enqueue(1, 5);
+        s.enqueue(2, 5);
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert!(!s.contains(1));
+        s.enqueue(1, 5);
+        s.requeue(1, 9);
+        assert_eq!(s.pick(), Some((1, 9)));
+        assert_eq!(s.ready_count(), 1);
+    }
+
+    #[test]
+    fn requeue_unqueued_is_noop() {
+        let mut s = Scheduler::new(10);
+        s.requeue(4, 3);
+        assert_eq!(s.ready_count(), 0);
+    }
+}

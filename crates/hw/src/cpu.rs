@@ -1,0 +1,159 @@
+//! Simulated processors.
+//!
+//! Each CPU carries its own TLB and reverse TLB (both per-processor in the
+//! prototype) and knows which thread-cache slot is currently executing on
+//! it. The register file mirrors a 68040-with-FPU context so a cached
+//! thread descriptor has realistic size and copy cost (Table 1 lists 532
+//! bytes per thread descriptor).
+
+use crate::rtlb::Rtlb;
+use crate::tlb::Tlb;
+use crate::types::Vaddr;
+
+/// A 68040+68882-style register context, saved into and restored from
+/// thread descriptors on context switch.
+#[derive(Clone, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct RegisterFile {
+    /// Data registers d0–d7.
+    pub d: [u32; 8],
+    /// Address registers a0–a7 (a7 is the active stack pointer).
+    pub a: [u32; 8],
+    /// Program counter.
+    pub pc: u32,
+    /// Status register.
+    pub sr: u32,
+    /// User stack pointer.
+    pub usp: u32,
+    /// Floating point data registers fp0–fp7 (96-bit extended on the
+    /// hardware; we carry them as 3×u32 words each).
+    pub fp: [[u32; 3]; 8],
+    /// FPU control, status and instruction-address registers.
+    pub fpcr: u32,
+    pub fpsr: u32,
+    pub fpiar: u32,
+}
+
+impl RegisterFile {
+    /// Stack pointer accessor (a7).
+    pub fn sp(&self) -> u32 {
+        self.a[7]
+    }
+    /// Set the stack pointer (a7).
+    pub fn set_sp(&mut self, sp: u32) {
+        self.a[7] = sp;
+    }
+}
+
+/// Execution privilege of the running thread, used to detect privilege
+/// violations that the Cache Kernel forwards to the application kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Ordinary application code.
+    #[default]
+    User,
+    /// Application-kernel code (still unprivileged to the Cache Kernel,
+    /// but distinguished for trap routing: a trap from kernel mode is a
+    /// Cache Kernel call, one from user mode forwards to the app kernel).
+    Kernel,
+}
+
+/// One simulated processor of an MPM.
+pub struct Cpu {
+    /// Index of this CPU within its MPM.
+    pub id: usize,
+    /// Per-processor TLB.
+    pub tlb: Tlb,
+    /// Per-processor reverse TLB for signal delivery.
+    pub rtlb: Rtlb,
+    /// Thread-cache slot currently executing here, if any.
+    pub current: Option<u32>,
+    /// Privilege mode of the current thread.
+    pub mode: Mode,
+    /// Cycles consumed on this CPU (for per-kernel accounting the Cache
+    /// Kernel reads and resets this between quanta).
+    pub consumed: u64,
+}
+
+impl Cpu {
+    /// A CPU with prototype-sized TLBs.
+    pub fn new(id: usize) -> Self {
+        Cpu {
+            id,
+            tlb: Tlb::new(64),
+            rtlb: Rtlb::new(64),
+            current: None,
+            mode: Mode::User,
+            consumed: 0,
+        }
+    }
+
+    /// Record cycles consumed by the running thread.
+    pub fn consume(&mut self, cycles: u64) {
+        self.consumed += cycles;
+    }
+
+    /// Take and reset the consumed-cycles counter.
+    pub fn take_consumed(&mut self) -> u64 {
+        core::mem::take(&mut self.consumed)
+    }
+}
+
+/// The cause of a hardware fault raised while a thread executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No mapping cached for the page (mapping fault → page fault handler).
+    Unmapped,
+    /// Write to a read-only page (protection fault).
+    Protection,
+    /// Write to a copy-on-write page (resolved by the owning app kernel).
+    CopyOnWrite,
+    /// Privileged instruction in user mode.
+    Privilege,
+    /// Access to a cache line held on a remote node (consistency fault,
+    /// footnote 1 of the paper).
+    Consistency,
+    /// Access outside the kernel's authorized physical memory.
+    AccessRights,
+}
+
+/// A fault record delivered to the Cache Kernel's access-error handler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Faulting virtual address.
+    pub vaddr: Vaddr,
+    /// Whether the faulting access was a write.
+    pub write: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_file_size_is_realistic() {
+        // d/a/pc/sr/usp = 19 words, fp block = 27 words => 184 bytes.
+        // The remaining thread-descriptor bytes (kernel stack pointer,
+        // priority, links) live in the Cache Kernel's descriptor.
+        assert_eq!(core::mem::size_of::<RegisterFile>(), 184);
+    }
+
+    #[test]
+    fn sp_alias() {
+        let mut r = RegisterFile::default();
+        r.set_sp(0xdead0);
+        assert_eq!(r.sp(), 0xdead0);
+        assert_eq!(r.a[7], 0xdead0);
+    }
+
+    #[test]
+    fn consumption_accounting() {
+        let mut c = Cpu::new(0);
+        c.consume(10);
+        c.consume(5);
+        assert_eq!(c.take_consumed(), 15);
+        assert_eq!(c.take_consumed(), 0);
+    }
+}

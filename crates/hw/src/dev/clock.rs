@@ -1,0 +1,99 @@
+//! Clock device.
+//!
+//! Fits the memory-based messaging model directly: the device maintains a
+//! time page in physical memory (current cycle count at offset 0) and, at a
+//! programmed interval, updates it — an event the Cache Kernel turns into an
+//! address-valued signal on the time page for any thread that registered a
+//! signal mapping there (this is how application-kernel scheduling threads
+//! wake up each rescheduling interval, §2.3).
+
+use crate::mem::PhysMem;
+use crate::types::Paddr;
+
+/// The programmable interval clock.
+pub struct ClockDev {
+    time_page: Paddr,
+    interval: u64,
+    next_fire: u64,
+    /// Number of ticks delivered.
+    pub ticks: u64,
+}
+
+impl ClockDev {
+    /// A clock whose time page lives at `time_page`, firing every
+    /// `interval` cycles.
+    pub fn new(time_page: Paddr, interval: u64) -> Self {
+        assert!(interval > 0);
+        assert_eq!(time_page.offset(), 0);
+        ClockDev {
+            time_page,
+            interval,
+            next_fire: interval,
+            ticks: 0,
+        }
+    }
+
+    /// Physical address of the time page.
+    pub fn time_page(&self) -> Paddr {
+        self.time_page
+    }
+
+    /// Reprogram the firing interval.
+    pub fn set_interval(&mut self, interval: u64, now: u64) {
+        assert!(interval > 0);
+        self.interval = interval;
+        self.next_fire = now + interval;
+    }
+
+    /// Advance to cycle `now`; if the interval elapsed, refresh the time
+    /// page and return its address so the caller can raise a signal on it.
+    /// At most one tick is reported per call (ticks do not accumulate while
+    /// nobody polls, like a real periodic interrupt with a held line).
+    pub fn poll(&mut self, mem: &mut PhysMem, now: u64) -> Option<Paddr> {
+        if now < self.next_fire {
+            return None;
+        }
+        // Skip forward past missed periods rather than replaying them.
+        let periods = (now - self.next_fire) / self.interval + 1;
+        self.next_fire += periods * self.interval;
+        self.ticks += 1;
+        mem.write_u64(self.time_page, now).ok()?;
+        Some(self.time_page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_interval() {
+        let mut mem = PhysMem::new(16);
+        let mut c = ClockDev::new(Paddr(0x3000), 100);
+        assert_eq!(c.poll(&mut mem, 50), None);
+        assert_eq!(c.poll(&mut mem, 100), Some(Paddr(0x3000)));
+        assert_eq!(mem.read_u64(Paddr(0x3000)).unwrap(), 100);
+        assert_eq!(c.poll(&mut mem, 150), None);
+        assert_eq!(c.poll(&mut mem, 210), Some(Paddr(0x3000)));
+        assert_eq!(c.ticks, 2);
+    }
+
+    #[test]
+    fn missed_periods_coalesce() {
+        let mut mem = PhysMem::new(16);
+        let mut c = ClockDev::new(Paddr(0x3000), 10);
+        assert!(c.poll(&mut mem, 95).is_some());
+        // Next fire is at 100, not replaying 9 missed ticks.
+        assert_eq!(c.poll(&mut mem, 99), None);
+        assert!(c.poll(&mut mem, 100).is_some());
+        assert_eq!(c.ticks, 2);
+    }
+
+    #[test]
+    fn reprogram() {
+        let mut mem = PhysMem::new(16);
+        let mut c = ClockDev::new(Paddr(0x3000), 100);
+        c.set_interval(10, 0);
+        assert!(c.poll(&mut mem, 10).is_some());
+    }
+}

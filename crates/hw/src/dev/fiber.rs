@@ -1,0 +1,256 @@
+//! Fiber-channel network interface.
+//!
+//! The interface is pure memory-based messaging: a transmission region and a
+//! reception region of physical memory. A client (or the Cache Kernel on its
+//! behalf) writes a packet into a transmission slot and "signals" the device
+//! with the slot's address; the device reads the packet out of physical
+//! memory and hands it to the fabric. Incoming packets are written into the
+//! next reception slot and the device reports the slot address so the Cache
+//! Kernel can raise an address-valued signal to the receiving thread.
+
+use crate::fabric::Packet;
+use crate::mem::{MemError, PhysMem};
+use crate::types::{Paddr, PAGE_SIZE};
+
+/// Packet slot header layout (little-endian u32 fields at the slot base):
+/// `[len, dst_node, channel]` followed by payload bytes.
+const HDR_BYTES: u32 = 12;
+/// Maximum payload per slot.
+pub const MAX_PAYLOAD: u32 = PAGE_SIZE - HDR_BYTES;
+
+/// Per-interface packet counters (exposed to the SRM channel manager for
+/// rate calculation, §4.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FiberStats {
+    /// Packets transmitted.
+    pub tx: u64,
+    /// Packets received.
+    pub rx: u64,
+    /// Packets dropped because the channel was disconnected or malformed.
+    pub dropped: u64,
+}
+
+/// A fiber-channel interface with page-sized transmit/receive slots.
+pub struct FiberChannel {
+    node: usize,
+    tx_base: Paddr,
+    tx_slots: u32,
+    rx_base: Paddr,
+    rx_slots: u32,
+    rx_next: u32,
+    disconnected: Vec<u32>,
+    /// Counters, readable by the SRM.
+    pub stats: FiberStats,
+}
+
+impl FiberChannel {
+    /// An interface for `node` with slot regions at the given physical
+    /// bases, each `slots` pages long.
+    pub fn new(node: usize, tx_base: Paddr, rx_base: Paddr, slots: u32) -> Self {
+        assert!(slots > 0);
+        assert_eq!(tx_base.offset(), 0, "regions are page aligned");
+        assert_eq!(rx_base.offset(), 0, "regions are page aligned");
+        FiberChannel {
+            node,
+            tx_base,
+            tx_slots: slots,
+            rx_base,
+            rx_slots: slots,
+            rx_next: 0,
+            disconnected: Vec::new(),
+            stats: FiberStats::default(),
+        }
+    }
+
+    /// Node this interface belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Physical address of transmit slot `i`.
+    pub fn tx_slot(&self, i: u32) -> Paddr {
+        assert!(i < self.tx_slots);
+        Paddr(self.tx_base.0 + i * PAGE_SIZE)
+    }
+
+    /// Physical address of receive slot `i`.
+    pub fn rx_slot(&self, i: u32) -> Paddr {
+        assert!(i < self.rx_slots);
+        Paddr(self.rx_base.0 + i * PAGE_SIZE)
+    }
+
+    /// Number of slots in each region.
+    pub fn slots(&self) -> u32 {
+        self.tx_slots
+    }
+
+    /// Compose a packet into transmit slot `slot` (helper used by drivers
+    /// and tests; applications normally write through their own mapping).
+    pub fn write_tx(
+        &self,
+        mem: &mut PhysMem,
+        slot: u32,
+        dst: usize,
+        channel: u32,
+        payload: &[u8],
+    ) -> Result<Paddr, MemError> {
+        assert!(payload.len() as u32 <= MAX_PAYLOAD);
+        let base = self.tx_slot(slot);
+        mem.write_u32(base, payload.len() as u32)?;
+        mem.write_u32(Paddr(base.0 + 4), dst as u32)?;
+        mem.write_u32(Paddr(base.0 + 8), channel)?;
+        mem.write(Paddr(base.0 + HDR_BYTES), payload)?;
+        Ok(base)
+    }
+
+    /// Doorbell: the device was signaled on `slot_addr`; read the packet out
+    /// of memory and return it for the fabric. Returns `None` if the channel
+    /// is administratively disconnected or the slot is malformed.
+    pub fn transmit(&mut self, mem: &PhysMem, slot_addr: Paddr) -> Option<Packet> {
+        let base = slot_addr.page_base();
+        debug_assert!(
+            base.0 >= self.tx_base.0 && base.0 < self.tx_base.0 + self.tx_slots * PAGE_SIZE
+        );
+        let len = mem.read_u32(base).ok()?;
+        if len > MAX_PAYLOAD {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let dst = mem.read_u32(Paddr(base.0 + 4)).ok()? as usize;
+        let channel = mem.read_u32(Paddr(base.0 + 8)).ok()?;
+        if self.disconnected.contains(&channel) {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let mut data = vec![0u8; len as usize];
+        mem.read(Paddr(base.0 + HDR_BYTES), &mut data).ok()?;
+        self.stats.tx += 1;
+        Some(Packet {
+            src: self.node,
+            dst,
+            channel,
+            data,
+        })
+    }
+
+    /// Deliver an incoming packet into the next reception slot, returning
+    /// the slot's physical address (to be raised as an address-valued
+    /// signal) or `None` if the channel is disconnected.
+    pub fn deliver(&mut self, mem: &mut PhysMem, pkt: &Packet) -> Option<Paddr> {
+        if self.disconnected.contains(&pkt.channel) || pkt.data.len() as u32 > MAX_PAYLOAD {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let slot = self.rx_next;
+        self.rx_next = (self.rx_next + 1) % self.rx_slots;
+        let base = self.rx_slot(slot);
+        mem.write_u32(base, pkt.data.len() as u32).ok()?;
+        mem.write_u32(Paddr(base.0 + 4), pkt.src as u32).ok()?;
+        mem.write_u32(Paddr(base.0 + 8), pkt.channel).ok()?;
+        mem.write(Paddr(base.0 + HDR_BYTES), &pkt.data).ok()?;
+        self.stats.rx += 1;
+        Some(base)
+    }
+
+    /// Read a delivered packet back out of a reception slot.
+    pub fn read_rx(&self, mem: &PhysMem, slot_addr: Paddr) -> Option<(usize, u32, Vec<u8>)> {
+        let base = slot_addr.page_base();
+        let len = mem.read_u32(base).ok()?;
+        if len > MAX_PAYLOAD {
+            return None;
+        }
+        let src = mem.read_u32(Paddr(base.0 + 4)).ok()? as usize;
+        let channel = mem.read_u32(Paddr(base.0 + 8)).ok()?;
+        let mut data = vec![0u8; len as usize];
+        mem.read(Paddr(base.0 + HDR_BYTES), &mut data).ok()?;
+        Some((src, channel, data))
+    }
+
+    /// Administratively disconnect a channel (SRM quota enforcement,
+    /// "temporarily disconnects application kernels that exceed their
+    /// quota", §4.3).
+    pub fn disconnect(&mut self, channel: u32) {
+        if !self.disconnected.contains(&channel) {
+            self.disconnected.push(channel);
+        }
+    }
+
+    /// Reconnect a channel.
+    pub fn reconnect(&mut self, channel: u32) {
+        self.disconnected.retain(|c| *c != channel);
+    }
+
+    /// Whether a channel is currently disconnected.
+    pub fn is_disconnected(&self, channel: u32) -> bool {
+        self.disconnected.contains(&channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FiberChannel, PhysMem) {
+        let fc = FiberChannel::new(0, Paddr(0x10000), Paddr(0x20000), 4);
+        let mem = PhysMem::new(64);
+        (fc, mem)
+    }
+
+    #[test]
+    fn tx_roundtrip() {
+        let (mut fc, mut mem) = setup();
+        let addr = fc.write_tx(&mut mem, 1, 2, 7, b"ping").unwrap();
+        let pkt = fc.transmit(&mem, addr).unwrap();
+        assert_eq!(pkt.src, 0);
+        assert_eq!(pkt.dst, 2);
+        assert_eq!(pkt.channel, 7);
+        assert_eq!(pkt.data, b"ping");
+        assert_eq!(fc.stats.tx, 1);
+    }
+
+    #[test]
+    fn rx_roundtrip_rotates_slots() {
+        let (mut fc, mut mem) = setup();
+        let pkt = Packet {
+            src: 3,
+            dst: 0,
+            channel: 9,
+            data: b"pong".to_vec(),
+        };
+        let a1 = fc.deliver(&mut mem, &pkt).unwrap();
+        let a2 = fc.deliver(&mut mem, &pkt).unwrap();
+        assert_ne!(a1, a2);
+        let (src, channel, data) = fc.read_rx(&mem, a1).unwrap();
+        assert_eq!((src, channel), (3, 9));
+        assert_eq!(data, b"pong");
+        assert_eq!(fc.stats.rx, 2);
+    }
+
+    #[test]
+    fn disconnect_drops() {
+        let (mut fc, mut mem) = setup();
+        fc.disconnect(7);
+        let addr = fc.write_tx(&mut mem, 0, 1, 7, b"x").unwrap();
+        assert!(fc.transmit(&mem, addr).is_none());
+        let pkt = Packet {
+            src: 1,
+            dst: 0,
+            channel: 7,
+            data: vec![1],
+        };
+        assert!(fc.deliver(&mut mem, &pkt).is_none());
+        assert_eq!(fc.stats.dropped, 2);
+        fc.reconnect(7);
+        assert!(!fc.is_disconnected(7));
+        let addr = fc.write_tx(&mut mem, 0, 1, 7, b"x").unwrap();
+        assert!(fc.transmit(&mem, addr).is_some());
+    }
+
+    #[test]
+    fn oversized_len_rejected() {
+        let (mut fc, mut mem) = setup();
+        let base = fc.tx_slot(0);
+        mem.write_u32(base, PAGE_SIZE * 2).unwrap();
+        assert!(fc.transmit(&mem, base).is_none());
+    }
+}

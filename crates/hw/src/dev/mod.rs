@@ -1,0 +1,16 @@
+//! Simulated devices of an MPM.
+//!
+//! Two device styles, matching the paper's contrast (§2.2):
+//!
+//! * the [`fiber`] channel interface is designed around memory-based
+//!   messaging — transmission and reception are memory regions and the
+//!   Cache Kernel driver only needs to map them (276 lines in the paper);
+//! * the [`ethernet`] chip exposes a conventional DMA descriptor-ring
+//!   interface and therefore needs a non-trivial driver to adapt it to
+//!   memory-based messaging.
+//!
+//! The [`clock`] fits the memory-mapped model directly.
+
+pub mod clock;
+pub mod ethernet;
+pub mod fiber;

@@ -1,0 +1,162 @@
+//! Inter-MPM interconnect model.
+//!
+//! Models the 266 Mb/s fiber-channel links that connect MPMs to each other
+//! and to shared servers. The fabric is a simple store-and-forward router:
+//! packets enqueue toward a destination node and are drained by the cluster
+//! step loop, which hands them to the destination node's network interface.
+
+use std::collections::VecDeque;
+
+/// A packet in flight between nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Originating node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Connection/channel identifier (the networking facility is
+    /// connection-oriented; the SRM's channel manager rate-limits and can
+    /// disconnect individual channels).
+    pub channel: u32,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// Per-node delivery statistics, used by the SRM channel manager to compute
+/// transfer rates (§4.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets sent from this node.
+    pub tx_packets: u64,
+    /// Bytes sent from this node.
+    pub tx_bytes: u64,
+    /// Packets delivered to this node.
+    pub rx_packets: u64,
+    /// Bytes delivered to this node.
+    pub rx_bytes: u64,
+}
+
+/// The cluster interconnect.
+pub struct Fabric {
+    queues: Vec<VecDeque<Packet>>,
+    stats: Vec<LinkStats>,
+    /// Nodes marked failed: packets to or from them are dropped (used by
+    /// the fault-containment experiments).
+    failed: Vec<bool>,
+}
+
+impl Fabric {
+    /// A fabric connecting `nodes` MPMs.
+    pub fn new(nodes: usize) -> Self {
+        Fabric {
+            queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            stats: vec![LinkStats::default(); nodes],
+            failed: vec![false; nodes],
+        }
+    }
+
+    /// Number of attached nodes.
+    pub fn nodes(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Inject a packet. Returns `false` (dropping it) if either endpoint is
+    /// out of range or failed.
+    pub fn send(&mut self, pkt: Packet) -> bool {
+        if pkt.src >= self.nodes() || pkt.dst >= self.nodes() {
+            return false;
+        }
+        if self.failed[pkt.src] || self.failed[pkt.dst] {
+            return false;
+        }
+        self.stats[pkt.src].tx_packets += 1;
+        self.stats[pkt.src].tx_bytes += pkt.data.len() as u64;
+        self.queues[pkt.dst].push_back(pkt);
+        true
+    }
+
+    /// Take the next packet destined for `node`, if any.
+    pub fn recv(&mut self, node: usize) -> Option<Packet> {
+        let pkt = self.queues[node].pop_front()?;
+        self.stats[node].rx_packets += 1;
+        self.stats[node].rx_bytes += pkt.data.len() as u64;
+        Some(pkt)
+    }
+
+    /// Packets queued toward `node`.
+    pub fn pending(&self, node: usize) -> usize {
+        self.queues[node].len()
+    }
+
+    /// Link statistics for `node`.
+    pub fn stats(&self, node: usize) -> LinkStats {
+        self.stats[node]
+    }
+
+    /// Mark a node failed (its MPM halted). In the ParaDiGM design an MPM
+    /// hardware failure halts the local Cache Kernel only; the fabric
+    /// simply stops carrying its traffic.
+    pub fn fail_node(&mut self, node: usize) {
+        self.failed[node] = true;
+        self.queues[node].clear();
+    }
+
+    /// Whether `node` is failed.
+    pub fn is_failed(&self, node: usize) -> bool {
+        self.failed[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(src: usize, dst: usize, data: &[u8]) -> Packet {
+        Packet {
+            src,
+            dst,
+            channel: 1,
+            data: data.to_vec(),
+        }
+    }
+
+    #[test]
+    fn send_recv_fifo() {
+        let mut f = Fabric::new(3);
+        assert!(f.send(pkt(0, 2, b"a")));
+        assert!(f.send(pkt(1, 2, b"bb")));
+        assert_eq!(f.pending(2), 2);
+        assert_eq!(f.recv(2).unwrap().data, b"a");
+        assert_eq!(f.recv(2).unwrap().data, b"bb");
+        assert_eq!(f.recv(2), None);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = Fabric::new(2);
+        f.send(pkt(0, 1, b"xyz"));
+        f.recv(1);
+        assert_eq!(f.stats(0).tx_packets, 1);
+        assert_eq!(f.stats(0).tx_bytes, 3);
+        assert_eq!(f.stats(1).rx_packets, 1);
+        assert_eq!(f.stats(1).rx_bytes, 3);
+    }
+
+    #[test]
+    fn failed_node_drops_traffic() {
+        let mut f = Fabric::new(2);
+        f.send(pkt(0, 1, b"q"));
+        f.fail_node(1);
+        assert_eq!(f.pending(1), 0);
+        assert!(!f.send(pkt(0, 1, b"r")));
+        assert!(!f.send(pkt(1, 0, b"s")));
+        assert!(f.is_failed(1));
+        assert!(!f.is_failed(0));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut f = Fabric::new(1);
+        assert!(!f.send(pkt(0, 5, b"x")));
+    }
+}

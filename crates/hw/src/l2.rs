@@ -1,0 +1,178 @@
+//! Second-level cache model.
+//!
+//! The prototype MPM shares a 4–8 MiB software-controlled second-level cache
+//! with 32-byte lines among its four processors. We model the tag array only
+//! (set-associative, LRU within a set) and charge hit/miss costs; no data
+//! moves through it. This is what the §5.2 locality arguments and the MP3D
+//! experiment need: which accesses hit and which go to third-level memory.
+
+use crate::types::{Paddr, CACHE_LINE_SIZE};
+
+/// Hit/miss statistics for the second-level cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L2Stats {
+    /// Line accesses that hit.
+    pub hits: u64,
+    /// Line accesses that missed (fetched from third-level memory).
+    pub misses: u64,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Way {
+    tag: u32,
+    valid: bool,
+    lru: u32,
+}
+
+/// Set-associative cache tag model.
+pub struct L2Cache {
+    sets: Vec<[Way; L2Cache::ASSOC]>,
+    tick: u32,
+    /// Statistics, readable by experiments.
+    pub stats: L2Stats,
+}
+
+impl L2Cache {
+    /// Associativity of the model.
+    pub const ASSOC: usize = 4;
+
+    /// A cache of `size_bytes` total capacity with 32-byte lines.
+    pub fn new(size_bytes: usize) -> Self {
+        let lines = size_bytes / CACHE_LINE_SIZE as usize;
+        let sets = (lines / Self::ASSOC).max(1);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        L2Cache {
+            sets: vec![[Way::default(); Self::ASSOC]; sets],
+            tick: 0,
+            stats: L2Stats::default(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * Self::ASSOC * CACHE_LINE_SIZE as usize
+    }
+
+    fn index(&self, line: u32) -> (usize, u32) {
+        let set = (line as usize) & (self.sets.len() - 1);
+        let tag = line >> self.sets.len().trailing_zeros();
+        (set, tag)
+    }
+
+    /// Touch the line containing `addr`; returns `true` on a hit.
+    pub fn access(&mut self, addr: Paddr) -> bool {
+        self.tick += 1;
+        let (set, tag) = self.index(addr.line());
+        let ways = &mut self.sets[set];
+        for w in ways.iter_mut() {
+            if w.valid && w.tag == tag {
+                w.lru = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        // Fill the invalid or least recently used way.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .unwrap();
+        *victim = Way {
+            tag,
+            valid: true,
+            lru: self.tick,
+        };
+        false
+    }
+
+    /// Invalidate every line of the frame containing `addr` (used when a
+    /// frame migrates between nodes in the distributed-memory experiments).
+    pub fn invalidate_page(&mut self, addr: Paddr) {
+        let first_line = addr.page_base().line();
+        for l in first_line..first_line + (crate::types::PAGE_SIZE / CACHE_LINE_SIZE) {
+            let (set, tag) = self.index(l);
+            for w in self.sets[set].iter_mut() {
+                if w.valid && w.tag == tag {
+                    w.valid = false;
+                }
+            }
+        }
+    }
+
+    /// Drop all contents and reset statistics.
+    pub fn reset(&mut self) {
+        for set in self.sets.iter_mut() {
+            *set = [Way::default(); Self::ASSOC];
+        }
+        self.tick = 0;
+        self.stats = L2Stats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounding() {
+        let c = L2Cache::new(8 * 1024 * 1024);
+        assert_eq!(c.capacity(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn miss_then_hit_same_line() {
+        let mut c = L2Cache::new(4096);
+        assert!(!c.access(Paddr(0x100)));
+        assert!(c.access(Paddr(0x11f))); // same 32-byte line
+        assert!(!c.access(Paddr(0x120))); // next line
+        assert_eq!(c.stats, L2Stats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 4-way, so five conflicting lines evict the least recently used.
+        let mut c = L2Cache::new(4096); // 32 sets
+        let sets = 32u32;
+        let conflict = |i: u32| Paddr(i * sets * CACHE_LINE_SIZE);
+        for i in 0..4 {
+            assert!(!c.access(conflict(i)));
+        }
+        assert!(c.access(conflict(0))); // refresh line 0
+        assert!(!c.access(conflict(4))); // evicts line 1 (LRU)
+        assert!(c.access(conflict(0)));
+        assert!(!c.access(conflict(1))); // line 1 was the victim
+    }
+
+    #[test]
+    fn invalidate_page_clears_lines() {
+        let mut c = L2Cache::new(64 * 1024);
+        c.access(Paddr(0x2000));
+        c.access(Paddr(0x2fe0));
+        c.invalidate_page(Paddr(0x2345));
+        assert!(!c.access(Paddr(0x2000)));
+        assert!(!c.access(Paddr(0x2fe0)));
+    }
+
+    #[test]
+    fn working_set_behaviour() {
+        // A working set that fits is all hits after warmup; one that
+        // exceeds capacity keeps missing. This is the §5.2 shape in miniature.
+        let mut c = L2Cache::new(4096);
+        let lines_in_cache = 4096 / 32;
+        // Fits: half the capacity.
+        for _round in 0..2 {
+            for i in 0..lines_in_cache / 2 {
+                c.access(Paddr(i as u32 * 32));
+            }
+        }
+        assert_eq!(c.stats.misses as usize, lines_in_cache / 2);
+        c.reset();
+        // Does not fit: 4x capacity with a sequential sweep under LRU.
+        for _round in 0..2 {
+            for i in 0..lines_in_cache * 4 {
+                c.access(Paddr(i as u32 * 32));
+            }
+        }
+        assert_eq!(c.stats.hits, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Simulated physical memory.
+//!
+//! Frames are 4 KiB and allocated lazily on first touch, so a machine can
+//! expose a large physical address space (the prototype managed up to 4 GiB
+//! of bus space) while only paying for frames actually used. Page-frame
+//! *ownership* is not tracked here — that is application-kernel policy,
+//! enforced by the Cache Kernel's memory access arrays.
+
+use crate::types::{Paddr, Pfn, PAGE_SIZE};
+
+/// Errors raised by physical-memory operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The physical address lies beyond the configured memory size.
+    OutOfRange(Paddr),
+    /// An access crossed the end of configured memory.
+    Truncated,
+}
+
+/// Simulated physical memory with lazily materialized 4 KiB frames.
+pub struct PhysMem {
+    frames: Vec<Option<Box<[u8; PAGE_SIZE as usize]>>>,
+    resident: usize,
+}
+
+impl PhysMem {
+    /// A physical memory of `frames` page frames (addresses `0..frames*4K`).
+    pub fn new(frames: usize) -> Self {
+        let mut v = Vec::new();
+        v.resize_with(frames, || None);
+        PhysMem {
+            frames: v,
+            resident: 0,
+        }
+    }
+
+    /// Number of configured page frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of frames that have been materialized by an access.
+    pub fn resident_frames(&self) -> usize {
+        self.resident
+    }
+
+    /// Whether `pfn` is a valid frame of this memory.
+    pub fn contains(&self, pfn: Pfn) -> bool {
+        (pfn.0 as usize) < self.frames.len()
+    }
+
+    fn frame_mut(&mut self, pfn: Pfn) -> Result<&mut [u8; PAGE_SIZE as usize], MemError> {
+        let idx = pfn.0 as usize;
+        if idx >= self.frames.len() {
+            return Err(MemError::OutOfRange(pfn.base()));
+        }
+        if self.frames[idx].is_none() {
+            self.frames[idx] = Some(Box::new([0u8; PAGE_SIZE as usize]));
+            self.resident += 1;
+        }
+        Ok(self.frames[idx].as_mut().unwrap())
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`. Reads of frames never
+    /// written return zeroes without materializing the frame.
+    pub fn read(&self, addr: Paddr, buf: &mut [u8]) -> Result<(), MemError> {
+        let mut a = addr.0 as u64;
+        let end = a + buf.len() as u64;
+        if end > (self.frames.len() as u64) * PAGE_SIZE as u64 {
+            return Err(MemError::Truncated);
+        }
+        let mut off = 0usize;
+        while off < buf.len() {
+            let pfn = (a >> 12) as usize;
+            let in_page = (a & (PAGE_SIZE as u64 - 1)) as usize;
+            let n = core::cmp::min(buf.len() - off, PAGE_SIZE as usize - in_page);
+            match &self.frames[pfn] {
+                Some(f) => buf[off..off + n].copy_from_slice(&f[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+            a += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Write `buf` starting at `addr`, materializing frames as needed.
+    pub fn write(&mut self, addr: Paddr, buf: &[u8]) -> Result<(), MemError> {
+        let mut a = addr.0 as u64;
+        let end = a + buf.len() as u64;
+        if end > (self.frames.len() as u64) * PAGE_SIZE as u64 {
+            return Err(MemError::Truncated);
+        }
+        let mut off = 0usize;
+        while off < buf.len() {
+            let pfn = Pfn((a >> 12) as u32);
+            let in_page = (a & (PAGE_SIZE as u64 - 1)) as usize;
+            let n = core::cmp::min(buf.len() - off, PAGE_SIZE as usize - in_page);
+            let frame = self.frame_mut(pfn)?;
+            frame[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            off += n;
+            a += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Read a little-endian `u32` at `addr`.
+    pub fn read_u32(&self, addr: Paddr) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Write a little-endian `u32` at `addr`.
+    pub fn write_u32(&mut self, addr: Paddr, val: u32) -> Result<(), MemError> {
+        self.write(addr, &val.to_le_bytes())
+    }
+
+    /// Read a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: Paddr) -> Result<u64, MemError> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: Paddr, val: u64) -> Result<(), MemError> {
+        self.write(addr, &val.to_le_bytes())
+    }
+
+    /// Copy `len` bytes from frame-to-frame (used for COW resolution and
+    /// paging); handles overlap like `memmove`.
+    pub fn copy(&mut self, src: Paddr, dst: Paddr, len: usize) -> Result<(), MemError> {
+        let mut tmp = vec![0u8; len];
+        self.read(src, &mut tmp)?;
+        self.write(dst, &tmp)
+    }
+
+    /// Zero an entire frame (page-zeroing on allocation).
+    pub fn zero_frame(&mut self, pfn: Pfn) -> Result<(), MemError> {
+        let frame = self.frame_mut(pfn)?;
+        frame.fill(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_unwritten_is_zero_and_lazy() {
+        let m = PhysMem::new(16);
+        let mut b = [0xffu8; 8];
+        m.read(Paddr(0x1000), &mut b).unwrap();
+        assert_eq!(b, [0u8; 8]);
+        assert_eq!(m.resident_frames(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut m = PhysMem::new(16);
+        m.write(Paddr(0x2345), b"hello cache kernel").unwrap();
+        let mut b = [0u8; 18];
+        m.read(Paddr(0x2345), &mut b).unwrap();
+        assert_eq!(&b, b"hello cache kernel");
+        assert_eq!(m.resident_frames(), 1);
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut m = PhysMem::new(4);
+        let data: Vec<u8> = (0..100).collect();
+        m.write(Paddr(PAGE_SIZE - 50), &data).unwrap();
+        let mut b = vec![0u8; 100];
+        m.read(Paddr(PAGE_SIZE - 50), &mut b).unwrap();
+        assert_eq!(b, data);
+        assert_eq!(m.resident_frames(), 2);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = PhysMem::new(2);
+        assert_eq!(
+            m.write(Paddr(2 * PAGE_SIZE - 2), &[1, 2, 3]),
+            Err(MemError::Truncated)
+        );
+        let mut b = [0u8; 4];
+        assert_eq!(
+            m.read(Paddr(2 * PAGE_SIZE), &mut b),
+            Err(MemError::Truncated)
+        );
+    }
+
+    #[test]
+    fn u32_u64_roundtrip() {
+        let mut m = PhysMem::new(2);
+        m.write_u32(Paddr(0x10), 0xdead_beef).unwrap();
+        assert_eq!(m.read_u32(Paddr(0x10)).unwrap(), 0xdead_beef);
+        m.write_u64(Paddr(0x18), 0x0123_4567_89ab_cdef).unwrap();
+        assert_eq!(m.read_u64(Paddr(0x18)).unwrap(), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn copy_and_zero() {
+        let mut m = PhysMem::new(4);
+        m.write(Paddr(0x0), b"abcd").unwrap();
+        m.copy(Paddr(0x0), Paddr(0x1000), 4).unwrap();
+        assert_eq!(
+            m.read_u32(Paddr(0x1000)).unwrap(),
+            u32::from_le_bytes(*b"abcd")
+        );
+        m.zero_frame(Pfn(1)).unwrap();
+        assert_eq!(m.read_u32(Paddr(0x1000)).unwrap(), 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! 68040-style three-level page tables.
+//!
+//! The prototype stores virtual-to-physical mappings in conventionally
+//! structured Motorola 68040 page tables, one set per address space (§4.1):
+//! 512-byte first- and second-level tables and 256-byte third-level tables
+//! mapping 64 pages each. We reproduce that geometry with a 7/7/6-bit split
+//! of the 20-bit virtual page number, and account the bytes consumed by each
+//! level so the §5.2 space-overhead claims can be re-measured.
+
+use crate::types::{Access, Pfn, Vpn};
+
+/// Entries in a first- or second-level table (512 B / 4 B each).
+pub const L1_ENTRIES: usize = 128;
+/// Entries in a second-level table.
+pub const L2_ENTRIES: usize = 128;
+/// Entries in a third-level table (256 B / 4 B each; maps 64 pages).
+pub const L3_ENTRIES: usize = 64;
+/// Size in bytes of a first- or second-level table.
+pub const UPPER_TABLE_BYTES: usize = L1_ENTRIES * 4;
+/// Size in bytes of a third-level table.
+pub const LEAF_TABLE_BYTES: usize = L3_ENTRIES * 4;
+
+/// A page-table entry: a 20-bit frame number plus flag bits, packed in a
+/// `u32` exactly as a real table would hold it.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pte(pub u32);
+
+impl Pte {
+    /// Entry is valid (a translation exists).
+    pub const VALID: u32 = 1 << 0;
+    /// Page is writable.
+    pub const WRITABLE: u32 = 1 << 1;
+    /// Page is cacheable in the second-level cache.
+    pub const CACHEABLE: u32 = 1 << 2;
+    /// Page is in message mode: stores raise address-valued signals (§2.2).
+    pub const MESSAGE: u32 = 1 << 3;
+    /// Referenced bit, set by the hardware walker on any access.
+    pub const REFERENCED: u32 = 1 << 4;
+    /// Modified bit, set by the hardware walker on a store.
+    pub const MODIFIED: u32 = 1 << 5;
+    /// Copy-on-write: page readable, store raises a protection fault whose
+    /// resolution copies from the recorded source frame (§4.1 deferred copy).
+    pub const COW: u32 = 1 << 6;
+    /// Mapping is locked against reclamation (subject to the §4.2 rule that
+    /// its address space, kernel and signal thread are locked too).
+    pub const LOCKED: u32 = 1 << 7;
+
+    const FLAG_MASK: u32 = (1 << 8) - 1;
+
+    /// Build a valid entry for `pfn` with `flags` (VALID is implied).
+    pub fn new(pfn: Pfn, flags: u32) -> Pte {
+        debug_assert_eq!(flags & !Self::FLAG_MASK, 0, "flags overlap the PFN field");
+        Pte((pfn.0 << 12) | (flags & Self::FLAG_MASK) | Self::VALID)
+    }
+    /// An invalid (absent) entry.
+    pub fn invalid() -> Pte {
+        Pte(0)
+    }
+    /// Whether the entry holds a translation.
+    pub fn is_valid(self) -> bool {
+        self.0 & Self::VALID != 0
+    }
+    /// Frame number (meaningful only when valid). The PFN field occupies the
+    /// top 20 bits, leaving 12 for flags just as the hardware format does.
+    pub fn pfn(self) -> Pfn {
+        Pfn(self.0 >> 12)
+    }
+    /// Raw flag bits.
+    pub fn flags(self) -> u32 {
+        self.0 & Self::FLAG_MASK
+    }
+    /// Whether `flag` is set.
+    pub fn has(self, flag: u32) -> bool {
+        self.0 & flag != 0
+    }
+    /// Return a copy with `flag` set.
+    pub fn with(self, flag: u32) -> Pte {
+        Pte(self.0 | (flag & Self::FLAG_MASK))
+    }
+    /// Return a copy with `flag` cleared.
+    pub fn without(self, flag: u32) -> Pte {
+        Pte(self.0 & !(flag & Self::FLAG_MASK))
+    }
+    /// Whether the entry permits `access` (valid; writes need WRITABLE and
+    /// not COW — a COW page write-faults even though logically writable).
+    pub fn permits(self, access: Access) -> bool {
+        if !self.is_valid() {
+            return false;
+        }
+        match access {
+            Access::Read => true,
+            Access::Write => self.has(Self::WRITABLE) && !self.has(Self::COW),
+        }
+    }
+}
+
+impl core::fmt::Debug for Pte {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if !self.is_valid() {
+            return write!(f, "Pte(invalid)");
+        }
+        write!(f, "Pte({:?}", self.pfn())?;
+        for (bit, name) in [
+            (Self::WRITABLE, "W"),
+            (Self::CACHEABLE, "C"),
+            (Self::MESSAGE, "M"),
+            (Self::REFERENCED, "r"),
+            (Self::MODIFIED, "m"),
+            (Self::COW, "cow"),
+        ] {
+            if self.has(bit) {
+                write!(f, " {name}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+type Leaf = Box<[Pte; L3_ENTRIES]>;
+type Mid = Box<[Option<Leaf>; L3_PER_MID]>;
+const L3_PER_MID: usize = L2_ENTRIES;
+
+/// A three-level page table for one address space.
+///
+/// Logically part of the Cache Kernel's address-space object; held here in
+/// the hardware crate because the walker and TLB consult it directly.
+pub struct PageTable {
+    root: Box<[Option<Mid>; L1_ENTRIES]>,
+    /// Count of valid leaf entries (loaded page mappings).
+    valid: usize,
+    mid_tables: usize,
+    leaf_tables: usize,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    /// An empty table: only the (permanently resident) root is allocated,
+    /// matching the paper's note that top-level tables number exactly the
+    /// address-space descriptors.
+    pub fn new() -> Self {
+        PageTable {
+            root: Box::new([const { None }; L1_ENTRIES]),
+            valid: 0,
+            mid_tables: 0,
+            leaf_tables: 0,
+        }
+    }
+
+    fn split(vpn: Vpn) -> (usize, usize, usize) {
+        let v = vpn.0 as usize;
+        ((v >> 13) & 0x7f, (v >> 6) & 0x7f, v & 0x3f)
+    }
+
+    /// Look up the entry for `vpn` (invalid entry if absent).
+    pub fn lookup(&self, vpn: Vpn) -> Pte {
+        let (i, j, k) = Self::split(vpn);
+        match &self.root[i] {
+            Some(mid) => match &mid[j] {
+                Some(leaf) => leaf[k],
+                None => Pte::invalid(),
+            },
+            None => Pte::invalid(),
+        }
+    }
+
+    /// Install (or replace) the entry for `vpn`. Returns the previous entry.
+    pub fn insert(&mut self, vpn: Vpn, pte: Pte) -> Pte {
+        let (i, j, k) = Self::split(vpn);
+        let mid = self.root[i].get_or_insert_with(|| {
+            self.mid_tables += 1;
+            Box::new([const { None }; L3_PER_MID])
+        });
+        let leaf = mid[j].get_or_insert_with(|| {
+            self.leaf_tables += 1;
+            Box::new([Pte::invalid(); L3_ENTRIES])
+        });
+        let old = leaf[k];
+        if old.is_valid() && !pte.is_valid() {
+            self.valid -= 1;
+        } else if !old.is_valid() && pte.is_valid() {
+            self.valid += 1;
+        }
+        leaf[k] = pte;
+        old
+    }
+
+    /// Remove the entry for `vpn`, returning it if it was valid. Empty leaf
+    /// tables are reclaimed so space accounting stays honest.
+    pub fn remove(&mut self, vpn: Vpn) -> Option<Pte> {
+        let (i, j, k) = Self::split(vpn);
+        let mid = self.root[i].as_mut()?;
+        let leaf = mid[j].as_mut()?;
+        let old = leaf[k];
+        if !old.is_valid() {
+            return None;
+        }
+        leaf[k] = Pte::invalid();
+        self.valid -= 1;
+        if leaf.iter().all(|e| !e.is_valid()) {
+            mid[j] = None;
+            self.leaf_tables -= 1;
+            if mid.iter().all(|l| l.is_none()) {
+                self.root[i] = None;
+                self.mid_tables -= 1;
+            }
+        }
+        Some(old)
+    }
+
+    /// Update the entry in place via `f` if present and valid.
+    pub fn update<F: FnOnce(Pte) -> Pte>(&mut self, vpn: Vpn, f: F) -> Option<Pte> {
+        let (i, j, k) = Self::split(vpn);
+        let leaf = self.root[i].as_mut()?[j].as_mut()?;
+        if !leaf[k].is_valid() {
+            return None;
+        }
+        let new = f(leaf[k]);
+        debug_assert!(new.is_valid(), "update must not invalidate; use remove");
+        leaf[k] = new;
+        Some(new)
+    }
+
+    /// Iterate over all valid `(vpn, pte)` pairs in ascending VPN order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        self.root.iter().enumerate().flat_map(move |(i, mid)| {
+            mid.iter()
+                .flat_map(move |mid| {
+                    mid.iter().enumerate().flat_map(move |(j, leaf)| {
+                        leaf.iter().flat_map(move |leaf| {
+                            leaf.iter()
+                                .enumerate()
+                                .filter_map(move |(k, pte)| pte.is_valid().then_some((j, k, *pte)))
+                        })
+                    })
+                })
+                .map(move |(j, k, pte)| (Vpn(((i << 13) | (j << 6) | k) as u32), pte))
+        })
+    }
+
+    /// Number of valid page mappings.
+    pub fn valid_count(&self) -> usize {
+        self.valid
+    }
+
+    /// Total bytes consumed by the table structure itself (root + mid +
+    /// leaf tables at hardware sizes), for the §5.2 overhead experiment.
+    pub fn table_bytes(&self) -> usize {
+        UPPER_TABLE_BYTES
+            + self.mid_tables * UPPER_TABLE_BYTES
+            + self.leaf_tables * LEAF_TABLE_BYTES
+    }
+
+    /// Number of allocated third-level tables.
+    pub fn leaf_tables(&self) -> usize {
+        self.leaf_tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Vaddr;
+
+    #[test]
+    fn pte_pack_unpack() {
+        let p = Pte::new(Pfn(0xabcde), Pte::WRITABLE | Pte::MESSAGE);
+        assert!(p.is_valid());
+        assert_eq!(p.pfn(), Pfn(0xabcde));
+        assert!(p.has(Pte::WRITABLE));
+        assert!(p.has(Pte::MESSAGE));
+        assert!(!p.has(Pte::MODIFIED));
+        let p2 = p.with(Pte::MODIFIED).without(Pte::MESSAGE);
+        assert!(p2.has(Pte::MODIFIED));
+        assert!(!p2.has(Pte::MESSAGE));
+        assert_eq!(p2.pfn(), Pfn(0xabcde));
+    }
+
+    #[test]
+    fn permits_matrix() {
+        let ro = Pte::new(Pfn(1), 0);
+        let rw = Pte::new(Pfn(1), Pte::WRITABLE);
+        let cow = Pte::new(Pfn(1), Pte::WRITABLE | Pte::COW);
+        assert!(ro.permits(Access::Read) && !ro.permits(Access::Write));
+        assert!(rw.permits(Access::Read) && rw.permits(Access::Write));
+        assert!(cow.permits(Access::Read) && !cow.permits(Access::Write));
+        assert!(!Pte::invalid().permits(Access::Read));
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut pt = PageTable::new();
+        let vpn = Vaddr(0x4004_2000).vpn();
+        assert!(!pt.lookup(vpn).is_valid());
+        pt.insert(vpn, Pte::new(Pfn(7), Pte::WRITABLE));
+        assert_eq!(pt.lookup(vpn).pfn(), Pfn(7));
+        assert_eq!(pt.valid_count(), 1);
+        let old = pt.remove(vpn).unwrap();
+        assert_eq!(old.pfn(), Pfn(7));
+        assert_eq!(pt.valid_count(), 0);
+        assert!(pt.remove(vpn).is_none());
+    }
+
+    #[test]
+    fn leaf_table_geometry_matches_paper() {
+        // One third-level table maps 64 pages and costs 256 bytes.
+        assert_eq!(LEAF_TABLE_BYTES, 256);
+        assert_eq!(UPPER_TABLE_BYTES, 512);
+        let mut pt = PageTable::new();
+        // 64 consecutive pages share one leaf table.
+        for k in 0..64u32 {
+            pt.insert(Vpn(k), Pte::new(Pfn(k), 0));
+        }
+        assert_eq!(pt.leaf_tables(), 1);
+        pt.insert(Vpn(64), Pte::new(Pfn(64), 0));
+        assert_eq!(pt.leaf_tables(), 2);
+    }
+
+    #[test]
+    fn table_space_reclaimed_on_empty() {
+        let mut pt = PageTable::new();
+        let base = pt.table_bytes();
+        assert_eq!(base, UPPER_TABLE_BYTES); // root only
+        pt.insert(Vpn(0x12345), Pte::new(Pfn(1), 0));
+        assert_eq!(
+            pt.table_bytes(),
+            base + UPPER_TABLE_BYTES + LEAF_TABLE_BYTES
+        );
+        pt.remove(Vpn(0x12345));
+        assert_eq!(pt.table_bytes(), base);
+    }
+
+    #[test]
+    fn iter_returns_sorted_mappings() {
+        let mut pt = PageTable::new();
+        let vpns = [Vpn(0x812), Vpn(3), Vpn(0x4_0000 | 9), Vpn(64)];
+        for (n, vpn) in vpns.iter().enumerate() {
+            pt.insert(*vpn, Pte::new(Pfn(n as u32 + 1), 0));
+        }
+        let got: Vec<Vpn> = pt.iter().map(|(v, _)| v).collect();
+        let mut want = vpns.to_vec();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut pt = PageTable::new();
+        pt.insert(Vpn(5), Pte::new(Pfn(9), 0));
+        pt.update(Vpn(5), |p| p.with(Pte::REFERENCED | Pte::MODIFIED));
+        let p = pt.lookup(Vpn(5));
+        assert!(p.has(Pte::REFERENCED) && p.has(Pte::MODIFIED));
+        assert!(pt.update(Vpn(6), |p| p).is_none());
+    }
+
+    #[test]
+    fn insert_replace_keeps_count() {
+        let mut pt = PageTable::new();
+        pt.insert(Vpn(1), Pte::new(Pfn(1), 0));
+        let old = pt.insert(Vpn(1), Pte::new(Pfn(2), Pte::WRITABLE));
+        assert_eq!(old.pfn(), Pfn(1));
+        assert_eq!(pt.valid_count(), 1);
+        assert_eq!(pt.lookup(Vpn(1)).pfn(), Pfn(2));
+    }
+}

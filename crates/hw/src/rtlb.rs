@@ -1,0 +1,205 @@
+//! Per-processor reverse TLB for signal delivery (§4.1).
+//!
+//! The reverse TLB maps a physical frame to the `(virtual address, signal
+//! handler thread)` pair registered on this processor, so an address-valued
+//! signal raised on the frame can be dispatched to the processor's active
+//! thread without the two-stage physical-memory-map lookup. The paper's
+//! design calls for this in hardware; their prototype (and ours) implements
+//! it in software inside the Cache Kernel.
+
+use crate::types::{Pfn, Vaddr};
+
+/// What the reverse TLB resolves a frame to: where the signal lands in the
+/// receiver's address space, and an opaque thread handle chosen by the
+/// Cache Kernel (its thread-cache slot index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RtlbEntry {
+    /// Base virtual address of the page in the receiving address space.
+    pub vaddr: Vaddr,
+    /// Opaque handle of the signal thread registered for the page.
+    pub thread: u32,
+}
+
+/// Statistics for the reverse TLB fast path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RtlbStats {
+    /// Signals delivered via the fast path.
+    pub hits: u64,
+    /// Signals that fell back to the two-stage lookup.
+    pub misses: u64,
+}
+
+/// A small direct-mapped reverse TLB.
+pub struct Rtlb {
+    slots: Vec<Option<(Pfn, RtlbEntry)>>,
+    enabled: bool,
+    /// Statistics, readable by experiments.
+    pub stats: RtlbStats,
+}
+
+impl Rtlb {
+    /// A reverse TLB with `capacity` direct-mapped slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two(),
+            "direct-mapped size must be a power of two"
+        );
+        Rtlb {
+            slots: vec![None; capacity],
+            enabled: true,
+            stats: RtlbStats::default(),
+        }
+    }
+
+    /// Enable or disable the fast path (for the A-rtlb ablation). When
+    /// disabled every lookup misses.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        if !on {
+            self.invalidate_all();
+        }
+    }
+
+    /// Whether the fast path is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn slot(&self, pfn: Pfn) -> usize {
+        (pfn.0 as usize) & (self.slots.len() - 1)
+    }
+
+    /// Resolve `pfn` to its registered receiver, counting a hit or miss.
+    pub fn lookup(&mut self, pfn: Pfn) -> Option<RtlbEntry> {
+        if !self.enabled {
+            self.stats.misses += 1;
+            return None;
+        }
+        match self.slots[self.slot(pfn)] {
+            Some((p, e)) if p == pfn => {
+                self.stats.hits += 1;
+                Some(e)
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install a reverse translation after a slow-path delivery resolved it.
+    pub fn insert(&mut self, pfn: Pfn, entry: RtlbEntry) {
+        if !self.enabled {
+            return;
+        }
+        let s = self.slot(pfn);
+        self.slots[s] = Some((pfn, entry));
+    }
+
+    /// Drop the reverse translation for one frame (mapping unloaded, or the
+    /// physical-memory-map version changed under us — §4.2's optimistic
+    /// retry invalidates and re-looks-up).
+    pub fn invalidate(&mut self, pfn: Pfn) {
+        let s = self.slot(pfn);
+        if matches!(self.slots[s], Some((p, _)) if p == pfn) {
+            self.slots[s] = None;
+        }
+    }
+
+    /// Drop every reverse translation whose registered thread is `thread`
+    /// (that thread is being unloaded).
+    pub fn invalidate_thread(&mut self, thread: u32) {
+        for s in self.slots.iter_mut() {
+            if matches!(s, Some((_, e)) if e.thread == thread) {
+                *s = None;
+            }
+        }
+    }
+
+    /// Drop everything.
+    pub fn invalidate_all(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut r = Rtlb::new(8);
+        let e = RtlbEntry {
+            vaddr: Vaddr(0x7000),
+            thread: 3,
+        };
+        assert_eq!(r.lookup(Pfn(5)), None);
+        r.insert(Pfn(5), e);
+        assert_eq!(r.lookup(Pfn(5)), Some(e));
+        assert_eq!(r.stats, RtlbStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut r = Rtlb::new(8);
+        let e1 = RtlbEntry {
+            vaddr: Vaddr(0x1000),
+            thread: 1,
+        };
+        let e2 = RtlbEntry {
+            vaddr: Vaddr(0x2000),
+            thread: 2,
+        };
+        r.insert(Pfn(1), e1);
+        r.insert(Pfn(9), e2); // same slot, evicts
+        assert_eq!(r.lookup(Pfn(1)), None);
+        assert_eq!(r.lookup(Pfn(9)), Some(e2));
+    }
+
+    #[test]
+    fn invalidation() {
+        let mut r = Rtlb::new(4);
+        let e = RtlbEntry {
+            vaddr: Vaddr(0x1000),
+            thread: 7,
+        };
+        r.insert(Pfn(2), e);
+        r.invalidate(Pfn(2));
+        assert_eq!(r.lookup(Pfn(2)), None);
+        r.insert(Pfn(2), e);
+        r.insert(
+            Pfn(3),
+            RtlbEntry {
+                vaddr: Vaddr(0x3000),
+                thread: 8,
+            },
+        );
+        r.invalidate_thread(7);
+        assert_eq!(r.lookup(Pfn(2)), None);
+        assert!(r.lookup(Pfn(3)).is_some());
+    }
+
+    #[test]
+    fn disabled_always_misses() {
+        let mut r = Rtlb::new(4);
+        r.insert(
+            Pfn(1),
+            RtlbEntry {
+                vaddr: Vaddr(0),
+                thread: 0,
+            },
+        );
+        r.set_enabled(false);
+        assert_eq!(r.lookup(Pfn(1)), None);
+        r.insert(
+            Pfn(1),
+            RtlbEntry {
+                vaddr: Vaddr(0),
+                thread: 0,
+            },
+        );
+        assert_eq!(r.lookup(Pfn(1)), None);
+        r.set_enabled(true);
+        assert_eq!(r.lookup(Pfn(1)), None); // was invalidated on disable
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-CPU translation lookaside buffer model.
+//!
+//! The TLB caches `(address-space, vpn) → PTE` translations. Entries are
+//! tagged with an address-space identifier so switching spaces does not
+//! require a full flush; the Cache Kernel flushes entries explicitly when it
+//! unloads mappings or address spaces (§4.2: "the mappings associated with
+//! that address space must be removed from the hardware TLB and/or page
+//! tables").
+
+use crate::pagetable::Pte;
+use crate::types::Vpn;
+
+/// Identifier tag distinguishing address spaces inside a TLB. The Cache
+/// Kernel assigns these from its address-space cache slots.
+pub type Asid = u16;
+
+#[derive(Clone, Copy)]
+struct Entry {
+    asid: Asid,
+    vpn: Vpn,
+    pte: Pte,
+    valid: bool,
+}
+
+/// Hit/miss statistics for one TLB.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups satisfied by the TLB.
+    pub hits: u64,
+    /// Lookups that required a page-table walk.
+    pub misses: u64,
+    /// Entries removed by explicit flushes.
+    pub flushes: u64,
+}
+
+/// A fully-associative TLB with FIFO replacement.
+pub struct Tlb {
+    entries: Vec<Entry>,
+    hand: usize,
+    /// Statistics, readable by experiments.
+    pub stats: TlbStats,
+}
+
+impl Tlb {
+    /// A TLB with `capacity` entries (the prototype-era 68040 had 64).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Tlb {
+            entries: vec![
+                Entry {
+                    asid: 0,
+                    vpn: Vpn(0),
+                    pte: Pte::invalid(),
+                    valid: false,
+                };
+                capacity
+            ],
+            hand: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Look up a translation; counts a hit or miss.
+    pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> Option<Pte> {
+        for e in &self.entries {
+            if e.valid && e.asid == asid && e.vpn == vpn {
+                self.stats.hits += 1;
+                return Some(e.pte);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Install a translation after a walk, evicting FIFO if full. An
+    /// existing entry for the same `(asid, vpn)` is replaced in place.
+    pub fn insert(&mut self, asid: Asid, vpn: Vpn, pte: Pte) {
+        for e in self.entries.iter_mut() {
+            if e.valid && e.asid == asid && e.vpn == vpn {
+                e.pte = pte;
+                return;
+            }
+        }
+        let slot = self.hand;
+        self.hand = (self.hand + 1) % self.entries.len();
+        self.entries[slot] = Entry {
+            asid,
+            vpn,
+            pte,
+            valid: true,
+        };
+    }
+
+    /// Drop the entry for one page, if present.
+    pub fn flush_page(&mut self, asid: Asid, vpn: Vpn) {
+        for e in self.entries.iter_mut() {
+            if e.valid && e.asid == asid && e.vpn == vpn {
+                e.valid = false;
+                self.stats.flushes += 1;
+            }
+        }
+    }
+
+    /// Drop every entry belonging to one address space.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        for e in self.entries.iter_mut() {
+            if e.valid && e.asid == asid {
+                e.valid = false;
+                self.stats.flushes += 1;
+            }
+        }
+    }
+
+    /// Drop everything.
+    pub fn flush_all(&mut self) {
+        for e in self.entries.iter_mut() {
+            if e.valid {
+                e.valid = false;
+                self.stats.flushes += 1;
+            }
+        }
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Pfn;
+
+    fn pte(n: u32) -> Pte {
+        Pte::new(Pfn(n), Pte::WRITABLE)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(4);
+        assert_eq!(t.lookup(1, Vpn(10)), None);
+        t.insert(1, Vpn(10), pte(5));
+        assert_eq!(t.lookup(1, Vpn(10)), Some(pte(5)));
+        assert_eq!(
+            t.stats,
+            TlbStats {
+                hits: 1,
+                misses: 1,
+                flushes: 0
+            }
+        );
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut t = Tlb::new(4);
+        t.insert(1, Vpn(10), pte(5));
+        assert_eq!(t.lookup(2, Vpn(10)), None);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut t = Tlb::new(2);
+        t.insert(1, Vpn(1), pte(1));
+        t.insert(1, Vpn(2), pte(2));
+        t.insert(1, Vpn(3), pte(3)); // evicts vpn 1
+        assert_eq!(t.lookup(1, Vpn(1)), None);
+        assert_eq!(t.lookup(1, Vpn(2)), Some(pte(2)));
+        assert_eq!(t.lookup(1, Vpn(3)), Some(pte(3)));
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut t = Tlb::new(2);
+        t.insert(1, Vpn(1), pte(1));
+        t.insert(1, Vpn(1), pte(9));
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.lookup(1, Vpn(1)), Some(pte(9)));
+    }
+
+    #[test]
+    fn flush_variants() {
+        let mut t = Tlb::new(8);
+        t.insert(1, Vpn(1), pte(1));
+        t.insert(1, Vpn(2), pte(2));
+        t.insert(2, Vpn(3), pte(3));
+        t.flush_page(1, Vpn(1));
+        assert_eq!(t.lookup(1, Vpn(1)), None);
+        assert_eq!(t.lookup(1, Vpn(2)), Some(pte(2)));
+        t.flush_asid(1);
+        assert_eq!(t.lookup(1, Vpn(2)), None);
+        assert_eq!(t.lookup(2, Vpn(3)), Some(pte(3)));
+        t.flush_all();
+        assert_eq!(t.occupancy(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Fundamental hardware types: addresses, page numbers, access rights.
+//!
+//! The simulated machine mirrors the ParaDiGM prototype's memory geometry:
+//! a 32-bit physical/virtual address space, 4 KiB pages, 32-byte cache
+//! lines, and 128-page "page groups" used as the unit of memory allocation
+//! between application kernels (§4.3 of the paper).
+
+/// Base-2 log of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes (4 KiB, as on the 68040 prototype).
+pub const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+/// Number of contiguous pages in a page group (the unit of physical-memory
+/// allocation recorded in a kernel object's memory access array).
+pub const PAGE_GROUP_PAGES: u32 = 128;
+/// Page-group size in bytes (512 KiB).
+pub const PAGE_GROUP_SIZE: u32 = PAGE_GROUP_PAGES * PAGE_SIZE;
+/// Cache line size of the second-level cache in bytes.
+pub const CACHE_LINE_SIZE: u32 = 32;
+/// Number of page groups covering the full 4 GiB physical address space.
+/// Two bits of access rights per group yields the 2 KiB memory access array
+/// of §4.3.
+pub const PAGE_GROUPS_TOTAL: u32 = (1u64 << 32).wrapping_div(PAGE_GROUP_SIZE as u64) as u32;
+
+/// A virtual address in some address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vaddr(pub u32);
+
+/// A physical address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Paddr(pub u32);
+
+/// A virtual page number (upper 20 bits of a [`Vaddr`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u32);
+
+/// A physical page frame number (upper 20 bits of a [`Paddr`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u32);
+
+impl Vaddr {
+    /// The page number this address falls in.
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+    /// Byte offset within the page.
+    pub fn offset(self) -> u32 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+    /// The address rounded down to its page boundary.
+    pub fn page_base(self) -> Vaddr {
+        Vaddr(self.0 & !(PAGE_SIZE - 1))
+    }
+}
+
+impl Paddr {
+    /// The frame number this address falls in.
+    pub fn pfn(self) -> Pfn {
+        Pfn(self.0 >> PAGE_SHIFT)
+    }
+    /// Byte offset within the frame.
+    pub fn offset(self) -> u32 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+    /// Index of the 32-byte cache line containing this address.
+    pub fn line(self) -> u32 {
+        self.0 / CACHE_LINE_SIZE
+    }
+    /// The address rounded down to its page boundary.
+    pub fn page_base(self) -> Paddr {
+        Paddr(self.0 & !(PAGE_SIZE - 1))
+    }
+    /// Index of the page group containing this address.
+    pub fn group(self) -> u32 {
+        self.0 / PAGE_GROUP_SIZE
+    }
+}
+
+impl Vpn {
+    /// First address of the page.
+    pub fn base(self) -> Vaddr {
+        Vaddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl Pfn {
+    /// First address of the frame.
+    pub fn base(self) -> Paddr {
+        Paddr(self.0 << PAGE_SHIFT)
+    }
+    /// Index of the page group containing this frame.
+    pub fn group(self) -> u32 {
+        self.0 / PAGE_GROUP_PAGES
+    }
+}
+
+impl core::fmt::Debug for Vaddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "V{:#010x}", self.0)
+    }
+}
+impl core::fmt::Debug for Paddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "P{:#010x}", self.0)
+    }
+}
+impl core::fmt::Debug for Vpn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "vpn{:#07x}", self.0)
+    }
+}
+impl core::fmt::Debug for Pfn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pfn{:#07x}", self.0)
+    }
+}
+
+/// Kind of memory access performed by a thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Access {
+    /// Load from memory.
+    Read,
+    /// Store to memory.
+    Write,
+}
+
+/// Rights an application kernel holds on a page group, as recorded in the
+/// 2-bit-per-group memory access array of its kernel object (§4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[repr(u8)]
+pub enum Rights {
+    /// The group belongs to another kernel (or is unallocated).
+    #[default]
+    None = 0,
+    /// Read-only sharing of the group.
+    Read = 1,
+    /// Full read/write access.
+    ReadWrite = 2,
+}
+
+impl Rights {
+    /// Whether these rights permit the given access.
+    pub fn allows(self, access: Access) -> bool {
+        match (self, access) {
+            (Rights::None, _) => false,
+            (Rights::Read, Access::Read) => true,
+            (Rights::Read, Access::Write) => false,
+            (Rights::ReadWrite, _) => true,
+        }
+    }
+    /// Decode from the 2-bit field stored in a memory access array.
+    pub fn from_bits(bits: u8) -> Rights {
+        match bits & 0b11 {
+            1 => Rights::Read,
+            2 => Rights::ReadWrite,
+            _ => Rights::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_decomposition() {
+        let v = Vaddr(0x1234_5678);
+        assert_eq!(v.vpn(), Vpn(0x12345));
+        assert_eq!(v.offset(), 0x678);
+        assert_eq!(v.page_base(), Vaddr(0x1234_5000));
+        assert_eq!(v.vpn().base(), Vaddr(0x1234_5000));
+    }
+
+    #[test]
+    fn physical_decomposition() {
+        let p = Paddr(0x0008_0020);
+        assert_eq!(p.pfn(), Pfn(0x80));
+        assert_eq!(p.offset(), 0x20);
+        assert_eq!(p.line(), 0x0008_0020 / 32);
+        assert_eq!(p.group(), 1); // 0x80000 = 512 KiB = group 1
+        assert_eq!(p.pfn().group(), 1);
+    }
+
+    #[test]
+    fn group_geometry_matches_paper() {
+        // 2 bits per group over 4 GiB must fit the 2 KiB access array of §4.3.
+        assert_eq!(PAGE_GROUPS_TOTAL, 8192);
+        assert_eq!(PAGE_GROUPS_TOTAL * 2 / 8, 2048);
+        assert_eq!(PAGE_GROUP_SIZE, 512 * 1024);
+    }
+
+    #[test]
+    fn rights_matrix() {
+        assert!(!Rights::None.allows(Access::Read));
+        assert!(!Rights::None.allows(Access::Write));
+        assert!(Rights::Read.allows(Access::Read));
+        assert!(!Rights::Read.allows(Access::Write));
+        assert!(Rights::ReadWrite.allows(Access::Read));
+        assert!(Rights::ReadWrite.allows(Access::Write));
+        assert_eq!(Rights::from_bits(0), Rights::None);
+        assert_eq!(Rights::from_bits(1), Rights::Read);
+        assert_eq!(Rights::from_bits(2), Rights::ReadWrite);
+        assert_eq!(Rights::from_bits(3), Rights::None);
+        assert_eq!(Rights::from_bits(0b101), Rights::Read);
+    }
+}

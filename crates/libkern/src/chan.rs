@@ -1,0 +1,203 @@
+//! Communication class library: channels over memory-based messaging (§3).
+//!
+//! A channel is a shared physical message page mapped into the sender's
+//! space (writable, message mode) and the receiver's space (message mode,
+//! with a signal thread). The sender writes a frame into the page; the
+//! store raises an address-valued signal that wakes the receiver, which
+//! reads the frame at the signaled address. The Cache Kernel never touches
+//! the data (§2.2).
+//!
+//! Frame layout in the page: `[seq: u32][len: u32][payload…]`.
+
+use cache_kernel::{CacheKernel, CkResult, ObjId, SignalOutcome};
+use hw::{Mpm, Paddr, Pte, Vaddr, PAGE_SIZE};
+
+/// Header bytes of a channel frame.
+pub const CHAN_HDR: u32 = 8;
+/// Maximum payload per message.
+pub const CHAN_MAX: u32 = PAGE_SIZE - CHAN_HDR;
+
+/// One direction of communication over a shared message page.
+pub struct Channel {
+    /// Physical page carrying the messages.
+    pub frame: Paddr,
+    /// Sender-side virtual base (in the sender's space).
+    pub send_va: Vaddr,
+    /// Receiver-side virtual base (in the receiver's space).
+    pub recv_va: Vaddr,
+    seq: u32,
+    /// Messages sent.
+    pub sent: u64,
+}
+
+impl Channel {
+    /// Set up the channel: map `frame` into both spaces with the receiver
+    /// registered as the page's signal thread. Per §4.2 the application
+    /// kernel loads *all* the mappings for a message page together.
+    #[allow(clippy::too_many_arguments)]
+    pub fn setup(
+        ck: &mut CacheKernel,
+        mpm: &mut Mpm,
+        kernel: ObjId,
+        sender_space: ObjId,
+        send_va: Vaddr,
+        receiver_space: ObjId,
+        recv_va: Vaddr,
+        receiver_thread: ObjId,
+        frame: Paddr,
+    ) -> CkResult<Channel> {
+        ck.load_mapping(
+            kernel,
+            receiver_space,
+            recv_va,
+            frame,
+            Pte::MESSAGE,
+            Some(receiver_thread),
+            None,
+            mpm,
+        )?;
+        ck.load_mapping(
+            kernel,
+            sender_space,
+            send_va,
+            frame,
+            Pte::WRITABLE | Pte::MESSAGE,
+            None,
+            None,
+            mpm,
+        )?;
+        Ok(Channel {
+            frame,
+            send_va,
+            recv_va,
+            seq: 0,
+            sent: 0,
+        })
+    }
+
+    /// Kernel-level send: write the frame directly through physical
+    /// memory and raise the signal (this is how the Cache Kernel's own
+    /// writeback channel and kernel-to-kernel communication operate; user
+    /// programs instead store through their mapping and the hardware
+    /// raises the signal).
+    pub fn send_bytes(
+        &mut self,
+        ck: &mut CacheKernel,
+        mpm: &mut Mpm,
+        cpu: usize,
+        data: &[u8],
+    ) -> CkResult<SignalOutcome> {
+        assert!(data.len() as u32 <= CHAN_MAX, "message too large");
+        self.seq = self.seq.wrapping_add(1);
+        mpm.mem
+            .write_u32(self.frame, self.seq)
+            .map_err(|_| cache_kernel::CkError::Invalid)?;
+        mpm.mem
+            .write_u32(Paddr(self.frame.0 + 4), data.len() as u32)
+            .map_err(|_| cache_kernel::CkError::Invalid)?;
+        mpm.mem
+            .write(Paddr(self.frame.0 + CHAN_HDR), data)
+            .map_err(|_| cache_kernel::CkError::Invalid)?;
+        self.sent += 1;
+        Ok(ck.raise_signal(mpm, cpu, self.frame))
+    }
+
+    /// Read the current frame out of the message page.
+    pub fn read(&self, mpm: &Mpm) -> Option<(u32, Vec<u8>)> {
+        let seq = mpm.mem.read_u32(self.frame).ok()?;
+        let len = mpm.mem.read_u32(Paddr(self.frame.0 + 4)).ok()?;
+        if len > CHAN_MAX {
+            return None;
+        }
+        let mut data = vec![0u8; len as usize];
+        mpm.mem
+            .read(Paddr(self.frame.0 + CHAN_HDR), &mut data)
+            .ok()?;
+        Some((seq, data))
+    }
+
+    /// Last sequence number sent.
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_kernel::{CkConfig, KernelDesc, MemoryAccessArray, SpaceDesc, ThreadDesc};
+    use hw::MachineConfig;
+
+    fn setup() -> (CacheKernel, Mpm, ObjId) {
+        let mut ck = CacheKernel::new(CkConfig::default());
+        let mpm = Mpm::new(MachineConfig {
+            phys_frames: 1024,
+            l2_bytes: 32 * 1024,
+            ..MachineConfig::default()
+        });
+        let srm = ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        (ck, mpm, srm)
+    }
+
+    #[test]
+    fn send_signals_receiver_and_data_is_readable() {
+        let (mut ck, mut mpm, srm) = setup();
+        let tx_sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let rx_sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let rx = ck
+            .load_thread(srm, ThreadDesc::new(rx_sp, 1, 8), false, &mut mpm)
+            .unwrap();
+        let mut chan = Channel::setup(
+            &mut ck,
+            &mut mpm,
+            srm,
+            tx_sp,
+            Vaddr(0xa000),
+            rx_sp,
+            Vaddr(0xb000),
+            rx,
+            Paddr(0x30_0000),
+        )
+        .unwrap();
+        let out = chan.send_bytes(&mut ck, &mut mpm, 0, b"request 1").unwrap();
+        assert_eq!(out.receivers(), 1);
+        assert_eq!(ck.take_signal(rx.slot), Some(Vaddr(0xb000)));
+        let (seq, data) = chan.read(&mpm).unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(data, b"request 1");
+        // Sequence numbers advance.
+        chan.send_bytes(&mut ck, &mut mpm, 0, b"x").unwrap();
+        assert_eq!(chan.read(&mpm).unwrap().0, 2);
+        assert_eq!(chan.sent, 2);
+    }
+
+    #[test]
+    fn channel_mappings_are_consistent() {
+        // Unloading the receiver's signal mapping flushes the sender's
+        // writable one (multi-mapping consistency through the channel).
+        let (mut ck, mut mpm, srm) = setup();
+        let tx_sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let rx_sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let rx = ck
+            .load_thread(srm, ThreadDesc::new(rx_sp, 1, 8), false, &mut mpm)
+            .unwrap();
+        let _chan = Channel::setup(
+            &mut ck,
+            &mut mpm,
+            srm,
+            tx_sp,
+            Vaddr(0xa000),
+            rx_sp,
+            Vaddr(0xb000),
+            rx,
+            Paddr(0x30_0000),
+        )
+        .unwrap();
+        ck.unload_mapping_range(srm, rx_sp, Vaddr(0xb000), PAGE_SIZE, &mut mpm)
+            .unwrap();
+        assert!(ck.query_mapping(srm, tx_sp, Vaddr(0xa000)).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Distributed shared memory at cache-line granularity (footnote 1).
+//!
+//! "The consistency fault mechanism is used to implement a consistency
+//! protocol on a cache-line basis for distributed shared memory,
+//! providing a finer-grain consistency unit than pages." The Cache
+//! Kernel's only involvement is forwarding the consistency fault to the
+//! owning application kernel; the protocol itself is application-level
+//! software — this module.
+//!
+//! The protocol is single-owner migratory: each shared 32-byte line has
+//! one owner node; an access on a non-owner consistency-faults, the
+//! faulting kernel sends a FETCH, the owner replies with the line bytes
+//! and marks its own copy remote (ownership migrates). Messages use the
+//! [`crate::rpc`] frame encoding over fabric packets.
+
+use crate::rpc::{Demarshal, Marshal, RpcMessage};
+use hw::{Mpm, Packet, Paddr, CACHE_LINE_SIZE};
+use std::collections::HashMap;
+
+/// Fabric channel reserved for DSM traffic.
+pub const DSM_CHANNEL: u32 = 0xffff_0002;
+/// Method: fetch a line (request carries the line index; the response
+/// carries the bytes).
+pub const M_FETCH: u32 = 1;
+/// Method: line data response.
+pub const M_LINE: u32 = 2;
+
+/// Per-node DSM state for one shared region.
+pub struct Dsm {
+    /// This node's index.
+    pub node: usize,
+    /// Line index → current owner (kept consistent by migration; in a
+    /// real system this directory would itself be distributed).
+    owners: HashMap<u32, usize>,
+    seq: u32,
+    /// Fetches issued.
+    pub fetches: u64,
+    /// Fetches served.
+    pub serves: u64,
+}
+
+impl Dsm {
+    /// A DSM endpoint for `node`.
+    pub fn new(node: usize) -> Self {
+        Dsm {
+            node,
+            owners: HashMap::new(),
+            seq: 0,
+            fetches: 0,
+            serves: 0,
+        }
+    }
+
+    /// Register a shared line range with its initial owner. On every
+    /// non-owner node the lines are marked remote in the hardware so the
+    /// first touch faults.
+    pub fn share_lines(&mut self, mpm: &mut Mpm, first: Paddr, count: u32, owner: usize) {
+        for i in 0..count {
+            let line_addr = Paddr((first.line() + i) * CACHE_LINE_SIZE);
+            self.owners.insert(line_addr.line(), owner);
+            if owner != self.node {
+                mpm.mark_remote_line(line_addr);
+            }
+        }
+    }
+
+    /// Current owner of the line containing `addr`.
+    pub fn owner_of(&self, addr: Paddr) -> Option<usize> {
+        self.owners.get(&addr.line()).copied()
+    }
+
+    /// Handle a consistency fault at physical `addr`: build the FETCH
+    /// packet toward the current owner. Returns `None` if the line is
+    /// not under DSM management (a failed memory module, not a migrated
+    /// line — the application decides how to recover from that).
+    pub fn fetch_request(&mut self, addr: Paddr) -> Option<Packet> {
+        let owner = self.owner_of(addr)?;
+        if owner == self.node {
+            return None; // we own it; the mark is stale or a module failed
+        }
+        self.seq += 1;
+        self.fetches += 1;
+        let payload = Marshal::new().u32(addr.line()).u32(self.node as u32).done();
+        Some(Packet {
+            src: self.node,
+            dst: owner,
+            channel: DSM_CHANNEL,
+            data: RpcMessage::request(self.seq, M_FETCH, payload).encode(),
+        })
+    }
+
+    /// Owner side: serve a FETCH — read the line out of local memory,
+    /// transfer ownership to the requester, mark our copy remote.
+    pub fn serve_fetch(&mut self, mpm: &mut Mpm, data: &[u8]) -> Option<Packet> {
+        let req = RpcMessage::decode(data)?;
+        if req.is_response() || req.selector() != M_FETCH {
+            return None;
+        }
+        let mut d = Demarshal::new(&req.payload);
+        let line = d.u32()?;
+        let requester = d.u32()? as usize;
+        let addr = Paddr(line * CACHE_LINE_SIZE);
+        let mut bytes = vec![0u8; CACHE_LINE_SIZE as usize];
+        mpm.mem.read(addr, &mut bytes).ok()?;
+        // Ownership migrates.
+        self.owners.insert(line, requester);
+        mpm.mark_remote_line(addr);
+        self.serves += 1;
+        let payload = Marshal::new().u32(line).bytes(&bytes).done();
+        Some(Packet {
+            src: self.node,
+            dst: requester,
+            channel: DSM_CHANNEL,
+            data: RpcMessage::response(&req, payload).encode(),
+        })
+    }
+
+    /// Requester side: install a LINE response — write the bytes locally,
+    /// take ownership, clear the remote mark so the faulting access can
+    /// retry.
+    pub fn install_line(&mut self, mpm: &mut Mpm, data: &[u8]) -> Option<Paddr> {
+        let resp = RpcMessage::decode(data)?;
+        if !resp.is_response() {
+            return None;
+        }
+        let mut d = Demarshal::new(&resp.payload);
+        let line = d.u32()?;
+        let bytes = d.bytes()?;
+        let addr = Paddr(line * CACHE_LINE_SIZE);
+        mpm.mem.write(addr, bytes).ok()?;
+        self.owners.insert(line, self.node);
+        mpm.clear_remote_line(addr);
+        // The stale copy may sit in the L2; invalidate the page's lines.
+        mpm.l2.invalidate_page(addr);
+        Some(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw::{MachineConfig, PageTable, Pfn, Pte, Vaddr};
+
+    fn mpm(node: usize) -> Mpm {
+        Mpm::new(MachineConfig {
+            node,
+            phys_frames: 256,
+            l2_bytes: 32 * 1024,
+            ..MachineConfig::default()
+        })
+    }
+
+    #[test]
+    fn line_migrates_between_nodes() {
+        // Node 0 owns frame 5's first line; node 1 faults and fetches it.
+        let mut m0 = mpm(0);
+        let mut m1 = mpm(1);
+        let mut d0 = Dsm::new(0);
+        let mut d1 = Dsm::new(1);
+        let line_addr = Paddr(0x5000);
+        d0.share_lines(&mut m0, line_addr, 1, 0);
+        d1.share_lines(&mut m1, line_addr, 1, 0);
+        m0.mem.write(line_addr, b"shared-line-data").unwrap();
+
+        // Node 1's hardware faults on the line.
+        let mut pt = PageTable::new();
+        pt.insert(
+            Vaddr(0x9000).vpn(),
+            Pte::new(Pfn(5), Pte::WRITABLE | Pte::CACHEABLE),
+        );
+        let f = m1
+            .translate(0, 1, &mut pt, Vaddr(0x9000), hw::Access::Read)
+            .unwrap_err();
+        assert_eq!(f.kind, hw::FaultKind::Consistency);
+
+        // Protocol round trip.
+        let req = d1.fetch_request(line_addr).expect("fetch toward owner");
+        assert_eq!(req.dst, 0);
+        let resp = d0.serve_fetch(&mut m0, &req.data).expect("owner serves");
+        assert_eq!(resp.dst, 1);
+        let installed = d1.install_line(&mut m1, &resp.data).unwrap();
+        assert_eq!(installed, line_addr);
+
+        // Node 1 now owns the line and can access it; node 0 faults.
+        assert!(m1
+            .translate(0, 1, &mut pt, Vaddr(0x9000), hw::Access::Read)
+            .is_ok());
+        let mut got = [0u8; 16];
+        m1.mem.read(line_addr, &mut got).unwrap();
+        assert_eq!(&got, b"shared-line-data");
+        assert!(m0.is_remote_line(line_addr));
+        assert_eq!(d0.owner_of(line_addr), Some(1));
+        assert_eq!(d1.owner_of(line_addr), Some(1));
+        assert_eq!((d1.fetches, d0.serves), (1, 1));
+    }
+
+    #[test]
+    fn owner_does_not_fetch_its_own_line() {
+        let mut m0 = mpm(0);
+        let mut d0 = Dsm::new(0);
+        d0.share_lines(&mut m0, Paddr(0x3000), 4, 0);
+        assert!(d0.fetch_request(Paddr(0x3020)).is_none());
+        assert!(!m0.is_remote_line(Paddr(0x3020)));
+    }
+
+    #[test]
+    fn unmanaged_lines_are_not_fetched() {
+        let mut d = Dsm::new(1);
+        assert!(d.fetch_request(Paddr(0xdead_0000)).is_none());
+    }
+
+    #[test]
+    fn line_granularity_is_finer_than_pages() {
+        // Sharing one line leaves the rest of the page local.
+        let mut m1 = mpm(1);
+        let mut d1 = Dsm::new(1);
+        d1.share_lines(&mut m1, Paddr(0x5040), 1, 0);
+        assert!(m1.is_remote_line(Paddr(0x5040)));
+        assert!(!m1.is_remote_line(Paddr(0x5000)));
+        assert!(!m1.is_remote_line(Paddr(0x5060)));
+    }
+}

@@ -1,0 +1,279 @@
+//! Processing (thread) class library (§3).
+//!
+//! "The processing library is basically a thread library that schedules
+//! threads by loading them into the Cache Kernel rather than by using its
+//! own dispatcher and run queue." The central piece is the sleep queue:
+//! an application kernel unloads a thread that blocks on a long-term event
+//! (freeing its Cache Kernel descriptor entirely — unlike UNIX's
+//! memory-resident process table) and reloads it on wakeup.
+
+use cache_kernel::{CacheKernel, CkError, CkResult, ObjId, ThreadDesc, ThreadState};
+use hw::Mpm;
+use std::collections::HashMap;
+
+/// An event identifier (application-kernel defined: a wait channel).
+pub type Event = u64;
+
+/// Thread descriptors parked outside the Cache Kernel, keyed by event.
+#[derive(Default)]
+#[allow(clippy::vec_box)] // descriptors travel boxed, as writeback payloads do
+pub struct SleepQueue {
+    waiting: HashMap<Event, Vec<Box<ThreadDesc>>>,
+    /// Total sleeps performed.
+    pub sleeps: u64,
+    /// Total wakeups performed.
+    pub wakeups: u64,
+}
+
+impl SleepQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unload a loaded thread and park its descriptor on `event`. The
+    /// thread stops consuming any Cache Kernel descriptor (§2.3).
+    pub fn sleep(
+        &mut self,
+        ck: &mut CacheKernel,
+        mpm: &mut Mpm,
+        kernel: ObjId,
+        event: Event,
+        thread: ObjId,
+    ) -> CkResult<()> {
+        let mut desc = ck.unload_thread(kernel, thread, mpm)?;
+        desc.state = ThreadState::Ready;
+        self.waiting.entry(event).or_default().push(desc);
+        self.sleeps += 1;
+        Ok(())
+    }
+
+    /// Park an already-unloaded descriptor (e.g. one that arrived via
+    /// writeback while logically asleep).
+    pub fn park(&mut self, event: Event, desc: Box<ThreadDesc>) {
+        self.waiting.entry(event).or_default().push(desc);
+        self.sleeps += 1;
+    }
+
+    /// Reload every thread sleeping on `event`. If a descriptor's address
+    /// space went stale while it slept, the caller-provided `respace`
+    /// callback supplies the reloaded space id (the §2 retry protocol).
+    pub fn wakeup(
+        &mut self,
+        ck: &mut CacheKernel,
+        mpm: &mut Mpm,
+        kernel: ObjId,
+        event: Event,
+        mut respace: impl FnMut(&mut CacheKernel, &mut Mpm, &ThreadDesc) -> Option<ObjId>,
+    ) -> CkResult<Vec<ObjId>> {
+        let descs = self.waiting.remove(&event).unwrap_or_default();
+        let mut out = Vec::with_capacity(descs.len());
+        for mut desc in descs {
+            match ck.load_thread(kernel, (*desc).clone(), false, mpm) {
+                Ok(id) => {
+                    self.wakeups += 1;
+                    out.push(id);
+                }
+                Err(CkError::StaleId(_)) => {
+                    // Space written back while the thread slept: ask the
+                    // kernel to reload it and retry once.
+                    match respace(ck, mpm, &desc) {
+                        Some(space) => {
+                            desc.space = space;
+                            let id = ck.load_thread(kernel, (*desc).clone(), false, mpm)?;
+                            self.wakeups += 1;
+                            out.push(id);
+                        }
+                        None => return Err(CkError::StaleId(desc.space)),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Threads currently sleeping on `event`.
+    pub fn waiting_on(&self, event: Event) -> usize {
+        self.waiting.get(&event).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Total parked descriptors.
+    pub fn len(&self) -> usize {
+        self.waiting.values().map(|v| v.len()).sum()
+    }
+
+    /// Whether nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Co-scheduling of a parallel application (§2.3): "co-scheduling of
+/// large parallel applications can be supported by assigning a thread per
+/// processor and raising all the threads to the appropriate priority at
+/// the same time." Raises every thread in the gang with the §2.3
+/// priority-modification optimization call; on failure (e.g. one thread
+/// was displaced) the already-raised threads are restored so the gang is
+/// never half-scheduled.
+pub fn coschedule(
+    ck: &mut CacheKernel,
+    kernel: ObjId,
+    gang: &[ObjId],
+    run_priority: cache_kernel::Priority,
+    idle_priority: cache_kernel::Priority,
+) -> CkResult<()> {
+    for (i, t) in gang.iter().enumerate() {
+        if let Err(e) = ck.set_priority(kernel, *t, run_priority) {
+            for u in &gang[..i] {
+                let _ = ck.set_priority(kernel, *u, idle_priority);
+            }
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Lower the whole gang back to its idle priority.
+pub fn codeschedule(
+    ck: &mut CacheKernel,
+    kernel: ObjId,
+    gang: &[ObjId],
+    idle_priority: cache_kernel::Priority,
+) {
+    for t in gang {
+        let _ = ck.set_priority(kernel, *t, idle_priority);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_kernel::{CkConfig, KernelDesc, MemoryAccessArray, SpaceDesc};
+    use hw::MachineConfig;
+
+    fn setup() -> (CacheKernel, Mpm, ObjId, ObjId) {
+        let mut ck = CacheKernel::new(CkConfig::default());
+        let mut mpm = Mpm::new(MachineConfig {
+            phys_frames: 1024,
+            l2_bytes: 32 * 1024,
+            ..MachineConfig::default()
+        });
+        let srm = ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        (ck, mpm, srm, sp)
+    }
+
+    #[test]
+    fn sleep_frees_descriptor_wakeup_reloads() {
+        let (mut ck, mut mpm, srm, sp) = setup();
+        let t = ck
+            .load_thread(srm, ThreadDesc::new(sp, 42, 5), false, &mut mpm)
+            .unwrap();
+        let mut sq = SleepQueue::new();
+        sq.sleep(&mut ck, &mut mpm, srm, 100, t).unwrap();
+        assert!(ck.thread(t).is_err(), "descriptor freed");
+        assert_eq!(ck.occupancy()[2].0, 0);
+        assert_eq!(sq.waiting_on(100), 1);
+
+        let woken = sq
+            .wakeup(&mut ck, &mut mpm, srm, 100, |_, _, _| None)
+            .unwrap();
+        assert_eq!(woken.len(), 1);
+        let nt = woken[0];
+        assert_ne!(nt, t, "a fresh identifier on reload");
+        assert_eq!(ck.thread(nt).unwrap().desc.regs.pc, 42);
+        assert!(sq.is_empty());
+    }
+
+    #[test]
+    fn wakeup_on_unknown_event_is_empty() {
+        let (mut ck, mut mpm, srm, _sp) = setup();
+        let mut sq = SleepQueue::new();
+        let woken = sq
+            .wakeup(&mut ck, &mut mpm, srm, 7, |_, _, _| None)
+            .unwrap();
+        assert!(woken.is_empty());
+    }
+
+    #[test]
+    fn stale_space_retried_via_respace() {
+        let (mut ck, mut mpm, srm, sp) = setup();
+        let t = ck
+            .load_thread(srm, ThreadDesc::new(sp, 1, 5), false, &mut mpm)
+            .unwrap();
+        let mut sq = SleepQueue::new();
+        sq.sleep(&mut ck, &mut mpm, srm, 5, t).unwrap();
+        // The space goes away while the thread sleeps.
+        ck.unload_space(srm, sp, &mut mpm).unwrap();
+        let woken = sq
+            .wakeup(&mut ck, &mut mpm, srm, 5, |ck, mpm, _| {
+                ck.load_space(srm, SpaceDesc::default(), mpm).ok()
+            })
+            .unwrap();
+        assert_eq!(woken.len(), 1);
+        assert!(ck.thread(woken[0]).is_ok());
+    }
+
+    #[test]
+    fn coschedule_raises_whole_gang_or_nothing() {
+        let (mut ck, mut mpm, srm, sp) = setup();
+        let gang: Vec<_> = (0..3)
+            .map(|i| {
+                ck.load_thread(srm, ThreadDesc::new(sp, i, 5), false, &mut mpm)
+                    .unwrap()
+            })
+            .collect();
+        coschedule(&mut ck, srm, &gang, 25, 5).unwrap();
+        for t in &gang {
+            assert_eq!(ck.thread(*t).unwrap().desc.priority, 25);
+        }
+        codeschedule(&mut ck, srm, &gang, 5);
+        for t in &gang {
+            assert_eq!(ck.thread(*t).unwrap().desc.priority, 5);
+        }
+        // A stale member makes the whole raise roll back.
+        let dead = gang[1];
+        ck.unload_thread(srm, dead, &mut mpm).unwrap();
+        assert!(coschedule(&mut ck, srm, &gang, 25, 5).is_err());
+        assert_eq!(ck.thread(gang[0]).unwrap().desc.priority, 5, "rolled back");
+    }
+
+    #[test]
+    fn coschedule_respects_priority_cap() {
+        let (mut ck, mut mpm, srm, _sp) = setup();
+        let mut desc = KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        };
+        desc.max_priority = 10;
+        let k = ck.load_kernel(srm, desc, &mut mpm).unwrap();
+        let ksp = ck.load_space(k, SpaceDesc::default(), &mut mpm).unwrap();
+        let gang = vec![ck
+            .load_thread(k, ThreadDesc::new(ksp, 1, 5), false, &mut mpm)
+            .unwrap()];
+        assert!(coschedule(&mut ck, k, &gang, 25, 5).is_err());
+        assert!(coschedule(&mut ck, k, &gang, 10, 5).is_ok());
+    }
+
+    #[test]
+    fn multiple_sleepers_one_event() {
+        let (mut ck, mut mpm, srm, sp) = setup();
+        let mut sq = SleepQueue::new();
+        for pc in 0..3 {
+            let t = ck
+                .load_thread(srm, ThreadDesc::new(sp, pc, 5), false, &mut mpm)
+                .unwrap();
+            sq.sleep(&mut ck, &mut mpm, srm, 9, t).unwrap();
+        }
+        assert_eq!(sq.len(), 3);
+        let woken = sq
+            .wakeup(&mut ck, &mut mpm, srm, 9, |_, _, _| None)
+            .unwrap();
+        assert_eq!(woken.len(), 3);
+        assert_eq!(ck.sched.ready_count(), 3);
+    }
+}

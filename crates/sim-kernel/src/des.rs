@@ -1,0 +1,220 @@
+//! Discrete-event simulation library (§3).
+//!
+//! "We are also working to integrate a discrete-event simulation library
+//! we developed previously with these computational framework libraries.
+//! This simulation library provides temporal synchronization, virtual
+//! space decomposition of processing, load balancing and
+//! cache-architecture-sensitive memory management." This module provides
+//! the core of such a library: a virtual-time event queue with
+//! conservative (barrier) temporal synchronization across space
+//! partitions, plus a proportional load balancer over partition costs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual simulation time.
+pub type VTime = u64;
+
+/// A scheduled event: fires at `time` in `partition`, carrying an opaque
+/// payload the application interprets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual firing time.
+    pub time: VTime,
+    /// Space partition the event belongs to.
+    pub partition: u32,
+    /// Application payload.
+    pub payload: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.partition, self.payload).cmp(&(other.time, other.partition, other.payload))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A conservative discrete-event engine with per-partition queues and a
+/// global lookahead barrier.
+pub struct DesEngine {
+    queues: Vec<BinaryHeap<Reverse<Event>>>,
+    now: VTime,
+    /// Conservative lookahead window: partitions may process events up to
+    /// `barrier + lookahead` before everyone re-synchronizes.
+    pub lookahead: VTime,
+    /// Events processed.
+    pub processed: u64,
+    /// Per-partition processed-event counts (load balancing input).
+    pub partition_cost: Vec<u64>,
+}
+
+impl DesEngine {
+    /// An engine over `partitions` space partitions.
+    pub fn new(partitions: usize, lookahead: VTime) -> Self {
+        assert!(partitions > 0 && lookahead > 0);
+        DesEngine {
+            queues: (0..partitions).map(|_| BinaryHeap::new()).collect(),
+            now: 0,
+            lookahead,
+            processed: 0,
+            partition_cost: vec![0; partitions],
+        }
+    }
+
+    /// Current barrier time.
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Schedule an event. Panics if it would fire in the past.
+    pub fn schedule(&mut self, ev: Event) {
+        assert!(ev.time >= self.now, "event in the past");
+        let p = ev.partition as usize % self.queues.len();
+        self.queues[p].push(Reverse(ev));
+    }
+
+    /// Total pending events.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Advance one synchronization window: process every event with
+    /// `time < now + lookahead` in all partitions (calling `handler`,
+    /// which may schedule follow-ups inside the window or later), then
+    /// move the barrier. Returns the number processed.
+    pub fn step_window<F: FnMut(&mut DesEngine, Event)>(&mut self, mut handler: F) -> u64 {
+        let horizon = self.now + self.lookahead;
+        let mut n = 0;
+        loop {
+            // Earliest event below the horizon across partitions.
+            let mut best: Option<(usize, VTime)> = None;
+            for (i, q) in self.queues.iter().enumerate() {
+                if let Some(Reverse(ev)) = q.peek() {
+                    if ev.time < horizon && best.map(|(_, t)| ev.time < t).unwrap_or(true) {
+                        best = Some((i, ev.time));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let Reverse(ev) = self.queues[i].pop().unwrap();
+            self.processed += 1;
+            let pidx = ev.partition as usize % self.partition_cost.len();
+            self.partition_cost[pidx] += 1;
+            n += 1;
+            handler(self, ev);
+        }
+        self.now = horizon;
+        n
+    }
+
+    /// Suggest a partition → worker assignment that balances accumulated
+    /// cost over `workers` (greedy longest-processing-time heuristic).
+    pub fn balance(&self, workers: usize) -> Vec<usize> {
+        assert!(workers > 0);
+        let costs = self.partition_cost.clone();
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by_key(|i| Reverse(costs[*i]));
+        let mut load = vec![0u64; workers];
+        let mut assign = vec![0usize; self.partition_cost.len()];
+        for p in order {
+            let w = (0..workers).min_by_key(|w| load[*w]).unwrap();
+            assign[p] = w;
+            load[w] += self.partition_cost[p];
+        }
+        assign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = DesEngine::new(2, 100);
+        for t in [30u64, 10, 20] {
+            e.schedule(Event {
+                time: t,
+                partition: (t % 2) as u32,
+                payload: t,
+            });
+        }
+        let mut seen = Vec::new();
+        e.step_window(|_, ev| seen.push(ev.time));
+        assert_eq!(seen, vec![10, 20, 30]);
+        assert_eq!(e.now(), 100);
+        assert_eq!(e.processed, 3);
+    }
+
+    #[test]
+    fn window_barrier_defers_future_events() {
+        let mut e = DesEngine::new(1, 50);
+        e.schedule(Event {
+            time: 10,
+            partition: 0,
+            payload: 0,
+        });
+        e.schedule(Event {
+            time: 60,
+            partition: 0,
+            payload: 0,
+        });
+        assert_eq!(e.step_window(|_, _| {}), 1);
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.step_window(|_, _| {}), 1);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn handler_can_cascade_events() {
+        let mut e = DesEngine::new(1, 100);
+        e.schedule(Event {
+            time: 1,
+            partition: 0,
+            payload: 3,
+        });
+        // Each event with payload n > 0 schedules a follow-up at +10.
+        let n = e.step_window(|e, ev| {
+            if ev.payload > 0 {
+                e.schedule(Event {
+                    time: ev.time + 10,
+                    partition: 0,
+                    payload: ev.payload - 1,
+                });
+            }
+        });
+        assert_eq!(n, 4, "cascade within the window all processed");
+    }
+
+    #[test]
+    #[should_panic(expected = "event in the past")]
+    fn past_events_rejected() {
+        let mut e = DesEngine::new(1, 10);
+        e.step_window(|_, _| {});
+        e.schedule(Event {
+            time: 5,
+            partition: 0,
+            payload: 0,
+        });
+    }
+
+    #[test]
+    fn balance_spreads_cost() {
+        let mut e = DesEngine::new(4, 10);
+        e.partition_cost = vec![100, 10, 10, 80];
+        let assign = e.balance(2);
+        let mut load = [0u64; 2];
+        for (p, w) in assign.iter().enumerate() {
+            load[*w] += e.partition_cost[p];
+        }
+        assert_eq!(load[0] + load[1], 200);
+        assert!(
+            load[0].abs_diff(load[1]) <= 20,
+            "loads near-balanced: {load:?}"
+        );
+    }
+}

@@ -1,0 +1,422 @@
+//! Distributed MP3D: the wind tunnel across multiple MPMs (§3).
+//!
+//! "This program can use hundreds of megabytes of memory, parallel
+//! processing and significant communication bandwidth to move particles
+//! when executed across multiple nodes." Each node owns a band of cells
+//! and the particles currently inside it; when a particle's position
+//! crosses a band boundary, the owning simulation kernel serializes the
+//! 32-byte record into a fabric packet and the neighbor installs it —
+//! the "copy particles as they moved between processors" pattern that
+//! also fixes page locality, here at cluster scale.
+
+use crate::mp3d::PARTICLE_BYTES;
+use cache_kernel::{
+    AppKernel, CacheKernel, CkConfig, Cluster, Env, Executive, FaultDisposition, FnProgram,
+    KernelDesc, MemoryAccessArray, ObjId, SpaceDesc, Step, ThreadCtx, ThreadDesc, TrapDisposition,
+};
+use hw::{Fault, MachineConfig, Mpm, Packet, Paddr, Pte, Vaddr, PAGE_SIZE};
+
+/// Fabric channel for particle migration.
+pub const MP3D_CHANNEL: u32 = 0xffff_0003;
+
+/// Trap numbers of the worker ↔ kernel protocol.
+const T_NEXT_SLOT: u32 = 1;
+const T_MIGRATE: u32 = 2;
+const T_SWEEP_DONE: u32 = 3;
+/// Sentinel for "no more occupied slots this sweep".
+const END: u32 = u32::MAX;
+
+/// Configuration of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Number of MPMs.
+    pub nodes: usize,
+    /// Width of each node's spatial band (position units).
+    pub band_width: u32,
+    /// Particles initially seeded per node.
+    pub particles_per_node: u32,
+    /// Slots of particle storage per node (must exceed peak occupancy).
+    pub slots_per_node: u32,
+    /// Sweeps each node performs.
+    pub sweeps: u32,
+    /// Seed for initial positions/velocities.
+    pub seed: u64,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            nodes: 2,
+            band_width: 1 << 16,
+            particles_per_node: 64,
+            slots_per_node: 256,
+            sweeps: 4,
+            seed: 7,
+        }
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistResult {
+    /// Final particle count per node.
+    pub per_node: Vec<u32>,
+    /// Particles sent away per node.
+    pub migrations_out: Vec<u64>,
+    /// Particles received per node.
+    pub migrations_in: Vec<u64>,
+    /// Whether every worker finished its sweeps.
+    pub completed: bool,
+}
+
+impl DistResult {
+    /// Total particles across the cluster.
+    pub fn total(&self) -> u32 {
+        self.per_node.iter().sum()
+    }
+    /// Total migrations.
+    pub fn migrations(&self) -> u64 {
+        self.migrations_out.iter().sum()
+    }
+}
+
+/// Virtual base of the particle region in each node's space.
+const REGION_BASE: Vaddr = Vaddr(0x1000_0000);
+/// First backing frame of the region.
+const REGION_FRAME: u32 = 32;
+
+/// The per-node simulation kernel owning a band of space.
+struct Mp3dNode {
+    me: ObjId,
+    node: usize,
+    cfg: DistConfig,
+    occupied: Vec<bool>,
+    migrations_out: u64,
+    migrations_in: u64,
+    done: bool,
+}
+
+impl Mp3dNode {
+    fn band_of(&self, pos: u32) -> usize {
+        ((pos / self.cfg.band_width) as usize) % self.cfg.nodes
+    }
+    fn slot_paddr(&self, slot: u32) -> Paddr {
+        Paddr(REGION_FRAME * PAGE_SIZE + slot * PARTICLE_BYTES)
+    }
+    fn read_particle(&self, mpm: &Mpm, slot: u32) -> Vec<u8> {
+        let mut b = vec![0u8; PARTICLE_BYTES as usize];
+        mpm.mem.read(self.slot_paddr(slot), &mut b).unwrap();
+        b
+    }
+    fn write_particle(&self, mpm: &mut Mpm, slot: u32, bytes: &[u8]) {
+        mpm.mem.write(self.slot_paddr(slot), bytes).unwrap();
+    }
+    fn free_slot(&self) -> Option<u32> {
+        self.occupied.iter().position(|o| !o).map(|i| i as u32)
+    }
+}
+
+impl AppKernel for Mp3dNode {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn on_start(&mut self, _env: &mut Env, id: ObjId) {
+        self.me = id;
+    }
+    fn on_page_fault(&mut self, _env: &mut Env, _t: ObjId, _f: Fault) -> FaultDisposition {
+        FaultDisposition::Kill // region is pre-mapped; faults are bugs
+    }
+    fn on_trap(&mut self, env: &mut Env, _t: ObjId, no: u32, args: [u32; 4]) -> TrapDisposition {
+        match no {
+            T_NEXT_SLOT => {
+                let from = args[0] as usize;
+                let next = self.occupied[from.min(self.occupied.len())..]
+                    .iter()
+                    .position(|o| *o)
+                    .map(|i| (from + i) as u32)
+                    .unwrap_or(END);
+                TrapDisposition::Return(next)
+            }
+            T_MIGRATE => {
+                let slot = args[0];
+                let bytes = self.read_particle(env.mpm, slot);
+                let pos = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+                let dst = self.band_of(pos);
+                self.occupied[slot as usize] = false;
+                if dst == self.node {
+                    // Wrapped back into our own band: reinstall locally.
+                    if let Some(s) = self.free_slot() {
+                        self.write_particle(env.mpm, s, &bytes);
+                        self.occupied[s as usize] = true;
+                    }
+                } else {
+                    env.outbox.push(Packet {
+                        src: self.node,
+                        dst,
+                        channel: MP3D_CHANNEL,
+                        data: bytes,
+                    });
+                    self.migrations_out += 1;
+                }
+                TrapDisposition::Return(0)
+            }
+            T_SWEEP_DONE => TrapDisposition::Return(0),
+            _ => TrapDisposition::Return(0),
+        }
+    }
+    fn on_packet(&mut self, env: &mut Env, _src: usize, channel: u32, data: &[u8]) {
+        if channel != MP3D_CHANNEL || data.len() != PARTICLE_BYTES as usize {
+            return;
+        }
+        if let Some(slot) = self.free_slot() {
+            self.write_particle(env.mpm, slot, data);
+            self.occupied[slot as usize] = true;
+            self.migrations_in += 1;
+        }
+    }
+    fn on_thread_exit(&mut self, _env: &mut Env, _t: ObjId, _code: i32) {
+        self.done = true;
+    }
+    fn name(&self) -> &str {
+        "mp3d-node"
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn boot_node(cfg: &DistConfig, node: usize) -> Executive {
+    let mut ck = CacheKernel::new(CkConfig {
+        slice: 100,
+        ..CkConfig::default()
+    });
+    let mut mpm = Mpm::new(MachineConfig {
+        node,
+        cpus: 1,
+        phys_frames: 1024,
+        l2_bytes: 64 * 1024,
+        clock_interval: 10_000_000,
+        ..MachineConfig::default()
+    });
+    let id = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    // Pre-map the particle region.
+    let space = ck.load_space(id, SpaceDesc::default(), &mut mpm).unwrap();
+    let pages = (cfg.slots_per_node * PARTICLE_BYTES).div_ceil(PAGE_SIZE);
+    for p in 0..pages {
+        ck.load_mapping(
+            id,
+            space,
+            Vaddr(REGION_BASE.0 + p * PAGE_SIZE),
+            Paddr((REGION_FRAME + p) * PAGE_SIZE),
+            Pte::WRITABLE | Pte::CACHEABLE,
+            None,
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+    }
+
+    // Seed particles: positions inside this node's band, velocities that
+    // sometimes cross bands.
+    let mut kernel = Mp3dNode {
+        me: id,
+        node,
+        cfg: cfg.clone(),
+        occupied: vec![false; cfg.slots_per_node as usize],
+        migrations_out: 0,
+        migrations_in: 0,
+        done: false,
+    };
+    let mut s = cfg
+        .seed
+        .wrapping_add(node as u64)
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        | 1;
+    for i in 0..cfg.particles_per_node {
+        let pos = (node as u32) * cfg.band_width + (xorshift(&mut s) as u32) % cfg.band_width;
+        let vel =
+            ((xorshift(&mut s) as u32) % (cfg.band_width / 2)) as i32 - (cfg.band_width / 4) as i32;
+        let mut rec = vec![0u8; PARTICLE_BYTES as usize];
+        rec[0..4].copy_from_slice(&pos.to_le_bytes());
+        rec[4..8].copy_from_slice(&(vel as u32).to_le_bytes());
+        kernel.write_particle(&mut mpm, i, &rec);
+        kernel.occupied[i as usize] = true;
+    }
+
+    let mut ex = Executive::new(ck, mpm);
+    ex.register_kernel(id, Box::new(kernel));
+    ex.register_channel(MP3D_CHANNEL, id);
+
+    // Worker program: per sweep, walk the occupied slots via T_NEXT_SLOT,
+    // load-update-store each particle, report boundary crossings via
+    // T_MIGRATE.
+    let nodes = cfg.nodes as u32;
+    let band = cfg.band_width;
+    let sweeps = cfg.sweeps;
+    let prog = FnProgram({
+        let mut sweep = 0u32;
+        let mut cursor = 0u32;
+        #[derive(Clone, Copy)]
+        enum Phase {
+            Ask,
+            Loaded(u32),
+            Stored(u32),
+        }
+        let mut phase = Phase::Ask;
+        move |ctx: &mut ThreadCtx| {
+            loop {
+                match phase {
+                    Phase::Ask => {
+                        // Result handled in Loaded transition below via
+                        // trap_ret; issue the query.
+                        phase = Phase::Loaded(END);
+                        return Step::Trap {
+                            no: T_NEXT_SLOT,
+                            args: [cursor, 0, 0, 0],
+                        };
+                    }
+                    Phase::Loaded(END) => {
+                        let slot = ctx.trap_ret;
+                        if slot == END {
+                            sweep += 1;
+                            cursor = 0;
+                            if sweep >= sweeps {
+                                return Step::Exit(0);
+                            }
+                            phase = Phase::Ask;
+                            continue;
+                        }
+                        cursor = slot + 1;
+                        phase = Phase::Loaded(slot);
+                        return Step::LoadBytes(
+                            Vaddr(REGION_BASE.0 + slot * PARTICLE_BYTES),
+                            PARTICLE_BYTES,
+                        );
+                    }
+                    Phase::Loaded(slot) => {
+                        // Advance position by velocity (wrapping over the
+                        // whole tunnel).
+                        let mut rec = ctx.data.clone();
+                        let pos = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+                        let vel = u32::from_le_bytes(rec[4..8].try_into().unwrap()) as i32;
+                        let total = band * nodes;
+                        let npos = (pos as i64 + vel as i64).rem_euclid(total as i64) as u32;
+                        rec[0..4].copy_from_slice(&npos.to_le_bytes());
+                        phase = Phase::Stored(slot);
+                        return Step::StoreBytes(Vaddr(REGION_BASE.0 + slot * PARTICLE_BYTES), rec);
+                    }
+                    Phase::Stored(slot) => {
+                        // Ask the kernel to check the (just stored)
+                        // record and migrate it if it left the band; the
+                        // kernel re-reads the particle from memory.
+                        phase = Phase::Ask;
+                        return Step::Trap {
+                            no: T_MIGRATE_CHECK,
+                            args: [slot, 0, 0, 0],
+                        };
+                    }
+                }
+            }
+        }
+    });
+    // Placeholder replaced below: the worker always asks the kernel to
+    // check/migrate; the kernel re-reads the record from memory.
+    let kid = id;
+    let pc = ex.code.register(Box::new(prog));
+    ex.ck
+        .load_thread(kid, ThreadDesc::new(space, pc, 20), false, &mut ex.mpm)
+        .unwrap();
+    ex
+}
+
+/// Migrate-check trap: the kernel reads the particle and migrates it if
+/// it left the band (no-op otherwise).
+const T_MIGRATE_CHECK: u32 = T_MIGRATE;
+
+/// Run the distributed wind tunnel; particles migrate between nodes and
+/// the total count is conserved.
+pub fn run_distributed(cfg: &DistConfig) -> DistResult {
+    let nodes: Vec<Executive> = (0..cfg.nodes).map(|n| boot_node(cfg, n)).collect();
+    let mut cluster = Cluster::new(nodes);
+    for _ in 0..4000 {
+        cluster.step(10);
+        let all_done = cluster.nodes.iter_mut().all(|ex| ex.code.is_empty());
+        if all_done {
+            break;
+        }
+    }
+    let mut per_node = Vec::new();
+    let mut migrations_out = Vec::new();
+    let mut migrations_in = Vec::new();
+    let mut completed = true;
+    for ex in cluster.nodes.iter_mut() {
+        let kid = ex.ck.first_kernel();
+        let (count, out, inn, done) = ex
+            .with_kernel::<Mp3dNode, _>(kid, |k, _| {
+                (
+                    k.occupied.iter().filter(|o| **o).count() as u32,
+                    k.migrations_out,
+                    k.migrations_in,
+                    k.done,
+                )
+            })
+            .unwrap();
+        per_node.push(count);
+        migrations_out.push(out);
+        migrations_in.push(inn);
+        completed &= done;
+    }
+    DistResult {
+        per_node,
+        migrations_out,
+        migrations_in,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn particles_conserved_across_migration() {
+        let cfg = DistConfig {
+            nodes: 2,
+            particles_per_node: 48,
+            sweeps: 3,
+            ..DistConfig::default()
+        };
+        let r = run_distributed(&cfg);
+        assert!(r.completed, "all workers finished: {r:?}");
+        assert_eq!(r.total(), 96, "no particle lost or duplicated: {r:?}");
+        assert!(r.migrations() > 0, "some particles crossed bands: {r:?}");
+        // Everything sent was received (no free-slot exhaustion).
+        assert_eq!(
+            r.migrations_out.iter().sum::<u64>(),
+            r.migrations_in.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn three_node_ring() {
+        let cfg = DistConfig {
+            nodes: 3,
+            particles_per_node: 30,
+            sweeps: 2,
+            ..DistConfig::default()
+        };
+        let r = run_distributed(&cfg);
+        assert!(r.completed);
+        assert_eq!(r.total(), 90);
+        assert_eq!(r.per_node.len(), 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulation application kernel (§3).
+//!
+//! "A large-scale parallel scientific simulation can run directly on top
+//! of the Cache Kernel to allow application-specific management of
+//! physical memory (to avoid random page faults), direct access to the
+//! memory-based messaging, and application-specific processor scheduling."
+//!
+//! This crate provides:
+//! * [`SimulationKernel`] — an application kernel that wires its memory up
+//!   front and treats faults as errors (the application manages physical
+//!   memory itself);
+//! * [`mp3d`] — the particle-in-cell wind-tunnel workload with the page
+//!   locality switch measured in §5.2;
+//! * [`des`] — the discrete-event simulation library core (temporal
+//!   synchronization, space decomposition, load balancing).
+
+pub mod des;
+pub mod dist;
+pub mod mp3d;
+
+use cache_kernel::{AppKernel, Env, FaultDisposition, ObjId, TrapDisposition, Writeback};
+use hw::Fault;
+
+/// A minimal simulation kernel: all memory is mapped explicitly before
+/// the computation starts, so a page fault indicates a bug in the setup —
+/// the application kernel's prerogative is to treat it as fatal rather
+/// than page on demand.
+pub struct SimulationKernel {
+    /// Our kernel id.
+    pub me: ObjId,
+    /// Faults observed (should stay zero in a correct run).
+    pub unexpected_faults: u64,
+    /// Mapping writebacks observed (replacement interference on the
+    /// pre-mapped working set; §5.2's "minimal replacement interference"
+    /// claim is checked against this).
+    pub mapping_writebacks: u64,
+}
+
+impl SimulationKernel {
+    /// A simulation kernel for the given kernel object.
+    pub fn new(me: ObjId) -> Self {
+        SimulationKernel {
+            me,
+            unexpected_faults: 0,
+            mapping_writebacks: 0,
+        }
+    }
+}
+
+impl AppKernel for SimulationKernel {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, _env: &mut Env, id: ObjId) {
+        self.me = id;
+    }
+
+    fn on_page_fault(&mut self, _env: &mut Env, _thread: ObjId, _fault: Fault) -> FaultDisposition {
+        self.unexpected_faults += 1;
+        FaultDisposition::Kill
+    }
+
+    fn on_trap(
+        &mut self,
+        _env: &mut Env,
+        _thread: ObjId,
+        no: u32,
+        _args: [u32; 4],
+    ) -> TrapDisposition {
+        TrapDisposition::Return(no)
+    }
+
+    fn on_writeback(&mut self, _env: &mut Env, wb: Writeback) {
+        if matches!(wb, Writeback::Mapping { .. }) {
+            self.mapping_writebacks += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "simulation-kernel"
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the discrete-event simulation core: causal order,
+//! conservation of scheduled events, and window-barrier semantics.
+
+use proptest::prelude::*;
+use sim_kernel::des::{DesEngine, Event};
+
+proptest! {
+    #[test]
+    fn events_process_in_nondecreasing_time(
+        times in proptest::collection::vec((0u64..1000, 0u32..4), 1..100),
+        lookahead in 1u64..500,
+    ) {
+        let mut e = DesEngine::new(4, lookahead);
+        for (t, p) in &times {
+            e.schedule(Event { time: *t, partition: *p, payload: 0 });
+        }
+        let mut seen = Vec::new();
+        // Drain all windows.
+        while e.pending() > 0 {
+            e.step_window(|_, ev| seen.push(ev.time));
+        }
+        prop_assert_eq!(seen.len(), times.len(), "every event processed once");
+        prop_assert!(seen.windows(2).all(|w| w[1] >= w[0]), "causal order: {seen:?}");
+    }
+
+    #[test]
+    fn window_never_processes_beyond_horizon(
+        times in proptest::collection::vec(0u64..1000, 1..60),
+        lookahead in 1u64..200,
+    ) {
+        let mut e = DesEngine::new(2, lookahead);
+        for t in &times {
+            e.schedule(Event { time: *t, partition: (*t % 2) as u32, payload: 0 });
+        }
+        loop {
+            let horizon = e.now() + lookahead;
+            let mut max_seen = None;
+            e.step_window(|_, ev| max_seen = Some(max_seen.unwrap_or(0).max(ev.time)));
+            if let Some(m) = max_seen {
+                prop_assert!(m < horizon, "event at {m} beyond horizon {horizon}");
+            }
+            if e.pending() == 0 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cascades_conserve_event_count(
+        seeds in proptest::collection::vec(0u64..50, 1..20),
+        depth in 1u64..5,
+    ) {
+        // Each seed event spawns a chain of `depth` follow-ups; the total
+        // processed must be seeds * (depth + 1).
+        let mut e = DesEngine::new(2, 10_000);
+        for (i, t) in seeds.iter().enumerate() {
+            e.schedule(Event { time: *t, partition: (i % 2) as u32, payload: depth });
+        }
+        let mut processed = 0u64;
+        while e.pending() > 0 {
+            processed += e.step_window(|e, ev| {
+                if ev.payload > 0 {
+                    e.schedule(Event {
+                        time: ev.time + 1,
+                        partition: ev.partition,
+                        payload: ev.payload - 1,
+                    });
+                }
+            });
+        }
+        prop_assert_eq!(processed, seeds.len() as u64 * (depth + 1));
+    }
+
+    #[test]
+    fn balance_assigns_every_partition(parts in 1usize..12, workers in 1usize..6) {
+        let mut e = DesEngine::new(parts, 10);
+        for p in 0..parts {
+            e.partition_cost[p] = (p as u64 + 1) * 7;
+        }
+        let assign = e.balance(workers);
+        prop_assert_eq!(assign.len(), parts);
+        prop_assert!(assign.iter().all(|w| *w < workers));
+        // The max-loaded worker carries at most total (trivially) and the
+        // assignment never leaves a worker idle while another has 2+
+        // partitions more than necessary (LPT sanity: max load <= total).
+        let total: u64 = e.partition_cost.iter().sum();
+        let mut loads = vec![0u64; workers];
+        for (p, w) in assign.iter().enumerate() {
+            loads[*w] += e.partition_cost[p];
+        }
+        prop_assert_eq!(loads.iter().sum::<u64>(), total);
+    }
+}

@@ -1,0 +1,213 @@
+//! Distributed SRM coordination (§3).
+//!
+//! "The SRM communicates with other instances of itself on other MPMs
+//! using the RPC facility, coordinating to provide distributed scheduling
+//! using techniques developed for distributed operating systems." Each
+//! instance periodically advertises its load (free page groups, ready
+//! threads) to its peers and answers load queries; a simple
+//! least-loaded-node placement helper rides on the gathered table. The
+//! SRM is replicated per MPM for failure autonomy: a dead peer's entry
+//! goes stale and is expired rather than blocking anything.
+
+use cache_kernel::Env;
+use hw::Packet;
+use libkern::rpc::{Demarshal, Marshal, RpcMessage};
+
+/// Fabric channel reserved for SRM-to-SRM traffic.
+pub const SRM_CHANNEL: u32 = 0xffff_0001;
+
+/// Method: unsolicited load advertisement.
+pub const M_ADVERTISE: u32 = 1;
+/// Method: load query (expects an advertisement in response).
+pub const M_QUERY: u32 = 2;
+
+/// A peer's advertised load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerLoad {
+    /// Node index.
+    pub node: usize,
+    /// Free page groups.
+    pub free_groups: u32,
+    /// Ready threads on that node.
+    pub ready_threads: u32,
+    /// Advertisement age in ticks (expired when large).
+    pub age: u32,
+}
+
+/// Peer table and advertisement logic.
+#[derive(Default)]
+pub struct Peers {
+    table: Vec<PeerLoad>,
+    /// Known cluster size (0 = standalone, no advertisements sent).
+    pub cluster_nodes: usize,
+    seq: u32,
+    ticks_between_ads: u32,
+    since_ad: u32,
+    /// Free-group figure advertised (set by the owning SRM each tick).
+    pub my_free_groups: u32,
+    /// Advertisements sent.
+    pub ads_sent: u64,
+    /// Advertisements received.
+    pub ads_received: u64,
+}
+
+impl Peers {
+    /// A standalone peer table; set `cluster_nodes` to join a cluster.
+    pub fn new() -> Self {
+        Peers {
+            ticks_between_ads: 4,
+            ..Peers::default()
+        }
+    }
+
+    /// Current view of a peer, if fresh.
+    pub fn peer(&self, node: usize) -> Option<&PeerLoad> {
+        self.table.iter().find(|p| p.node == node)
+    }
+
+    /// The least-loaded node for placing new work (by ready threads, then
+    /// free memory), considering this node too.
+    pub fn least_loaded(&self, my_node: usize, my_ready: u32) -> usize {
+        let mut best = (my_node, my_ready, self.my_free_groups);
+        for p in &self.table {
+            if p.age > 8 {
+                continue; // stale: possibly a failed MPM
+            }
+            if (p.ready_threads, u32::MAX - p.free_groups) < (best.1, u32::MAX - best.2) {
+                best = (p.node, p.ready_threads, p.free_groups);
+            }
+        }
+        best.0
+    }
+
+    fn advertise(&mut self, env: &mut Env) {
+        self.seq += 1;
+        let payload = Marshal::new()
+            .u32(env.node as u32)
+            .u32(self.my_free_groups)
+            .u32(env.ck.sched.ready_count() as u32)
+            .done();
+        let msg = RpcMessage::request(self.seq, M_ADVERTISE, payload);
+        for dst in 0..self.cluster_nodes {
+            if dst == env.node {
+                continue;
+            }
+            env.outbox.push(Packet {
+                src: env.node,
+                dst,
+                channel: SRM_CHANNEL,
+                data: msg.encode(),
+            });
+        }
+        self.ads_sent += 1;
+    }
+
+    /// Periodic work: age the table and send advertisements.
+    pub fn tick(&mut self, env: &mut Env) {
+        for p in self.table.iter_mut() {
+            p.age = p.age.saturating_add(1);
+        }
+        if self.cluster_nodes > 1 {
+            self.since_ad += 1;
+            if self.since_ad >= self.ticks_between_ads {
+                self.since_ad = 0;
+                self.advertise(env);
+            }
+        }
+    }
+
+    /// Handle an SRM-channel packet.
+    pub fn on_packet(&mut self, env: &mut Env, src: usize, channel: u32, data: &[u8]) {
+        if channel != SRM_CHANNEL {
+            return;
+        }
+        let Some(msg) = RpcMessage::decode(data) else {
+            return;
+        };
+        match msg.selector() {
+            M_ADVERTISE => {
+                let mut d = Demarshal::new(&msg.payload);
+                let (Some(node), Some(free), Some(ready)) = (d.u32(), d.u32(), d.u32()) else {
+                    return;
+                };
+                let load = PeerLoad {
+                    node: node as usize,
+                    free_groups: free,
+                    ready_threads: ready,
+                    age: 0,
+                };
+                match self.table.iter_mut().find(|p| p.node == node as usize) {
+                    Some(p) => *p = load,
+                    None => self.table.push(load),
+                }
+                self.ads_received += 1;
+            }
+            M_QUERY => {
+                // Answer with an advertisement directly to the querier.
+                self.seq += 1;
+                let payload = Marshal::new()
+                    .u32(env.node as u32)
+                    .u32(self.my_free_groups)
+                    .u32(env.ck.sched.ready_count() as u32)
+                    .done();
+                let resp = RpcMessage::response(&msg, payload);
+                env.outbox.push(Packet {
+                    src: env.node,
+                    dst: src,
+                    channel: SRM_CHANNEL,
+                    data: RpcMessage::request(self.seq, M_ADVERTISE, resp.payload).encode(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_loaded_prefers_fresh_light_peers() {
+        let mut p = Peers::new();
+        p.my_free_groups = 2;
+        p.table = vec![
+            PeerLoad {
+                node: 1,
+                free_groups: 10,
+                ready_threads: 0,
+                age: 0,
+            },
+            PeerLoad {
+                node: 2,
+                free_groups: 50,
+                ready_threads: 9,
+                age: 0,
+            },
+            PeerLoad {
+                node: 3,
+                free_groups: 99,
+                ready_threads: 0,
+                age: 99,
+            }, // stale
+        ];
+        // My node has 5 ready threads; node 1 is idle and fresh.
+        assert_eq!(p.least_loaded(0, 5), 1);
+        // Even idle, node 1 wins on free memory (2 vs 10 groups).
+        assert_eq!(p.least_loaded(0, 0), 1);
+        // With no fresh peers better than me, I keep the work.
+        p.table.clear();
+        assert_eq!(p.least_loaded(0, 0), 0);
+    }
+
+    #[test]
+    fn advertisement_roundtrip_encoding() {
+        let payload = Marshal::new().u32(2).u32(7).u32(3).done();
+        let msg = RpcMessage::request(1, M_ADVERTISE, payload);
+        let decoded = RpcMessage::decode(&msg.encode()).unwrap();
+        let mut d = Demarshal::new(&decoded.payload);
+        assert_eq!(d.u32(), Some(2));
+        assert_eq!(d.u32(), Some(7));
+        assert_eq!(d.u32(), Some(3));
+    }
+}

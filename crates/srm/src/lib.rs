@@ -1,0 +1,486 @@
+//! The System Resource Manager (§3).
+//!
+//! The SRM is the first application kernel, instantiated when the Cache
+//! Kernel boots with full permissions on all physical resources. It acts
+//! as the owning kernel for the other application kernels, handling their
+//! kernel-object writebacks, and allocates resources in large units:
+//! page groups of physical memory, percentages of each processor, maximum
+//! priorities and locked-object quotas. Its channel manager computes
+//! network transfer rates from the interface counters and temporarily
+//! disconnects application kernels that exceed their quota (§4.3).
+//! One SRM instance runs per MPM; instances coordinate over the fabric
+//! with the RPC facility ([`dist`]).
+
+pub mod dist;
+pub mod netmgr;
+
+use cache_kernel::{
+    AppKernel, CkError, CkResult, Env, FaultDisposition, KernelDesc, LockedQuota,
+    MemoryAccessArray, ObjId, TrapDisposition, Writeback, MAX_CPUS,
+};
+use hw::{Fault, Rights, PAGE_GROUP_PAGES};
+use std::collections::HashMap;
+
+/// A resource grant given to an application kernel.
+#[derive(Clone, Debug)]
+pub struct Grant {
+    /// First page group granted.
+    pub group_first: u32,
+    /// Number of page groups.
+    pub group_count: u32,
+    /// Processor percentage per CPU.
+    pub cpu_pct: [u8; MAX_CPUS],
+    /// Maximum thread priority.
+    pub max_priority: u8,
+}
+
+impl Grant {
+    /// First frame of the grant.
+    pub fn frame_first(&self) -> u32 {
+        self.group_first * PAGE_GROUP_PAGES
+    }
+    /// One-past-last frame of the grant.
+    pub fn frame_end(&self) -> u32 {
+        (self.group_first + self.group_count) * PAGE_GROUP_PAGES
+    }
+}
+
+/// A kernel the SRM swapped out: its saved descriptor, ready for reload.
+pub struct SavedKernel {
+    /// The descriptor as written back or unloaded.
+    pub desc: Box<KernelDesc>,
+    /// The grant it held (still reserved for it).
+    pub grant: Grant,
+}
+
+/// SRM statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SrmStats {
+    /// Application kernels started.
+    pub kernels_started: u64,
+    /// Kernel writebacks absorbed.
+    pub kernel_writebacks: u64,
+    /// Kernels swapped out.
+    pub kernels_swapped: u64,
+    /// Channels disconnected for exceeding network quota.
+    pub net_disconnects: u64,
+}
+
+/// The system resource manager.
+pub struct Srm {
+    /// Our kernel id (the first kernel).
+    pub me: ObjId,
+    /// Page-group allocation cursor (groups below are reserved for the
+    /// Cache Kernel and device regions by construction of the caller).
+    next_group: u32,
+    last_group: u32,
+    grants: HashMap<ObjId, Grant>,
+    saved: HashMap<String, SavedKernel>,
+    names: HashMap<ObjId, String>,
+    /// Network channel manager.
+    pub net: netmgr::ChannelManager,
+    /// Distributed coordination state.
+    pub peers: dist::Peers,
+    /// Counters.
+    pub stats: SrmStats,
+}
+
+impl Srm {
+    /// An SRM managing page groups `first_group..last_group`.
+    pub fn new(me: ObjId, first_group: u32, last_group: u32) -> Self {
+        assert!(first_group < last_group);
+        Srm {
+            me,
+            next_group: first_group,
+            last_group,
+            grants: HashMap::new(),
+            saved: HashMap::new(),
+            names: HashMap::new(),
+            net: netmgr::ChannelManager::new(),
+            peers: dist::Peers::new(),
+            stats: SrmStats::default(),
+        }
+    }
+
+    /// Page groups still unallocated.
+    pub fn free_groups(&self) -> u32 {
+        self.last_group - self.next_group
+    }
+
+    /// The grant held by a kernel.
+    pub fn grant_of(&self, kernel: ObjId) -> Option<&Grant> {
+        self.grants.get(&kernel)
+    }
+
+    /// Build the memory access array for a grant.
+    fn access_array(grant: &Grant) -> MemoryAccessArray {
+        let mut a = MemoryAccessArray::none();
+        for g in grant.group_first..grant.group_first + grant.group_count {
+            a.set(g, Rights::ReadWrite);
+        }
+        a
+    }
+
+    /// Start a new application kernel: create its kernel object with the
+    /// requested resources and record the grant. "Resources are allocated
+    /// in large units that the application kernel can then suballocate
+    /// internally" (§3). Returns the kernel id to register an
+    /// [`AppKernel`] under.
+    pub fn start_kernel(
+        &mut self,
+        env: &mut Env,
+        name: &str,
+        groups: u32,
+        cpu_pct: [u8; MAX_CPUS],
+        max_priority: u8,
+        locked_quota: LockedQuota,
+    ) -> CkResult<ObjId> {
+        if groups == 0 || self.next_group + groups > self.last_group {
+            return Err(CkError::Invalid);
+        }
+        let grant = Grant {
+            group_first: self.next_group,
+            group_count: groups,
+            cpu_pct,
+            max_priority,
+        };
+        self.next_group += groups;
+        let desc = KernelDesc {
+            memory_access: Self::access_array(&grant),
+            cpu_quota_pct: cpu_pct,
+            max_priority,
+            locked_quota,
+            ..KernelDesc::default()
+        };
+        let id = env.ck.load_kernel(self.me, desc, env.mpm)?;
+        self.grants.insert(id, grant);
+        self.names.insert(id, name.to_string());
+        self.stats.kernels_started += 1;
+        Ok(id)
+    }
+
+    /// Grow a kernel's memory grant with the special modify operation
+    /// (§2.4), avoiding an unload/reload cycle.
+    pub fn extend_grant(&mut self, env: &mut Env, kernel: ObjId, groups: u32) -> CkResult<()> {
+        if self.next_group + groups > self.last_group {
+            return Err(CkError::Invalid);
+        }
+        let first = self.next_group;
+        self.next_group += groups;
+        env.ck
+            .modify_kernel_grant(self.me, kernel, first, groups, Rights::ReadWrite)?;
+        if let Some(g) = self.grants.get_mut(&kernel) {
+            g.group_count += groups;
+        }
+        Ok(())
+    }
+
+    /// Swap an application kernel out: unload its kernel object (which
+    /// cascades to all its spaces, threads and mappings) and keep the
+    /// state for a later restart.
+    pub fn swap_out_kernel(&mut self, env: &mut Env, kernel: ObjId) -> CkResult<()> {
+        let name = self
+            .names
+            .remove(&kernel)
+            .unwrap_or_else(|| format!("kernel-{}", kernel.slot));
+        let grant = self.grants.remove(&kernel).ok_or(CkError::Invalid)?;
+        let desc = env.ck.unload_kernel(self.me, kernel, env.mpm)?;
+        self.saved.insert(name, SavedKernel { desc, grant });
+        self.stats.kernels_swapped += 1;
+        Ok(())
+    }
+
+    /// Restart a previously swapped kernel under its saved grant.
+    pub fn swap_in_kernel(&mut self, env: &mut Env, name: &str) -> CkResult<ObjId> {
+        let saved = self.saved.remove(name).ok_or(CkError::Invalid)?;
+        let id = env
+            .ck
+            .load_kernel(self.me, (*saved.desc).clone(), env.mpm)?;
+        self.grants.insert(id, saved.grant);
+        self.names.insert(id, name.to_string());
+        Ok(id)
+    }
+
+    /// A saved kernel by name (swapped or displaced).
+    pub fn saved_kernel(&self, name: &str) -> Option<&SavedKernel> {
+        self.saved.get(name)
+    }
+}
+
+impl AppKernel for Srm {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, _env: &mut Env, id: ObjId) {
+        self.me = id;
+    }
+
+    fn on_page_fault(&mut self, _env: &mut Env, _thread: ObjId, _fault: Fault) -> FaultDisposition {
+        // The SRM's own threads run out of wired memory; a fault is a bug.
+        FaultDisposition::Kill
+    }
+
+    fn on_trap(
+        &mut self,
+        _env: &mut Env,
+        _thread: ObjId,
+        no: u32,
+        _args: [u32; 4],
+    ) -> TrapDisposition {
+        TrapDisposition::Return(no)
+    }
+
+    fn on_writeback(&mut self, _env: &mut Env, wb: Writeback) {
+        if let Writeback::Kernel { id, desc, .. } = wb {
+            // A displaced application kernel: the SRM is the backing
+            // store for kernel objects (§2.4).
+            self.stats.kernel_writebacks += 1;
+            let name = self
+                .names
+                .remove(&id)
+                .unwrap_or_else(|| format!("kernel-{}", id.slot));
+            let grant = self.grants.remove(&id).unwrap_or(Grant {
+                group_first: 0,
+                group_count: 0,
+                cpu_pct: [0; MAX_CPUS],
+                max_priority: 0,
+            });
+            self.saved.insert(name, SavedKernel { desc, grant });
+        }
+    }
+
+    fn on_tick(&mut self, env: &mut Env) {
+        // Channel manager: compute I/O rates and enforce quotas (§4.3).
+        let disconnects = self.net.tick(env.mpm);
+        self.stats.net_disconnects += disconnects;
+        self.peers.tick(env);
+    }
+
+    fn on_packet(&mut self, env: &mut Env, src: usize, channel: u32, data: &[u8]) {
+        self.peers.on_packet(env, src, channel, data);
+    }
+
+    fn name(&self) -> &str {
+        "srm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_kernel::{CkConfig, Executive, SpaceDesc};
+    use hw::{MachineConfig, Paddr, Vaddr};
+
+    pub(crate) fn boot() -> (Executive, ObjId) {
+        let mut ck = cache_kernel::CacheKernel::new(CkConfig::default());
+        let mpm = hw::Mpm::new(MachineConfig {
+            phys_frames: 4096, // 16 MiB = 32 groups
+            l2_bytes: 256 * 1024,
+            ..MachineConfig::default()
+        });
+        let srm_id = ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        let mut ex = Executive::new(ck, mpm);
+        // Manage groups 1..30 (group 0 reserved, top groups hold devices).
+        ex.register_kernel(srm_id, Box::new(Srm::new(srm_id, 1, 30)));
+        (ex, srm_id)
+    }
+
+    #[test]
+    fn start_kernel_grants_exact_groups() {
+        let (mut ex, srm_id) = boot();
+        let k = ex
+            .with_kernel::<Srm, _>(srm_id, |s, env| {
+                s.start_kernel(env, "emu", 2, [50; MAX_CPUS], 20, LockedQuota::default())
+            })
+            .unwrap()
+            .unwrap();
+        // The kernel can map inside its grant but not outside.
+        let sp = ex
+            .ck
+            .load_space(k, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        let inside = Paddr(hw::PAGE_GROUP_SIZE);
+        let outside = Paddr(3 * hw::PAGE_GROUP_SIZE);
+        assert!(ex
+            .ck
+            .load_mapping(
+                k,
+                sp,
+                Vaddr(0x1000),
+                inside,
+                hw::Pte::WRITABLE,
+                None,
+                None,
+                &mut ex.mpm
+            )
+            .is_ok());
+        assert_eq!(
+            ex.ck
+                .load_mapping(k, sp, Vaddr(0x2000), outside, 0, None, None, &mut ex.mpm),
+            Err(CkError::NoAccess(outside))
+        );
+        // Priority cap came from the grant.
+        assert_eq!(ex.ck.kernel(k).unwrap().desc.max_priority, 20);
+        let free = ex
+            .with_kernel::<Srm, _>(srm_id, |s, _| s.free_groups())
+            .unwrap();
+        assert_eq!(free, 29 - 2);
+    }
+
+    #[test]
+    fn grants_do_not_overlap() {
+        let (mut ex, srm_id) = boot();
+        let (g1, g2) = ex
+            .with_kernel::<Srm, _>(srm_id, |s, env| {
+                let a = s
+                    .start_kernel(env, "a", 3, [50; MAX_CPUS], 20, LockedQuota::default())
+                    .unwrap();
+                let b = s
+                    .start_kernel(env, "b", 3, [50; MAX_CPUS], 20, LockedQuota::default())
+                    .unwrap();
+                (
+                    s.grant_of(a).unwrap().clone(),
+                    s.grant_of(b).unwrap().clone(),
+                )
+            })
+            .unwrap();
+        assert!(g1.frame_end() <= g2.frame_first() || g2.frame_end() <= g1.frame_first());
+    }
+
+    #[test]
+    fn grant_exhaustion_rejected() {
+        let (mut ex, srm_id) = boot();
+        let err = ex
+            .with_kernel::<Srm, _>(srm_id, |s, env| {
+                s.start_kernel(env, "big", 1000, [50; MAX_CPUS], 20, LockedQuota::default())
+            })
+            .unwrap();
+        assert_eq!(err.err(), Some(CkError::Invalid));
+    }
+
+    #[test]
+    fn extend_grant_via_modify_op() {
+        let (mut ex, srm_id) = boot();
+        let k = ex
+            .with_kernel::<Srm, _>(srm_id, |s, env| {
+                s.start_kernel(env, "emu", 1, [50; MAX_CPUS], 20, LockedQuota::default())
+                    .unwrap()
+            })
+            .unwrap();
+        let sp = ex
+            .ck
+            .load_space(k, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        let extra = Paddr(2 * hw::PAGE_GROUP_SIZE);
+        assert!(ex
+            .ck
+            .load_mapping(k, sp, Vaddr(0x1000), extra, 0, None, None, &mut ex.mpm)
+            .is_err());
+        ex.with_kernel::<Srm, _>(srm_id, |s, env| s.extend_grant(env, k, 1))
+            .unwrap()
+            .unwrap();
+        assert!(ex
+            .ck
+            .load_mapping(k, sp, Vaddr(0x1000), extra, 0, None, None, &mut ex.mpm)
+            .is_ok());
+    }
+
+    #[test]
+    fn swap_out_and_in_kernel() {
+        let (mut ex, srm_id) = boot();
+        let k = ex
+            .with_kernel::<Srm, _>(srm_id, |s, env| {
+                s.start_kernel(env, "emu", 2, [50; MAX_CPUS], 20, LockedQuota::default())
+                    .unwrap()
+            })
+            .unwrap();
+        // Give it some live state to cascade.
+        let sp = ex
+            .ck
+            .load_space(k, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        ex.ck
+            .load_mapping(
+                k,
+                sp,
+                Vaddr(0x1000),
+                Paddr(hw::PAGE_GROUP_SIZE),
+                hw::Pte::WRITABLE,
+                None,
+                None,
+                &mut ex.mpm,
+            )
+            .unwrap();
+        ex.with_kernel::<Srm, _>(srm_id, |s, env| s.swap_out_kernel(env, k))
+            .unwrap()
+            .unwrap();
+        assert!(ex.ck.kernel(k).is_err());
+        assert!(ex.ck.space(sp).is_err());
+        let saved = ex
+            .with_kernel::<Srm, _>(srm_id, |s, _| s.saved_kernel("emu").is_some())
+            .unwrap();
+        assert!(saved);
+        // Restart under the same grant.
+        let k2 = ex
+            .with_kernel::<Srm, _>(srm_id, |s, env| s.swap_in_kernel(env, "emu"))
+            .unwrap()
+            .unwrap();
+        assert_ne!(k2, k, "fresh identifier after reload");
+        let sp2 = ex
+            .ck
+            .load_space(k2, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        assert!(ex
+            .ck
+            .load_mapping(
+                k2,
+                sp2,
+                Vaddr(0x1000),
+                Paddr(hw::PAGE_GROUP_SIZE),
+                hw::Pte::WRITABLE,
+                None,
+                None,
+                &mut ex.mpm
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn displaced_kernel_writeback_lands_in_saved() {
+        // Fill the kernel cache so a load displaces an SRM-owned kernel.
+        let mut ck = cache_kernel::CacheKernel::new(CkConfig {
+            kernel_slots: 3,
+            ..CkConfig::default()
+        });
+        let mpm = hw::Mpm::new(MachineConfig {
+            phys_frames: 4096,
+            l2_bytes: 64 * 1024,
+            ..MachineConfig::default()
+        });
+        let srm_id = ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        let mut ex = Executive::new(ck, mpm);
+        ex.register_kernel(srm_id, Box::new(Srm::new(srm_id, 1, 30)));
+        for name in ["a", "b", "c"] {
+            ex.with_kernel::<Srm, _>(srm_id, |s, env| {
+                s.start_kernel(env, name, 1, [50; MAX_CPUS], 20, LockedQuota::default())
+                    .unwrap()
+            })
+            .unwrap();
+        }
+        ex.dispatch_writebacks();
+        let (wbs, saved_a) = ex
+            .with_kernel::<Srm, _>(srm_id, |s, _| {
+                (s.stats.kernel_writebacks, s.saved_kernel("a").is_some())
+            })
+            .unwrap();
+        assert_eq!(wbs, 1, "one kernel displaced");
+        assert!(saved_a, "the displaced kernel's state is with the SRM");
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimal in-memory file service for the UNIX emulator.
+//!
+//! The prototype system kept program binaries and data on shared file
+//! servers reached over the network; the emulator only needs enough of a
+//! file abstraction to hold program images and byte files for the
+//! `open`/`read`/`write` system calls, so this is a flat in-memory
+//! namespace. File data fetched by `read` is charged paging-I/O time by
+//! the caller.
+
+use std::collections::HashMap;
+
+/// A file descriptor within one process.
+pub type Fd = u32;
+
+/// Flat in-memory file store.
+#[derive(Default)]
+pub struct FileStore {
+    files: HashMap<String, Vec<u8>>,
+}
+
+impl FileStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create or replace a file.
+    pub fn put(&mut self, name: &str, data: Vec<u8>) {
+        self.files.insert(name.to_string(), data);
+    }
+
+    /// Read-only view of a file.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.files.get(name).map(|v| v.as_slice())
+    }
+
+    /// Append to a file, creating it if needed.
+    pub fn append(&mut self, name: &str, data: &[u8]) {
+        self.files
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(data);
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// File size.
+    pub fn size(&self, name: &str) -> Option<usize> {
+        self.files.get(name).map(|v| v.len())
+    }
+}
+
+/// An open file within a process: name and read offset.
+#[derive(Clone, Debug)]
+pub struct OpenFile {
+    /// File name in the store.
+    pub name: String,
+    /// Current offset.
+    pub offset: usize,
+}
+
+/// Per-process descriptor table.
+#[derive(Clone, Debug, Default)]
+pub struct FdTable {
+    open: Vec<Option<OpenFile>>,
+}
+
+impl FdTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open `name`, returning a descriptor.
+    pub fn open(&mut self, name: &str) -> Fd {
+        let of = OpenFile {
+            name: name.to_string(),
+            offset: 0,
+        };
+        for (i, slot) in self.open.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(of);
+                return i as Fd;
+            }
+        }
+        self.open.push(Some(of));
+        (self.open.len() - 1) as Fd
+    }
+
+    /// Close a descriptor.
+    pub fn close(&mut self, fd: Fd) -> bool {
+        match self.open.get_mut(fd as usize) {
+            Some(s @ Some(_)) => {
+                *s = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The open file behind `fd`.
+    pub fn get_mut(&mut self, fd: Fd) -> Option<&mut OpenFile> {
+        self.open.get_mut(fd as usize)?.as_mut()
+    }
+
+    /// Number of open descriptors.
+    pub fn count(&self) -> usize {
+        self.open.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_put_get_append() {
+        let mut fsys = FileStore::new();
+        fsys.put("a.out", vec![1, 2, 3]);
+        assert_eq!(fsys.get("a.out"), Some(&[1u8, 2, 3][..]));
+        fsys.append("a.out", &[4]);
+        assert_eq!(fsys.size("a.out"), Some(4));
+        assert!(fsys.exists("a.out"));
+        assert!(!fsys.exists("b.out"));
+        assert_eq!(fsys.get("b.out"), None);
+    }
+
+    #[test]
+    fn fd_table_reuses_slots() {
+        let mut t = FdTable::new();
+        let a = t.open("x");
+        let b = t.open("y");
+        assert_eq!((a, b), (0, 1));
+        assert!(t.close(a));
+        assert!(!t.close(a), "double close rejected");
+        let c = t.open("z");
+        assert_eq!(c, 0, "slot reused");
+        assert_eq!(t.count(), 2);
+        t.get_mut(c).unwrap().offset = 10;
+        assert_eq!(t.get_mut(c).unwrap().offset, 10);
+        assert!(t.get_mut(9).is_none());
+    }
+}

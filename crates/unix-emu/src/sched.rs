@@ -1,0 +1,68 @@
+//! The emulator's scheduling policy (§2.3).
+//!
+//! "The UNIX emulator per-processor scheduling thread wakes up on each
+//! rescheduling interval, adjusts the priorities of other threads to
+//! enforce its policies, and goes back to sleep." We implement the
+//! classic decay-usage discipline: a process's recent CPU usage decays
+//! each interval and its priority is its base minus a usage penalty, so
+//! compute-bound programs sink toward low (batch) priority — which also
+//! reduces their graduated quota charge (§4.3: "the UNIX emulator degrades
+//! the priority of compute-bound programs to low priority to reduce the
+//! effect on its quota").
+
+use cache_kernel::Priority;
+
+/// Priority band the emulator schedules user processes in.
+pub const USER_PRIO_MAX: Priority = 20;
+/// Lowest user priority.
+pub const USER_PRIO_MIN: Priority = 2;
+
+/// Usage decay factor per interval: usage <- usage * NUM / DEN.
+const DECAY_NUM: u64 = 1;
+const DECAY_DEN: u64 = 2;
+/// Cycles of usage per priority point of penalty.
+const USAGE_PER_POINT: u64 = 20_000;
+
+/// Decay a process's usage by one interval.
+pub fn decay(usage: u64) -> u64 {
+    usage * DECAY_NUM / DECAY_DEN
+}
+
+/// Compute the scheduling priority for a process with `base` priority and
+/// decayed `usage`.
+pub fn priority_for(base: Priority, usage: u64) -> Priority {
+    let penalty = (usage / USAGE_PER_POINT).min((USER_PRIO_MAX - USER_PRIO_MIN) as u64);
+    base.saturating_sub(penalty as Priority)
+        .clamp(USER_PRIO_MIN, USER_PRIO_MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_decays_geometrically() {
+        assert_eq!(decay(100), 50);
+        assert_eq!(decay(decay(100)), 25);
+        assert_eq!(decay(0), 0);
+    }
+
+    #[test]
+    fn compute_bound_sinks_interactive_floats() {
+        let base = 16;
+        // No usage: full base priority.
+        assert_eq!(priority_for(base, 0), 16);
+        // Heavy usage: sinks toward the floor.
+        let heavy = priority_for(base, 1_000_000);
+        assert_eq!(heavy, USER_PRIO_MIN);
+        // Moderate usage: somewhere between.
+        let mid = priority_for(base, 60_000);
+        assert!(mid < 16 && mid > USER_PRIO_MIN);
+    }
+
+    #[test]
+    fn priority_clamped_to_band() {
+        assert!(priority_for(200, 0) <= USER_PRIO_MAX);
+        assert!(priority_for(0, 0) >= USER_PRIO_MIN);
+    }
+}

@@ -1,0 +1,162 @@
+//! System-call ABI of the UNIX emulator.
+//!
+//! A process issues a system call with the standard trap mechanism: the
+//! processor traps, the Cache Kernel forwards the thread to its
+//! application kernel's trap handler (§2.3), and the emulator services the
+//! request. Trap number and four register arguments in; result register
+//! out. The user-side helpers build the [`Step`]s a program yields.
+
+use cache_kernel::Step;
+use hw::Vaddr;
+
+/// `getpid()` — stable pid of the caller.
+pub const SYS_GETPID: u32 = 1;
+/// `write(fd, va, len)` — fd 1 is the console.
+pub const SYS_WRITE: u32 = 2;
+/// `sbrk(delta)` — grow/shrink the heap; returns the old break.
+pub const SYS_SBRK: u32 = 3;
+/// `sleep(event)` — block on an event channel (thread unloaded).
+pub const SYS_SLEEP: u32 = 4;
+/// `wakeup(event)` — wake all sleepers on an event channel.
+pub const SYS_WAKEUP: u32 = 5;
+/// `fork()` — duplicate the process (copy-on-write); returns the child
+/// pid to the parent and 0 to the child, or [`ERR`] on failure.
+pub const SYS_FORK: u32 = 6;
+/// `exit(code)` — terminate, leaving a zombie for the parent.
+pub const SYS_EXIT: u32 = 7;
+/// `wait()` — block until a child exits; returns `pid << 8 | code`.
+pub const SYS_WAIT: u32 = 8;
+/// `open(va, len)` — open the file named by the buffer; returns an fd.
+pub const SYS_OPEN: u32 = 9;
+/// `read(fd, va, len)` — sequential read; returns bytes read.
+pub const SYS_READ: u32 = 10;
+/// `kill(pid)` — terminate another process.
+pub const SYS_KILL: u32 = 11;
+/// `getppid()` — parent pid.
+pub const SYS_GETPPID: u32 = 12;
+/// `nice(priority)` — set the caller's base priority (clamped).
+pub const SYS_NICE: u32 = 13;
+/// `pipe()` — create a pipe; returns `read_fd << 16 | write_fd`.
+pub const SYS_PIPE: u32 = 14;
+
+/// Error return value.
+pub const ERR: u32 = u32::MAX;
+
+/// Build a `getpid` step.
+pub fn getpid() -> Step {
+    Step::Trap {
+        no: SYS_GETPID,
+        args: [0; 4],
+    }
+}
+/// Build a `getppid` step.
+pub fn getppid() -> Step {
+    Step::Trap {
+        no: SYS_GETPPID,
+        args: [0; 4],
+    }
+}
+/// Build a `write` step.
+pub fn write(fd: u32, va: Vaddr, len: u32) -> Step {
+    Step::Trap {
+        no: SYS_WRITE,
+        args: [fd, va.0, len, 0],
+    }
+}
+/// Build an `sbrk` step.
+pub fn sbrk(delta: u32) -> Step {
+    Step::Trap {
+        no: SYS_SBRK,
+        args: [delta, 0, 0, 0],
+    }
+}
+/// Build a `sleep` step.
+pub fn sleep(event: u32) -> Step {
+    Step::Trap {
+        no: SYS_SLEEP,
+        args: [event, 0, 0, 0],
+    }
+}
+/// Build a `wakeup` step.
+pub fn wakeup(event: u32) -> Step {
+    Step::Trap {
+        no: SYS_WAKEUP,
+        args: [event, 0, 0, 0],
+    }
+}
+/// Build a `fork` step.
+pub fn fork() -> Step {
+    Step::Trap {
+        no: SYS_FORK,
+        args: [0; 4],
+    }
+}
+/// Build an `exit` step.
+pub fn exit(code: u32) -> Step {
+    Step::Trap {
+        no: SYS_EXIT,
+        args: [code, 0, 0, 0],
+    }
+}
+/// Build a `wait` step.
+pub fn wait() -> Step {
+    Step::Trap {
+        no: SYS_WAIT,
+        args: [0; 4],
+    }
+}
+/// Build an `open` step (name previously stored at `va`).
+pub fn open(va: Vaddr, len: u32) -> Step {
+    Step::Trap {
+        no: SYS_OPEN,
+        args: [va.0, len, 0, 0],
+    }
+}
+/// Build a `read` step.
+pub fn read(fd: u32, va: Vaddr, len: u32) -> Step {
+    Step::Trap {
+        no: SYS_READ,
+        args: [fd, va.0, len, 0],
+    }
+}
+/// Build a `kill` step.
+pub fn kill(pid: u32) -> Step {
+    Step::Trap {
+        no: SYS_KILL,
+        args: [pid, 0, 0, 0],
+    }
+}
+/// Build a `nice` step.
+pub fn nice(priority: u32) -> Step {
+    Step::Trap {
+        no: SYS_NICE,
+        args: [priority, 0, 0, 0],
+    }
+}
+/// Build a `pipe` step.
+pub fn pipe() -> Step {
+    Step::Trap {
+        no: SYS_PIPE,
+        args: [0; 4],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_encode_args() {
+        match write(1, Vaddr(0x1000), 5) {
+            Step::Trap { no, args } => {
+                assert_eq!(no, SYS_WRITE);
+                assert_eq!(args, [1, 0x1000, 5, 0]);
+            }
+            _ => panic!(),
+        }
+        match fork() {
+            Step::Trap { no, .. } => assert_eq!(no, SYS_FORK),
+            _ => panic!(),
+        }
+    }
+}

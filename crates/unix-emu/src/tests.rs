@@ -1,0 +1,718 @@
+//! Emulator tests: whole UNIX-like scenarios driven through the executive.
+
+use super::*;
+use cache_kernel::{
+    CkConfig, Executive, KernelDesc, MemoryAccessArray, NullKernel, Script, Step, ThreadCtx,
+};
+use hw::MachineConfig;
+
+/// Boot an MPM with the SRM and one UNIX emulator kernel.
+pub(crate) fn boot(cfg: UnixConfig) -> (Executive, ObjId) {
+    let mut ck = cache_kernel::CacheKernel::new(CkConfig::default());
+    let mut mpm = Mpm::new(MachineConfig {
+        phys_frames: 2048,
+        l2_bytes: 256 * 1024,
+        cpus: 2,
+        clock_interval: 20_000,
+        ..MachineConfig::default()
+    });
+    let srm = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    let unix = ck
+        .load_kernel(
+            srm,
+            KernelDesc {
+                memory_access: MemoryAccessArray::all(),
+                ..KernelDesc::default()
+            },
+            &mut mpm,
+        )
+        .unwrap();
+    let mut ex = Executive::new(ck, mpm);
+    ex.register_kernel(srm, Box::new(NullKernel));
+    ex.register_kernel(unix, Box::new(UnixEmulator::new(unix, cfg)));
+    (ex, unix)
+}
+
+fn spawn(ex: &mut Executive, unix: ObjId, prog: Box<dyn cache_kernel::Program>) -> Pid {
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, env| {
+        u.spawn(env.ck, env.mpm, env.code, prog, None, 0).unwrap()
+    })
+    .unwrap()
+}
+
+fn console(ex: &mut Executive, unix: ObjId) -> Vec<u8> {
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, _| u.console.clone())
+        .unwrap()
+}
+
+fn stats(ex: &mut Executive, unix: ObjId) -> UnixStats {
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, _| u.stats)
+        .unwrap()
+}
+
+#[test]
+fn getpid_and_exit() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    let pid = spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::FnProgram({
+            let mut stage = 0;
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => syscall::getpid(),
+                    _ => {
+                        assert_eq!(ctx.trap_ret, 1, "first pid is 1");
+                        syscall::exit(0)
+                    }
+                }
+            }
+        })),
+    );
+    assert_eq!(pid, 1);
+    ex.run_until_idle(200);
+    let s = stats(&mut ex, unix);
+    assert_eq!(s.syscalls, 2);
+    assert!(ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| matches!(
+            u.proc(1).map(|p| p.state),
+            Some(ProcState::Zombie(0))
+        ))
+        .unwrap());
+}
+
+#[test]
+fn hello_world_demand_paged() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    // Store the message into the data region (demand-paged), then write
+    // it to the console.
+    let base = layout::DATA_BASE;
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(Script::new(vec![
+            Step::StoreBytes(base, b"hello, cache kernel\n".to_vec()),
+            syscall::write(1, base, 20),
+            syscall::exit(0),
+        ])),
+    );
+    ex.run_until_idle(300);
+    assert_eq!(console(&mut ex, unix), b"hello, cache kernel\n");
+    let s = stats(&mut ex, unix);
+    assert!(s.faults >= 1, "demand paging occurred");
+}
+
+#[test]
+fn wild_pointer_gets_segv() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    let pid = spawn(
+        &mut ex,
+        unix,
+        Box::new(Script::new(vec![Step::Store(Vaddr(0x0000_1000), 1)])),
+    );
+    ex.run_until_idle(200);
+    let s = stats(&mut ex, unix);
+    assert_eq!(s.segv_kills, 1);
+    assert!(ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| matches!(
+            u.proc(pid).map(|p| p.state),
+            Some(ProcState::Zombie(-11))
+        ))
+        .unwrap());
+}
+
+#[test]
+fn fork_cow_isolates_parent_and_child() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    let base = layout::DATA_BASE;
+    // Parent writes 111 to a page, forks; the child (fork returns 0)
+    // overwrites with 222 and prints; the parent waits, then prints its
+    // own (unchanged) value.
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::ForkableFn({
+            let mut stage = 0;
+            let mut is_child = false;
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => Step::Store(base, 111),
+                    2 => syscall::fork(),
+                    3 => {
+                        is_child = ctx.trap_ret == 0;
+                        if is_child {
+                            Step::Store(base, 222) // COW fault here
+                        } else {
+                            syscall::wait()
+                        }
+                    }
+                    4 => Step::Load(base),
+                    5 => {
+                        if is_child {
+                            assert_eq!(ctx.loaded, 222, "child sees its write");
+                            syscall::exit(7)
+                        } else {
+                            assert_eq!(ctx.loaded, 111, "parent unaffected by child write");
+                            syscall::exit(0)
+                        }
+                    }
+                    _ => syscall::exit(0),
+                }
+            }
+        })),
+    );
+    ex.run_until_idle(500);
+    let s = stats(&mut ex, unix);
+    assert_eq!(s.forks, 1);
+    assert!(s.cow_copies >= 1, "at least one private COW copy was made");
+    assert_eq!(s.segv_kills, 0);
+    // Parent reaped the child and exited.
+    assert!(ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| matches!(
+            u.proc(1).map(|p| p.state),
+            Some(ProcState::Zombie(0))
+        ))
+        .unwrap());
+}
+
+#[test]
+fn sleep_wakeup_releases_descriptors() {
+    let (mut ex, unix) = boot(UnixConfig {
+        swap_after_ticks: 1000, // no swap in this test
+        ..UnixConfig::default()
+    });
+    // Sleeper blocks on event 42; waker wakes it after some compute.
+    let sleeper = spawn(
+        &mut ex,
+        unix,
+        Box::new(Script::new(vec![
+            syscall::sleep(42),
+            syscall::write(1, layout::TEXT_BASE, 0), // touch after wake
+            syscall::exit(0),
+        ])),
+    );
+    // Run until parked: the sleeper holds no thread descriptor.
+    ex.run(30);
+    let parked = ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| {
+            matches!(
+                u.proc(sleeper).map(|p| p.state),
+                Some(ProcState::Sleeping(42))
+            ) && u.proc(sleeper).unwrap().thread.is_none()
+        })
+        .unwrap();
+    assert!(parked, "sleeper consumes no thread descriptor");
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(Script::new(vec![syscall::wakeup(42), syscall::exit(0)])),
+    );
+    ex.run_until_idle(500);
+    assert!(ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| matches!(
+            u.proc(sleeper).map(|p| p.state),
+            Some(ProcState::Zombie(0))
+        ))
+        .unwrap());
+}
+
+#[test]
+fn long_sleep_swaps_out_and_back() {
+    let (mut ex, unix) = boot(UnixConfig {
+        swap_after_ticks: 2,
+        ..UnixConfig::default()
+    });
+    let base = layout::DATA_BASE;
+    let sleeper = spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::FnProgram({
+            let mut stage = 0;
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => Step::Store(base, 0xfeed),
+                    2 => syscall::sleep(9),
+                    3 => Step::Load(base),
+                    4 => {
+                        assert_eq!(ctx.loaded, 0xfeed, "data survived the swap");
+                        syscall::exit(0)
+                    }
+                    _ => syscall::exit(0),
+                }
+            }
+        })),
+    );
+    // Let it sleep long enough to be swapped.
+    ex.run(300);
+    let (swapped, no_space) = ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| {
+            let p = u.proc(sleeper).unwrap();
+            (matches!(p.state, ProcState::Swapped(9)), p.space.is_none())
+        })
+        .unwrap();
+    assert!(swapped, "long sleeper swapped out");
+    assert!(no_space, "swapped process holds no address space");
+    // Wake it: everything reloads on demand.
+    let waker = spawn(
+        &mut ex,
+        unix,
+        Box::new(Script::new(vec![syscall::wakeup(9), syscall::exit(0)])),
+    );
+    let _ = waker;
+    ex.run_until_idle(500);
+    let s = stats(&mut ex, unix);
+    assert!(s.swap_outs >= 1);
+    assert!(s.swap_ins >= 1);
+    assert!(ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| matches!(
+            u.proc(sleeper).map(|p| p.state),
+            Some(ProcState::Zombie(0))
+        ))
+        .unwrap());
+}
+
+#[test]
+#[allow(unused_assignments)] // closure-captured fd persists across calls
+fn open_read_file() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, _| {
+        u.fsys.put("motd", b"welcome to v++".to_vec());
+    })
+    .unwrap();
+    let buf = layout::DATA_BASE;
+    let name = Vaddr(layout::DATA_BASE.0 + 0x100);
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::FnProgram({
+            let mut stage = 0;
+            let mut fd = ERR; // overwritten by the open() result
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => Step::StoreBytes(name, b"motd".to_vec()),
+                    2 => syscall::open(name, 4),
+                    3 => {
+                        fd = ctx.trap_ret;
+                        assert_ne!(fd, ERR);
+                        syscall::read(fd, buf, 64)
+                    }
+                    4 => {
+                        assert_eq!(ctx.trap_ret, 14, "whole file read");
+                        syscall::write(1, buf, 14)
+                    }
+                    _ => syscall::exit(0),
+                }
+            }
+        })),
+    );
+    ex.run_until_idle(300);
+    assert_eq!(console(&mut ex, unix), b"welcome to v++");
+}
+
+#[test]
+fn compute_bound_process_sinks_in_priority() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    let pid = spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::FnProgram(move |_ctx: &mut ThreadCtx| {
+            Step::Compute(10_000)
+        })),
+    );
+    ex.run(400);
+    let prio = ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, env| {
+            let t = u.proc(pid).unwrap().thread.unwrap();
+            env.ck.thread(t).unwrap().desc.priority
+        })
+        .unwrap();
+    assert!(
+        prio < UnixConfig::default().base_priority,
+        "compute-bound process degraded from {} to {prio}",
+        UnixConfig::default().base_priority
+    );
+}
+
+#[test]
+fn many_processes_under_descriptor_pressure() {
+    // More processes than thread descriptors in a tiny Cache Kernel: the
+    // emulator keeps everything running via writeback/reload.
+    let mut ck = cache_kernel::CacheKernel::new(CkConfig {
+        thread_slots: 4,
+        space_slots: 6,
+        mapping_capacity: 64,
+        ..CkConfig::default()
+    });
+    let mut mpm = Mpm::new(MachineConfig {
+        phys_frames: 2048,
+        l2_bytes: 256 * 1024,
+        cpus: 1,
+        ..MachineConfig::default()
+    });
+    let srm = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    let unix = ck
+        .load_kernel(
+            srm,
+            KernelDesc {
+                memory_access: MemoryAccessArray::all(),
+                ..KernelDesc::default()
+            },
+            &mut mpm,
+        )
+        .unwrap();
+    let mut ex = Executive::new(ck, mpm);
+    ex.register_kernel(srm, Box::new(NullKernel));
+    ex.register_kernel(
+        unix,
+        Box::new(UnixEmulator::new(unix, UnixConfig::default())),
+    );
+    for i in 0..6 {
+        spawn(
+            &mut ex,
+            unix,
+            Box::new(Script::new(vec![
+                Step::Compute(1000),
+                Step::Store(Vaddr(layout::DATA_BASE.0 + i * 16), i),
+                Step::Compute(1000),
+                syscall::exit(0),
+            ])),
+        );
+    }
+    ex.run_until_idle(2000);
+    let zombies = ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| {
+            (1..=6)
+                .filter(|pid| matches!(u.proc(*pid).map(|p| p.state), Some(ProcState::Zombie(0))))
+                .count()
+        })
+        .unwrap();
+    assert_eq!(
+        zombies, 6,
+        "all six processes completed despite 4 thread slots"
+    );
+}
+
+#[test]
+#[allow(unused_assignments)] // closure-captured state persists across calls
+fn sbrk_grows_heap_within_data_region() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::FnProgram({
+            let mut stage = 0;
+            let mut old = 0u32; // overwritten by the first sbrk result
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => syscall::sbrk(0x2000),
+                    2 => {
+                        old = ctx.trap_ret;
+                        assert_eq!(old, layout::DATA_BASE.0);
+                        // Touch the newly granted page.
+                        Step::Store(Vaddr(old + 0x1000), 7)
+                    }
+                    3 => syscall::sbrk(0),
+                    4 => {
+                        assert_eq!(ctx.trap_ret, layout::DATA_BASE.0 + 0x2000);
+                        // A huge sbrk is clamped: break unchanged.
+                        syscall::sbrk(0x7fff_ffff)
+                    }
+                    5 => syscall::sbrk(0),
+                    6 => {
+                        assert_eq!(ctx.trap_ret, layout::DATA_BASE.0 + 0x2000, "clamped");
+                        syscall::exit(0)
+                    }
+                    _ => syscall::exit(0),
+                }
+            }
+        })),
+    );
+    ex.run_until_idle(300);
+    assert!(ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| matches!(
+            u.proc(1).map(|p| p.state),
+            Some(ProcState::Zombie(0))
+        ))
+        .unwrap());
+}
+
+#[test]
+fn kill_terminates_target_and_frees_resources() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    // Victim spins forever after touching memory.
+    let victim = spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::FnProgram({
+            let mut touched = false;
+            move |_ctx: &mut ThreadCtx| {
+                if !touched {
+                    touched = true;
+                    Step::Store(layout::DATA_BASE, 1)
+                } else {
+                    Step::Compute(500)
+                }
+            }
+        })),
+    );
+    let killer = spawn(
+        &mut ex,
+        unix,
+        Box::new(Script::new(vec![
+            Step::Compute(50_000),
+            syscall::kill(victim),
+            syscall::exit(0),
+        ])),
+    );
+    let _ = killer;
+    ex.run_until_idle(500);
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, env| {
+        assert!(matches!(
+            u.proc(victim).map(|p| p.state),
+            Some(ProcState::Zombie(-9))
+        ));
+        let p = u.proc(victim).unwrap();
+        assert!(
+            p.thread.is_none() && p.space.is_none(),
+            "resources released"
+        );
+        assert_eq!(p.sm.resident(), 0, "frames returned");
+        env.ck.check_invariants().unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn getppid_and_nice() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::ForkableFn({
+            let mut stage = 0;
+            let mut child = false;
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => syscall::fork(),
+                    2 => {
+                        child = ctx.trap_ret == 0;
+                        if child {
+                            syscall::getppid()
+                        } else {
+                            syscall::wait()
+                        }
+                    }
+                    3 => {
+                        if child {
+                            assert_eq!(ctx.trap_ret, 1, "parent pid visible to child");
+                            syscall::nice(3)
+                        } else {
+                            syscall::exit(0)
+                        }
+                    }
+                    4 => {
+                        if child {
+                            assert_eq!(ctx.trap_ret, 3, "nice clamps into the user band");
+                            syscall::exit(0)
+                        } else {
+                            syscall::exit(0)
+                        }
+                    }
+                    _ => syscall::exit(0),
+                }
+            }
+        })),
+    );
+    ex.run_until_idle(600);
+    let s = stats(&mut ex, unix);
+    assert_eq!(s.segv_kills, 0);
+}
+
+#[test]
+#[allow(unused_assignments)] // closure-captured fds persist across calls
+fn write_to_file_then_read_back() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, _| {
+        u.fsys.put("log", Vec::new());
+    })
+    .unwrap();
+    let name = Vaddr(layout::DATA_BASE.0 + 0x500);
+    let buf = layout::DATA_BASE;
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::FnProgram({
+            let mut stage = 0;
+            let mut fd = 0;
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => Step::StoreBytes(name, b"log".to_vec()),
+                    2 => syscall::open(name, 3),
+                    3 => {
+                        fd = ctx.trap_ret;
+                        Step::StoreBytes(buf, b"entry-1 ".to_vec())
+                    }
+                    4 => syscall::write(fd, buf, 8),
+                    5 => {
+                        assert_eq!(ctx.trap_ret, 8);
+                        syscall::exit(0)
+                    }
+                    _ => syscall::exit(0),
+                }
+            }
+        })),
+    );
+    ex.run_until_idle(400);
+    let logged = ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| u.fsys.get("log").map(|d| d.to_vec()))
+        .unwrap();
+    assert_eq!(logged.as_deref(), Some(&b"entry-1 "[..]));
+}
+
+#[test]
+fn pipe_between_forked_processes() {
+    // The classic producer/consumer: parent creates a pipe, forks; the
+    // child writes, the parent blocks in read until the data arrives
+    // (sleep/wakeup underneath — the reader's thread descriptor leaves
+    // the Cache Kernel while it waits).
+    let (mut ex, unix) = boot(UnixConfig::default());
+    let buf = layout::DATA_BASE;
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::ForkableFn({
+            let mut stage = 0;
+            let mut role = 0u32; // 1 parent, 2 child
+            let mut rfd = 0u32;
+            let mut wfd = 0u32;
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => syscall::pipe(),
+                    2 => {
+                        rfd = ctx.trap_ret >> 16;
+                        wfd = ctx.trap_ret & 0xffff;
+                        syscall::fork()
+                    }
+                    3 => {
+                        role = if ctx.trap_ret == 0 { 2 } else { 1 };
+                        if role == 2 {
+                            // Child: produce after some compute delay.
+                            Step::Compute(80_000)
+                        } else {
+                            // Parent: this read must block.
+                            syscall::read(rfd, buf, 16)
+                        }
+                    }
+                    4 => {
+                        if role == 2 {
+                            Step::StoreBytes(Vaddr(buf.0 + 0x100), b"through the pipe".to_vec())
+                        } else {
+                            assert_eq!(ctx.trap_ret, 16, "read returned after wake");
+                            syscall::write(1, buf, 16)
+                        }
+                    }
+                    5 => {
+                        if role == 2 {
+                            syscall::write(wfd, Vaddr(buf.0 + 0x100), 16)
+                        } else {
+                            syscall::wait()
+                        }
+                    }
+                    _ => syscall::exit(0),
+                }
+            }
+        })),
+    );
+    ex.run_until_idle(2000);
+    let console = ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| u.console.clone())
+        .unwrap();
+    assert_eq!(console, b"through the pipe");
+    let s = stats(&mut ex, unix);
+    assert_eq!(s.segv_kills, 0);
+}
+
+#[test]
+fn pipe_read_with_buffered_data_does_not_block() {
+    let (mut ex, unix) = boot(UnixConfig::default());
+    let buf = layout::DATA_BASE;
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(cache_kernel::FnProgram({
+            let mut stage = 0;
+            let mut rfd = 0u32;
+            let mut wfd = 0u32;
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => syscall::pipe(),
+                    2 => {
+                        rfd = ctx.trap_ret >> 16;
+                        wfd = ctx.trap_ret & 0xffff;
+                        Step::StoreBytes(buf, b"abcdef".to_vec())
+                    }
+                    3 => syscall::write(wfd, buf, 6),
+                    // Short read takes a prefix; second read the rest.
+                    4 => syscall::read(rfd, Vaddr(buf.0 + 0x40), 4),
+                    5 => {
+                        assert_eq!(ctx.trap_ret, 4);
+                        syscall::read(rfd, Vaddr(buf.0 + 0x80), 10)
+                    }
+                    6 => {
+                        assert_eq!(ctx.trap_ret, 2, "only the remaining bytes");
+                        // Writing to the read end is an error.
+                        syscall::write(rfd, buf, 1)
+                    }
+                    7 => {
+                        assert_eq!(ctx.trap_ret, ERR);
+                        syscall::exit(0)
+                    }
+                    _ => syscall::exit(0),
+                }
+            }
+        })),
+    );
+    ex.run_until_idle(500);
+    assert!(ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| matches!(
+            u.proc(1).map(|p| p.state),
+            Some(ProcState::Zombie(0))
+        ))
+        .unwrap());
+}
+
+#[test]
+fn privileged_instruction_gets_segv() {
+    // "attempting to execute a privileged-mode instruction (privilege
+    // violation)" is forwarded to the emulator, which kills the process.
+    let (mut ex, unix) = boot(UnixConfig::default());
+    let pid = spawn(
+        &mut ex,
+        unix,
+        Box::new(Script::new(vec![Step::Compute(10), Step::Privileged])),
+    );
+    ex.run_until_idle(200);
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, _| {
+        assert!(matches!(
+            u.proc(pid).map(|p| p.state),
+            Some(ProcState::Zombie(-11))
+        ));
+        assert_eq!(u.stats.segv_kills, 1);
+    })
+    .unwrap();
+}

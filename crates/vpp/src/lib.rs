@@ -1,0 +1,162 @@
+//! V++: the assembled Cache Kernel system.
+//!
+//! Umbrella crate re-exporting every subsystem of the reproduction and
+//! providing the boot harness the examples and integration tests share:
+//! build an MPM, boot its Cache Kernel, install the SRM as the first
+//! kernel, and optionally start application kernels under SRM grants —
+//! the full Fig. 1/Fig. 5 configuration.
+
+pub use cache_kernel;
+pub use db_kernel;
+pub use hw;
+pub use libkern;
+pub use sim_kernel;
+pub use srm;
+pub use unix_emu;
+pub use workloads;
+
+use cache_kernel::{
+    CacheKernel, CkConfig, Cluster, Executive, KernelDesc, LockedQuota, MemoryAccessArray, ObjId,
+    MAX_CPUS,
+};
+use hw::{MachineConfig, Mpm, PAGE_GROUP_PAGES};
+use srm::Srm;
+use unix_emu::{UnixConfig, UnixEmulator};
+
+/// Boot parameters for one node.
+#[derive(Clone, Debug)]
+pub struct BootConfig {
+    /// Node index.
+    pub node: usize,
+    /// Physical memory in frames.
+    pub phys_frames: usize,
+    /// CPUs per MPM.
+    pub cpus: usize,
+    /// Cache Kernel geometry.
+    pub ck: CkConfig,
+    /// Clock interval in cycles.
+    pub clock_interval: u64,
+}
+
+impl Default for BootConfig {
+    fn default() -> Self {
+        BootConfig {
+            node: 0,
+            phys_frames: 8192, // 32 MiB
+            cpus: 4,
+            ck: CkConfig::default(),
+            clock_interval: 25_000,
+        }
+    }
+}
+
+/// Boot one MPM: Cache Kernel plus the SRM as the locked first kernel.
+/// Returns the executive and the SRM's kernel id.
+pub fn boot_node(cfg: BootConfig) -> (Executive, ObjId) {
+    let mut ck = CacheKernel::new(cfg.ck.clone());
+    let mpm = Mpm::new(MachineConfig {
+        node: cfg.node,
+        cpus: cfg.cpus,
+        phys_frames: cfg.phys_frames,
+        l2_bytes: 8 * 1024 * 1024,
+        clock_interval: cfg.clock_interval,
+        ..MachineConfig::default()
+    });
+    let srm_id = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    // SRM manages page groups from 1 up to (but excluding) the device
+    // region at the top of physical memory.
+    let device_base_group = mpm.device_frame_base() / PAGE_GROUP_PAGES;
+    let mut ex = Executive::new(ck, mpm);
+    ex.register_kernel(
+        srm_id,
+        Box::new(Srm::new(srm_id, 1, device_base_group.max(2))),
+    );
+    ex.register_channel(srm::dist::SRM_CHANNEL, srm_id);
+    (ex, srm_id)
+}
+
+/// Boot a node and start a UNIX emulator under an SRM grant of `groups`
+/// page groups. Returns `(executive, srm id, unix kernel id)`.
+pub fn boot_unix_node(
+    cfg: BootConfig,
+    groups: u32,
+    unix_cfg_base: UnixConfig,
+) -> (Executive, ObjId, ObjId) {
+    let (mut ex, srm_id) = boot_node(cfg);
+    let unix = ex
+        .with_kernel::<Srm, _>(srm_id, |s, env| {
+            s.start_kernel(
+                env,
+                "unix",
+                groups,
+                [90; MAX_CPUS],
+                unix_emu::sched::USER_PRIO_MAX + 2,
+                LockedQuota::default(),
+            )
+        })
+        .unwrap()
+        .expect("grant available");
+    let grant = ex
+        .with_kernel::<Srm, _>(srm_id, |s, _| s.grant_of(unix).cloned())
+        .unwrap()
+        .unwrap();
+    let ucfg = UnixConfig {
+        frames: grant.frame_first()..grant.frame_end(),
+        ..unix_cfg_base
+    };
+    ex.register_kernel(unix, Box::new(UnixEmulator::new(unix, ucfg)));
+    (ex, srm_id, unix)
+}
+
+/// Boot an `n`-node cluster, each with its own Cache Kernel and SRM,
+/// connected by the fabric (Fig. 4/5). SRM peers advertise load.
+pub fn boot_cluster(n: usize, base: BootConfig) -> (Cluster, Vec<ObjId>) {
+    let mut nodes = Vec::new();
+    let mut srms = Vec::new();
+    for node in 0..n {
+        let (mut ex, srm_id) = boot_node(BootConfig {
+            node,
+            ..base.clone()
+        });
+        ex.with_kernel::<Srm, _>(srm_id, |s, _| {
+            s.peers.cluster_nodes = n;
+        });
+        nodes.push(ex);
+        srms.push(srm_id);
+    }
+    (Cluster::new(nodes), srms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_node_has_locked_first_kernel() {
+        let (ex, srm_id) = boot_node(BootConfig::default());
+        assert_eq!(ex.ck.first_kernel(), srm_id);
+        assert!(ex.ck.kernel(srm_id).unwrap().locked);
+    }
+
+    #[test]
+    fn boot_unix_node_constrains_frames() {
+        let (ex, _srm, unix) = boot_unix_node(BootConfig::default(), 4, UnixConfig::default());
+        let k = ex.ck.kernel(unix).unwrap();
+        // Group 0 was not granted.
+        assert_eq!(k.desc.memory_access.get(0), hw::Rights::None);
+        assert_eq!(k.desc.memory_access.get(1), hw::Rights::ReadWrite);
+    }
+
+    #[test]
+    fn boot_cluster_nodes_are_distinct() {
+        let (cluster, srms) = boot_cluster(3, BootConfig::default());
+        assert_eq!(cluster.nodes.len(), 3);
+        assert_eq!(srms.len(), 3);
+        for (i, n) in cluster.nodes.iter().enumerate() {
+            assert_eq!(n.node(), i);
+        }
+    }
+}

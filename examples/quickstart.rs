@@ -1,0 +1,147 @@
+//! Quickstart: boot an MPM, write a tiny application kernel, run a
+//! program under demand paging.
+//!
+//! This is the caching model end to end in ~100 lines: the Cache Kernel
+//! holds only descriptors; *your* kernel supplies the pages, the policy
+//! and the fault handling.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use vpp::cache_kernel::{
+    AppKernel, Env, FaultDisposition, LockedQuota, ObjId, Script, SpaceDesc, Step, TrapDisposition,
+};
+use vpp::hw::{Fault, Pte, Vaddr};
+use vpp::libkern::FrameAllocator;
+use vpp::srm::Srm;
+use vpp::{boot_node, BootConfig};
+
+/// The simplest possible application kernel: a demand pager that backs
+/// every faulting page with a fresh frame from its SRM grant.
+struct TinyKernel {
+    me: ObjId,
+    frames: FrameAllocator,
+    faults: u64,
+}
+
+impl AppKernel for TinyKernel {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn on_start(&mut self, _env: &mut Env, id: ObjId) {
+        self.me = id;
+    }
+    fn on_page_fault(&mut self, env: &mut Env, thread: ObjId, fault: Fault) -> FaultDisposition {
+        self.faults += 1;
+        let space = env.ck.thread(thread).unwrap().desc.space;
+        let frame = self.frames.alloc().expect("grant not exhausted");
+        // The optimized call: load the mapping and resume in one trap.
+        env.ck
+            .load_mapping_and_resume(
+                self.me,
+                space,
+                fault.vaddr.page_base(),
+                frame.base(),
+                Pte::WRITABLE | Pte::CACHEABLE,
+                None,
+                None,
+                env.mpm,
+                env.cpu,
+            )
+            .expect("mapping within grant");
+        FaultDisposition::Resume
+    }
+    fn on_trap(&mut self, _env: &mut Env, _t: ObjId, no: u32, args: [u32; 4]) -> TrapDisposition {
+        // One "system call": print a number.
+        println!("  [tiny-kernel] syscall {no}: value = {}", args[0]);
+        TrapDisposition::Return(0)
+    }
+    fn name(&self) -> &str {
+        "tiny-kernel"
+    }
+}
+
+fn main() {
+    // 1. Boot: Cache Kernel + SRM (the locked first kernel).
+    let (mut ex, srm_id) = boot_node(BootConfig::default());
+    println!("booted node {} with {} CPUs", ex.node(), ex.mpm.cpus.len());
+
+    // 2. The SRM grants our kernel two page groups (1 MiB) and creates
+    //    its kernel object.
+    let tiny = ex
+        .with_kernel::<Srm, _>(srm_id, |s, env| {
+            s.start_kernel(env, "tiny", 2, [50; 8], 20, LockedQuota::default())
+        })
+        .unwrap()
+        .unwrap();
+    let grant = ex
+        .with_kernel::<Srm, _>(srm_id, |s, _| s.grant_of(tiny).cloned())
+        .unwrap()
+        .unwrap();
+    println!(
+        "SRM granted kernel {:?} frames {}..{}",
+        tiny,
+        grant.frame_first(),
+        grant.frame_end()
+    );
+    ex.register_kernel(
+        tiny,
+        Box::new(TinyKernel {
+            me: tiny,
+            frames: FrameAllocator::from_frames(grant.frame_first()..grant.frame_end()),
+            faults: 0,
+        }),
+    );
+
+    // 3. An address space and a thread running a little program: store,
+    //    load, syscall, exit. Every page it touches demand-faults into
+    //    the tiny kernel.
+    let space = ex
+        .ck
+        .load_space(tiny, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let t = ex
+        .spawn_thread(
+            tiny,
+            space,
+            Box::new(Script::new(vec![
+                Step::Store(Vaddr(0x4000_0000), 41),
+                Step::Load(Vaddr(0x4000_0000)),
+                Step::Store(Vaddr(0x4001_0000), 1),
+                Step::Trap {
+                    no: 1,
+                    args: [42, 0, 0, 0],
+                },
+                Step::Exit(0),
+            ])),
+            15,
+        )
+        .unwrap();
+    println!("spawned thread {t:?}");
+
+    // 4. Run to completion.
+    ex.run_until_idle(1000);
+
+    let faults = ex
+        .with_kernel::<TinyKernel, _>(tiny, |k, _| k.faults)
+        .unwrap();
+    println!("\nprogram finished:");
+    println!("  page faults handled by tiny-kernel : {faults}");
+    println!(
+        "  faults forwarded by Cache Kernel   : {}",
+        ex.ck.stats.faults_forwarded
+    );
+    println!(
+        "  traps forwarded                    : {}",
+        ex.ck.stats.traps_forwarded
+    );
+    println!(
+        "  mapping loads                      : {}",
+        ex.ck.stats.loads[3]
+    );
+    println!(
+        "  simulated time                     : {:.1} µs",
+        ex.mpm.clock.micros(&ex.mpm.config.cost)
+    );
+    assert_eq!(faults, 2, "two distinct pages were touched");
+    println!("\nquickstart OK");
+}

@@ -1,0 +1,154 @@
+//! UNIX timesharing: the paper's running example (§2) as a scenario.
+//!
+//! A UNIX emulator application kernel runs a small timesharing mix on one
+//! MPM: an interactive "editor" that mostly sleeps, a compute-bound batch
+//! job that the decay scheduler pushes to low priority, and a fork tree
+//! whose children share pages copy-on-write. Demand paging, sleep/wakeup
+//! via thread unload/reload, and swapping all actually happen.
+//!
+//! Run with: `cargo run --example unix_timesharing`
+
+use vpp::cache_kernel::{ForkableFn, Script, Step, ThreadCtx};
+use vpp::unix_emu::proc::layout;
+use vpp::unix_emu::{syscall, UnixConfig, UnixEmulator};
+use vpp::{boot_unix_node, BootConfig};
+
+fn main() {
+    let (mut ex, _srm, unix) = boot_unix_node(
+        BootConfig::default(),
+        8, // 4 MiB grant
+        UnixConfig {
+            swap_after_ticks: 6,
+            ..UnixConfig::default()
+        },
+    );
+
+    let spawn = |ex: &mut vpp::cache_kernel::Executive,
+                 prog: Box<dyn vpp::cache_kernel::Program>| {
+        ex.with_kernel::<UnixEmulator, _>(unix, |u, env| {
+            u.spawn(env.ck, env.mpm, env.code, prog, None, 0).unwrap()
+        })
+        .unwrap()
+    };
+
+    // An interactive process: writes a prompt, sleeps on "keyboard"
+    // event 1, repeats. A "tty driver" process wakes it periodically.
+    let editor = spawn(
+        &mut ex,
+        Box::new(ForkableFn({
+            let mut round = 0u32;
+            move |_ctx: &mut ThreadCtx| {
+                round += 1;
+                match round % 3 {
+                    1 => Step::StoreBytes(layout::DATA_BASE, b"ed> ".to_vec()),
+                    2 => syscall::write(1, layout::DATA_BASE, 4),
+                    _ => {
+                        if round > 12 {
+                            syscall::exit(0)
+                        } else {
+                            syscall::sleep(1)
+                        }
+                    }
+                }
+            }
+        })),
+    );
+    let _tty = spawn(
+        &mut ex,
+        Box::new(ForkableFn({
+            let mut n = 0u32;
+            move |_ctx: &mut ThreadCtx| {
+                n += 1;
+                if n > 120 {
+                    syscall::exit(0)
+                } else if n.is_multiple_of(4) {
+                    syscall::wakeup(1)
+                } else {
+                    Step::Compute(30_000)
+                }
+            }
+        })),
+    );
+
+    // A batch compute job.
+    let batch = spawn(
+        &mut ex,
+        Box::new(Script::new(
+            std::iter::repeat_n(Step::Compute(20_000), 60)
+                .chain([syscall::exit(0)])
+                .collect(),
+        )),
+    );
+
+    // A fork tree: the parent writes a page (so the children inherit it
+    // copy-on-write), forks two children that each overwrite and print
+    // it, then waits for both.
+    let _forker = spawn(
+        &mut ex,
+        Box::new(ForkableFn({
+            let mut stage = 0u32;
+            let mut role = 0u32; // 0 = parent, 2 = child
+            let mut child_step = 0u32;
+            move |ctx: &mut ThreadCtx| {
+                if role == 2 {
+                    child_step += 1;
+                    return match child_step {
+                        1 => Step::StoreBytes(layout::DATA_BASE, b"child!\n".to_vec()),
+                        2 => syscall::write(1, layout::DATA_BASE, 7),
+                        _ => syscall::exit(0),
+                    };
+                }
+                stage += 1;
+                match stage {
+                    1 => Step::StoreBytes(layout::DATA_BASE, b"parent \n".to_vec()),
+                    2 => syscall::fork(),
+                    3 | 4 => {
+                        if ctx.trap_ret == 0 {
+                            role = 2;
+                            child_step = 1;
+                            Step::StoreBytes(layout::DATA_BASE, b"child!\n".to_vec())
+                        } else if stage == 3 {
+                            syscall::fork()
+                        } else {
+                            syscall::wait()
+                        }
+                    }
+                    5 => syscall::wait(),
+                    _ => syscall::exit(0),
+                }
+            }
+        })),
+    );
+
+    // Run the mix.
+    for _ in 0..40 {
+        ex.run(50);
+    }
+    ex.run_until_idle(4000);
+
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, env| {
+        println!(
+            "console output:\n---\n{}---",
+            String::from_utf8_lossy(&u.console)
+        );
+        println!("\nemulator statistics:");
+        println!("  processes created : {}", u.stats.forks + 4);
+        println!("  forks             : {}", u.stats.forks);
+        println!("  COW copies        : {}", u.stats.cow_copies);
+        println!("  page faults       : {}", u.stats.faults);
+        println!("  syscalls          : {}", u.stats.syscalls);
+        println!(
+            "  swap-outs/ins     : {}/{}",
+            u.stats.swap_outs, u.stats.swap_ins
+        );
+        println!("\ncache kernel statistics:");
+        println!("  loads (K/A/T/M)   : {:?}", env.ck.stats.loads);
+        println!("  writebacks        : {:?}", env.ck.stats.writebacks);
+        println!("  faults forwarded  : {}", env.ck.stats.faults_forwarded);
+        println!("  traps forwarded   : {}", env.ck.stats.traps_forwarded);
+        assert!(u.stats.forks >= 2, "fork tree ran");
+        let _ = (editor, batch);
+    })
+    .unwrap();
+    println!("\nunix timesharing OK");
+}

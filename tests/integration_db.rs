@@ -1,0 +1,111 @@
+//! Database-kernel integration: the server inside an executive, policy
+//! comparisons on generated workloads (the §1 motivation).
+
+use vpp::cache_kernel::{Executive, ObjId};
+use vpp::db_kernel::{DbKernel, DbOp, DbServer, Policy};
+use vpp::srm::Srm;
+use vpp::workloads;
+use vpp::{boot_node, BootConfig};
+
+fn boot_db(policy: Policy) -> (Executive, ObjId) {
+    let (mut ex, srm_id) = boot_node(BootConfig::default());
+    let dbk = ex
+        .with_kernel::<Srm, _>(srm_id, |s, env| {
+            s.start_kernel(env, "db", 4, [80; 8], 22, Default::default())
+                .unwrap()
+        })
+        .unwrap();
+    let grant = ex
+        .with_kernel::<Srm, _>(srm_id, |s, _| s.grant_of(dbk).cloned())
+        .unwrap()
+        .unwrap();
+    ex.register_kernel(
+        dbk,
+        Box::new(DbServer {
+            db: None,
+            db_pages: 48,
+            cache_pages: 12,
+            frames: grant.frame_first()..grant.frame_end(),
+            policy,
+        }),
+    );
+    (ex, dbk)
+}
+
+fn run_ops(ex: &mut Executive, dbk: ObjId, ops: &[DbOp]) -> (u64, f64) {
+    ex.with_kernel::<DbServer, _>(dbk, |s, env| {
+        let db = s.db.as_mut().expect("server initialized");
+        let r = db.run(env.ck, env.mpm, ops).unwrap();
+        (r.disk_reads, r.hit_rate())
+    })
+    .unwrap()
+}
+
+#[test]
+fn server_boots_under_srm_grant() {
+    let (mut ex, dbk) = boot_db(Policy::Lru);
+    let resident = ex
+        .with_kernel::<DbServer, _>(dbk, |s, _| s.db.as_ref().map(|d| d.resident()))
+        .unwrap();
+    assert_eq!(resident, Some(0));
+    let (reads, _) = run_ops(&mut ex, dbk, &[DbOp::Scan]);
+    assert_eq!(reads, 48, "cold scan reads the whole table");
+}
+
+#[test]
+fn zipf_workload_hits_hot_pages() {
+    let (mut ex, dbk) = boot_db(Policy::Lru);
+    let mut rng = workloads::rng(5);
+    let zipf = workloads::Zipf::new(48, 0.99);
+    let ops: Vec<DbOp> = zipf
+        .stream(&mut rng, 2000)
+        .into_iter()
+        .map(DbOp::Lookup)
+        .collect();
+    let (reads, hit_rate) = run_ops(&mut ex, dbk, &ops);
+    assert!(
+        hit_rate > 0.5,
+        "skewed lookups mostly hit, got {hit_rate:.2}"
+    );
+    assert!(reads < 1000);
+}
+
+#[test]
+fn app_policy_beats_fixed_on_mixed_load() {
+    let stream = workloads::mixed_stream(48, 4, 12, 2, 8);
+    let ops: Vec<DbOp> = stream.into_iter().map(DbOp::Lookup).collect();
+    let mut results = Vec::new();
+    for p in [Policy::Lru, Policy::ScanResistant] {
+        let (mut ex, dbk) = boot_db(p);
+        results.push(run_ops(&mut ex, dbk, &ops).0);
+    }
+    assert!(
+        results[1] < results[0],
+        "scan-resistant ({}) beats LRU ({}) on mixed load",
+        results[1],
+        results[0]
+    );
+}
+
+#[test]
+fn standalone_kernel_matches_served_results() {
+    // The DbKernel used directly (as in benches) behaves identically to
+    // the one inside the executive.
+    let ops: Vec<DbOp> = (0..3).map(|_| DbOp::Scan).collect();
+    let (mut ex, dbk) = boot_db(Policy::Mru);
+    let served = run_ops(&mut ex, dbk, &ops);
+
+    let mut ck = vpp::cache_kernel::CacheKernel::new(Default::default());
+    let mut mpm = vpp::hw::Mpm::new(vpp::hw::MachineConfig {
+        phys_frames: 4096,
+        l2_bytes: 64 * 1024,
+        ..vpp::hw::MachineConfig::default()
+    });
+    let me = ck.boot(vpp::cache_kernel::KernelDesc {
+        memory_access: vpp::cache_kernel::MemoryAccessArray::all(),
+        ..vpp::cache_kernel::KernelDesc::default()
+    });
+    let mut db = DbKernel::create(&mut ck, &mut mpm, me, 48, 12, 64..1024, Policy::Mru).unwrap();
+    let direct = db.run(&mut ck, &mut mpm, &ops).unwrap();
+    assert_eq!(served.0, direct.disk_reads);
+}

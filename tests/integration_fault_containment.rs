@@ -1,0 +1,109 @@
+//! Fault containment across MPMs: "a Cache Kernel error only disables
+//! its MPM and an MPM hardware failure only halts the local Cache Kernel
+//! instance and applications running on top of it, not the entire
+//! system" (§3).
+
+use vpp::cache_kernel::{FnProgram, SpaceDesc, Step, ThreadCtx};
+use vpp::hw::Packet;
+use vpp::srm::Srm;
+use vpp::{boot_cluster, BootConfig};
+
+#[test]
+fn failed_node_stops_others_continue() {
+    let (mut cluster, _srms) = boot_cluster(3, BootConfig::default());
+    // Give every node a busy thread.
+    for node in cluster.nodes.iter_mut() {
+        let srm = node.ck.first_kernel();
+        let sp = node
+            .ck
+            .load_space(srm, SpaceDesc::default(), &mut node.mpm)
+            .unwrap();
+        node.spawn_thread(
+            srm,
+            sp,
+            Box::new(FnProgram(|_: &mut ThreadCtx| Step::Compute(500))),
+            10,
+        )
+        .unwrap();
+    }
+    cluster.step(50);
+    cluster.fail_node(1);
+    let cycles_before: Vec<u64> = cluster.nodes.iter().map(|n| n.mpm.clock.cycles()).collect();
+    cluster.step(50);
+    let cycles_after: Vec<u64> = cluster.nodes.iter().map(|n| n.mpm.clock.cycles()).collect();
+    assert_eq!(cycles_after[1], cycles_before[1], "failed node frozen");
+    assert!(cycles_after[0] > cycles_before[0]);
+    assert!(cycles_after[2] > cycles_before[2]);
+}
+
+#[test]
+fn traffic_to_failed_node_dropped_not_wedged() {
+    let (mut cluster, _srms) = boot_cluster(2, BootConfig::default());
+    cluster.fail_node(1);
+    cluster.nodes[0].outbox.push(Packet {
+        src: 0,
+        dst: 1,
+        channel: 3,
+        data: vec![1, 2, 3],
+    });
+    // Stepping must neither deliver nor wedge.
+    cluster.step(20);
+    assert_eq!(cluster.fabric.pending(1), 0);
+    assert_eq!(cluster.nodes[1].mpm.fiber.stats.rx, 0);
+    // The healthy node keeps executing.
+    assert!(cluster.nodes[0].quanta_run > 0);
+}
+
+#[test]
+fn peer_entries_go_stale_after_failure() {
+    let (mut cluster, srms) = boot_cluster(3, BootConfig::default());
+    for _ in 0..12 {
+        cluster.step(40);
+    }
+    // Everyone knows node 1.
+    let age0 = cluster.nodes[0]
+        .with_kernel::<Srm, _>(srms[0], |s, _| s.peers.peer(1).map(|p| p.age))
+        .unwrap();
+    assert!(age0.is_some());
+    cluster.fail_node(1);
+    for _ in 0..20 {
+        cluster.step(40);
+    }
+    let age_after = cluster.nodes[0]
+        .with_kernel::<Srm, _>(srms[0], |s, _| s.peers.peer(1).map(|p| p.age).unwrap_or(0))
+        .unwrap();
+    assert!(age_after > 8, "dead peer aged out of placement decisions");
+    // Placement avoids the dead node even though it advertised 'idle'.
+    let placed = cluster.nodes[0]
+        .with_kernel::<Srm, _>(srms[0], |s, _| s.peers.least_loaded(0, 5))
+        .unwrap();
+    assert_ne!(placed, 1);
+}
+
+#[test]
+fn local_work_on_surviving_nodes_completes() {
+    let (mut cluster, _srms) = boot_cluster(2, BootConfig::default());
+    cluster.fail_node(0);
+    let node = &mut cluster.nodes[1];
+    let srm = node.ck.first_kernel();
+    let sp = node
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut node.mpm)
+        .unwrap();
+    let t = node
+        .spawn_thread(
+            srm,
+            sp,
+            Box::new(vpp::cache_kernel::Script::new(vec![
+                Step::Compute(1000),
+                Step::Exit(0),
+            ])),
+            10,
+        )
+        .unwrap();
+    cluster.step(100);
+    assert!(
+        cluster.nodes[1].ck.thread(t).is_err(),
+        "work completed normally"
+    );
+}

@@ -1,0 +1,534 @@
+//! Memory-based messaging end to end: program-level channels, the
+//! reverse-TLB fast path, multi-mapping consistency through the
+//! executive, and the RPC facility.
+
+use vpp::cache_kernel::{FnProgram, SpaceDesc, Step, ThreadCtx, ThreadDesc};
+use vpp::hw::{Paddr, Pte, Vaddr, PAGE_SIZE};
+use vpp::libkern::{Channel, Demarshal, Marshal, RpcClient, RpcServer};
+use vpp::{boot_node, BootConfig};
+
+#[test]
+fn program_level_request_response() {
+    // A server thread and a client thread in different spaces exchange a
+    // request and a response through two message pages; the Cache Kernel
+    // only ever delivers signals — the data moves through memory.
+    let (mut ex, srm) = boot_node(BootConfig::default());
+    let req_frame = Paddr(0x40_0000);
+    let resp_frame = Paddr(0x40_1000);
+    let client_sp = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let server_sp = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+
+    // Server: waits for the request signal, reads the value, writes
+    // value+1 into the response page (whose store signals the client).
+    let server_pc = ex.code.register(Box::new(FnProgram({
+        let mut stage = 0;
+        move |ctx: &mut ThreadCtx| {
+            stage += 1;
+            match stage {
+                1 => Step::WaitSignal,
+                2 => {
+                    let at = ctx.signal.take().expect("request signal");
+                    Step::Load(at)
+                }
+                3 => Step::Store(Vaddr(0xb000), ctx.loaded + 1),
+                _ => Step::Exit(0),
+            }
+        }
+    })));
+    let server = ex
+        .ck
+        .load_thread(
+            srm,
+            ThreadDesc::new(server_sp, server_pc, 20),
+            false,
+            &mut ex.mpm,
+        )
+        .unwrap();
+
+    // Client: writes the request (signals the server), waits for the
+    // response signal, checks the value.
+    let client_pc = ex.code.register(Box::new(FnProgram({
+        let mut stage = 0;
+        move |ctx: &mut ThreadCtx| {
+            stage += 1;
+            match stage {
+                1 => Step::Store(Vaddr(0xa000), 41),
+                2 => Step::WaitSignal,
+                3 => {
+                    let at = ctx.signal.take().expect("response signal");
+                    Step::Load(at)
+                }
+                4 => {
+                    assert_eq!(ctx.loaded, 42);
+                    Step::Exit(0)
+                }
+                _ => Step::Exit(0),
+            }
+        }
+    })));
+    let client = ex
+        .ck
+        .load_thread(
+            srm,
+            ThreadDesc::new(client_sp, client_pc, 20),
+            false,
+            &mut ex.mpm,
+        )
+        .unwrap();
+
+    // Request page: client writes at 0xa000, server receives at 0xa000.
+    ex.ck
+        .load_mapping(
+            srm,
+            server_sp,
+            Vaddr(0xa000),
+            req_frame,
+            Pte::MESSAGE,
+            Some(server),
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+    ex.ck
+        .load_mapping(
+            srm,
+            client_sp,
+            Vaddr(0xa000),
+            req_frame,
+            Pte::WRITABLE | Pte::MESSAGE | Pte::CACHEABLE,
+            None,
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+    // Response page: server writes at 0xb000, client receives at 0xb000.
+    ex.ck
+        .load_mapping(
+            srm,
+            client_sp,
+            Vaddr(0xb000),
+            resp_frame,
+            Pte::MESSAGE,
+            Some(client),
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+    ex.ck
+        .load_mapping(
+            srm,
+            server_sp,
+            Vaddr(0xb000),
+            resp_frame,
+            Pte::WRITABLE | Pte::MESSAGE | Pte::CACHEABLE,
+            None,
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+
+    ex.run_until_idle(500);
+    assert_eq!(ex.code.len(), 0, "both sides completed");
+    assert_eq!(
+        ex.ck.stats.signals_fast + ex.ck.stats.signals_slow,
+        2,
+        "exactly two signals: request and response"
+    );
+    // The data is visible in physical memory, untouched by the kernel.
+    assert_eq!(ex.mpm.mem.read_u32(req_frame).unwrap(), 41);
+    assert_eq!(ex.mpm.mem.read_u32(resp_frame).unwrap(), 42);
+}
+
+#[test]
+fn rtlb_fast_path_warms_up() {
+    let (mut ex, srm) = boot_node(BootConfig::default());
+    let sp = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let t = ex
+        .ck
+        .load_thread(srm, ThreadDesc::new(sp, 0, 5), false, &mut ex.mpm)
+        .unwrap();
+    ex.ck
+        .load_mapping(
+            srm,
+            sp,
+            Vaddr(0xa000),
+            Paddr(0x50_0000),
+            Pte::MESSAGE,
+            Some(t),
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+    for _ in 0..10 {
+        ex.ck.raise_signal(&mut ex.mpm, 0, Paddr(0x50_0000));
+    }
+    assert_eq!(
+        ex.ck.stats.signals_slow, 1,
+        "only the first delivery is slow"
+    );
+    assert_eq!(ex.ck.stats.signals_fast, 9, "the rest hit the reverse TLB");
+}
+
+#[test]
+fn consistency_flush_prevents_silent_sender() {
+    // After the receiver's signal mapping is displaced, the sender's
+    // writable mapping must be gone too, so the sender's next store
+    // faults instead of signaling into the void (§4.2).
+    let (mut ex, srm) = boot_node(BootConfig::default());
+    let frame = Paddr(0x60_0000);
+    let rx_sp = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let tx_sp = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let rx = ex
+        .ck
+        .load_thread(srm, ThreadDesc::new(rx_sp, 0, 5), false, &mut ex.mpm)
+        .unwrap();
+    ex.ck
+        .load_mapping(
+            srm,
+            rx_sp,
+            Vaddr(0xa000),
+            frame,
+            Pte::MESSAGE,
+            Some(rx),
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+    ex.ck
+        .load_mapping(
+            srm,
+            tx_sp,
+            Vaddr(0xb000),
+            frame,
+            Pte::WRITABLE | Pte::MESSAGE,
+            None,
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+    // Displace the receiver's mapping explicitly (stands in for
+    // replacement pressure).
+    ex.ck
+        .unload_mapping_range(srm, rx_sp, Vaddr(0xa000), PAGE_SIZE, &mut ex.mpm)
+        .unwrap();
+    assert!(ex.ck.query_mapping(srm, tx_sp, Vaddr(0xb000)).is_err());
+    assert!(ex.ck.stats.consistency_flushes >= 1);
+}
+
+struct Doubler;
+impl RpcServer for Doubler {
+    fn dispatch(&mut self, method: u32, args: &[u8]) -> Vec<u8> {
+        assert_eq!(method, 9);
+        let v = Demarshal::new(args).u32().unwrap();
+        Marshal::new().u32(v * 2).done()
+    }
+}
+
+#[test]
+fn rpc_facility_over_channels() {
+    let (mut ex, srm) = boot_node(BootConfig::default());
+    let a = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let b = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let ta = ex
+        .ck
+        .load_thread(srm, ThreadDesc::new(a, 0, 5), false, &mut ex.mpm)
+        .unwrap();
+    let tb = ex
+        .ck
+        .load_thread(srm, ThreadDesc::new(b, 0, 5), false, &mut ex.mpm)
+        .unwrap();
+    let req = Channel::setup(
+        &mut ex.ck,
+        &mut ex.mpm,
+        srm,
+        a,
+        Vaddr(0x1000),
+        b,
+        Vaddr(0x2000),
+        tb,
+        Paddr(0x70_0000),
+    )
+    .unwrap();
+    let resp = Channel::setup(
+        &mut ex.ck,
+        &mut ex.mpm,
+        srm,
+        b,
+        Vaddr(0x3000),
+        a,
+        Vaddr(0x4000),
+        ta,
+        Paddr(0x70_1000),
+    )
+    .unwrap();
+    let mut client = RpcClient::new(req, resp);
+    let out = client
+        .call(
+            &mut ex.ck,
+            &mut ex.mpm,
+            0,
+            &mut Doubler,
+            9,
+            Marshal::new().u32(21).done(),
+        )
+        .unwrap();
+    assert_eq!(Demarshal::new(&out).u32(), Some(42));
+}
+
+// ----------------------------------------------------------------------
+// Distributed shared memory over consistency faults (footnote 1)
+// ----------------------------------------------------------------------
+
+use vpp::cache_kernel::{
+    AppKernel, CacheKernel, CkConfig, Env, Executive, FaultDisposition, KernelDesc,
+    MemoryAccessArray, ObjId, TrapDisposition,
+};
+use vpp::hw::FaultKind;
+use vpp::libkern::{Dsm, DSM_CHANNEL};
+
+/// An application kernel that resolves consistency faults with the DSM
+/// protocol: FETCH toward the owner, block the thread, resume when the
+/// line is installed.
+struct DsmKernel {
+    me: ObjId,
+    dsm: Dsm,
+    waiting: Option<ObjId>,
+}
+
+impl AppKernel for DsmKernel {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn on_start(&mut self, _env: &mut Env, id: ObjId) {
+        self.me = id;
+    }
+    fn on_page_fault(&mut self, _env: &mut Env, _t: ObjId, _f: vpp::hw::Fault) -> FaultDisposition {
+        FaultDisposition::Kill
+    }
+    fn on_exception(
+        &mut self,
+        env: &mut Env,
+        thread: ObjId,
+        fault: vpp::hw::Fault,
+    ) -> FaultDisposition {
+        if fault.kind != FaultKind::Consistency {
+            return FaultDisposition::Kill;
+        }
+        // Resolve the faulting virtual address to the physical line.
+        let space = env.ck.thread(thread).unwrap().desc.space;
+        let m = env.ck.query_mapping(self.me, space, fault.vaddr).unwrap();
+        let paddr = vpp::hw::Paddr(m.paddr.0 | (fault.vaddr.0 & (vpp::hw::PAGE_SIZE - 1)));
+        match self.dsm.fetch_request(paddr) {
+            Some(pkt) => {
+                env.outbox.push(pkt);
+                self.waiting = Some(thread);
+                FaultDisposition::Block
+            }
+            None => FaultDisposition::Kill,
+        }
+    }
+    fn on_trap(&mut self, _env: &mut Env, _t: ObjId, no: u32, _a: [u32; 4]) -> TrapDisposition {
+        TrapDisposition::Return(no)
+    }
+    fn on_packet(&mut self, env: &mut Env, _src: usize, channel: u32, data: &[u8]) {
+        if channel != DSM_CHANNEL {
+            return;
+        }
+        // Either a fetch to serve (we own the line) or a line to install.
+        if let Some(reply) = self.dsm.serve_fetch(env.mpm, data) {
+            env.outbox.push(reply);
+            return;
+        }
+        if self.dsm.install_line(env.mpm, data).is_some() {
+            if let Some(t) = self.waiting.take() {
+                let _ = env.ck.resume_thread(self.me, t);
+            }
+        }
+    }
+    fn name(&self) -> &str {
+        "dsm-kernel"
+    }
+}
+
+fn boot_dsm_node(node: usize) -> (Executive, ObjId) {
+    let mut ck = CacheKernel::new(CkConfig::default());
+    let mpm = vpp::hw::Mpm::new(vpp::hw::MachineConfig {
+        node,
+        phys_frames: 2048,
+        l2_bytes: 64 * 1024,
+        ..vpp::hw::MachineConfig::default()
+    });
+    let id = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    let ex = Executive::new(ck, mpm);
+    (ex, id)
+}
+
+#[test]
+fn dsm_line_fetch_across_cluster() {
+    let shared = Paddr(0x30_0000); // frame 0x300, line-granular sharing
+    let (mut ex0, k0) = boot_dsm_node(0);
+    let (mut ex1, k1) = boot_dsm_node(1);
+
+    // Node 0 owns the line and holds the data.
+    let mut d0 = Dsm::new(0);
+    d0.share_lines(&mut ex0.mpm, shared, 1, 0);
+    ex0.mpm.mem.write_u32(shared, 0xC0FFEE).unwrap();
+    let mut d1 = Dsm::new(1);
+    d1.share_lines(&mut ex1.mpm, shared, 1, 0);
+
+    ex0.register_kernel(
+        k0,
+        Box::new(DsmKernel {
+            me: k0,
+            dsm: d0,
+            waiting: None,
+        }),
+    );
+    ex1.register_kernel(
+        k1,
+        Box::new(DsmKernel {
+            me: k1,
+            dsm: d1,
+            waiting: None,
+        }),
+    );
+    ex0.register_channel(DSM_CHANNEL, k0);
+    ex1.register_channel(DSM_CHANNEL, k1);
+
+    // A thread on node 1 maps the frame and reads the shared word; its
+    // first access consistency-faults and the DSM protocol fetches the
+    // line from node 0.
+    let sp = ex1
+        .ck
+        .load_space(k1, SpaceDesc::default(), &mut ex1.mpm)
+        .unwrap();
+    ex1.ck
+        .load_mapping(
+            k1,
+            sp,
+            Vaddr(0xc000_0000),
+            shared.page_base(),
+            Pte::WRITABLE | Pte::CACHEABLE,
+            None,
+            None,
+            &mut ex1.mpm,
+        )
+        .unwrap();
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let done2 = done.clone();
+    let pc = ex1
+        .code
+        .register(Box::new(FnProgram(move |ctx: &mut ThreadCtx| {
+            if ctx.loaded == 0xC0FFEE {
+                done2.store(1, std::sync::atomic::Ordering::SeqCst);
+                vpp::cache_kernel::Step::Exit(0)
+            } else {
+                vpp::cache_kernel::Step::Load(Vaddr(0xc000_0000))
+            }
+        })));
+    ex1.ck
+        .load_thread(k1, ThreadDesc::new(sp, pc, 10), false, &mut ex1.mpm)
+        .unwrap();
+
+    let mut cluster = vpp::cache_kernel::Cluster::new(vec![ex0, ex1]);
+    for _ in 0..30 {
+        cluster.step(5);
+        if done.load(std::sync::atomic::Ordering::SeqCst) == 1 {
+            break;
+        }
+    }
+    assert_eq!(
+        done.load(std::sync::atomic::Ordering::SeqCst),
+        1,
+        "reader saw the remote data"
+    );
+    // Ownership migrated: node 0's copy is now remote.
+    assert!(cluster.nodes[0].mpm.is_remote_line(shared));
+    assert!(!cluster.nodes[1].mpm.is_remote_line(shared));
+    assert_eq!(cluster.nodes[1].mpm.mem.read_u32(shared).unwrap(), 0xC0FFEE);
+}
+
+#[test]
+fn signal_redirect_reloads_thread_on_demand() {
+    // §2.3: "A thread that blocks waiting on a memory-based messaging
+    // signal can be unloaded by its application kernel after it adds
+    // mappings that redirect the signal to one of the application
+    // kernel's internal (real-time) threads. The application-kernel
+    // thread then reloads the thread when it receives a redirected
+    // signal for this unloaded thread."
+    let (mut ex, srm) = boot_node(BootConfig::default());
+    let frame = Paddr(0x50_0000);
+    let sp = ex.ck.load_space(srm, SpaceDesc::default(), &mut ex.mpm).unwrap();
+
+    // The "user" thread that wants the message.
+    let user = ex
+        .ck
+        .load_thread(srm, ThreadDesc::new(sp, 100, 10), false, &mut ex.mpm)
+        .unwrap();
+    ex.ck
+        .load_mapping(srm, sp, Vaddr(0xa000), frame, Pte::MESSAGE, Some(user), None, &mut ex.mpm)
+        .unwrap();
+
+    // The kernel's internal real-time thread (locked so it is never
+    // displaced).
+    let internal = ex
+        .ck
+        .load_thread(srm, ThreadDesc::new(sp, 200, 28), true, &mut ex.mpm)
+        .unwrap();
+
+    // Redirect: replace the signal mapping so it points at the internal
+    // thread, then unload the user thread entirely — it now consumes no
+    // Cache Kernel descriptors.
+    ex.ck
+        .unload_mapping_range(srm, sp, Vaddr(0xa000), PAGE_SIZE, &mut ex.mpm)
+        .unwrap();
+    ex.ck
+        .load_mapping(srm, sp, Vaddr(0xa000), frame, Pte::MESSAGE, Some(internal), None, &mut ex.mpm)
+        .unwrap();
+    let saved = ex.ck.unload_thread(srm, user, &mut ex.mpm).unwrap();
+    assert!(ex.ck.thread(user).is_err());
+
+    // A signal arrives: it lands on the internal thread.
+    let out = ex.ck.raise_signal(&mut ex.mpm, 0, Paddr(0x50_0010));
+    assert_eq!(out.receivers(), 1);
+    assert_eq!(ex.ck.take_signal(internal.slot), Some(Vaddr(0xa010)));
+
+    // The kernel reloads the user thread on demand and re-points the
+    // signal mapping back at it.
+    let user2 = ex.ck.load_thread(srm, (*saved).clone(), false, &mut ex.mpm).unwrap();
+    assert_ne!(user2, user, "fresh identifier after reload");
+    ex.ck
+        .unload_mapping_range(srm, sp, Vaddr(0xa000), PAGE_SIZE, &mut ex.mpm)
+        .unwrap();
+    ex.ck
+        .load_mapping(srm, sp, Vaddr(0xa000), frame, Pte::MESSAGE, Some(user2), None, &mut ex.mpm)
+        .unwrap();
+    let out = ex.ck.raise_signal(&mut ex.mpm, 0, Paddr(0x50_0020));
+    assert_eq!(out.receivers(), 1);
+    assert_eq!(ex.ck.take_signal(user2.slot), Some(Vaddr(0xa020)));
+    ex.ck.check_invariants().unwrap();
+}

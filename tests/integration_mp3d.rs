@@ -1,0 +1,62 @@
+//! MP3D integration: the simulation kernel's pre-mapped run and the
+//! §5.2 page-locality effect at test scale.
+
+use vpp::sim_kernel::mp3d::{locality_comparison, run, Mp3dConfig};
+
+#[test]
+fn premapped_run_never_faults() {
+    let r = run(&Mp3dConfig {
+        cells: 16,
+        particles_per_cell: 8,
+        sweeps: 2,
+        workers: 2,
+        ..Mp3dConfig::default()
+    });
+    assert_eq!(
+        r.faults, 0,
+        "application-managed memory: no random page faults"
+    );
+    assert_eq!(r.particles_processed, 16 * 8 * 2);
+    assert!(r.cycles > 0);
+}
+
+#[test]
+fn locality_shape_holds() {
+    let (local, scattered, slowdown) = locality_comparison(Mp3dConfig {
+        cells: 64,
+        particles_per_cell: 16,
+        sweeps: 2,
+        workers: 2,
+        l2_bytes: 8 * 1024,
+        ..Mp3dConfig::default()
+    });
+    assert!(slowdown > 1.0, "scattering costs cycles: {slowdown:.3}");
+    assert!(
+        scattered.tlb_miss_rate > local.tlb_miss_rate * 2.0,
+        "page sparsity shows up as TLB misses: {:.3} vs {:.3}",
+        scattered.tlb_miss_rate,
+        local.tlb_miss_rate
+    );
+}
+
+#[test]
+fn more_workers_share_the_sweep() {
+    let base = Mp3dConfig {
+        cells: 32,
+        particles_per_cell: 8,
+        sweeps: 2,
+        ..Mp3dConfig::default()
+    };
+    let one = run(&Mp3dConfig {
+        workers: 1,
+        ..base.clone()
+    });
+    let four = run(&Mp3dConfig {
+        workers: 4,
+        ..base.clone()
+    });
+    assert_eq!(one.particles_processed, four.particles_processed);
+    // Wall-clock parallelism is not modeled (cycles are a global clock),
+    // but all four workers must have completed their partitions.
+    assert_eq!(four.faults, 0);
+}

@@ -1,0 +1,199 @@
+//! SRM integration: resource sharing between mutually distrustful
+//! kernels — CPU quota demotion of a rogue kernel, priority caps, grant
+//! isolation, network-rate disconnects (§3, §4.3).
+
+use vpp::cache_kernel::{CkError, FnProgram, SpaceDesc, Step, ThreadCtx};
+use vpp::hw::Paddr;
+use vpp::srm::Srm;
+use vpp::{boot_node, BootConfig};
+
+#[test]
+fn rogue_kernel_demoted_interactive_untouched() {
+    // "It prevents a rogue application kernel running a large simulation
+    // from disrupting the execution of a UNIX emulator providing
+    // timesharing services" (§3).
+    let (mut ex, srm_id) = boot_node(BootConfig::default());
+    let (rogue, polite) = ex
+        .with_kernel::<Srm, _>(srm_id, |s, env| {
+            let rogue = s
+                .start_kernel(env, "rogue", 2, [15; 8], 20, Default::default())
+                .unwrap();
+            let polite = s
+                .start_kernel(env, "polite", 2, [50; 8], 20, Default::default())
+                .unwrap();
+            (rogue, polite)
+        })
+        .unwrap();
+    ex.register_kernel(rogue, Box::new(vpp::cache_kernel::NullKernel));
+    ex.register_kernel(polite, Box::new(vpp::cache_kernel::NullKernel));
+
+    let rsp = ex
+        .ck
+        .load_space(rogue, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let psp = ex
+        .ck
+        .load_space(polite, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    // The rogue burns CPU hard; the polite kernel's thread yields a lot.
+    ex.spawn_thread(
+        rogue,
+        rsp,
+        Box::new(FnProgram(|_: &mut ThreadCtx| Step::Compute(3_000))),
+        18,
+    )
+    .unwrap();
+    let polite_t = ex
+        .spawn_thread(
+            polite,
+            psp,
+            Box::new(FnProgram({
+                let mut n = 0u64;
+                move |_: &mut ThreadCtx| {
+                    n += 1;
+                    if n.is_multiple_of(2) {
+                        Step::Yield
+                    } else {
+                        Step::Compute(100)
+                    }
+                }
+            })),
+            10,
+        )
+        .unwrap();
+
+    ex.run(400);
+    assert!(ex.ck.kernel_demoted(rogue), "rogue exceeded its 15% quota");
+    assert!(!ex.ck.kernel_demoted(polite), "polite kernel under quota");
+    // The rogue's thread sits at idle priority; the polite thread keeps
+    // its real one.
+    assert!(ex.ck.thread(polite_t).is_ok());
+    assert_eq!(ex.ck.effective_priority(polite_t.slot), 10);
+}
+
+#[test]
+fn priority_cap_blocks_interference() {
+    let (mut ex, srm_id) = boot_node(BootConfig::default());
+    let capped = ex
+        .with_kernel::<Srm, _>(srm_id, |s, env| {
+            s.start_kernel(env, "capped", 1, [90; 8], 8, Default::default())
+                .unwrap()
+        })
+        .unwrap();
+    let sp = ex
+        .ck
+        .load_space(capped, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let err = ex
+        .ck
+        .load_thread(
+            capped,
+            vpp::cache_kernel::ThreadDesc::new(sp, 0, 25),
+            false,
+            &mut ex.mpm,
+        )
+        .unwrap_err();
+    assert_eq!(err, CkError::PriorityTooHigh(25));
+}
+
+#[test]
+fn grants_isolate_memory_between_kernels() {
+    let (mut ex, srm_id) = boot_node(BootConfig::default());
+    let (a, b) = ex
+        .with_kernel::<Srm, _>(srm_id, |s, env| {
+            let a = s
+                .start_kernel(env, "a", 1, [50; 8], 20, Default::default())
+                .unwrap();
+            let b = s
+                .start_kernel(env, "b", 1, [50; 8], 20, Default::default())
+                .unwrap();
+            (a, b)
+        })
+        .unwrap();
+    let (ga, gb) = ex
+        .with_kernel::<Srm, _>(srm_id, |s, _| {
+            (
+                s.grant_of(a).unwrap().clone(),
+                s.grant_of(b).unwrap().clone(),
+            )
+        })
+        .unwrap();
+    let sp_a = ex
+        .ck
+        .load_space(a, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    // Kernel a cannot map kernel b's frames.
+    let theirs = Paddr(gb.frame_first() * vpp::hw::PAGE_SIZE);
+    assert!(matches!(
+        ex.ck.load_mapping(
+            a,
+            sp_a,
+            vpp::hw::Vaddr(0x1000),
+            theirs,
+            0,
+            None,
+            None,
+            &mut ex.mpm
+        ),
+        Err(CkError::NoAccess(_))
+    ));
+    // Its own frames map fine.
+    let mine = Paddr(ga.frame_first() * vpp::hw::PAGE_SIZE);
+    assert!(ex
+        .ck
+        .load_mapping(
+            a,
+            sp_a,
+            vpp::hw::Vaddr(0x1000),
+            mine,
+            0,
+            None,
+            None,
+            &mut ex.mpm
+        )
+        .is_ok());
+}
+
+#[test]
+fn network_hog_disconnected_then_restored() {
+    let (mut ex, srm_id) = boot_node(BootConfig::default());
+    ex.with_kernel::<Srm, _>(srm_id, |s, _| {
+        s.net.set_quota(5, 2_000, 3);
+    })
+    .unwrap();
+    // The hog pushes 10 KB in one interval.
+    ex.with_kernel::<Srm, _>(srm_id, |s, env| {
+        s.net.account(5, 10_000);
+        let d = s.net.tick(env.mpm);
+        assert_eq!(d, 1);
+    })
+    .unwrap();
+    assert!(ex.mpm.fiber.is_disconnected(5));
+    // Penalty expires after three ticks.
+    for _ in 0..3 {
+        ex.with_kernel::<Srm, _>(srm_id, |s, env| {
+            s.net.tick(env.mpm);
+        })
+        .unwrap();
+    }
+    assert!(!ex.mpm.fiber.is_disconnected(5));
+}
+
+#[test]
+fn swapped_kernel_restarts_with_state() {
+    let (mut ex, srm_id) = boot_node(BootConfig::default());
+    let k = ex
+        .with_kernel::<Srm, _>(srm_id, |s, env| {
+            s.start_kernel(env, "batch", 2, [50; 8], 20, Default::default())
+                .unwrap()
+        })
+        .unwrap();
+    let max_prio_before = ex.ck.kernel(k).unwrap().desc.max_priority;
+    ex.with_kernel::<Srm, _>(srm_id, |s, env| s.swap_out_kernel(env, k).unwrap())
+        .unwrap();
+    assert!(ex.ck.kernel(k).is_err());
+    let k2 = ex
+        .with_kernel::<Srm, _>(srm_id, |s, env| s.swap_in_kernel(env, "batch").unwrap())
+        .unwrap();
+    assert_eq!(ex.ck.kernel(k2).unwrap().desc.max_priority, max_prio_before);
+}

@@ -1,0 +1,241 @@
+//! UNIX emulator integration: process trees, COW isolation under
+//! pressure, paging with small frame grants, pid stability across
+//! Cache Kernel id churn.
+
+use vpp::cache_kernel::{Executive, ForkableFn, Script, Step, ThreadCtx};
+use vpp::hw::{Vaddr, PAGE_SIZE};
+use vpp::unix_emu::proc::{layout, ProcState};
+use vpp::unix_emu::{syscall, UnixConfig, UnixEmulator};
+use vpp::{boot_unix_node, BootConfig};
+
+fn spawn(
+    ex: &mut Executive,
+    unix: vpp::cache_kernel::ObjId,
+    p: Box<dyn vpp::cache_kernel::Program>,
+) -> u32 {
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, env| {
+        u.spawn(env.ck, env.mpm, env.code, p, None, 0).unwrap()
+    })
+    .unwrap()
+}
+
+#[test]
+fn fork_chain_waits_complete() {
+    let (mut ex, _srm, unix) = boot_unix_node(BootConfig::default(), 8, UnixConfig::default());
+    // A chain: each process forks once up to depth 3, children exit with
+    // their depth, parents wait and propagate.
+    let root = spawn(
+        &mut ex,
+        unix,
+        Box::new(ForkableFn({
+            let mut depth = 0u32;
+            let mut stage = 0u32;
+            move |ctx: &mut ThreadCtx| {
+                stage += 1;
+                match stage {
+                    1 => {
+                        if depth < 3 {
+                            syscall::fork()
+                        } else {
+                            syscall::exit(depth)
+                        }
+                    }
+                    2 => {
+                        if ctx.trap_ret == 0 {
+                            // Child: continue the chain one deeper.
+                            depth += 1;
+                            stage = 0;
+                            Step::Compute(10)
+                        } else {
+                            syscall::wait()
+                        }
+                    }
+                    _ => syscall::exit(depth),
+                }
+            }
+        })),
+    );
+    ex.run_until_idle(3000);
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, _| {
+        assert_eq!(u.stats.forks, 3, "three forks along the chain");
+        assert!(matches!(
+            u.proc(root).map(|p| p.state),
+            Some(ProcState::Zombie(0))
+        ));
+        // Chain children were reaped by their waiting parents.
+        assert!(
+            u.nprocs() <= 1 + 1,
+            "reaped: only zombies the root left behind"
+        );
+    })
+    .unwrap();
+}
+
+#[test]
+fn cow_isolation_under_memory_pressure() {
+    // A small grant forces eviction during the COW dance; contents must
+    // still be isolated and correct.
+    let (mut ex, _srm, unix) = boot_unix_node(
+        BootConfig::default(),
+        8,
+        UnixConfig {
+            resident_limit: 3,
+            ..UnixConfig::default()
+        },
+    );
+    let _npages = 6u32;
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(ForkableFn({
+            let mut stage = 0u32;
+            let mut role = 0u32;
+            let mut page = 0u32;
+            move |ctx: &mut ThreadCtx| {
+                let addr = |p: u32| Vaddr(layout::DATA_BASE.0 + p * PAGE_SIZE);
+                stage += 1;
+                match stage {
+                    // Parent writes p+100 to six pages (evictions occur).
+                    s if s <= 6 => Step::Store(addr(s - 1), (s - 1) + 100),
+                    7 => syscall::fork(),
+                    8 => {
+                        role = if ctx.trap_ret == 0 { 2 } else { 1 };
+                        page = 0;
+                        Step::Compute(1)
+                    }
+                    // Child overwrites all pages with p+200; parent reads
+                    // and checks its own values; then both verify.
+                    s if s <= 14 => {
+                        let p = page;
+                        page += 1;
+                        if role == 2 {
+                            Step::Store(addr(p), p + 200)
+                        } else {
+                            Step::Load(addr(p))
+                        }
+                    }
+                    s if s <= 15 => {
+                        page = 0;
+                        Step::Compute(1)
+                    }
+                    s if s <= 21 => {
+                        let p = page;
+                        page += 1;
+                        if p > 0 {
+                            let expect = if role == 2 {
+                                (p - 1) + 200
+                            } else {
+                                (p - 1) + 100
+                            };
+                            assert_eq!(ctx.loaded, expect, "role {role} page {}", p - 1);
+                        }
+                        Step::Load(addr(p))
+                    }
+                    22 => {
+                        let expect = if role == 2 { 205 } else { 105 };
+                        assert_eq!(ctx.loaded, expect);
+                        if role == 1 {
+                            syscall::wait()
+                        } else {
+                            syscall::exit(0)
+                        }
+                    }
+                    _ => syscall::exit(0),
+                }
+            }
+        })),
+    );
+    ex.run_until_idle(5000);
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, _| {
+        assert_eq!(u.stats.forks, 1);
+        assert_eq!(u.stats.segv_kills, 0, "no process died");
+        assert!(matches!(
+            u.proc(1).map(|p| p.state),
+            Some(ProcState::Zombie(0))
+        ));
+    })
+    .unwrap();
+}
+
+#[test]
+fn pids_stable_across_id_churn() {
+    // Tiny Cache Kernel: thread/space descriptors churn constantly, but
+    // the emulator's pids and memory contents are stable (§2's "stable
+    // UNIX-like process identifier").
+    let (mut ex, _srm, unix) = boot_unix_node(
+        BootConfig {
+            ck: vpp::cache_kernel::CkConfig {
+                thread_slots: 3,
+                space_slots: 4,
+                mapping_capacity: 24,
+                ..vpp::cache_kernel::CkConfig::default()
+            },
+            ..BootConfig::default()
+        },
+        8,
+        UnixConfig::default(),
+    );
+    let mut pids = Vec::new();
+    for i in 0..4u32 {
+        pids.push(spawn(
+            &mut ex,
+            unix,
+            Box::new(ForkableFn({
+                let mut stage = 0;
+                move |ctx: &mut ThreadCtx| {
+                    stage += 1;
+                    match stage {
+                        1 => Step::Store(layout::DATA_BASE, 0xbeef + i),
+                        2 => syscall::getpid(),
+                        3 => {
+                            assert_eq!(ctx.trap_ret, i + 1, "stable pid");
+                            Step::Load(layout::DATA_BASE)
+                        }
+                        4 => {
+                            assert_eq!(ctx.loaded, 0xbeef + i, "private data intact");
+                            syscall::exit(0)
+                        }
+                        _ => syscall::exit(0),
+                    }
+                }
+            })),
+        ));
+    }
+    assert_eq!(pids, vec![1, 2, 3, 4]);
+    ex.run_until_idle(5000);
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, env| {
+        for pid in pids {
+            assert!(
+                matches!(u.proc(pid).map(|p| p.state), Some(ProcState::Zombie(0))),
+                "pid {pid}"
+            );
+        }
+        // The tiny caches really did churn.
+        assert!(
+            env.ck.stats.writebacks[2] > 0,
+            "thread descriptors were displaced along the way"
+        );
+    })
+    .unwrap();
+}
+
+#[test]
+fn console_pipeline_order() {
+    let (mut ex, _srm, unix) = boot_unix_node(BootConfig::default(), 8, UnixConfig::default());
+    spawn(
+        &mut ex,
+        unix,
+        Box::new(Script::new(vec![
+            Step::StoreBytes(layout::DATA_BASE, b"one ".to_vec()),
+            syscall::write(1, layout::DATA_BASE, 4),
+            Step::StoreBytes(layout::DATA_BASE, b"two ".to_vec()),
+            syscall::write(1, layout::DATA_BASE, 4),
+            syscall::exit(0),
+        ])),
+    );
+    ex.run_until_idle(500);
+    let console = ex
+        .with_kernel::<UnixEmulator, _>(unix, |u, _| u.console.clone())
+        .unwrap();
+    assert_eq!(console, b"one two ");
+}

@@ -77,6 +77,7 @@ fn rtlb_ablation(c: &mut Criterion) {
                     let s = slots[(*i - 1) as usize % 8];
                     h.ck.take_signal(s);
                     h.ck.signal_return(s);
+                    h.ck.drain_events();
                 },
             )
         });
@@ -101,6 +102,7 @@ fn rtlb_ablation(c: &mut Criterion) {
                     let s = slots[(*i - 1) as usize % 8];
                     h.ck.take_signal(s);
                     h.ck.signal_return(s);
+                    h.ck.drain_events();
                 },
             )
         });

@@ -37,7 +37,8 @@ fn fault_ops(c: &mut Criterion) {
                         h.mpm.translate(0, asid, pt, va, Access::Write).unwrap_err()
                     };
                     // 2. Transfer to the application kernel.
-                    h.ck.begin_fault_forward(&mut h.mpm, 0, t.slot).unwrap();
+                    h.ck.begin_fault_forward(&mut h.mpm, 0, t.slot, fault)
+                        .unwrap();
                     // 3. The handler resolves with the combined call.
                     h.ck.load_mapping_and_resume(
                         h.srm,
@@ -58,6 +59,9 @@ fn fault_ops(c: &mut Criterion) {
                 |h| {
                     h.ck.unload_mapping_range(h.srm, sp, va, PAGE_SIZE, &mut h.mpm)
                         .unwrap();
+                    // Untimed: discard the pipeline events the forward
+                    // queued so the queue stays flat across iterations.
+                    h.ck.drain_events();
                 },
             )
         });
@@ -82,7 +86,8 @@ fn fault_ops(c: &mut Criterion) {
                         let pt = h.ck.page_table_mut(sp).unwrap();
                         h.mpm.translate(0, asid, pt, va, Access::Write).unwrap_err()
                     };
-                    h.ck.begin_fault_forward(&mut h.mpm, 0, t.slot).unwrap();
+                    h.ck.begin_fault_forward(&mut h.mpm, 0, t.slot, fault)
+                        .unwrap();
                     h.ck.load_mapping(
                         h.srm,
                         sp,
@@ -101,6 +106,9 @@ fn fault_ops(c: &mut Criterion) {
                 |h| {
                     h.ck.unload_mapping_range(h.srm, sp, va, PAGE_SIZE, &mut h.mpm)
                         .unwrap();
+                    // Untimed: discard the pipeline events the forward
+                    // queued so the queue stays flat across iterations.
+                    h.ck.drain_events();
                 },
             )
         });
@@ -120,9 +128,17 @@ fn fault_ops(c: &mut Criterion) {
                 iters,
                 &mut h,
                 |h| {
-                    h.ck.begin_fault_forward(&mut h.mpm, 0, t.slot).unwrap();
+                    let fault = hw::Fault {
+                        kind: hw::FaultKind::Unmapped,
+                        vaddr: va,
+                        write: true,
+                    };
+                    h.ck.begin_fault_forward(&mut h.mpm, 0, t.slot, fault)
+                        .unwrap();
                 },
-                |_| {},
+                |h| {
+                    h.ck.drain_events();
+                },
             )
         });
     });

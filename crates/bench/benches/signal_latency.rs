@@ -52,6 +52,9 @@ fn signal_ops(c: &mut Criterion) {
                 |h| {
                     h.ck.take_signal(slot);
                     h.ck.signal_return(slot);
+                    // Untimed: discard the Signal pipeline event so the
+                    // queue stays flat across iterations.
+                    h.ck.drain_events();
                 },
             )
         });
@@ -70,6 +73,7 @@ fn signal_ops(c: &mut Criterion) {
                 },
                 |h| {
                     h.ck.raise_signal(&mut h.mpm, 0, Paddr(0x40_0000));
+                    h.ck.drain_events();
                 },
             )
         });
@@ -87,7 +91,9 @@ fn signal_ops(c: &mut Criterion) {
                     h.ck.take_signal(slot);
                     h.ck.signal_return(slot);
                 },
-                |_| {},
+                |h| {
+                    h.ck.drain_events();
+                },
             )
         });
     });

@@ -612,18 +612,23 @@ fn trap() {
         h.ck.load_thread(h.srm, ThreadDesc::new(sp, 1, 5), false, &mut h.mpm)
             .unwrap();
     let c0 = h.mpm.clock.cycles();
-    h.ck.begin_trap_forward(&mut h.mpm, 0, t.slot).unwrap();
+    h.ck.begin_trap_forward(&mut h.mpm, 0, t.slot, 20, [0; 4])
+        .unwrap();
     h.ck.end_forward(&mut h.mpm, 0);
     let sim = (h.mpm.clock.cycles() - c0) as f64 / h.mpm.config.cost.cycles_per_us as f64;
+    h.ck.drain_events();
     let ns = quick_median_ns(
         9,
         500,
         &mut h,
         |h| {
-            h.ck.begin_trap_forward(&mut h.mpm, 0, t.slot).unwrap();
+            h.ck.begin_trap_forward(&mut h.mpm, 0, t.slot, 20, [0; 4])
+                .unwrap();
             h.ck.end_forward(&mut h.mpm, 0);
         },
-        |_| {},
+        |h| {
+            h.ck.drain_events();
+        },
     );
     println!("paper: 37 µs round trip (12 µs more than Mach 2.5 on comparable hw)");
     println!("ours : {ns:.0} ns host, {sim:.1} µs simulated\n");
@@ -673,6 +678,7 @@ fn signal() {
         |h| {
             h.ck.take_signal(t.slot);
             h.ck.signal_return(t.slot);
+            h.ck.drain_events();
         },
     );
     let return_ns = quick_median_ns(
@@ -685,6 +691,7 @@ fn signal() {
         },
         |h| {
             h.ck.raise_signal(&mut h.mpm, 0, Paddr(0x40_0000));
+            h.ck.drain_events();
         },
     );
     println!("paper: 71 µs total = 44 µs delivery + 27 µs return-from-handler");
@@ -715,11 +722,12 @@ fn fault() {
 
     // One simulated pass, component by component.
     let c0 = h.mpm.clock.cycles();
-    {
+    let fault = {
         let pt = h.ck.page_table_mut(sp).unwrap();
-        let _ = h.mpm.translate(0, asid, pt, va, Access::Write).unwrap_err();
-    }
-    h.ck.begin_fault_forward(&mut h.mpm, 0, t.slot).unwrap();
+        h.mpm.translate(0, asid, pt, va, Access::Write).unwrap_err()
+    };
+    h.ck.begin_fault_forward(&mut h.mpm, 0, t.slot, fault)
+        .unwrap();
     let c_transfer = h.mpm.clock.cycles();
     h.ck.load_mapping_and_resume(
         h.srm,
@@ -749,6 +757,7 @@ fn fault() {
     // Reset for the host-time measurement.
     h.ck.unload_mapping_range(h.srm, sp, va, PAGE_SIZE, &mut h.mpm)
         .unwrap();
+    h.ck.drain_events();
 
     let ns = quick_median_ns(
         9,
@@ -759,7 +768,8 @@ fn fault() {
                 let pt = h.ck.page_table_mut(sp).unwrap();
                 h.mpm.translate(0, asid, pt, va, Access::Write).unwrap_err()
             };
-            h.ck.begin_fault_forward(&mut h.mpm, 0, t.slot).unwrap();
+            h.ck.begin_fault_forward(&mut h.mpm, 0, t.slot, fault)
+                .unwrap();
             h.ck.load_mapping_and_resume(
                 h.srm,
                 sp,
@@ -778,6 +788,7 @@ fn fault() {
         |h| {
             h.ck.unload_mapping_range(h.srm, sp, va, PAGE_SIZE, &mut h.mpm)
                 .unwrap();
+            h.ck.drain_events();
         },
     );
     println!("ours (host): {ns:.0} ns per full fault round trip\n");
@@ -948,7 +959,9 @@ fn cache_sweep() {
             },
             16 * 1024,
         );
-        let sp = h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm).unwrap();
+        let sp =
+            h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                .unwrap();
         // The application kernel's view: logical thread -> current id.
         let mut ids: Vec<Option<cache_kernel::ObjId>> = vec![None; w as usize];
         let mut reloads = 0u64;

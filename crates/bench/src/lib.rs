@@ -31,6 +31,10 @@ impl Bench {
     /// Custom geometry.
     pub fn with_config(ck_cfg: CkConfig, phys_frames: usize) -> Self {
         let mut ck = CacheKernel::new(ck_cfg);
+        // The harness attaches no executive, so nothing ever pumps the
+        // event queue; skip the informational Signal pipeline events and
+        // measure bare delivery cost (counters tick either way).
+        ck.signal_events = false;
         let mpm = Mpm::new(MachineConfig {
             phys_frames,
             l2_bytes: 8 * 1024 * 1024,

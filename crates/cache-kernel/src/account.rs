@@ -11,7 +11,9 @@
 //! We track an exponentially decayed per-(kernel, CPU) charge and compare
 //! it against the quota percentage at each accounting period.
 
-use crate::objects::{Priority, MAX_CPUS};
+use crate::ck::CacheKernel;
+use crate::ids::ObjId;
+use crate::objects::{Priority, IDLE_PRIORITY, MAX_CPUS};
 
 /// Priority at and above which the premium rate applies (real-time band).
 pub const PREMIUM_PRIORITY: Priority = 24;
@@ -68,7 +70,9 @@ impl KernelAccount {
             let used = core::mem::take(&mut self.charged[cpu]);
             // avg <- 3/4 avg + 1/4 used   (EWMA, fixed point x256)
             self.avg[cpu] = (self.avg[cpu] * 3 + used * 256) / 4;
-            let pct_x256 = (self.avg[cpu] * 100).checked_div(period_cycles).unwrap_or(0);
+            let pct_x256 = (self.avg[cpu] * 100)
+                .checked_div(period_cycles)
+                .unwrap_or(0);
             let over = pct_x256 > *quota as u64 * 256;
             if over != self.demoted[cpu] {
                 self.demoted[cpu] = over;
@@ -89,6 +93,114 @@ impl KernelAccount {
             return 0.0;
         }
         (self.avg[cpu] as f64 / 256.0) * 100.0 / period_cycles as f64
+    }
+}
+
+impl CacheKernel {
+    /// Effective scheduling priority of a thread slot: its descriptor
+    /// priority, or idle if its kernel is currently demoted for exceeding
+    /// its processor quota.
+    pub fn effective_priority(&self, slot: u16) -> Priority {
+        let t = match self.threads.get_slot(slot) {
+            Some(t) => t,
+            None => return IDLE_PRIORITY,
+        };
+        if self
+            .kernels
+            .get(t.owner)
+            .map(|k| k.demoted)
+            .unwrap_or(false)
+        {
+            IDLE_PRIORITY
+        } else {
+            t.desc.priority
+        }
+    }
+
+    /// Enqueue a thread at its effective priority (executive helper).
+    pub fn enqueue_thread(&mut self, slot: u16) {
+        if self.sched.contains(slot) {
+            return;
+        }
+        let p = self.effective_priority(slot);
+        if self.threads.get_slot(slot).is_some() {
+            self.sched.enqueue(slot, p);
+        }
+    }
+
+    /// Record graduated CPU consumption for a thread's kernel (§4.3: a
+    /// premium above normal priority, a discount below).
+    pub fn account_consumption(&mut self, thread_slot: u16, cpu: usize, cycles: u64) {
+        let (owner_slot, priority) = match self.threads.get_slot(thread_slot) {
+            Some(t) => (t.owner.slot, t.desc.priority),
+            None => return,
+        };
+        let charged = graduated_charge(cycles, priority);
+        self.accounts
+            .entry(owner_slot)
+            .or_default()
+            .charge(cpu.min(MAX_CPUS - 1), charged);
+    }
+
+    /// Close an accounting period: update every kernel's decayed usage
+    /// against its quota and apply/lift demotions. Returns the kernels
+    /// whose demotion state changed.
+    pub fn end_accounting_period(&mut self, period_cycles: u64) -> Vec<(ObjId, bool)> {
+        let mut changed = Vec::new();
+        let slots: Vec<u16> = self.accounts.keys().copied().collect();
+        for slot in slots {
+            let id = match self.kernels.id_of_slot(slot) {
+                Some(id) => id,
+                None => continue,
+            };
+            let quota = self.kernels.get(id).unwrap().desc.cpu_quota_pct;
+            let transitions = self
+                .accounts
+                .get_mut(&slot)
+                .unwrap()
+                .end_period(period_cycles, &quota);
+            if transitions.is_empty() {
+                continue;
+            }
+            // Any CPU over quota demotes the kernel's threads (we enforce
+            // at kernel granularity; the account tracks per-CPU usage).
+            let demoted = (0..MAX_CPUS).any(|c| self.accounts[&slot].is_demoted(c));
+            let k = self.kernels.get_mut(id).unwrap();
+            if k.demoted != demoted {
+                k.demoted = demoted;
+                changed.push((id, demoted));
+                self.apply_demotion(id);
+            }
+        }
+        changed
+    }
+
+    /// Re-queue every ready thread of `kernel` at its (new) effective
+    /// priority after a demotion change.
+    fn apply_demotion(&mut self, kernel: ObjId) {
+        let slots: Vec<u16> = self
+            .threads
+            .iter()
+            .filter(|(_, t)| t.owner == kernel)
+            .map(|(id, _)| id.slot)
+            .collect();
+        for slot in slots {
+            let p = self.effective_priority(slot);
+            self.sched.requeue(slot, p);
+        }
+    }
+
+    /// Decayed CPU usage of a kernel on `cpu` as a percentage (reports).
+    pub fn kernel_usage_pct(&self, kernel: ObjId, cpu: usize, period_cycles: u64) -> f64 {
+        self.accounts
+            .get(&kernel.slot)
+            .map(|a| a.usage_pct(cpu, period_cycles))
+            .unwrap_or(0.0)
+    }
+
+    /// Whether a kernel is currently demoted.
+    pub fn kernel_demoted(&self, kernel: ObjId) -> bool {
+        self.kernels.get(kernel).map(|k| k.demoted).unwrap_or(false)
     }
 }
 

@@ -126,7 +126,7 @@ impl<T> ObjCache<T> {
     /// `clear_ref`). Returns `None` if everything is pinned.
     pub fn victim<P, R>(&mut self, mut pinned: P, mut referenced: R) -> Option<ObjId>
     where
-        P: FnMut(&T) -> bool,
+        P: FnMut(ObjId, &T) -> bool,
         R: FnMut(&mut T) -> bool, // returns prior referenced bit, clearing it
     {
         let n = self.slots.len();
@@ -136,7 +136,7 @@ impl<T> ObjCache<T> {
             self.hand = (self.hand + 1) % n;
             let gen = self.slots[i].gen;
             if let Some(v) = self.slots[i].val.as_mut() {
-                if pinned(v) {
+                if pinned(ObjId::new(self.kind, i as u16, gen), v) {
                     continue;
                 }
                 if referenced(v) {
@@ -218,7 +218,7 @@ mod tests {
         let _a = c.insert("pinned".into()).unwrap();
         let b = c.insert("plain".into()).unwrap();
         let _c2 = c.insert("pinned".into()).unwrap();
-        let v = c.victim(|s| s == "pinned", |_| false).unwrap();
+        let v = c.victim(|_, s| s == "pinned", |_| false).unwrap();
         assert_eq!(v, b);
     }
 
@@ -227,7 +227,7 @@ mod tests {
         let mut c = cache(2);
         c.insert("x".into()).unwrap();
         c.insert("y".into()).unwrap();
-        assert_eq!(c.victim(|_| true, |_| false), None);
+        assert_eq!(c.victim(|_, _| true, |_| false), None);
     }
 
     #[test]
@@ -238,7 +238,7 @@ mod tests {
         let b = c.insert(("b".into(), false)).unwrap();
         let v = c
             .victim(
-                |_| false,
+                |_, _| false,
                 |t| {
                     let r = t.1;
                     t.1 = false;
@@ -249,7 +249,7 @@ mod tests {
         assert_eq!(v, b, "unreferenced object chosen first");
         // Now a's bit has been cleared; it is the next victim.
         let v2 = c
-            .victim(|_| false, |t| core::mem::replace(&mut t.1, false))
+            .victim(|_, _| false, |t| core::mem::replace(&mut t.1, false))
             .unwrap();
         assert!(v2 == a || v2 == b);
     }

@@ -14,8 +14,13 @@ use crate::ids::{ObjId, ObjKind};
 use crate::objects::*;
 use crate::physmap::PhysMap;
 use crate::sched::Scheduler;
-use hw::{Access, Asid, Mpm, Paddr, Pte, Rights, Vaddr, Vpn};
-use std::collections::{HashMap, VecDeque};
+use hw::{Asid, Mpm, Rights, Vpn};
+use std::collections::{BTreeMap, VecDeque};
+
+// These types began life in this module; most of the tree (and external
+// crates) still name them through `ck::`.
+pub use crate::counters::{CkStats, Counters, STAT_MAPPING};
+pub use crate::events::{KernelEvent, MappingState, Writeback};
 
 /// Boot-time configuration of a Cache Kernel instance. Defaults match the
 /// prototype of Table 1: 16 kernels, 64 address spaces, 256 threads and
@@ -49,110 +54,6 @@ impl Default for CkConfig {
     }
 }
 
-/// Operation counters, read by the evaluation harness.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct CkStats {
-    /// Object loads by kind: kernels, spaces, threads, mappings.
-    pub loads: [u64; 4],
-    /// Explicit unloads by kind.
-    pub unloads: [u64; 4],
-    /// Reclamation-driven writebacks by kind (replacement interference).
-    pub writebacks: [u64; 4],
-    /// Signals delivered via the reverse-TLB fast path.
-    pub signals_fast: u64,
-    /// Signals delivered via the two-stage lookup.
-    pub signals_slow: u64,
-    /// Faults forwarded to application kernels.
-    pub faults_forwarded: u64,
-    /// Traps forwarded to application kernels.
-    pub traps_forwarded: u64,
-    /// Mappings flushed for multi-mapping consistency.
-    pub consistency_flushes: u64,
-}
-
-impl CkStats {
-    fn idx(kind: ObjKind) -> usize {
-        match kind {
-            ObjKind::Kernel => 0,
-            ObjKind::AddrSpace => 1,
-            ObjKind::Thread => 2,
-        }
-    }
-}
-
-/// Index of the mapping "kind" in the stats arrays.
-pub const STAT_MAPPING: usize = 3;
-
-/// State written back to an application kernel when an object is displaced
-/// (or unloaded as a dependent of a displaced object). Delivered over the
-/// writeback channel by the executive.
-#[derive(Clone, Debug)]
-pub enum Writeback {
-    /// A page mapping, with its final flag bits — the application kernel
-    /// uses the modified bit to decide whether to clean the page (§2.1).
-    Mapping {
-        /// Kernel to deliver to.
-        owner: ObjId,
-        /// Address space the mapping belonged to.
-        space: ObjId,
-        /// Virtual page base.
-        vaddr: Vaddr,
-        /// Physical page base.
-        paddr: Paddr,
-        /// Final PTE flag bits (REFERENCED/MODIFIED/WRITABLE/…).
-        flags: u32,
-    },
-    /// A thread's full state.
-    Thread {
-        /// Kernel to deliver to.
-        owner: ObjId,
-        /// The (now stale) identifier it was loaded under.
-        id: ObjId,
-        /// The descriptor state.
-        desc: Box<ThreadDesc>,
-    },
-    /// An address space (its mappings and threads have already been
-    /// written back, per the §4.2 ordering).
-    Space {
-        /// Kernel to deliver to.
-        owner: ObjId,
-        /// The (now stale) identifier.
-        id: ObjId,
-    },
-    /// An application kernel object (delivered to the first kernel).
-    Kernel {
-        /// Kernel to deliver to (the SRM).
-        owner: ObjId,
-        /// The (now stale) identifier.
-        id: ObjId,
-        /// The descriptor state.
-        desc: Box<KernelDesc>,
-    },
-}
-
-impl Writeback {
-    /// The kernel this writeback is addressed to.
-    pub fn owner(&self) -> ObjId {
-        match self {
-            Writeback::Mapping { owner, .. }
-            | Writeback::Thread { owner, .. }
-            | Writeback::Space { owner, .. }
-            | Writeback::Kernel { owner, .. } => *owner,
-        }
-    }
-}
-
-/// A mapping unload result returned from explicit unload calls.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct MappingState {
-    /// Virtual page base.
-    pub vaddr: Vaddr,
-    /// Physical page base.
-    pub paddr: Paddr,
-    /// Final PTE flags including referenced/modified.
-    pub flags: u32,
-}
-
 /// One Cache Kernel instance (one per MPM).
 pub struct CacheKernel {
     pub(crate) kernels: ObjCache<KernelObj>,
@@ -162,14 +63,22 @@ pub struct CacheKernel {
     pub physmap: PhysMap,
     /// Ready queues.
     pub sched: Scheduler,
-    pub(crate) accounts: HashMap<u16, KernelAccount>,
+    pub(crate) accounts: BTreeMap<u16, KernelAccount>,
     /// FIFO-with-second-chance reclaim order for mappings.
     pub(crate) mapping_fifo: VecDeque<(u16, u32, Vpn)>,
-    pub(crate) writebacks: VecDeque<Writeback>,
-    first_kernel: Option<ObjId>,
+    /// The ordered event pipeline drained by the executive.
+    pub(crate) events: VecDeque<KernelEvent>,
+    pub(crate) first_kernel: Option<ObjId>,
     /// Set by [`CacheKernel::load_mapping_and_resume`]: the pending fault
     /// return has already been paid for by the combined call.
     pub(crate) resume_armed: bool,
+    /// Whether signal deliveries enter the event pipeline (default on).
+    /// Signal wakeups are synchronous in the messaging layer; the queued
+    /// event carries the fact into the ordered pipeline for tracing and
+    /// delivery accounting. A harness that attaches no executive (so
+    /// nothing ever pumps the queue) can turn this off, tracepoint-style,
+    /// to measure bare delivery cost; counters tick either way.
+    pub signal_events: bool,
     /// Configuration.
     pub config: CkConfig,
     /// Operation counters.
@@ -185,11 +94,12 @@ impl CacheKernel {
             threads: ObjCache::new(ObjKind::Thread, config.thread_slots),
             physmap: PhysMap::new(config.mapping_capacity),
             sched: Scheduler::new(config.slice),
-            accounts: HashMap::new(),
+            accounts: BTreeMap::new(),
             mapping_fifo: VecDeque::new(),
-            writebacks: VecDeque::new(),
+            events: VecDeque::with_capacity(64),
             first_kernel: None,
             resume_armed: false,
+            signal_events: true,
             config,
             stats: CkStats::default(),
         }
@@ -229,7 +139,7 @@ impl CacheKernel {
         self.first_kernel.expect("not booted")
     }
 
-    fn require_first(&self, caller: ObjId) -> CkResult<()> {
+    pub(crate) fn require_first(&self, caller: ObjId) -> CkResult<()> {
         if Some(caller) != self.first_kernel {
             return Err(CkError::FirstKernelOnly);
         }
@@ -344,7 +254,7 @@ impl CacheKernel {
         }
         self.kernel(id)?;
         self.charge_op(mpm, 0);
-        let desc = self.do_unload_kernel(id, mpm);
+        let desc = self.do_unload_kernel(id, mpm)?;
         self.stats.unloads[CkStats::idx(ObjKind::Kernel)] += 1;
         Ok(desc)
     }
@@ -418,7 +328,7 @@ impl CacheKernel {
         );
         if self.spaces.is_full() {
             let victim = self.space_victim().ok_or(CkError::CacheFull)?;
-            self.writeback_space(victim, mpm);
+            self.writeback_space(victim, mpm)?;
         }
         let id = self
             .spaces
@@ -446,7 +356,7 @@ impl CacheKernel {
         }
         // Address-space unload broadcasts an ASID flush.
         self.charge_op(mpm, Self::shootdown_cost(mpm));
-        self.do_unload_space(id, mpm, false);
+        self.do_unload_space(id, mpm, false)?;
         self.stats.unloads[CkStats::idx(ObjKind::AddrSpace)] += 1;
         Ok(())
     }
@@ -485,7 +395,7 @@ impl CacheKernel {
         );
         if self.threads.is_full() {
             let victim = self.thread_victim().ok_or(CkError::CacheFull)?;
-            self.writeback_thread(victim, mpm);
+            self.writeback_thread(victim, mpm)?;
         }
         let state = desc.state;
         let priority = desc.priority;
@@ -524,7 +434,7 @@ impl CacheKernel {
             return Err(CkError::NotOwner(id));
         }
         self.charge_op(mpm, 0);
-        let desc = self.do_unload_thread(id, mpm);
+        let desc = self.do_unload_thread(id, mpm)?;
         self.stats.unloads[CkStats::idx(ObjKind::Thread)] += 1;
         Ok(desc)
     }
@@ -572,386 +482,8 @@ impl CacheKernel {
         Ok(())
     }
 
-    // ------------------------------------------------------------------
-    // Page mappings (§2.1, §2.2)
-    // ------------------------------------------------------------------
-
-    /// Load a page mapping into `space`. `flags` are [`Pte`] flag bits;
-    /// `signal_thread` registers the page for memory-based messaging;
-    /// `cow_source` records a deferred-copy source frame. The physical
-    /// address and requested access are checked against the calling
-    /// kernel's memory access array.
-    #[allow(clippy::too_many_arguments)]
-    pub fn load_mapping(
-        &mut self,
-        caller: ObjId,
-        space: ObjId,
-        vaddr: Vaddr,
-        paddr: Paddr,
-        flags: u32,
-        signal_thread: Option<ObjId>,
-        cow_source: Option<Paddr>,
-        mpm: &mut Mpm,
-    ) -> CkResult<()> {
-        let k = self.kernel(caller)?;
-        // Rights: writable (even deferred) mappings need ReadWrite.
-        let needed = if flags & Pte::WRITABLE != 0 {
-            Access::Write
-        } else {
-            Access::Read
-        };
-        if !k.desc.memory_access.rights_for(paddr).allows(needed) {
-            return Err(CkError::NoAccess(paddr));
-        }
-        if let Some(src) = cow_source {
-            if !k.desc.memory_access.rights_for(src).allows(Access::Read) {
-                return Err(CkError::NoAccess(src));
-            }
-        }
-        if flags & Pte::LOCKED != 0 && k.locked_mappings >= k.desc.locked_quota.mappings {
-            return Err(CkError::LockQuota);
-        }
-        {
-            let s = self.space(space)?;
-            if s.owner != caller {
-                return Err(CkError::NotOwner(space));
-            }
-        }
-        let sig_slot = match signal_thread {
-            Some(tid) => {
-                let t = self.thread(tid)?;
-                if t.owner != caller {
-                    return Err(CkError::NotOwner(tid));
-                }
-                Some(tid.slot)
-            }
-            None => None,
-        };
-
-        // One trap, a couple of probes, one 16-byte record.
-        self.charge_op(
-            mpm,
-            3 * mpm.config.cost.hash_probe + mpm.config.cost.copy_line,
-        );
-
-        // Replace any existing mapping at this page first.
-        let asid = Self::asid_of(space);
-        let vpn = vaddr.vpn();
-        if self.space(space)?.pt.lookup(vpn).is_valid() {
-            self.do_unload_mapping(space, vpn, mpm, true);
-        }
-
-        // Make room in the mapping descriptor pool: "loading of a new page
-        // descriptor may cause another page descriptor to be written back
-        // … to make space" (§2.1).
-        while self.physmap.len() >= self.physmap.capacity() {
-            if !self.reclaim_one_mapping(mpm) {
-                return Err(CkError::CacheFull);
-            }
-        }
-
-        let handle = self
-            .physmap
-            .insert_p2v(paddr, vaddr, asid as u32)
-            .ok_or(CkError::CacheFull)?;
-        if let Some(slot) = sig_slot {
-            self.physmap.attach_signal(handle, slot as u32);
-        }
-        if let Some(src) = cow_source {
-            self.physmap.attach_cow(handle, src);
-        }
-        let pte = Pte::new(paddr.pfn(), flags & !(Pte::REFERENCED | Pte::MODIFIED));
-        let space_gen = space.gen;
-        self.space_mut(space)?.pt.insert(vpn, pte);
-        self.space_mut(space)?.referenced = true;
-        if flags & Pte::LOCKED != 0 {
-            self.kernel_mut(caller)?.locked_mappings += 1;
-        }
-        self.mapping_fifo.push_back((space.slot, space_gen, vpn));
-        self.stats.loads[STAT_MAPPING] += 1;
-        Ok(())
-    }
-
-    /// Explicitly unload the mappings covering `vaddr..vaddr+len`,
-    /// returning their final states (with referenced/modified bits). Used
-    /// by application kernels when reclaiming page frames (§2.1).
-    pub fn unload_mapping_range(
-        &mut self,
-        caller: ObjId,
-        space: ObjId,
-        vaddr: Vaddr,
-        len: u32,
-        mpm: &mut Mpm,
-    ) -> CkResult<Vec<MappingState>> {
-        let s = self.space(space)?;
-        if s.owner != caller {
-            return Err(CkError::NotOwner(space));
-        }
-        self.charge_op(mpm, 0);
-        let first = vaddr.vpn().0;
-        let last = Vaddr(
-            vaddr
-                .0
-                .checked_add(len.saturating_sub(1))
-                .ok_or(CkError::Invalid)?,
-        )
-        .vpn()
-        .0;
-        let mut out = Vec::new();
-        for vpn in first..=last {
-            if let Some(state) = self.do_unload_mapping(space, Vpn(vpn), mpm, false) {
-                out.push(state);
-                self.stats.unloads[STAT_MAPPING] += 1;
-            }
-        }
-        Ok(out)
-    }
-
-    /// Query a mapping (query operations are deliberately few; this one
-    /// supports fault handlers inspecting current state).
-    pub fn query_mapping(
-        &self,
-        caller: ObjId,
-        space: ObjId,
-        vaddr: Vaddr,
-    ) -> CkResult<MappingState> {
-        let s = self.space(space)?;
-        if s.owner != caller {
-            return Err(CkError::NotOwner(space));
-        }
-        let pte = s.pt.lookup(vaddr.vpn());
-        if !pte.is_valid() {
-            return Err(CkError::NoMapping);
-        }
-        Ok(MappingState {
-            vaddr: vaddr.page_base(),
-            paddr: pte.pfn().base(),
-            flags: pte.flags(),
-        })
-    }
-
-    /// The recorded copy-on-write source frame of a mapping, if any
-    /// (§4.1: COW sources are dependency records in the physical memory
-    /// map). Application kernels resolve a COW fault by copying from this
-    /// frame into a private one.
-    pub fn cow_source(&self, caller: ObjId, space: ObjId, vaddr: Vaddr) -> CkResult<Option<Paddr>> {
-        let s = self.space(space)?;
-        if s.owner != caller {
-            return Err(CkError::NotOwner(space));
-        }
-        let pte = s.pt.lookup(vaddr.vpn());
-        if !pte.is_valid() {
-            return Err(CkError::NoMapping);
-        }
-        let asid = Self::asid_of(space) as u32;
-        Ok(self
-            .physmap
-            .find_p2v_exact(pte.pfn().base(), asid, vaddr.page_base())
-            .and_then(|h| self.physmap.cow_source_of(h)))
-    }
-
-    // ------------------------------------------------------------------
-    // Locking (§2)
-    // ------------------------------------------------------------------
-
-    /// Lock an object against reclamation, subject to the kernel's
-    /// locked-object quota.
-    pub fn lock(&mut self, caller: ObjId, id: ObjId) -> CkResult<()> {
-        match id.kind {
-            ObjKind::Kernel => {
-                self.require_first(caller)?;
-                self.kernel_mut(id)?.locked = true;
-            }
-            ObjKind::AddrSpace => {
-                let s = self.space(id)?;
-                if s.owner != caller {
-                    return Err(CkError::NotOwner(id));
-                }
-                if !s.locked {
-                    let k = self.kernel(caller)?;
-                    if k.locked_spaces >= k.desc.locked_quota.spaces {
-                        return Err(CkError::LockQuota);
-                    }
-                    self.space_mut(id)?.locked = true;
-                    self.kernel_mut(caller)?.locked_spaces += 1;
-                }
-            }
-            ObjKind::Thread => {
-                let t = self.thread(id)?;
-                if t.owner != caller {
-                    return Err(CkError::NotOwner(id));
-                }
-                if !t.locked {
-                    let k = self.kernel(caller)?;
-                    if k.locked_threads >= k.desc.locked_quota.threads {
-                        return Err(CkError::LockQuota);
-                    }
-                    self.thread_mut(id)?.locked = true;
-                    self.kernel_mut(caller)?.locked_threads += 1;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Unlock an object.
-    pub fn unlock(&mut self, caller: ObjId, id: ObjId) -> CkResult<()> {
-        match id.kind {
-            ObjKind::Kernel => {
-                self.require_first(caller)?;
-                if Some(id) == self.first_kernel {
-                    return Err(CkError::Invalid);
-                }
-                self.kernel_mut(id)?.locked = false;
-            }
-            ObjKind::AddrSpace => {
-                let s = self.space(id)?;
-                if s.owner != caller {
-                    return Err(CkError::NotOwner(id));
-                }
-                if s.locked {
-                    self.space_mut(id)?.locked = false;
-                    self.kernel_mut(caller)?.locked_spaces -= 1;
-                }
-            }
-            ObjKind::Thread => {
-                let t = self.thread(id)?;
-                if t.owner != caller {
-                    return Err(CkError::NotOwner(id));
-                }
-                if t.locked {
-                    self.thread_mut(id)?.locked = false;
-                    self.kernel_mut(caller)?.locked_threads -= 1;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Writeback channel
-    // ------------------------------------------------------------------
-
-    /// Drain the queued writebacks (the executive delivers these to the
-    /// owning application kernels over the writeback channel).
-    pub fn take_writebacks(&mut self) -> Vec<Writeback> {
-        self.writebacks.drain(..).collect()
-    }
-
-    /// Number of queued writebacks.
-    pub fn pending_writebacks(&self) -> usize {
-        self.writebacks.len()
-    }
-
-    // ------------------------------------------------------------------
-    // Accounting and quota enforcement (§4.3)
-    // ------------------------------------------------------------------
-
-    /// Effective scheduling priority of a thread slot: its descriptor
-    /// priority, or idle if its kernel is currently demoted for exceeding
-    /// its processor quota.
-    pub fn effective_priority(&self, slot: u16) -> Priority {
-        let t = match self.threads.get_slot(slot) {
-            Some(t) => t,
-            None => return IDLE_PRIORITY,
-        };
-        if self
-            .kernels
-            .get(t.owner)
-            .map(|k| k.demoted)
-            .unwrap_or(false)
-        {
-            IDLE_PRIORITY
-        } else {
-            t.desc.priority
-        }
-    }
-
-    /// Enqueue a thread at its effective priority (executive helper).
-    pub fn enqueue_thread(&mut self, slot: u16) {
-        if self.sched.contains(slot) {
-            return;
-        }
-        let p = self.effective_priority(slot);
-        if self.threads.get_slot(slot).is_some() {
-            self.sched.enqueue(slot, p);
-        }
-    }
-
-    /// Record graduated CPU consumption for a thread's kernel (§4.3: a
-    /// premium above normal priority, a discount below).
-    pub fn account_consumption(&mut self, thread_slot: u16, cpu: usize, cycles: u64) {
-        let (owner_slot, priority) = match self.threads.get_slot(thread_slot) {
-            Some(t) => (t.owner.slot, t.desc.priority),
-            None => return,
-        };
-        let charged = crate::account::graduated_charge(cycles, priority);
-        self.accounts
-            .entry(owner_slot)
-            .or_default()
-            .charge(cpu.min(MAX_CPUS - 1), charged);
-    }
-
-    /// Close an accounting period: update every kernel's decayed usage
-    /// against its quota and apply/lift demotions. Returns the kernels
-    /// whose demotion state changed.
-    pub fn end_accounting_period(&mut self, period_cycles: u64) -> Vec<(ObjId, bool)> {
-        let mut changed = Vec::new();
-        let slots: Vec<u16> = self.accounts.keys().copied().collect();
-        for slot in slots {
-            let id = match self.kernels.id_of_slot(slot) {
-                Some(id) => id,
-                None => continue,
-            };
-            let quota = self.kernels.get(id).unwrap().desc.cpu_quota_pct;
-            let transitions = self
-                .accounts
-                .get_mut(&slot)
-                .unwrap()
-                .end_period(period_cycles, &quota);
-            if transitions.is_empty() {
-                continue;
-            }
-            // Any CPU over quota demotes the kernel's threads (we enforce
-            // at kernel granularity; the account tracks per-CPU usage).
-            let demoted = (0..MAX_CPUS).any(|c| self.accounts[&slot].is_demoted(c));
-            let k = self.kernels.get_mut(id).unwrap();
-            if k.demoted != demoted {
-                k.demoted = demoted;
-                changed.push((id, demoted));
-                self.apply_demotion(id);
-            }
-        }
-        changed
-    }
-
-    /// Re-queue every ready thread of `kernel` at its (new) effective
-    /// priority after a demotion change.
-    fn apply_demotion(&mut self, kernel: ObjId) {
-        let slots: Vec<u16> = self
-            .threads
-            .iter()
-            .filter(|(_, t)| t.owner == kernel)
-            .map(|(id, _)| id.slot)
-            .collect();
-        for slot in slots {
-            let p = self.effective_priority(slot);
-            self.sched.requeue(slot, p);
-        }
-    }
-
-    /// Decayed CPU usage of a kernel on `cpu` as a percentage (reports).
-    pub fn kernel_usage_pct(&self, kernel: ObjId, cpu: usize, period_cycles: u64) -> f64 {
-        self.accounts
-            .get(&kernel.slot)
-            .map(|a| a.usage_pct(cpu, period_cycles))
-            .unwrap_or(0.0)
-    }
-
-    /// Whether a kernel is currently demoted.
-    pub fn kernel_demoted(&self, kernel: ObjId) -> bool {
-        self.kernels.get(kernel).map(|k| k.demoted).unwrap_or(false)
-    }
+    // Page mappings (§2.1/§2.2) live in `mapping.rs`; locking in
+    // `lock.rs`; quota accounting (§4.3) in `account.rs`.
 
     // ------------------------------------------------------------------
     // Introspection for the harness
@@ -996,285 +528,5 @@ impl CacheKernel {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use hw::MachineConfig;
-
-    pub(crate) fn setup() -> (CacheKernel, Mpm, ObjId) {
-        let mut ck = CacheKernel::new(CkConfig {
-            kernel_slots: 4,
-            space_slots: 4,
-            thread_slots: 8,
-            mapping_capacity: 32,
-            ..CkConfig::default()
-        });
-        let mpm = Mpm::new(MachineConfig {
-            phys_frames: 1024,
-            l2_bytes: 64 * 1024,
-            ..MachineConfig::default()
-        });
-        let srm = ck.boot(KernelDesc {
-            memory_access: MemoryAccessArray::all(),
-            ..KernelDesc::default()
-        });
-        (ck, mpm, srm)
-    }
-
-    fn grant_all() -> KernelDesc {
-        KernelDesc {
-            memory_access: MemoryAccessArray::all(),
-            ..KernelDesc::default()
-        }
-    }
-
-    #[test]
-    fn boot_loads_locked_first_kernel() {
-        let (ck, _mpm, srm) = setup();
-        assert_eq!(ck.first_kernel(), srm);
-        assert!(ck.kernel(srm).unwrap().locked);
-        assert_eq!(ck.kernel(srm).unwrap().owner, srm);
-    }
-
-    #[test]
-    fn only_first_kernel_loads_kernels() {
-        let (mut ck, mut mpm, srm) = setup();
-        let k2 = ck.load_kernel(srm, grant_all(), &mut mpm).unwrap();
-        assert_eq!(
-            ck.load_kernel(k2, KernelDesc::default(), &mut mpm),
-            Err(CkError::FirstKernelOnly)
-        );
-    }
-
-    #[test]
-    fn space_and_thread_lifecycle() {
-        let (mut ck, mut mpm, srm) = setup();
-        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
-        let t = ck
-            .load_thread(srm, ThreadDesc::new(sp, 1, 10), false, &mut mpm)
-            .unwrap();
-        assert_eq!(ck.sched.ready_count(), 1);
-        let desc = ck.unload_thread(srm, t, &mut mpm).unwrap();
-        assert_eq!(desc.regs.pc, 1);
-        assert_eq!(ck.sched.ready_count(), 0);
-        assert_eq!(ck.thread(t).err(), Some(CkError::StaleId(t)));
-        ck.unload_space(srm, sp, &mut mpm).unwrap();
-        assert_eq!(ck.space(sp).err(), Some(CkError::StaleId(sp)));
-    }
-
-    #[test]
-    fn thread_load_with_stale_space_fails() {
-        let (mut ck, mut mpm, srm) = setup();
-        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
-        ck.unload_space(srm, sp, &mut mpm).unwrap();
-        let err = ck
-            .load_thread(srm, ThreadDesc::new(sp, 1, 10), false, &mut mpm)
-            .unwrap_err();
-        assert_eq!(err, CkError::StaleId(sp));
-        // Retry after reloading the space, per the §2 protocol.
-        let sp2 = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
-        assert!(ck
-            .load_thread(srm, ThreadDesc::new(sp2, 1, 10), false, &mut mpm)
-            .is_ok());
-    }
-
-    #[test]
-    fn mapping_rights_enforced() {
-        let (mut ck, mut mpm, srm) = setup();
-        let mut desc = KernelDesc::default(); // no access at all
-        desc.memory_access.set(0, Rights::Read);
-        let k = ck.load_kernel(srm, desc, &mut mpm).unwrap();
-        let sp = ck.load_space(k, SpaceDesc::default(), &mut mpm).unwrap();
-        // Read-only mapping into group 0: allowed.
-        ck.load_mapping(
-            k,
-            sp,
-            Vaddr(0x1000),
-            Paddr(0x3000),
-            Pte::CACHEABLE,
-            None,
-            None,
-            &mut mpm,
-        )
-        .unwrap();
-        // Writable mapping into group 0: denied (only Read rights).
-        assert_eq!(
-            ck.load_mapping(
-                k,
-                sp,
-                Vaddr(0x2000),
-                Paddr(0x4000),
-                Pte::WRITABLE,
-                None,
-                None,
-                &mut mpm
-            ),
-            Err(CkError::NoAccess(Paddr(0x4000)))
-        );
-        // Any mapping outside group 0: denied.
-        assert_eq!(
-            ck.load_mapping(
-                k,
-                sp,
-                Vaddr(0x2000),
-                Paddr(hw::PAGE_GROUP_SIZE),
-                0,
-                None,
-                None,
-                &mut mpm
-            ),
-            Err(CkError::NoAccess(Paddr(hw::PAGE_GROUP_SIZE)))
-        );
-    }
-
-    #[test]
-    fn mapping_query_and_unload() {
-        let (mut ck, mut mpm, srm) = setup();
-        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
-        ck.load_mapping(
-            srm,
-            sp,
-            Vaddr(0x5000),
-            Paddr(0x9000),
-            Pte::WRITABLE | Pte::CACHEABLE,
-            None,
-            None,
-            &mut mpm,
-        )
-        .unwrap();
-        let q = ck.query_mapping(srm, sp, Vaddr(0x5123)).unwrap();
-        assert_eq!(q.paddr, Paddr(0x9000));
-        let states = ck
-            .unload_mapping_range(srm, sp, Vaddr(0x5000), 0x1000, &mut mpm)
-            .unwrap();
-        assert_eq!(states.len(), 1);
-        assert_eq!(states[0].paddr, Paddr(0x9000));
-        assert_eq!(
-            ck.query_mapping(srm, sp, Vaddr(0x5000)),
-            Err(CkError::NoMapping)
-        );
-        assert!(ck.physmap.is_empty());
-    }
-
-    #[test]
-    fn priority_cap_enforced() {
-        let (mut ck, mut mpm, srm) = setup();
-        let mut desc = grant_all();
-        desc.max_priority = 10;
-        let k = ck.load_kernel(srm, desc, &mut mpm).unwrap();
-        let sp = ck.load_space(k, SpaceDesc::default(), &mut mpm).unwrap();
-        assert_eq!(
-            ck.load_thread(k, ThreadDesc::new(sp, 1, 11), false, &mut mpm),
-            Err(CkError::PriorityTooHigh(11))
-        );
-        let t = ck
-            .load_thread(k, ThreadDesc::new(sp, 1, 10), false, &mut mpm)
-            .unwrap();
-        assert_eq!(ck.set_priority(k, t, 11), Err(CkError::PriorityTooHigh(11)));
-        ck.set_priority(k, t, 3).unwrap();
-        assert_eq!(ck.thread(t).unwrap().desc.priority, 3);
-    }
-
-    #[test]
-    fn lock_quota_enforced() {
-        let (mut ck, mut mpm, srm) = setup();
-        let mut desc = grant_all();
-        desc.locked_quota = LockedQuota {
-            spaces: 1,
-            threads: 1,
-            mappings: 1,
-        };
-        let k = ck.load_kernel(srm, desc, &mut mpm).unwrap();
-        let s1 = ck
-            .load_space(k, SpaceDesc { locked: true }, &mut mpm)
-            .unwrap();
-        assert_eq!(
-            ck.load_space(k, SpaceDesc { locked: true }, &mut mpm),
-            Err(CkError::LockQuota)
-        );
-        ck.unlock(k, s1).unwrap();
-        assert!(ck
-            .load_space(k, SpaceDesc { locked: true }, &mut mpm)
-            .is_ok());
-        // Locked-mapping quota.
-        ck.load_mapping(
-            k,
-            s1,
-            Vaddr(0x1000),
-            Paddr(0x2000),
-            Pte::LOCKED,
-            None,
-            None,
-            &mut mpm,
-        )
-        .unwrap();
-        assert_eq!(
-            ck.load_mapping(
-                k,
-                s1,
-                Vaddr(0x3000),
-                Paddr(0x4000),
-                Pte::LOCKED,
-                None,
-                None,
-                &mut mpm
-            ),
-            Err(CkError::LockQuota)
-        );
-    }
-
-    #[test]
-    fn ownership_checks() {
-        let (mut ck, mut mpm, srm) = setup();
-        let k = ck.load_kernel(srm, grant_all(), &mut mpm).unwrap();
-        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
-        // k cannot load a thread into srm's space.
-        assert_eq!(
-            ck.load_thread(k, ThreadDesc::new(sp, 1, 5), false, &mut mpm),
-            Err(CkError::NotOwner(sp))
-        );
-        // k cannot unload srm's space or map into it.
-        assert_eq!(ck.unload_space(k, sp, &mut mpm), Err(CkError::NotOwner(sp)));
-        assert_eq!(
-            ck.load_mapping(k, sp, Vaddr(0), Paddr(0), 0, None, None, &mut mpm),
-            Err(CkError::NotOwner(sp))
-        );
-    }
-
-    #[test]
-    fn replacing_mapping_at_same_page() {
-        let (mut ck, mut mpm, srm) = setup();
-        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
-        ck.load_mapping(
-            srm,
-            sp,
-            Vaddr(0x1000),
-            Paddr(0x2000),
-            0,
-            None,
-            None,
-            &mut mpm,
-        )
-        .unwrap();
-        ck.load_mapping(
-            srm,
-            sp,
-            Vaddr(0x1000),
-            Paddr(0x7000),
-            0,
-            None,
-            None,
-            &mut mpm,
-        )
-        .unwrap();
-        let q = ck.query_mapping(srm, sp, Vaddr(0x1000)).unwrap();
-        assert_eq!(q.paddr, Paddr(0x7000));
-        // The old mapping was written back, not leaked.
-        assert_eq!(ck.physmap.len(), 1);
-        let wbs = ck.take_writebacks();
-        assert_eq!(wbs.len(), 1);
-        match &wbs[0] {
-            Writeback::Mapping { paddr, .. } => assert_eq!(*paddr, Paddr(0x2000)),
-            other => panic!("unexpected writeback {other:?}"),
-        }
-    }
-}
+#[path = "ck_tests.rs"]
+mod tests;

@@ -1,0 +1,139 @@
+//! The unified counter registry.
+//!
+//! Every observable the Cache Kernel exposes to the evaluation harness
+//! lives here in one `Counters` struct. The per-event counters are
+//! ticked at a single choke point — [`CacheKernel::emit`] — as kernel
+//! events enter the pipeline; only the object-cache traffic counters
+//! (`loads`/`unloads`/`writebacks`) are ticked at their operation sites
+//! because their semantics are finer than event granularity (the
+//! `writebacks` array counts *reclamation-driven* displacement only,
+//! not every writeback queued, which is the replacement-interference
+//! figure of §5.2).
+//!
+//! [`CacheKernel::emit`]: crate::ck::CacheKernel::emit
+
+use crate::events::KernelEvent;
+use crate::ids::ObjKind;
+
+/// Operation counters, read by the evaluation harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    /// Object loads by kind: kernels, spaces, threads, mappings.
+    pub loads: [u64; 4],
+    /// Explicit unloads by kind.
+    pub unloads: [u64; 4],
+    /// Reclamation-driven writebacks by kind (replacement interference).
+    pub writebacks: [u64; 4],
+    /// Signals delivered via the reverse-TLB fast path.
+    pub signals_fast: u64,
+    /// Signals delivered via the two-stage lookup.
+    pub signals_slow: u64,
+    /// Faults forwarded to application kernels.
+    pub faults_forwarded: u64,
+    /// Traps forwarded to application kernels.
+    pub traps_forwarded: u64,
+    /// Mappings flushed for multi-mapping consistency.
+    pub consistency_flushes: u64,
+    /// Total events entered into the pipeline.
+    pub events_emitted: u64,
+    /// Total events delivered by an executive's pump.
+    pub events_delivered: u64,
+    /// Writebacks queued toward application kernels (all causes).
+    pub writebacks_queued: u64,
+    /// Device interrupts (clock ticks, Ethernet receive completions).
+    pub device_interrupts: u64,
+    /// Fabric packets entered for local delivery.
+    pub packets: u64,
+    /// Accounting periods closed (§4.3).
+    pub accounting_periods: u64,
+    /// Thread terminations processed through the pipeline.
+    pub thread_exits: u64,
+}
+
+/// The historical name: the counters began as the Cache Kernel's stats
+/// block and the harness reads them under this alias.
+pub type CkStats = Counters;
+
+/// Index of the mapping "kind" in the stats arrays.
+pub const STAT_MAPPING: usize = 3;
+
+impl Counters {
+    pub(crate) fn idx(kind: ObjKind) -> usize {
+        match kind {
+            ObjKind::Kernel => 0,
+            ObjKind::AddrSpace => 1,
+            ObjKind::Thread => 2,
+        }
+    }
+
+    /// Stats-array index of an object kind (mappings use
+    /// [`STAT_MAPPING`]).
+    pub fn idx_pub(kind: ObjKind) -> usize {
+        Self::idx(kind)
+    }
+
+    /// Tick the counters for one event entering the pipeline. This is
+    /// called from exactly one place, [`CacheKernel::emit`].
+    ///
+    /// [`CacheKernel::emit`]: crate::ck::CacheKernel::emit
+    #[inline]
+    pub(crate) fn tick(&mut self, ev: &KernelEvent) {
+        self.events_emitted += 1;
+        match ev {
+            KernelEvent::FaultForward { .. } => self.faults_forwarded += 1,
+            KernelEvent::TrapForward { .. } => self.traps_forwarded += 1,
+            KernelEvent::Signal { fast, .. } => {
+                if *fast {
+                    self.signals_fast += 1;
+                } else {
+                    self.signals_slow += 1;
+                }
+            }
+            KernelEvent::Writeback(_) => self.writebacks_queued += 1,
+            KernelEvent::DeviceInterrupt { .. } => self.device_interrupts += 1,
+            KernelEvent::PacketArrived { .. } => self.packets += 1,
+            KernelEvent::AccountingPeriodEnd { .. } => self.accounting_periods += 1,
+            KernelEvent::ThreadExit { .. } => self.thread_exits += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::KernelEvent;
+    use hw::Paddr;
+
+    #[test]
+    fn tick_routes_each_event_kind() {
+        let mut c = Counters::default();
+        c.tick(&KernelEvent::Signal {
+            paddr: Paddr(0x1000),
+            receivers: 1,
+            fast: true,
+        });
+        c.tick(&KernelEvent::Signal {
+            paddr: Paddr(0x1000),
+            receivers: 3,
+            fast: false,
+        });
+        c.tick(&KernelEvent::DeviceInterrupt {
+            source: crate::events::DeviceSource::Clock,
+            paddr: Paddr(0x2000),
+        });
+        c.tick(&KernelEvent::AccountingPeriodEnd { period: 100 });
+        assert_eq!(c.signals_fast, 1);
+        assert_eq!(c.signals_slow, 1);
+        assert_eq!(c.device_interrupts, 1);
+        assert_eq!(c.accounting_periods, 1);
+        assert_eq!(c.events_emitted, 4);
+    }
+
+    #[test]
+    fn kind_indices_are_stable() {
+        assert_eq!(Counters::idx_pub(ObjKind::Kernel), 0);
+        assert_eq!(Counters::idx_pub(ObjKind::AddrSpace), 1);
+        assert_eq!(Counters::idx_pub(ObjKind::Thread), 2);
+        assert_eq!(STAT_MAPPING, 3);
+    }
+}

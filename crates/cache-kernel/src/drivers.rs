@@ -15,6 +15,7 @@
 //! messaging.
 
 use crate::ck::CacheKernel;
+use crate::events::{DeviceSource, KernelEvent};
 use hw::dev::ethernet::{read_desc, write_desc, EtherEvent, DESC_BYTES, F_OWN};
 use hw::{Mpm, Packet, Paddr, PAGE_SIZE};
 
@@ -131,8 +132,9 @@ impl EtherDriver {
     }
 
     /// Poll completion events: reclaim finished transmit descriptors and
-    /// convert received frames into address-valued signals on their
-    /// buffer pages — the memory-based-messaging adaptation.
+    /// turn received frames into [`KernelEvent::DeviceInterrupt`]s on
+    /// their buffer pages. The executive's event pump raises the
+    /// address-valued signal — the memory-based-messaging adaptation.
     pub fn poll(&mut self, ck: &mut CacheKernel, mpm: &mut Mpm) -> u32 {
         let events = mpm.ether.take_events();
         let mut signaled = 0;
@@ -143,7 +145,10 @@ impl EtherDriver {
                 }
                 EtherEvent::RxDone { index, .. } => {
                     let buf = self.rx_buffer(index);
-                    ck.raise_signal(mpm, 0, buf);
+                    ck.emit(KernelEvent::DeviceInterrupt {
+                        source: DeviceSource::EtherRx,
+                        paddr: buf,
+                    });
                     self.stats.rx_signaled += 1;
                     signaled += 1;
                     // Restock the descriptor for the MAC.
@@ -179,6 +184,16 @@ mod tests {
         });
         let drv = EtherDriver::new(&mut mpm, 512);
         (ck, mpm, srm, drv)
+    }
+
+    /// What the executive's event pump does for device interrupts; these
+    /// tests drive the driver without an executive.
+    fn pump_interrupts(ck: &mut CacheKernel, mpm: &mut Mpm) {
+        for ev in ck.drain_events() {
+            if let KernelEvent::DeviceInterrupt { paddr, .. } = ev {
+                ck.raise_signal(mpm, 0, paddr);
+            }
+        }
     }
 
     #[test]
@@ -244,6 +259,8 @@ mod tests {
         mpm.ether.deliver(&mut mpm.mem, &pkt);
         let n = drv.poll(&mut ck, &mut mpm);
         assert_eq!(n, 1);
+        assert_eq!(ck.stats.device_interrupts, 1);
+        pump_interrupts(&mut ck, &mut mpm);
         assert_eq!(ck.take_signal(t.slot), Some(Vaddr(0xe000_0000)));
         // The data is in the mapped buffer, via DMA.
         let mut buf = vec![0u8; 8];

@@ -1,0 +1,329 @@
+//! The kernel event pipeline: types and the per-executive queue.
+//!
+//! Instead of reentrantly mutating the executive, the fault path
+//! (`fault.rs`), messaging (`msg.rs`), reclamation (`reclaim.rs`) and
+//! device polling (`drivers.rs`) *emit* [`KernelEvent`]s into a single
+//! ordered queue held by the [`CacheKernel`]. Each executive drains its
+//! kernel's queue in emission order and performs the application-kernel
+//! deliveries (`exec/events.rs`); the queue is the one place counter
+//! ticks happen ([`CacheKernel::emit`] → [`Counters::tick`]).
+//!
+//! [`Counters::tick`]: crate::counters::Counters
+
+use crate::ck::CacheKernel;
+use crate::ids::ObjId;
+use crate::objects::{KernelDesc, ThreadDesc};
+use hw::{Fault, Paddr, Vaddr};
+use std::collections::VecDeque;
+
+/// Which device raised an interrupt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceSource {
+    /// The interval clock's tick page refresh.
+    Clock,
+    /// An Ethernet receive completion (DMA landed in a ring buffer).
+    EtherRx,
+    /// A fiber-channel reception-slot arrival.
+    Fiber,
+}
+
+/// One event flowing through the per-executive pipeline.
+#[derive(Clone, Debug)]
+pub enum KernelEvent {
+    /// A hardware fault is being forwarded to the owning application
+    /// kernel (Fig. 2 steps 1–2).
+    FaultForward {
+        /// The application kernel to deliver to.
+        owner: ObjId,
+        /// The faulting thread.
+        thread: ObjId,
+        /// CPU the fault was taken on.
+        cpu: usize,
+        /// The fault record.
+        fault: Fault,
+    },
+    /// A thread's trap ("system call") is being forwarded to its
+    /// application kernel (§2.3).
+    TrapForward {
+        /// The application kernel to deliver to.
+        owner: ObjId,
+        /// The trapping thread.
+        thread: ObjId,
+        /// CPU the trap was taken on.
+        cpu: usize,
+        /// Trap number.
+        no: u32,
+        /// Trap arguments.
+        args: [u32; 4],
+    },
+    /// Object state displaced from a cache, owed to its application
+    /// kernel over the writeback channel.
+    Writeback(Writeback),
+    /// An address-valued signal was delivered (§2.2). Thread wakeup is
+    /// synchronous in the messaging layer; this event carries the fact
+    /// into the ordered pipeline for counters and tracing.
+    Signal {
+        /// The signalled physical address.
+        paddr: Paddr,
+        /// How many threads received it.
+        receivers: usize,
+        /// Whether the reverse-TLB fast path served it.
+        fast: bool,
+    },
+    /// A device raised an interrupt; the executive turns it into the
+    /// address-valued signal and (for the clock) the `on_tick` hooks.
+    DeviceInterrupt {
+        /// Which device.
+        source: DeviceSource,
+        /// Page to signal.
+        paddr: Paddr,
+    },
+    /// A fabric packet arrived for local delivery; the executive routes
+    /// it to the channel's owning kernel.
+    PacketArrived {
+        /// Sending node.
+        src: usize,
+        /// Network channel.
+        channel: u32,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// An accounting period elapsed; quota enforcement runs (§4.3).
+    AccountingPeriodEnd {
+        /// Period length in cycles.
+        period: u64,
+    },
+    /// A thread terminated; its kernel is notified and the thread is
+    /// unloaded.
+    ThreadExit {
+        /// The application kernel to notify.
+        owner: ObjId,
+        /// The exiting thread.
+        thread: ObjId,
+        /// Exit code.
+        code: i32,
+        /// CPU it last ran on.
+        cpu: usize,
+    },
+}
+
+impl KernelEvent {
+    /// A stable, compact description for event traces. Deterministic for
+    /// identical runs (no addresses, no wall-clock, payloads by length).
+    pub fn describe(&self) -> String {
+        match self {
+            KernelEvent::FaultForward {
+                owner,
+                thread,
+                cpu,
+                fault,
+            } => format!(
+                "fault owner={owner:?} thread={thread:?} cpu={cpu} kind={:?} va={:#x}",
+                fault.kind, fault.vaddr.0
+            ),
+            KernelEvent::TrapForward {
+                owner,
+                thread,
+                cpu,
+                no,
+                ..
+            } => format!("trap owner={owner:?} thread={thread:?} cpu={cpu} no={no}"),
+            KernelEvent::Writeback(wb) => format!("writeback {wb:?}"),
+            KernelEvent::Signal {
+                paddr,
+                receivers,
+                fast,
+            } => format!("signal pa={:#x} rx={receivers} fast={fast}", paddr.0),
+            KernelEvent::DeviceInterrupt { source, paddr } => {
+                format!("irq {source:?} pa={:#x}", paddr.0)
+            }
+            KernelEvent::PacketArrived { src, channel, data } => {
+                format!("packet src={src} ch={channel} len={}", data.len())
+            }
+            KernelEvent::AccountingPeriodEnd { period } => {
+                format!("period-end period={period}")
+            }
+            KernelEvent::ThreadExit {
+                owner,
+                thread,
+                code,
+                cpu,
+            } => format!("thread-exit owner={owner:?} thread={thread:?} code={code} cpu={cpu}"),
+        }
+    }
+}
+
+/// State written back to an application kernel when an object is displaced
+/// (or unloaded as a dependent of a displaced object). Delivered over the
+/// writeback channel by the executive.
+#[derive(Clone, Debug)]
+pub enum Writeback {
+    /// A page mapping, with its final flag bits — the application kernel
+    /// uses the modified bit to decide whether to clean the page (§2.1).
+    Mapping {
+        /// Kernel to deliver to.
+        owner: ObjId,
+        /// Address space the mapping belonged to.
+        space: ObjId,
+        /// Virtual page base.
+        vaddr: Vaddr,
+        /// Physical page base.
+        paddr: Paddr,
+        /// Final PTE flag bits (REFERENCED/MODIFIED/WRITABLE/…).
+        flags: u32,
+    },
+    /// A thread's full state.
+    Thread {
+        /// Kernel to deliver to.
+        owner: ObjId,
+        /// The (now stale) identifier it was loaded under.
+        id: ObjId,
+        /// The descriptor state.
+        desc: Box<ThreadDesc>,
+    },
+    /// An address space (its mappings and threads have already been
+    /// written back, per the §4.2 ordering).
+    Space {
+        /// Kernel to deliver to.
+        owner: ObjId,
+        /// The (now stale) identifier.
+        id: ObjId,
+    },
+    /// An application kernel object (delivered to the first kernel).
+    Kernel {
+        /// Kernel to deliver to (the SRM).
+        owner: ObjId,
+        /// The (now stale) identifier.
+        id: ObjId,
+        /// The descriptor state.
+        desc: Box<KernelDesc>,
+    },
+}
+
+impl Writeback {
+    /// The kernel this writeback is addressed to.
+    pub fn owner(&self) -> ObjId {
+        match self {
+            Writeback::Mapping { owner, .. }
+            | Writeback::Thread { owner, .. }
+            | Writeback::Space { owner, .. }
+            | Writeback::Kernel { owner, .. } => *owner,
+        }
+    }
+}
+
+/// A mapping unload result returned from explicit unload calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MappingState {
+    /// Virtual page base.
+    pub vaddr: Vaddr,
+    /// Physical page base.
+    pub paddr: Paddr,
+    /// Final PTE flags including referenced/modified.
+    pub flags: u32,
+}
+
+impl CacheKernel {
+    /// Enter an event into the pipeline. The single choke point where
+    /// the [`Counters`](crate::counters::Counters) registry is ticked.
+    #[inline]
+    pub fn emit(&mut self, ev: KernelEvent) {
+        self.stats.tick(&ev);
+        self.events.push_back(ev);
+    }
+
+    /// Queue a writeback toward its owning application kernel.
+    pub(crate) fn queue_writeback(&mut self, wb: Writeback) {
+        self.emit(KernelEvent::Writeback(wb));
+    }
+
+    /// Pop the oldest pending event, if any. The executive's pump drains
+    /// the queue one event at a time so deliveries that emit further
+    /// events keep strict emission order.
+    pub fn pop_event(&mut self) -> Option<KernelEvent> {
+        self.events.pop_front()
+    }
+
+    /// Number of events awaiting delivery.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Drain all pending events without delivering them (harness and
+    /// bench use, where no executive pumps the queue).
+    pub fn drain_events(&mut self) -> Vec<KernelEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Drain the pending writebacks owed to application kernels, leaving
+    /// other pending events in order. CK-level consumers (the library
+    /// writeback channel, tests) read displaced state this way; under an
+    /// executive the event pump delivers them instead.
+    pub fn take_writebacks(&mut self) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        let mut rest = VecDeque::with_capacity(self.events.len());
+        for ev in self.events.drain(..) {
+            match ev {
+                KernelEvent::Writeback(wb) => out.push(wb),
+                other => rest.push_back(other),
+            }
+        }
+        self.events = rest;
+        out
+    }
+
+    /// Number of queued writebacks not yet taken or delivered.
+    pub fn pending_writebacks(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|ev| matches!(ev, KernelEvent::Writeback(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ck::CkConfig;
+    use crate::ids::ObjKind;
+
+    #[test]
+    fn emit_keeps_order_and_ticks_counters() {
+        let mut ck = CacheKernel::new(CkConfig::default());
+        ck.emit(KernelEvent::Signal {
+            paddr: Paddr(0x1000),
+            receivers: 1,
+            fast: true,
+        });
+        ck.emit(KernelEvent::AccountingPeriodEnd { period: 7 });
+        assert_eq!(ck.pending_events(), 2);
+        assert_eq!(ck.stats.events_emitted, 2);
+        assert_eq!(ck.stats.signals_fast, 1);
+        assert!(matches!(ck.pop_event(), Some(KernelEvent::Signal { .. })));
+        assert!(matches!(
+            ck.pop_event(),
+            Some(KernelEvent::AccountingPeriodEnd { period: 7 })
+        ));
+        assert_eq!(ck.pop_event().map(|e| e.describe()), None);
+    }
+
+    #[test]
+    fn take_writebacks_preserves_other_events() {
+        let mut ck = CacheKernel::new(CkConfig::default());
+        let owner = ObjId::new(ObjKind::Kernel, 0, 1);
+        ck.emit(KernelEvent::AccountingPeriodEnd { period: 1 });
+        ck.queue_writeback(Writeback::Space {
+            owner,
+            id: ObjId::new(ObjKind::AddrSpace, 3, 1),
+        });
+        ck.emit(KernelEvent::AccountingPeriodEnd { period: 2 });
+        assert_eq!(ck.pending_writebacks(), 1);
+        let wbs = ck.take_writebacks();
+        assert_eq!(wbs.len(), 1);
+        assert_eq!(wbs[0].owner(), owner);
+        assert_eq!(ck.pending_writebacks(), 0);
+        // The two period-end events survive, in order.
+        let kinds: Vec<String> = ck.drain_events().iter().map(|e| e.describe()).collect();
+        assert_eq!(kinds, vec!["period-end period=1", "period-end period=2"]);
+    }
+}

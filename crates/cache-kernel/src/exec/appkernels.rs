@@ -1,0 +1,64 @@
+//! The application-kernel registry.
+//!
+//! Application kernels are trait objects keyed by the slot of the kernel
+//! object they are registered under. The table is ordered (a `BTreeMap`)
+//! so that broadcast deliveries — clock ticks, for one — visit kernels
+//! in a deterministic order regardless of registration history; this is
+//! load-bearing for the byte-identical event traces the executive
+//! guarantees.
+
+use crate::appkernel::AppKernel;
+use std::collections::BTreeMap;
+
+/// Registered application-kernel objects, keyed by kernel-object slot.
+#[derive(Default)]
+pub struct AppKernelTable {
+    kernels: BTreeMap<u16, Box<dyn AppKernel>>,
+}
+
+impl AppKernelTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `k` under the kernel-object `slot`.
+    pub fn insert(&mut self, slot: u16, k: Box<dyn AppKernel>) {
+        self.kernels.insert(slot, k);
+    }
+
+    /// Remove and return the kernel registered under `slot`.
+    pub fn remove(&mut self, slot: u16) -> Option<Box<dyn AppKernel>> {
+        self.kernels.remove(&slot)
+    }
+
+    /// Take a kernel out for a call; return it with [`put`] afterwards
+    /// (take-out/put-back lets the callee re-enter the executive).
+    ///
+    /// [`put`]: AppKernelTable::put
+    pub fn take(&mut self, slot: u16) -> Option<Box<dyn AppKernel>> {
+        self.kernels.remove(&slot)
+    }
+
+    /// Return a kernel taken with [`take`].
+    ///
+    /// [`take`]: AppKernelTable::take
+    pub fn put(&mut self, slot: u16, k: Box<dyn AppKernel>) {
+        self.kernels.insert(slot, k);
+    }
+
+    /// Registered slots in ascending (deterministic) order.
+    pub fn slots(&self) -> Vec<u16> {
+        self.kernels.keys().copied().collect()
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether no kernels are registered.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}

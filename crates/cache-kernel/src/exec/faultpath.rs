@@ -1,0 +1,103 @@
+//! The fault path: forwarding faults, traps and thread exits.
+//!
+//! These routines never call an application kernel directly. They emit
+//! the corresponding [`KernelEvent`] into the Cache Kernel's queue
+//! (which is where the forwarding costs are charged, Fig. 2 steps 1–2)
+//! and then run the event pump; the pump performs the delivery and
+//! records the handler's disposition, which the dispatch loop reads back
+//! to decide whether the thread continues. Emission-then-pump keeps the
+//! fault path synchronous — the thread resumes in the same step — while
+//! every forward still flows through the one ordered pipeline.
+//!
+//! [`KernelEvent`]: crate::events::KernelEvent
+
+use super::dispatch::Outcome;
+use super::Executive;
+use crate::events::KernelEvent;
+use crate::fault::{FaultDisposition, TrapDisposition};
+use crate::ids::ObjId;
+use hw::Fault;
+
+impl Executive {
+    pub(crate) fn forward_fault(
+        &mut self,
+        cpu: usize,
+        slot: u16,
+        tid: ObjId,
+        fault: Fault,
+    ) -> Outcome {
+        self.last_fault_disp = None;
+        if self
+            .ck
+            .begin_fault_forward(&mut self.mpm, cpu, slot, fault)
+            .is_none()
+        {
+            self.terminate_thread(cpu, slot, -1);
+            return Outcome::Stopped;
+        }
+        self.pump_events();
+        match self.last_fault_disp.take() {
+            Some(FaultDisposition::Resume) => {
+                if self.ck.thread_id(slot) == Some(tid) {
+                    Outcome::Continue
+                } else {
+                    Outcome::Stopped
+                }
+            }
+            _ => Outcome::Stopped,
+        }
+    }
+
+    pub(crate) fn do_trap(
+        &mut self,
+        cpu: usize,
+        slot: u16,
+        pc: crate::program::ProgId,
+        tid: ObjId,
+        no: u32,
+        args: [u32; 4],
+    ) -> Outcome {
+        let _ = (pc, tid);
+        self.last_trap_disp = None;
+        if self
+            .ck
+            .begin_trap_forward(&mut self.mpm, cpu, slot, no, args)
+            .is_none()
+        {
+            self.terminate_thread(cpu, slot, -1);
+            return Outcome::Stopped;
+        }
+        self.pump_events();
+        match self.last_trap_disp.take() {
+            Some(TrapDisposition::Return(_)) => Outcome::Continue,
+            _ => Outcome::Stopped,
+        }
+    }
+
+    /// Tear down a thread: emit its exit into the pipeline; the pump
+    /// notifies the owning kernel, unloads the thread and drops its
+    /// program.
+    pub fn terminate_thread(&mut self, cpu: usize, slot: u16, code: i32) {
+        if let Some(tid) = self.ck.thread_id(slot) {
+            if let Some(owner) = self.ck.thread_owner(slot) {
+                self.ck.emit(KernelEvent::ThreadExit {
+                    owner,
+                    thread: tid,
+                    code,
+                    cpu,
+                });
+                self.pump_events();
+            } else {
+                // Ownerless thread (defensive): unload directly.
+                let pc = self.ck.thread(tid).map(|t| t.desc.regs.pc).ok();
+                let _ = self.ck.do_unload_thread(tid, &mut self.mpm);
+                if let Some(pc) = pc {
+                    self.code.remove(pc);
+                }
+            }
+        }
+        if self.mpm.cpus[cpu].current == Some(slot as u32) {
+            self.mpm.cpus[cpu].current = None;
+        }
+    }
+}

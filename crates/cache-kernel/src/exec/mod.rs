@@ -1,0 +1,283 @@
+//! The executive: the per-MPM simulation loop, as an event pipeline.
+//!
+//! Stands in for the hardware's instruction stream: it dispatches loaded
+//! threads onto simulated CPUs at fixed priority with round-robin time
+//! slicing ([`dispatch`]), executes their [`Program`] steps against the
+//! machine (with real TLB misses, page faults and message-mode signals),
+//! and drives everything the Cache Kernel *emits* — fault and trap
+//! forwards (Fig. 2), writebacks, device interrupts, packet arrivals,
+//! accounting-period ends — through one ordered [`KernelEvent`] queue
+//! drained by the event pump ([`events`]). The application kernels only
+//! ever hear from the pump; the fault, reclaim and device layers never
+//! call them directly.
+//!
+//! Module layout:
+//!
+//! * [`appkernels`] — the registered application-kernel table;
+//! * [`dispatch`] — per-CPU slices, program stepping, memory accesses;
+//! * [`faultpath`] — fault/trap forwarding and thread termination;
+//! * [`events`] — the pump: event delivery and the trace recorder;
+//! * [`devices`] — device polling and fabric packet movement.
+//!
+//! A [`Cluster`] connects several executives through the fabric for
+//! multi-MPM configurations (Fig. 4/5).
+//!
+//! [`KernelEvent`]: crate::events::KernelEvent
+//! [`Program`]: crate::program::Program
+
+pub mod appkernels;
+mod devices;
+mod dispatch;
+pub mod events;
+mod faultpath;
+#[cfg(test)]
+mod tests;
+
+pub use appkernels::AppKernelTable;
+pub use events::EventTrace;
+
+use crate::appkernel::{AppKernel, Env};
+use crate::ck::CacheKernel;
+use crate::error::CkResult;
+use crate::fault::{FaultDisposition, TrapDisposition};
+use crate::ids::ObjId;
+use crate::objects::{Priority, ThreadDesc};
+use crate::program::{CodeStore, Program};
+use hw::{Fabric, Mpm, Packet};
+use std::collections::HashMap;
+
+/// One MPM's executive.
+pub struct Executive {
+    /// The node's Cache Kernel.
+    pub ck: CacheKernel,
+    /// The node's hardware.
+    pub mpm: Mpm,
+    /// Program store.
+    pub code: CodeStore,
+    /// Registered application kernels (delivery order is slot order).
+    pub(crate) kernels: AppKernelTable,
+    /// Network channel → owning kernel slot (stand-in for the SRM channel
+    /// manager's registry).
+    pub channel_owners: HashMap<u32, u16>,
+    /// Packets awaiting the fabric.
+    pub outbox: Vec<Packet>,
+    /// Optional Ethernet driver (the DMA-to-messaging adaptation).
+    pub ether_driver: Option<crate::drivers::EtherDriver>,
+    /// Channels routed through the Ethernet interface instead of the
+    /// fiber channel.
+    pub ether_channels: std::collections::HashSet<u32>,
+    pub(crate) last_period_end: u64,
+    /// Quanta executed (diagnostics).
+    pub quanta_run: u64,
+    /// Event trace recorder (off by default).
+    pub trace: EventTrace,
+    /// Disposition of the most recently pumped fault forward, read back
+    /// by the faulting CPU's dispatch loop.
+    pub(crate) last_fault_disp: Option<FaultDisposition>,
+    /// Disposition of the most recently pumped trap forward.
+    pub(crate) last_trap_disp: Option<TrapDisposition>,
+}
+
+impl Executive {
+    /// An executive over a booted Cache Kernel and machine.
+    pub fn new(mut ck: CacheKernel, mpm: Mpm) -> Self {
+        ck.sched.set_cpus(mpm.cpus.len());
+        Executive {
+            ck,
+            mpm,
+            code: CodeStore::new(),
+            kernels: AppKernelTable::new(),
+            channel_owners: HashMap::new(),
+            outbox: Vec::new(),
+            ether_driver: None,
+            ether_channels: std::collections::HashSet::new(),
+            last_period_end: 0,
+            quanta_run: 0,
+            trace: EventTrace::default(),
+            last_fault_disp: None,
+            last_trap_disp: None,
+        }
+    }
+
+    /// Node index.
+    pub fn node(&self) -> usize {
+        self.mpm.node()
+    }
+
+    /// Register the application-kernel object behind a loaded kernel id.
+    pub fn register_kernel(&mut self, id: ObjId, mut k: Box<dyn AppKernel>) {
+        {
+            let mut env = Env {
+                ck: &mut self.ck,
+                mpm: &mut self.mpm,
+                code: &mut self.code,
+                cpu: 0,
+                node: 0,
+                outbox: &mut self.outbox,
+            };
+            env.node = env.mpm.node();
+            k.on_start(&mut env, id);
+        }
+        self.kernels.insert(id.slot, k);
+    }
+
+    /// Remove an application kernel object (after unloading its kernel).
+    pub fn unregister_kernel(&mut self, id: ObjId) -> Option<Box<dyn AppKernel>> {
+        self.kernels.remove(id.slot)
+    }
+
+    /// Route `channel` to `kernel` for incoming packets.
+    pub fn register_channel(&mut self, channel: u32, kernel: ObjId) {
+        self.channel_owners.insert(channel, kernel.slot);
+    }
+
+    /// Invoke a registered kernel with an [`Env`] (take-out/put-back so
+    /// the kernel can re-enter the Cache Kernel).
+    pub fn call_kernel<R>(
+        &mut self,
+        kslot: u16,
+        cpu: usize,
+        f: impl FnOnce(&mut dyn AppKernel, &mut Env) -> R,
+    ) -> Option<R> {
+        let mut k = self.kernels.take(kslot)?;
+        let node = self.mpm.node();
+        let r = {
+            let mut env = Env {
+                ck: &mut self.ck,
+                mpm: &mut self.mpm,
+                code: &mut self.code,
+                cpu,
+                node,
+                outbox: &mut self.outbox,
+            };
+            f(k.as_mut(), &mut env)
+        };
+        self.kernels.put(kslot, k);
+        Some(r)
+    }
+
+    /// Invoke a registered kernel downcast to its concrete type (tests,
+    /// examples and the report harness drive kernels this way).
+    pub fn with_kernel<T: 'static, R>(
+        &mut self,
+        id: ObjId,
+        f: impl FnOnce(&mut T, &mut Env) -> R,
+    ) -> Option<R> {
+        self.call_kernel(id.slot, 0, |k, env| {
+            k.as_any().downcast_mut::<T>().map(|t| f(t, env))
+        })
+        .flatten()
+    }
+
+    /// Convenience: install `program` and load a thread running it.
+    pub fn spawn_thread(
+        &mut self,
+        kernel: ObjId,
+        space: ObjId,
+        program: Box<dyn Program>,
+        priority: Priority,
+    ) -> CkResult<ObjId> {
+        let pc = self.code.register(program);
+        let desc = ThreadDesc::new(space, pc, priority);
+        match self.ck.load_thread(kernel, desc, false, &mut self.mpm) {
+            Ok(id) => Ok(id),
+            Err(e) => {
+                self.code.remove(pc);
+                Err(e)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Run `quanta` scheduling quanta. Each quantum polls devices, pumps
+    /// the resulting events to the application kernels, gives every CPU
+    /// one time slice, closes the accounting period when due, and pumps
+    /// again so the quantum ends with an empty queue.
+    pub fn run(&mut self, quanta: usize) {
+        for _ in 0..quanta {
+            if self.mpm.halted {
+                return;
+            }
+            self.quanta_run += 1;
+            self.poll_devices();
+            self.pump_events();
+            for cpu in 0..self.mpm.cpus.len() {
+                self.run_cpu_slice(cpu);
+            }
+            self.close_accounting_period();
+            self.loopback_outbox();
+            self.pump_events();
+        }
+    }
+
+    /// Run until no thread is runnable or `max_quanta` elapse. Returns
+    /// the number of quanta used.
+    pub fn run_until_idle(&mut self, max_quanta: usize) -> usize {
+        for q in 0..max_quanta {
+            if self.mpm.halted {
+                return q;
+            }
+            let busy = self.ck.sched.ready_count() > 0
+                || self.mpm.cpus.iter().any(|c| c.current.is_some())
+                || self.ck.pending_events() > 0;
+            if !busy {
+                return q;
+            }
+            self.run(1);
+        }
+        max_quanta
+    }
+}
+
+/// A cluster of MPMs connected by the fabric (Fig. 4).
+pub struct Cluster {
+    /// The per-node executives.
+    pub nodes: Vec<Executive>,
+    /// The interconnect.
+    pub fabric: Fabric,
+}
+
+impl Cluster {
+    /// Assemble a cluster from executives (their machine configs should
+    /// carry distinct node indices).
+    pub fn new(nodes: Vec<Executive>) -> Self {
+        let fabric = Fabric::new(nodes.len());
+        Cluster { nodes, fabric }
+    }
+
+    /// Run every node for `quanta`, then move fabric traffic. A failed
+    /// (halted) MPM simply stops executing; the fabric drops its traffic
+    /// (fault containment, §3).
+    pub fn step(&mut self, quanta: usize) {
+        for node in self.nodes.iter_mut() {
+            node.run(quanta);
+        }
+        // Drain outboxes into the fabric.
+        for node in self.nodes.iter_mut() {
+            let halted = node.mpm.halted;
+            for pkt in node.outbox.drain(..) {
+                if !halted {
+                    self.fabric.send(pkt);
+                }
+            }
+        }
+        // Deliver incoming traffic.
+        for i in 0..self.nodes.len() {
+            if self.fabric.is_failed(i) || self.nodes[i].mpm.halted {
+                continue;
+            }
+            while let Some(pkt) = self.fabric.recv(i) {
+                self.nodes[i].deliver_packet(pkt);
+            }
+        }
+    }
+
+    /// Halt a node (simulated MPM hardware failure) and stop its traffic.
+    pub fn fail_node(&mut self, node: usize) {
+        self.nodes[node].mpm.halt();
+        self.fabric.fail_node(node);
+    }
+}

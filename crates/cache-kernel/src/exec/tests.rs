@@ -1,0 +1,541 @@
+use super::*;
+use crate::appkernel::NullKernel;
+use crate::ck::CkConfig;
+use crate::fault::{FaultDisposition, TrapDisposition};
+use crate::objects::{KernelDesc, MemoryAccessArray, SpaceDesc, ThreadState};
+use crate::program::{Script, Step, ThreadCtx};
+use hw::{Fault, MachineConfig, Paddr, Pte, Vaddr};
+
+fn exec() -> (Executive, ObjId) {
+    let mut ck = CacheKernel::new(CkConfig::default());
+    let mpm = Mpm::new(MachineConfig {
+        phys_frames: 2048,
+        l2_bytes: 256 * 1024,
+        cpus: 2,
+        ..MachineConfig::default()
+    });
+    let srm = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    let mut ex = Executive::new(ck, mpm);
+    ex.register_kernel(srm, Box::new(NullKernel));
+    (ex, srm)
+}
+
+/// A kernel that resolves page faults by identity-mapping the page to
+/// a fixed frame region, using the optimized combined call.
+struct IdentityPager {
+    me: ObjId,
+    frame_base: u32,
+    faults: usize,
+}
+impl AppKernel for IdentityPager {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn on_start(&mut self, _env: &mut Env, id: ObjId) {
+        self.me = id;
+    }
+    fn on_page_fault(&mut self, env: &mut Env, thread: ObjId, fault: Fault) -> FaultDisposition {
+        self.faults += 1;
+        let space = env.ck.thread(thread).unwrap().desc.space;
+        let frame = Paddr(self.frame_base + (fault.vaddr.vpn().0 % 64) * hw::PAGE_SIZE);
+        env.ck
+            .load_mapping_and_resume(
+                self.me,
+                space,
+                fault.vaddr.page_base(),
+                frame,
+                Pte::WRITABLE | Pte::CACHEABLE,
+                None,
+                None,
+                env.mpm,
+                env.cpu,
+            )
+            .unwrap();
+        FaultDisposition::Resume
+    }
+    fn on_trap(&mut self, _env: &mut Env, _t: ObjId, no: u32, args: [u32; 4]) -> TrapDisposition {
+        TrapDisposition::Return(no + args[0])
+    }
+    fn name(&self) -> &str {
+        "identity-pager"
+    }
+}
+
+#[test]
+fn program_runs_with_demand_paging() {
+    let (mut ex, srm) = exec();
+    let pager = ex
+        .ck
+        .load_kernel(
+            srm,
+            KernelDesc {
+                memory_access: MemoryAccessArray::all(),
+                ..KernelDesc::default()
+            },
+            &mut ex.mpm,
+        )
+        .unwrap();
+    ex.register_kernel(
+        pager,
+        Box::new(IdentityPager {
+            me: pager,
+            frame_base: 0x10_0000,
+            faults: 0,
+        }),
+    );
+    let sp = ex
+        .ck
+        .load_space(pager, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let pc = ex.code.register(Box::new(Script::new(vec![
+        Step::Store(Vaddr(0x4000), 42),
+        Step::Load(Vaddr(0x4000)),
+        Step::Trap {
+            no: 7,
+            args: [1, 0, 0, 0],
+        },
+        Step::Exit(0),
+    ])));
+    let t = ex
+        .ck
+        .load_thread(pager, ThreadDesc::new(sp, pc, 10), false, &mut ex.mpm)
+        .unwrap();
+    ex.run_until_idle(100);
+    // The thread exited: unloaded, program removed.
+    assert!(ex.ck.thread(t).is_err());
+    assert_eq!(ex.code.len(), 0);
+    assert_eq!(ex.ck.stats.faults_forwarded, 1, "one demand-paging fault");
+    assert_eq!(ex.ck.stats.traps_forwarded, 1);
+    // Every forward was delivered through the pipeline, and the pump
+    // left nothing queued.
+    assert_eq!(ex.ck.pending_events(), 0);
+    assert_eq!(ex.ck.stats.events_delivered, ex.ck.stats.events_emitted);
+    assert_eq!(ex.ck.stats.thread_exits, 1);
+}
+
+#[test]
+fn load_and_trap_results_reach_program() {
+    let (mut ex, srm) = exec();
+    let sp = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    // Pre-map the page so no fault occurs (NullKernel kills on fault).
+    ex.ck
+        .load_mapping(
+            srm,
+            sp,
+            Vaddr(0x4000),
+            Paddr(0x8000),
+            Pte::WRITABLE | Pte::CACHEABLE,
+            None,
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+    let pc = ex.code.register(Box::new(crate::program::FnProgram({
+        let mut stage = 0;
+        move |ctx: &mut ThreadCtx| {
+            stage += 1;
+            match stage {
+                1 => Step::Store(Vaddr(0x4010), 0xfeed),
+                2 => Step::Load(Vaddr(0x4010)),
+                3 => {
+                    assert_eq!(ctx.loaded, 0xfeed);
+                    Step::Trap {
+                        no: 100,
+                        args: [23, 0, 0, 0],
+                    }
+                }
+                4 => {
+                    // NullKernel returns the trap number.
+                    assert_eq!(ctx.trap_ret, 100);
+                    Step::Exit(5)
+                }
+                _ => Step::Exit(5),
+            }
+        }
+    })));
+    ex.ck
+        .load_thread(srm, ThreadDesc::new(sp, pc, 10), false, &mut ex.mpm)
+        .unwrap();
+    ex.run_until_idle(100);
+    assert_eq!(ex.code.len(), 0, "program completed and was removed");
+}
+
+#[test]
+fn null_kernel_kills_faulting_thread() {
+    let (mut ex, srm) = exec();
+    let sp = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let pc = ex
+        .code
+        .register(Box::new(Script::new(vec![Step::Load(Vaddr(0xdead_0000))])));
+    let t = ex
+        .ck
+        .load_thread(srm, ThreadDesc::new(sp, pc, 10), false, &mut ex.mpm)
+        .unwrap();
+    ex.run_until_idle(50);
+    assert!(ex.ck.thread(t).is_err(), "thread killed");
+}
+
+#[test]
+fn signal_ping_pong_between_threads() {
+    let (mut ex, srm) = exec();
+    // Two spaces sharing a message frame (Fig. 3).
+    let frame = Paddr(0x20_0000);
+    let sp_a = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let sp_b = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+
+    // Receiver thread: waits for one signal, records it, exits.
+    let rx_pc = ex.code.register(Box::new(crate::program::FnProgram({
+        let mut stage = 0;
+        move |ctx: &mut ThreadCtx| {
+            stage += 1;
+            match stage {
+                1 => Step::WaitSignal,
+                2 => {
+                    let sig = ctx.signal.expect("signal delivered");
+                    assert_eq!(sig, Vaddr(0xb010));
+                    Step::Exit(0)
+                }
+                _ => Step::Exit(0),
+            }
+        }
+    })));
+    let rx = ex
+        .ck
+        .load_thread(srm, ThreadDesc::new(sp_b, rx_pc, 12), false, &mut ex.mpm)
+        .unwrap();
+    // Receiver maps the frame in message mode with itself as the
+    // signal thread.
+    ex.ck
+        .load_mapping(
+            srm,
+            sp_b,
+            Vaddr(0xb000),
+            frame,
+            Pte::MESSAGE,
+            Some(rx),
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+    // Sender maps the frame writable + message mode.
+    ex.ck
+        .load_mapping(
+            srm,
+            sp_a,
+            Vaddr(0xa000),
+            frame,
+            Pte::WRITABLE | Pte::MESSAGE | Pte::CACHEABLE,
+            None,
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+    let tx_pc = ex.code.register(Box::new(Script::new(vec![
+        Step::Store(Vaddr(0xa010), 0x1234),
+        Step::Exit(0),
+    ])));
+    ex.ck
+        .load_thread(srm, ThreadDesc::new(sp_a, tx_pc, 10), false, &mut ex.mpm)
+        .unwrap();
+
+    ex.run_until_idle(100);
+    assert_eq!(ex.code.len(), 0, "both programs finished");
+    assert_eq!(ex.ck.stats.signals_slow + ex.ck.stats.signals_fast, 1);
+    // The message data went through memory, untouched by the kernel.
+    assert_eq!(ex.mpm.mem.read_u32(Paddr(0x20_0010)).unwrap(), 0x1234);
+}
+
+#[test]
+fn higher_priority_wakeup_preempts_within_slice() {
+    let (mut ex, srm) = exec();
+    let sp = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    // A low-priority spinner and a high-priority thread blocked on a
+    // signal. When the signal arrives mid-slice, the high-priority
+    // thread must run before the spinner's slice would have ended.
+    let order = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let o1 = order.clone();
+    let spin_pc = ex.code.register(Box::new(crate::program::FnProgram({
+        let mut n = 0u32;
+        move |_ctx: &mut ThreadCtx| {
+            n += 1;
+            o1.lock().unwrap().push("spin");
+            if n > 400 {
+                Step::Exit(0)
+            } else {
+                Step::Compute(10)
+            }
+        }
+    })));
+    ex.ck
+        .load_thread(srm, ThreadDesc::new(sp, spin_pc, 5), false, &mut ex.mpm)
+        .unwrap();
+    let o2 = order.clone();
+    let hi_pc = ex.code.register(Box::new(crate::program::FnProgram({
+        let mut stage = 0;
+        move |_ctx: &mut ThreadCtx| {
+            stage += 1;
+            if stage == 1 {
+                Step::WaitSignal
+            } else {
+                o2.lock().unwrap().push("hi");
+                Step::Exit(0)
+            }
+        }
+    })));
+    let hi = ex
+        .ck
+        .load_thread(srm, ThreadDesc::new(sp, hi_pc, 25), false, &mut ex.mpm)
+        .unwrap();
+    ex.ck
+        .load_mapping(
+            srm,
+            sp,
+            Vaddr(0xa000),
+            Paddr(0x9000),
+            Pte::MESSAGE,
+            Some(hi),
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap();
+    // Use a single-CPU machine so the spinner owns the only CPU.
+    // (exec() gives two CPUs; the high thread parks first, so only
+    // the spinner is runnable; CPU 1 idles.)
+    ex.run(2);
+    // Mid-run, raise the signal; within the same run call the high
+    // thread must appear in the order soon after.
+    ex.ck.raise_signal(&mut ex.mpm, 0, Paddr(0x9000));
+    ex.run(3);
+    let v = order.lock().unwrap().clone();
+    let hi_pos = v.iter().position(|s| *s == "hi");
+    assert!(hi_pos.is_some(), "high-priority thread ran: {v:?}");
+    assert!(
+        v.len() > hi_pos.unwrap(),
+        "preemption happened before the spinner finished"
+    );
+    assert!(ex.ck.thread(hi).is_err(), "high thread completed");
+}
+
+#[test]
+fn quota_demotion_lets_other_kernel_run() {
+    // A rogue compute-bound kernel with a small quota shares the MPM
+    // with a modest kernel; after demotion the modest kernel's thread
+    // gets the CPU even at lower nominal priority.
+    let (mut ex, srm) = exec();
+    let mk = |q: u8| KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        cpu_quota_pct: [q; crate::objects::MAX_CPUS],
+        ..KernelDesc::default()
+    };
+    let rogue = ex.ck.load_kernel(srm, mk(10), &mut ex.mpm).unwrap();
+    ex.register_kernel(rogue, Box::new(NullKernel));
+    let sp = ex
+        .ck
+        .load_space(rogue, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let pc = ex.code.register(Box::new(crate::program::FnProgram(
+        move |_ctx: &mut ThreadCtx| Step::Compute(2_000),
+    )));
+    ex.ck
+        .load_thread(rogue, ThreadDesc::new(sp, pc, 20), false, &mut ex.mpm)
+        .unwrap();
+    // Run enough periods for the EWMA to cross the quota.
+    ex.run(200);
+    assert!(ex.ck.kernel_demoted(rogue), "rogue kernel demoted");
+    // Its thread now sits at idle priority.
+    assert_eq!(ex.ck.effective_priority(0), 0);
+}
+
+#[test]
+fn blocked_trap_suspends_thread() {
+    // A kernel that parks threads in their first "system call".
+    struct Blocker;
+    impl AppKernel for Blocker {
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn on_page_fault(&mut self, _env: &mut Env, _t: ObjId, _f: Fault) -> FaultDisposition {
+            FaultDisposition::Kill
+        }
+        fn on_trap(
+            &mut self,
+            _env: &mut Env,
+            _t: ObjId,
+            _no: u32,
+            _a: [u32; 4],
+        ) -> TrapDisposition {
+            TrapDisposition::Block
+        }
+        fn name(&self) -> &str {
+            "blocker"
+        }
+    }
+    let (mut ex, srm) = exec();
+    let k = ex
+        .ck
+        .load_kernel(
+            srm,
+            KernelDesc {
+                memory_access: MemoryAccessArray::all(),
+                ..KernelDesc::default()
+            },
+            &mut ex.mpm,
+        )
+        .unwrap();
+    ex.register_kernel(k, Box::new(Blocker));
+    let sp = ex
+        .ck
+        .load_space(k, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let pc = ex.code.register(Box::new(Script::new(vec![
+        Step::Trap {
+            no: 1,
+            args: [0; 4],
+        },
+        Step::Exit(0),
+    ])));
+    let t = ex
+        .ck
+        .load_thread(k, ThreadDesc::new(sp, pc, 10), false, &mut ex.mpm)
+        .unwrap();
+    ex.run_until_idle(50);
+    // The thread still exists, suspended, off the ready queues.
+    assert!(matches!(
+        ex.ck.thread(t).unwrap().desc.state,
+        ThreadState::Suspended
+    ));
+    assert!(!ex.ck.sched.contains(t.slot));
+    assert_eq!(ex.ck.stats.traps_forwarded, 1);
+}
+
+// ----------------------------------------------------------------------
+// Cluster determinism
+// ----------------------------------------------------------------------
+
+fn trace_node(node: usize) -> (Executive, ObjId) {
+    let mut ck = CacheKernel::new(CkConfig::default());
+    let mpm = Mpm::new(MachineConfig {
+        phys_frames: 2048,
+        l2_bytes: 256 * 1024,
+        cpus: 2,
+        node,
+        ..MachineConfig::default()
+    });
+    let srm = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    let mut ex = Executive::new(ck, mpm);
+    ex.trace.enabled = true;
+    ex.register_kernel(srm, Box::new(NullKernel));
+    (ex, srm)
+}
+
+/// Build a two-node, two-CPU-per-node cluster with enough traffic to
+/// exercise most event kinds: demand paging, traps, signals, thread
+/// exits and cross-node packets.
+fn busy_cluster() -> Cluster {
+    let mut nodes = Vec::new();
+    for n in 0..2 {
+        let (mut ex, srm) = trace_node(n);
+        let pager = ex
+            .ck
+            .load_kernel(
+                srm,
+                KernelDesc {
+                    memory_access: MemoryAccessArray::all(),
+                    ..KernelDesc::default()
+                },
+                &mut ex.mpm,
+            )
+            .unwrap();
+        ex.register_kernel(
+            pager,
+            Box::new(IdentityPager {
+                me: pager,
+                frame_base: 0x10_0000,
+                faults: 0,
+            }),
+        );
+        ex.register_channel(9, srm);
+        let sp = ex
+            .ck
+            .load_space(pager, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        // Several threads per node so both CPUs and the steal path run.
+        for i in 0..3u32 {
+            let prog = Script::new(vec![
+                Step::Store(Vaddr(0x4000 + i * 0x1000), i),
+                Step::Load(Vaddr(0x4000 + i * 0x1000)),
+                Step::Trap {
+                    no: i,
+                    args: [i, 0, 0, 0],
+                },
+                Step::Compute(50),
+                Step::Exit(0),
+            ]);
+            ex.spawn_thread(pager, sp, Box::new(prog), 10 + i as u8)
+                .unwrap();
+        }
+        // A dormant second space the pager owns: written back explicitly
+        // so the trace exercises the writeback leg of the pipeline too.
+        let dormant = ex
+            .ck
+            .load_space(pager, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        ex.ck.writeback_space(dormant, &mut ex.mpm).unwrap();
+        // A packet for the peer node.
+        ex.outbox.push(hw::Packet {
+            src: n,
+            dst: 1 - n,
+            channel: 9,
+            data: vec![n as u8; 4],
+        });
+        nodes.push(ex);
+    }
+    Cluster::new(nodes)
+}
+
+#[test]
+fn cluster_event_traces_are_byte_identical() {
+    let run = || {
+        let mut cl = busy_cluster();
+        for _ in 0..10 {
+            cl.step(5);
+        }
+        cl.nodes
+            .iter()
+            .map(|n| n.trace.lines.join("\n"))
+            .collect::<Vec<String>>()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "repeated runs replay identical event traces");
+    assert!(
+        a.iter().all(|t| !t.is_empty()),
+        "every node recorded events"
+    );
+    // The traffic covered the pipeline's breadth.
+    let joined = a.join("\n");
+    for needle in ["fault ", "trap ", "thread-exit ", "packet ", "writeback "] {
+        assert!(joined.contains(needle), "trace missing {needle:?}");
+    }
+}

@@ -16,8 +16,9 @@
 
 use crate::ck::CacheKernel;
 use crate::error::CkResult;
+use crate::events::KernelEvent;
 use crate::ids::ObjId;
-use hw::{Mpm, Paddr, Vaddr};
+use hw::{Fault, Mpm, Paddr, Vaddr};
 
 /// What the application kernel decided about a forwarded fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,13 +54,20 @@ impl CacheKernel {
         mpm: &mut Mpm,
         cpu: usize,
         thread_slot: u16,
+        fault: Fault,
     ) -> Option<ObjId> {
         let owner = self.thread_owner(thread_slot)?;
+        let thread = self.thread_id(thread_slot)?;
         let cost = &mpm.config.cost;
         let charge = cost.trap + cost.mode_switch;
         mpm.clock.charge(charge);
         mpm.cpus[cpu].consume(charge);
-        self.stats.faults_forwarded += 1;
+        self.emit(KernelEvent::FaultForward {
+            owner,
+            thread,
+            cpu,
+            fault,
+        });
         Some(owner)
     }
 
@@ -70,13 +78,22 @@ impl CacheKernel {
         mpm: &mut Mpm,
         cpu: usize,
         thread_slot: u16,
+        no: u32,
+        args: [u32; 4],
     ) -> Option<ObjId> {
         let owner = self.thread_owner(thread_slot)?;
+        let thread = self.thread_id(thread_slot)?;
         let cost = &mpm.config.cost;
         let charge = cost.trap + cost.mode_switch;
         mpm.clock.charge(charge);
         mpm.cpus[cpu].consume(charge);
-        self.stats.traps_forwarded += 1;
+        self.emit(KernelEvent::TrapForward {
+            owner,
+            thread,
+            cpu,
+            no,
+            args,
+        });
         Some(owner)
     }
 
@@ -154,13 +171,23 @@ mod tests {
         let t = ck
             .load_thread(srm, ThreadDesc::new(sp, 1, 5), false, &mut mpm)
             .unwrap();
+        let fault = hw::Fault {
+            kind: hw::FaultKind::Unmapped,
+            vaddr: Vaddr(0x4000),
+            write: false,
+        };
         let c0 = mpm.clock.cycles();
-        let owner = ck.begin_fault_forward(&mut mpm, 0, t.slot).unwrap();
+        let owner = ck.begin_fault_forward(&mut mpm, 0, t.slot, fault).unwrap();
         assert_eq!(owner, srm);
         assert!(mpm.clock.cycles() > c0);
         assert_eq!(ck.stats.faults_forwarded, 1);
-        ck.begin_trap_forward(&mut mpm, 0, t.slot).unwrap();
+        ck.begin_trap_forward(&mut mpm, 0, t.slot, 7, [0; 4])
+            .unwrap();
         assert_eq!(ck.stats.traps_forwarded, 1);
+        // Both forwards entered the event pipeline, in order.
+        let evs = ck.drain_events();
+        assert!(matches!(evs[0], KernelEvent::FaultForward { .. }));
+        assert!(matches!(evs[1], KernelEvent::TrapForward { no: 7, .. }));
     }
 
     #[test]
@@ -208,6 +235,11 @@ mod tests {
     #[test]
     fn forward_to_unloaded_thread_is_none() {
         let (mut ck, mut mpm, _srm) = setup();
-        assert!(ck.begin_fault_forward(&mut mpm, 0, 99).is_none());
+        let fault = hw::Fault {
+            kind: hw::FaultKind::Unmapped,
+            vaddr: Vaddr(0),
+            write: false,
+        };
+        assert!(ck.begin_fault_forward(&mut mpm, 0, 99, fault).is_none());
     }
 }

@@ -62,12 +62,16 @@ pub mod account;
 pub mod appkernel;
 pub mod cache;
 pub mod ck;
+pub mod counters;
 pub mod drivers;
 pub mod error;
+pub mod events;
 pub mod exec;
 pub mod fault;
 pub mod ids;
 pub mod invariants;
+pub mod lock;
+pub mod mapping;
 pub mod msg;
 pub mod objects;
 pub mod physmap;
@@ -77,8 +81,10 @@ pub mod sched;
 
 pub use appkernel::{AppKernel, Env, NullKernel};
 pub use ck::{CacheKernel, CkConfig, CkStats, MappingState, Writeback, STAT_MAPPING};
+pub use counters::Counters;
 pub use drivers::EtherDriver;
 pub use error::{CkError, CkResult};
+pub use events::{DeviceSource, KernelEvent};
 pub use exec::{Cluster, Executive};
 pub use fault::{FaultDisposition, TrapDisposition};
 pub use ids::{ObjId, ObjKind};
@@ -89,3 +95,4 @@ pub use objects::{
 };
 pub use physmap::{DepRecord, P2v, PhysMap, RecHandle, CTX_COW, CTX_SIGNAL};
 pub use program::{CodeStore, FnProgram, ForkableFn, ProgId, Program, Script, Step, ThreadCtx};
+pub use sched::{Pick, Scheduler};

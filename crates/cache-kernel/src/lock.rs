@@ -1,0 +1,86 @@
+//! Object locking (§2): pinning objects against reclamation under
+//! per-kernel locked-object quotas.
+//!
+//! A locked object is only actually protected while everything it depends
+//! on is locked too (reclaim.rs checks the full chain); the quota stops a
+//! kernel from pinning the whole cache.
+
+use crate::ck::CacheKernel;
+use crate::error::{CkError, CkResult};
+use crate::ids::{ObjId, ObjKind};
+
+impl CacheKernel {
+    /// Lock an object against reclamation, subject to the kernel's
+    /// locked-object quota.
+    pub fn lock(&mut self, caller: ObjId, id: ObjId) -> CkResult<()> {
+        match id.kind {
+            ObjKind::Kernel => {
+                self.require_first(caller)?;
+                self.kernel_mut(id)?.locked = true;
+            }
+            ObjKind::AddrSpace => {
+                let s = self.space(id)?;
+                if s.owner != caller {
+                    return Err(CkError::NotOwner(id));
+                }
+                if !s.locked {
+                    let k = self.kernel(caller)?;
+                    if k.locked_spaces >= k.desc.locked_quota.spaces {
+                        return Err(CkError::LockQuota);
+                    }
+                    self.space_mut(id)?.locked = true;
+                    self.kernel_mut(caller)?.locked_spaces += 1;
+                }
+            }
+            ObjKind::Thread => {
+                let t = self.thread(id)?;
+                if t.owner != caller {
+                    return Err(CkError::NotOwner(id));
+                }
+                if !t.locked {
+                    let k = self.kernel(caller)?;
+                    if k.locked_threads >= k.desc.locked_quota.threads {
+                        return Err(CkError::LockQuota);
+                    }
+                    self.thread_mut(id)?.locked = true;
+                    self.kernel_mut(caller)?.locked_threads += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Unlock an object.
+    pub fn unlock(&mut self, caller: ObjId, id: ObjId) -> CkResult<()> {
+        match id.kind {
+            ObjKind::Kernel => {
+                self.require_first(caller)?;
+                if Some(id) == self.first_kernel {
+                    return Err(CkError::Invalid);
+                }
+                self.kernel_mut(id)?.locked = false;
+            }
+            ObjKind::AddrSpace => {
+                let s = self.space(id)?;
+                if s.owner != caller {
+                    return Err(CkError::NotOwner(id));
+                }
+                if s.locked {
+                    self.space_mut(id)?.locked = false;
+                    self.kernel_mut(caller)?.locked_spaces -= 1;
+                }
+            }
+            ObjKind::Thread => {
+                let t = self.thread(id)?;
+                if t.owner != caller {
+                    return Err(CkError::NotOwner(id));
+                }
+                if t.locked {
+                    self.thread_mut(id)?.locked = false;
+                    self.kernel_mut(caller)?.locked_threads -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}

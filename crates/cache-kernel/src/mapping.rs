@@ -1,0 +1,192 @@
+//! Page-mapping operations (§2.1, §2.2): load, unload, query, and the
+//! copy-on-write source lookup.
+//!
+//! Mappings are the fourth cached "object" kind. Loading one checks the
+//! caller's memory access array, records a 16-byte physical-to-virtual
+//! dependency record (plus optional signal-thread and COW-source records)
+//! in the physical memory map, and installs the PTE; displacement goes
+//! through the FIFO-with-second-chance reclaim in `reclaim.rs`.
+
+use crate::ck::CacheKernel;
+use crate::error::{CkError, CkResult};
+use crate::events::MappingState;
+use crate::ids::ObjId;
+use hw::{Access, Mpm, Paddr, Pte, Vaddr, Vpn};
+
+use crate::counters::STAT_MAPPING;
+
+impl CacheKernel {
+    /// Load a page mapping into `space`. `flags` are [`Pte`] flag bits;
+    /// `signal_thread` registers the page for memory-based messaging;
+    /// `cow_source` records a deferred-copy source frame. The physical
+    /// address and requested access are checked against the calling
+    /// kernel's memory access array.
+    #[allow(clippy::too_many_arguments)]
+    pub fn load_mapping(
+        &mut self,
+        caller: ObjId,
+        space: ObjId,
+        vaddr: Vaddr,
+        paddr: Paddr,
+        flags: u32,
+        signal_thread: Option<ObjId>,
+        cow_source: Option<Paddr>,
+        mpm: &mut Mpm,
+    ) -> CkResult<()> {
+        let k = self.kernel(caller)?;
+        // Rights: writable (even deferred) mappings need ReadWrite.
+        let needed = if flags & Pte::WRITABLE != 0 {
+            Access::Write
+        } else {
+            Access::Read
+        };
+        if !k.desc.memory_access.rights_for(paddr).allows(needed) {
+            return Err(CkError::NoAccess(paddr));
+        }
+        if let Some(src) = cow_source {
+            if !k.desc.memory_access.rights_for(src).allows(Access::Read) {
+                return Err(CkError::NoAccess(src));
+            }
+        }
+        if flags & Pte::LOCKED != 0 && k.locked_mappings >= k.desc.locked_quota.mappings {
+            return Err(CkError::LockQuota);
+        }
+        {
+            let s = self.space(space)?;
+            if s.owner != caller {
+                return Err(CkError::NotOwner(space));
+            }
+        }
+        let sig_slot = match signal_thread {
+            Some(tid) => {
+                let t = self.thread(tid)?;
+                if t.owner != caller {
+                    return Err(CkError::NotOwner(tid));
+                }
+                Some(tid.slot)
+            }
+            None => None,
+        };
+
+        // One trap, a couple of probes, one 16-byte record.
+        self.charge_op(
+            mpm,
+            3 * mpm.config.cost.hash_probe + mpm.config.cost.copy_line,
+        );
+
+        // Replace any existing mapping at this page first.
+        let asid = Self::asid_of(space);
+        let vpn = vaddr.vpn();
+        if self.space(space)?.pt.lookup(vpn).is_valid() {
+            self.do_unload_mapping(space, vpn, mpm, true);
+        }
+
+        // Make room in the mapping descriptor pool: "loading of a new page
+        // descriptor may cause another page descriptor to be written back
+        // … to make space" (§2.1).
+        while self.physmap.len() >= self.physmap.capacity() {
+            if !self.reclaim_one_mapping(mpm) {
+                return Err(CkError::CacheFull);
+            }
+        }
+
+        let handle = self
+            .physmap
+            .insert_p2v(paddr, vaddr, asid as u32)
+            .ok_or(CkError::CacheFull)?;
+        if let Some(slot) = sig_slot {
+            self.physmap.attach_signal(handle, slot as u32);
+        }
+        if let Some(src) = cow_source {
+            self.physmap.attach_cow(handle, src);
+        }
+        let pte = Pte::new(paddr.pfn(), flags & !(Pte::REFERENCED | Pte::MODIFIED));
+        let space_gen = space.gen;
+        self.space_mut(space)?.pt.insert(vpn, pte);
+        self.space_mut(space)?.referenced = true;
+        if flags & Pte::LOCKED != 0 {
+            self.kernel_mut(caller)?.locked_mappings += 1;
+        }
+        self.mapping_fifo.push_back((space.slot, space_gen, vpn));
+        self.stats.loads[STAT_MAPPING] += 1;
+        Ok(())
+    }
+
+    /// Explicitly unload the mappings covering `vaddr..vaddr+len`,
+    /// returning their final states (with referenced/modified bits). Used
+    /// by application kernels when reclaiming page frames (§2.1).
+    pub fn unload_mapping_range(
+        &mut self,
+        caller: ObjId,
+        space: ObjId,
+        vaddr: Vaddr,
+        len: u32,
+        mpm: &mut Mpm,
+    ) -> CkResult<Vec<MappingState>> {
+        let s = self.space(space)?;
+        if s.owner != caller {
+            return Err(CkError::NotOwner(space));
+        }
+        self.charge_op(mpm, 0);
+        let first = vaddr.vpn().0;
+        let last = Vaddr(
+            vaddr
+                .0
+                .checked_add(len.saturating_sub(1))
+                .ok_or(CkError::Invalid)?,
+        )
+        .vpn()
+        .0;
+        let mut out = Vec::new();
+        for vpn in first..=last {
+            if let Some(state) = self.do_unload_mapping(space, Vpn(vpn), mpm, false) {
+                out.push(state);
+                self.stats.unloads[STAT_MAPPING] += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Query a mapping (query operations are deliberately few; this one
+    /// supports fault handlers inspecting current state).
+    pub fn query_mapping(
+        &self,
+        caller: ObjId,
+        space: ObjId,
+        vaddr: Vaddr,
+    ) -> CkResult<MappingState> {
+        let s = self.space(space)?;
+        if s.owner != caller {
+            return Err(CkError::NotOwner(space));
+        }
+        let pte = s.pt.lookup(vaddr.vpn());
+        if !pte.is_valid() {
+            return Err(CkError::NoMapping);
+        }
+        Ok(MappingState {
+            vaddr: vaddr.page_base(),
+            paddr: pte.pfn().base(),
+            flags: pte.flags(),
+        })
+    }
+
+    /// The recorded copy-on-write source frame of a mapping, if any
+    /// (§4.1: COW sources are dependency records in the physical memory
+    /// map). Application kernels resolve a COW fault by copying from this
+    /// frame into a private one.
+    pub fn cow_source(&self, caller: ObjId, space: ObjId, vaddr: Vaddr) -> CkResult<Option<Paddr>> {
+        let s = self.space(space)?;
+        if s.owner != caller {
+            return Err(CkError::NotOwner(space));
+        }
+        let pte = s.pt.lookup(vaddr.vpn());
+        if !pte.is_valid() {
+            return Err(CkError::NoMapping);
+        }
+        let asid = Self::asid_of(space) as u32;
+        Ok(self
+            .physmap
+            .find_p2v_exact(pte.pfn().base(), asid, vaddr.page_base())
+            .and_then(|h| self.physmap.cow_source_of(h)))
+    }
+}

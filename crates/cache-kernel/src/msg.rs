@@ -13,6 +13,7 @@
 //! §4.2 optimistic style before trusting the refill.
 
 use crate::ck::CacheKernel;
+use crate::events::KernelEvent;
 use crate::objects::ThreadState;
 use hw::{Mpm, Paddr, RtlbEntry, Vaddr};
 
@@ -42,18 +43,38 @@ impl CacheKernel {
     /// thread stored to a message-mode page there, or a device completed a
     /// transfer into the page).
     pub fn raise_signal(&mut self, mpm: &mut Mpm, cpu: usize, paddr: Paddr) -> SignalOutcome {
-        let cost = mpm.config.cost.clone();
+        // Read the two costs we may charge instead of cloning the whole
+        // cost table: this is the hottest CK entry point.
+        let signal_fast = mpm.config.cost.signal_fast;
+        let signal_slow = mpm.config.cost.signal_slow;
         let pfn = paddr.pfn();
 
         // Fast path: the per-processor reverse TLB resolves the frame
-        // directly to the receiving thread and virtual address.
+        // directly to the receiving thread and virtual address. One arena
+        // lookup both validates the entry and delivers the signal.
         if let Some(entry) = mpm.cpus[cpu].rtlb.lookup(pfn) {
-            if self.threads.get_slot(entry.thread as u16).is_some() {
-                mpm.clock.charge(cost.signal_fast);
-                mpm.cpus[cpu].consume(cost.signal_fast);
+            let slot = entry.thread as u16;
+            if let Some(t) = self.threads.get_slot_mut(slot) {
                 let va = Vaddr(entry.vaddr.0 | paddr.offset());
-                self.deliver_signal(entry.thread as u16, va);
-                self.stats.signals_fast += 1;
+                t.signal_queue.push_back(va);
+                let wake = t.desc.state == ThreadState::WaitSignal;
+                if wake {
+                    t.desc.state = ThreadState::Ready;
+                }
+                mpm.clock.charge(signal_fast);
+                mpm.cpus[cpu].consume(signal_fast);
+                if wake {
+                    self.enqueue_thread(slot);
+                }
+                if self.signal_events {
+                    self.emit(KernelEvent::Signal {
+                        paddr,
+                        receivers: 1,
+                        fast: true,
+                    });
+                } else {
+                    self.stats.signals_fast += 1;
+                }
                 return SignalOutcome::Fast(1);
             }
             // Stale entry (thread unloaded since): drop it and fall back.
@@ -61,8 +82,8 @@ impl CacheKernel {
         }
 
         // Slow path: two-stage lookup with optimistic version check.
-        mpm.clock.charge(cost.signal_slow);
-        mpm.cpus[cpu].consume(cost.signal_slow);
+        mpm.clock.charge(signal_slow);
+        mpm.cpus[cpu].consume(signal_slow);
         let mut receivers;
         loop {
             let version = self.physmap.version();
@@ -86,7 +107,15 @@ impl CacheKernel {
             let va = Vaddr(vaddr.0 | paddr.offset());
             self.deliver_signal(thread as u16, va);
         }
-        self.stats.signals_slow += 1;
+        if self.signal_events {
+            self.emit(KernelEvent::Signal {
+                paddr,
+                receivers: n,
+                fast: false,
+            });
+        } else {
+            self.stats.signals_slow += 1;
+        }
         SignalOutcome::Slow(n)
     }
 

@@ -319,7 +319,10 @@ mod tests {
         // Table 1 reports 2160 bytes per kernel descriptor; ours is the
         // 2 KiB access array plus handler/quota state — same scale.
         let sz = core::mem::size_of::<KernelDesc>();
-        assert!((2048..=2304).contains(&sz), "kernel descriptor is {sz} bytes");
+        assert!(
+            (2048..=2304).contains(&sz),
+            "kernel descriptor is {sz} bytes"
+        );
     }
 
     #[test]

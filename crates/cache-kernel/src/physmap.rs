@@ -150,9 +150,14 @@ impl PhysMap {
         inner.buckets[b] = idx + 1;
     }
 
-    fn unlink(inner: &mut Inner, idx: u32) {
-        let key = inner.records[idx as usize].key;
-        let b = Self::bucket_of(inner.buckets.len(), key);
+    /// Returns whether the record was found in its bucket chain. A miss
+    /// means the map is corrupted; callers surface it as an error rather
+    /// than panicking mid-reclamation.
+    fn unlink(inner: &mut Inner, idx: u32) -> bool {
+        let Some(rec) = inner.records.get(idx as usize) else {
+            return false;
+        };
+        let b = Self::bucket_of(inner.buckets.len(), rec.key);
         let mut cur = inner.buckets[b];
         let mut prev: Option<u32> = None;
         while cur != 0 {
@@ -167,12 +172,15 @@ impl PhysMap {
                 inner.records[i as usize] = DepRecord::default();
                 inner.free.push(i);
                 inner.count -= 1;
-                return;
+                return true;
             }
             prev = Some(i);
-            cur = inner.records[i as usize].next;
+            cur = match inner.records.get(i as usize) {
+                Some(r) => r.next,
+                None => break,
+            };
         }
-        debug_assert!(false, "unlink of record not in its bucket");
+        false
     }
 
     fn insert_record(&self, rec: DepRecord) -> Option<RecHandle> {
@@ -207,7 +215,9 @@ impl PhysMap {
         let b = Self::bucket_of(inner.buckets.len(), key);
         let mut cur = inner.buckets[b];
         while cur != 0 {
-            let r = inner.records[(cur - 1) as usize];
+            let Some(r) = inner.records.get((cur - 1) as usize).copied() else {
+                break; // corrupted chain: stop walking, never panic
+            };
             if r.key == key && r.context < CTX_COW {
                 out.push(P2v {
                     handle: cur,
@@ -247,7 +257,9 @@ impl PhysMap {
             let mut v = Vec::new();
             let mut cur = inner.buckets[b];
             while cur != 0 {
-                let r = inner.records[(cur - 1) as usize];
+                let Some(r) = inner.records.get((cur - 1) as usize).copied() else {
+                    break;
+                };
                 if r.key == handle && r.context >= CTX_COW {
                     v.push(cur - 1);
                 }
@@ -270,7 +282,9 @@ impl PhysMap {
         let b = Self::bucket_of(inner.buckets.len(), handle);
         let mut cur = inner.buckets[b];
         while cur != 0 {
-            let r = inner.records[(cur - 1) as usize];
+            let Some(r) = inner.records.get((cur - 1) as usize).copied() else {
+                break;
+            };
             if r.key == handle && r.context == ctx {
                 out.push((cur, r.dependent));
             }
@@ -366,11 +380,11 @@ impl PhysMap {
         handles
             .into_iter()
             .filter_map(|h| {
-                let idx = (h - 1) as usize;
-                if !inner.live[idx] {
+                let idx = h.checked_sub(1)? as usize;
+                if !inner.live.get(idx).copied().unwrap_or(false) {
                     return None;
                 }
-                let r = inner.records[idx];
+                let r = inner.records.get(idx).copied()?;
                 (r.context < CTX_COW).then_some((Paddr(r.key), Vaddr(r.dependent), r.context))
             })
             .collect()

@@ -19,6 +19,7 @@
 //! depends on are locked as well; explicit unloads always proceed.
 
 use crate::ck::{CacheKernel, CkStats, MappingState, Writeback, STAT_MAPPING};
+use crate::error::{CkError, CkResult};
 use crate::ids::{ObjId, ObjKind};
 use crate::objects::{KernelDesc, ThreadDesc, ThreadState};
 use hw::{Mpm, Pte, Vpn};
@@ -83,7 +84,7 @@ impl CacheKernel {
             flags: pte.flags(),
         };
         if queue_wb {
-            self.writebacks.push_back(Writeback::Mapping {
+            self.queue_writeback(Writeback::Mapping {
                 owner,
                 space,
                 vaddr,
@@ -194,7 +195,18 @@ impl CacheKernel {
 
     /// Unload a thread: first the signal mappings that depend on it, then
     /// the thread itself (descheduled, reverse-TLB entries invalidated).
-    pub(crate) fn do_unload_thread(&mut self, id: ObjId, mpm: &mut Mpm) -> Box<ThreadDesc> {
+    /// Fails with [`CkError::StaleId`] if the identifier no longer names a
+    /// live thread — checked up front, *before* side effects, so a stale
+    /// id can never strip signal mappings off an unrelated thread that
+    /// reused the slot.
+    pub(crate) fn do_unload_thread(
+        &mut self,
+        id: ObjId,
+        mpm: &mut Mpm,
+    ) -> CkResult<Box<ThreadDesc>> {
+        if self.threads.get(id).is_none() {
+            return Err(CkError::StaleId(id));
+        }
         // Copy the context out; invalidate reverse-TLB entries everywhere.
         mpm.clock.charge(
             CacheKernel::copy_cost(mpm, core::mem::size_of::<ThreadDesc>())
@@ -217,73 +229,57 @@ impl CacheKernel {
             }
             cpu.rtlb.invalidate_thread(id.slot as u32);
         }
-        let t = self.threads.remove(id).expect("checked by caller");
+        let t = self.threads.remove(id).ok_or(CkError::StaleId(id))?;
         if t.locked {
             if let Some(k) = self.kernels.get_mut(t.owner) {
                 k.locked_threads = k.locked_threads.saturating_sub(1);
             }
         }
-        Box::new(t.desc)
+        Ok(Box::new(t.desc))
     }
 
     /// Reclamation writeback of a thread: unload and queue its state to
     /// its owner.
-    pub(crate) fn writeback_thread(&mut self, id: ObjId, mpm: &mut Mpm) {
-        let owner = match self.threads.get(id) {
-            Some(t) => t.owner,
-            None => return,
-        };
+    pub(crate) fn writeback_thread(&mut self, id: ObjId, mpm: &mut Mpm) -> CkResult<()> {
+        let owner = self
+            .threads
+            .get(id)
+            .map(|t| t.owner)
+            .ok_or(CkError::StaleId(id))?;
         // Writeback channel message: copy the descriptor out and signal.
         mpm.clock.charge(
             CacheKernel::copy_cost(mpm, core::mem::size_of::<ThreadDesc>())
                 + mpm.config.cost.signal_fast,
         );
-        let desc = self.do_unload_thread(id, mpm);
+        let desc = self.do_unload_thread(id, mpm)?;
         self.stats.writebacks[CkStats::idx_pub(ObjKind::Thread)] += 1;
-        self.writebacks
-            .push_back(Writeback::Thread { owner, id, desc });
+        self.queue_writeback(Writeback::Thread { owner, id, desc });
+        Ok(())
     }
 
-    /// Choose a thread to displace. A thread is pinned if it is currently
-    /// running, or if it is locked *and* its address space and owning
-    /// kernel are locked too. Unreferenced candidates are preferred
-    /// (clock-style second chance).
+    /// Choose a thread to displace with the shared clock sweep
+    /// ([`crate::cache::ObjCache::victim`]). A thread is pinned if it is
+    /// currently running, or if it is locked *and* its address space and
+    /// owning kernel are locked too; referenced threads get a second
+    /// chance.
     pub(crate) fn thread_victim(&mut self) -> Option<ObjId> {
-        let candidates: Vec<ObjId> = self
-            .threads
-            .iter()
-            .filter(|(_, t)| {
+        let spaces = &self.spaces;
+        let kernels = &self.kernels;
+        self.threads.victim(
+            |_, t| {
                 if matches!(t.desc.state, ThreadState::Running(_)) {
-                    return false;
-                }
-                if !t.locked {
                     return true;
                 }
-                let fully_locked = self
-                    .spaces
-                    .get(t.desc.space)
-                    .map(|s| {
-                        s.locked && self.kernels.get(s.owner).map(|k| k.locked).unwrap_or(false)
-                    })
-                    .unwrap_or(false);
-                !fully_locked
-            })
-            .map(|(id, _)| id)
-            .collect();
-        if let Some(id) = candidates.iter().find(|id| {
-            self.threads
-                .get(**id)
-                .map(|t| !t.referenced)
-                .unwrap_or(false)
-        }) {
-            return Some(*id);
-        }
-        for id in &candidates {
-            if let Some(t) = self.threads.get_mut(*id) {
-                t.referenced = false;
-            }
-        }
-        candidates.first().copied()
+                t.locked
+                    && spaces
+                        .get(t.desc.space)
+                        .map(|s| {
+                            s.locked && kernels.get(s.owner).map(|k| k.locked).unwrap_or(false)
+                        })
+                        .unwrap_or(false)
+            },
+            |t| core::mem::replace(&mut t.referenced, false),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -293,18 +289,26 @@ impl CacheKernel {
     /// Unload an address space: all threads in it, then all its page
     /// mappings, then the space itself. If `queue_space_wb`, a `Space`
     /// writeback is queued (reclamation); explicit unloads skip it.
-    pub(crate) fn do_unload_space(&mut self, id: ObjId, mpm: &mut Mpm, queue_space_wb: bool) {
-        let owner = match self.spaces.get(id) {
-            Some(s) => s.owner,
-            None => return,
-        };
+    pub(crate) fn do_unload_space(
+        &mut self,
+        id: ObjId,
+        mpm: &mut Mpm,
+        queue_space_wb: bool,
+    ) -> CkResult<()> {
+        let owner = self
+            .spaces
+            .get(id)
+            .map(|s| s.owner)
+            .ok_or(CkError::StaleId(id))?;
         // Threads first: "before an address space object is written back,
         // all the page mappings in the address space and all the
         // associated threads are written back" (§2.1).
         for tid in self.threads.ids_where(|t| t.desc.space == id) {
-            let towner = self.threads.get(tid).map(|t| t.owner).unwrap();
-            let desc = self.do_unload_thread(tid, mpm);
-            self.writebacks.push_back(Writeback::Thread {
+            let Some(towner) = self.threads.get(tid).map(|t| t.owner) else {
+                continue;
+            };
+            let desc = self.do_unload_thread(tid, mpm)?;
+            self.queue_writeback(Writeback::Thread {
                 owner: towner,
                 id: tid,
                 desc,
@@ -328,49 +332,37 @@ impl CacheKernel {
             }
         }
         if queue_space_wb {
-            self.writebacks.push_back(Writeback::Space { owner, id });
+            self.queue_writeback(Writeback::Space { owner, id });
         }
+        Ok(())
     }
 
     /// Reclamation writeback of a space.
-    pub(crate) fn writeback_space(&mut self, id: ObjId, mpm: &mut Mpm) {
+    pub(crate) fn writeback_space(&mut self, id: ObjId, mpm: &mut Mpm) -> CkResult<()> {
         mpm.clock
             .charge(CacheKernel::shootdown_cost(mpm) + mpm.config.cost.signal_fast);
+        self.do_unload_space(id, mpm, true)?;
         self.stats.writebacks[CkStats::idx_pub(ObjKind::AddrSpace)] += 1;
-        self.do_unload_space(id, mpm, true);
+        Ok(())
     }
 
-    /// Choose an address space to displace. A space is pinned if locked
-    /// with a locked owner kernel, or if it contains a running thread.
+    /// Choose an address space to displace with the shared clock sweep.
+    /// A space is pinned if locked with a locked owner kernel, or if it
+    /// contains a running thread; referenced spaces get a second chance.
     pub(crate) fn space_victim(&mut self) -> Option<ObjId> {
-        let candidates: Vec<ObjId> = self
-            .spaces
-            .iter()
-            .filter(|(id, s)| {
+        let threads = &self.threads;
+        let kernels = &self.kernels;
+        self.spaces.victim(
+            |id, s| {
                 let fully_locked =
-                    s.locked && self.kernels.get(s.owner).map(|k| k.locked).unwrap_or(false);
-                let has_running = self.threads.iter().any(|(_, t)| {
-                    t.desc.space == *id && matches!(t.desc.state, ThreadState::Running(_))
+                    s.locked && kernels.get(s.owner).map(|k| k.locked).unwrap_or(false);
+                let has_running = threads.iter().any(|(_, t)| {
+                    t.desc.space == id && matches!(t.desc.state, ThreadState::Running(_))
                 });
-                !fully_locked && !has_running
-            })
-            .map(|(id, _)| id)
-            .collect();
-        // Prefer an unreferenced candidate (clock flavor).
-        if let Some(id) = candidates.iter().find(|id| {
-            self.spaces
-                .get(**id)
-                .map(|s| !s.referenced)
-                .unwrap_or(false)
-        }) {
-            return Some(*id);
-        }
-        for id in &candidates {
-            if let Some(s) = self.spaces.get_mut(*id) {
-                s.referenced = false;
-            }
-        }
-        candidates.first().copied()
+                fully_locked || has_running
+            },
+            |s| core::mem::replace(&mut s.referenced, false),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -379,13 +371,20 @@ impl CacheKernel {
 
     /// Unload a kernel object with all its spaces (and their threads and
     /// mappings).
-    pub(crate) fn do_unload_kernel(&mut self, id: ObjId, mpm: &mut Mpm) -> Box<KernelDesc> {
+    pub(crate) fn do_unload_kernel(
+        &mut self,
+        id: ObjId,
+        mpm: &mut Mpm,
+    ) -> CkResult<Box<KernelDesc>> {
+        if self.kernels.get(id).is_none() {
+            return Err(CkError::StaleId(id));
+        }
         for sp in self.spaces.ids_where(|s| s.owner == id) {
-            self.do_unload_space(sp, mpm, true);
+            self.do_unload_space(sp, mpm, true)?;
         }
         self.accounts.remove(&id.slot);
-        let k = self.kernels.remove(id).expect("checked by caller");
-        Box::new(k.desc)
+        let k = self.kernels.remove(id).ok_or(CkError::StaleId(id))?;
+        Ok(Box::new(k.desc))
     }
 
     /// Reclamation writeback of a kernel object (to the first kernel).
@@ -403,49 +402,22 @@ impl CacheKernel {
             CacheKernel::copy_cost(mpm, core::mem::size_of::<crate::objects::KernelDesc>())
                 + mpm.config.cost.signal_fast,
         );
-        let desc = self.do_unload_kernel(id, mpm);
+        let desc = self.do_unload_kernel(id, mpm)?;
         self.stats.writebacks[CkStats::idx_pub(ObjKind::Kernel)] += 1;
-        self.writebacks
-            .push_back(Writeback::Kernel { owner, id, desc });
+        self.queue_writeback(Writeback::Kernel { owner, id, desc });
         Ok(())
     }
 
-    /// Choose a kernel object to displace: never the first kernel, never a
-    /// locked kernel (a kernel has no dependencies, so its lock alone pins
-    /// it).
+    /// Choose a kernel object to displace with the shared clock sweep:
+    /// never the first kernel, never a locked kernel (a kernel has no
+    /// dependencies, so its lock alone pins it); referenced kernels get a
+    /// second chance.
     pub(crate) fn kernel_victim(&mut self) -> Option<ObjId> {
         let first = self.first_kernel();
-        let candidates: Vec<ObjId> = self
-            .kernels
-            .iter()
-            .filter(|(id, k)| *id != first && !k.locked)
-            .map(|(id, _)| id)
-            .collect();
-        if let Some(id) = candidates.iter().find(|id| {
-            self.kernels
-                .get(**id)
-                .map(|k| !k.referenced)
-                .unwrap_or(false)
-        }) {
-            return Some(*id);
-        }
-        for id in &candidates {
-            if let Some(k) = self.kernels.get_mut(*id) {
-                k.referenced = false;
-            }
-        }
-        candidates.first().copied()
-    }
-}
-
-impl CkStats {
-    /// Public index helper for the per-kind counters.
-    pub fn idx_pub(kind: ObjKind) -> usize {
-        match kind {
-            ObjKind::Kernel => 0,
-            ObjKind::AddrSpace => 1,
-            ObjKind::Thread => 2,
-        }
+        self.kernels.victim(
+            |id, k| id == first || k.locked,
+            |k| core::mem::replace(&mut k.referenced, false),
+        )
     }
 }
 
@@ -760,6 +732,55 @@ mod tests {
         if ck.space(s1).is_err() {
             assert!(wbs.iter().any(|w| matches!(w, Writeback::Thread { .. })));
         }
+    }
+
+    #[test]
+    fn victim_selection_shares_the_clock_sweep() {
+        // thread/space/kernel victim selection all ride the one
+        // ObjCache::victim clock helper: a referenced object survives the
+        // first sweep (bit cleared in passing), a running thread is pinned.
+        let (mut ck, mut mpm, srm) = setup(small());
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let t1 = ck
+            .load_thread(srm, ThreadDesc::new(sp, 1, 5), false, &mut mpm)
+            .unwrap();
+        let t2 = ck
+            .load_thread(srm, ThreadDesc::new(sp, 2, 5), false, &mut mpm)
+            .unwrap();
+        ck.threads.get_mut(t1).unwrap().referenced = true;
+        ck.threads.get_mut(t2).unwrap().referenced = false;
+        assert_eq!(ck.thread_victim(), Some(t2), "unreferenced taken first");
+        // The sweep cleared t1's bit in passing; it is the next victim.
+        assert_eq!(ck.thread_victim(), Some(t1));
+        // Running threads are pinned outright.
+        ck.threads.get_mut(t1).unwrap().desc.state = ThreadState::Running(0);
+        ck.threads.get_mut(t2).unwrap().desc.state = ThreadState::Running(1);
+        assert_eq!(ck.thread_victim(), None);
+    }
+
+    #[test]
+    fn unload_of_stale_id_is_an_error_not_a_panic() {
+        let (mut ck, mut mpm, srm) = setup(small());
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let t = ck
+            .load_thread(srm, ThreadDesc::new(sp, 1, 5), false, &mut mpm)
+            .unwrap();
+        ck.unload_thread(srm, t, &mut mpm).unwrap();
+        assert_eq!(
+            ck.do_unload_thread(t, &mut mpm).map(|_| ()),
+            Err(CkError::StaleId(t))
+        );
+        assert_eq!(ck.writeback_thread(t, &mut mpm), Err(CkError::StaleId(t)));
+        ck.unload_space(srm, sp, &mut mpm).unwrap();
+        assert_eq!(
+            ck.do_unload_space(sp, &mut mpm, true),
+            Err(CkError::StaleId(sp))
+        );
+        let bogus = ObjId::new(ObjKind::Kernel, 2, 9);
+        assert!(matches!(
+            ck.do_unload_kernel(bogus, &mut mpm),
+            Err(CkError::StaleId(_))
+        ));
     }
 
     #[test]

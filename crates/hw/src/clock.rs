@@ -89,6 +89,7 @@ impl SimClock {
         self.cycles
     }
     /// Advance the clock by `n` cycles.
+    #[inline]
     pub fn charge(&mut self, n: u64) {
         self.cycles += n;
     }

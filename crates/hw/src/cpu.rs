@@ -89,6 +89,7 @@ impl Cpu {
     }
 
     /// Record cycles consumed by the running thread.
+    #[inline]
     pub fn consume(&mut self, cycles: u64) {
         self.consumed += cycles;
     }

@@ -65,11 +65,13 @@ impl Rtlb {
         self.enabled
     }
 
+    #[inline]
     fn slot(&self, pfn: Pfn) -> usize {
         (pfn.0 as usize) & (self.slots.len() - 1)
     }
 
     /// Resolve `pfn` to its registered receiver, counting a hit or miss.
+    #[inline]
     pub fn lookup(&mut self, pfn: Pfn) -> Option<RtlbEntry> {
         if !self.enabled {
             self.stats.misses += 1;

@@ -39,14 +39,17 @@ pub struct Pfn(pub u32);
 
 impl Vaddr {
     /// The page number this address falls in.
+    #[inline]
     pub fn vpn(self) -> Vpn {
         Vpn(self.0 >> PAGE_SHIFT)
     }
     /// Byte offset within the page.
+    #[inline]
     pub fn offset(self) -> u32 {
         self.0 & (PAGE_SIZE - 1)
     }
     /// The address rounded down to its page boundary.
+    #[inline]
     pub fn page_base(self) -> Vaddr {
         Vaddr(self.0 & !(PAGE_SIZE - 1))
     }
@@ -54,10 +57,12 @@ impl Vaddr {
 
 impl Paddr {
     /// The frame number this address falls in.
+    #[inline]
     pub fn pfn(self) -> Pfn {
         Pfn(self.0 >> PAGE_SHIFT)
     }
     /// Byte offset within the frame.
+    #[inline]
     pub fn offset(self) -> u32 {
         self.0 & (PAGE_SIZE - 1)
     }

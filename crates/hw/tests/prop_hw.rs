@@ -16,7 +16,7 @@ enum PtOp {
 fn pt_op() -> impl Strategy<Value = PtOp> {
     // Cluster VPNs in a small window plus a scattered tail so leaf
     // reclamation and multi-level paths both get exercised.
-    let vpn = prop_oneof![0u32..256, (0u32..0xf_ffff)];
+    let vpn = prop_oneof![0u32..256, 0u32..0xf_ffff];
     prop_oneof![
         (vpn.clone(), 0u32..0xffff, any::<bool>()).prop_map(|(vpn, pfn, writable)| PtOp::Insert {
             vpn,

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of the criterion API its benches use. Measurement is plain
+//! `std::time::Instant` sampling: per sample the timed closure runs enough
+//! iterations to amortize clock overhead, and the reported figure is the
+//! median ns/iteration across samples. No plots, no statistics beyond
+//! median/min/max — the benches exist to compare kernel-path costs
+//! relative to each other and across commits.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation; recorded so rates appear in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    iters_hint: u64,
+    /// Per-iteration cost of each completed sample, in nanoseconds.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, running it in a batch sized to amortize timer cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.iters_hint.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.record(start.elapsed(), iters);
+    }
+
+    /// Time with a caller-controlled loop: `routine` receives the
+    /// iteration count and returns the elapsed time for exactly that many.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let iters = self.iters_hint.max(1);
+        let elapsed = routine(iters);
+        self.record(elapsed, iters);
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        self.samples_ns
+            .push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// One measured benchmark: runs the body repeatedly and prints a summary.
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut body: F,
+) {
+    // Calibrate: one probe iteration decides the batch size so each
+    // sample takes roughly a millisecond.
+    let mut probe = Bencher {
+        iters_hint: 1,
+        samples_ns: Vec::new(),
+    };
+    body(&mut probe);
+    let per_iter_ns = probe.samples_ns.last().copied().unwrap_or(1.0).max(1.0);
+    let iters_hint = ((1_000_000.0 / per_iter_ns) as u64).clamp(1, 100_000);
+
+    let mut b = Bencher {
+        iters_hint,
+        samples_ns: Vec::new(),
+    };
+    for _ in 0..samples.max(2) {
+        body(&mut b);
+    }
+    b.samples_ns.sort_by(|x, y| x.total_cmp(y));
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let min = b.samples_ns.first().copied().unwrap_or(0.0);
+    let max = b.samples_ns.last().copied().unwrap_or(0.0);
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>8.1} MiB/s", n as f64 * 1000.0 / median / 1.048_576)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>8.1} Melem/s", n as f64 * 1000.0 / median)
+        }
+        None => String::new(),
+    };
+    println!("{name:<44} median {median:>12.1} ns/iter  [{min:.1} .. {max:.1}]{rate}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate following benchmarks with a throughput rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; sampling time is derived automatically.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        body: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&self.name, &id.id, self.sample_size, self.throughput, body);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&self.name, &id.id, self.sample_size, self.throughput, |b| {
+            body(b, input)
+        });
+        self
+    }
+
+    /// End the group. (Reports are printed as benchmarks complete.)
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        body: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark("", &id.id, 20, None, body);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("spin", |b| b.iter(|| count = count.wrapping_add(1)));
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(iters * 5))
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

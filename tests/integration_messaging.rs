@@ -482,7 +482,10 @@ fn signal_redirect_reloads_thread_on_demand() {
     // signal for this unloaded thread."
     let (mut ex, srm) = boot_node(BootConfig::default());
     let frame = Paddr(0x50_0000);
-    let sp = ex.ck.load_space(srm, SpaceDesc::default(), &mut ex.mpm).unwrap();
+    let sp = ex
+        .ck
+        .load_space(srm, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
 
     // The "user" thread that wants the message.
     let user = ex
@@ -490,7 +493,16 @@ fn signal_redirect_reloads_thread_on_demand() {
         .load_thread(srm, ThreadDesc::new(sp, 100, 10), false, &mut ex.mpm)
         .unwrap();
     ex.ck
-        .load_mapping(srm, sp, Vaddr(0xa000), frame, Pte::MESSAGE, Some(user), None, &mut ex.mpm)
+        .load_mapping(
+            srm,
+            sp,
+            Vaddr(0xa000),
+            frame,
+            Pte::MESSAGE,
+            Some(user),
+            None,
+            &mut ex.mpm,
+        )
         .unwrap();
 
     // The kernel's internal real-time thread (locked so it is never
@@ -507,7 +519,16 @@ fn signal_redirect_reloads_thread_on_demand() {
         .unload_mapping_range(srm, sp, Vaddr(0xa000), PAGE_SIZE, &mut ex.mpm)
         .unwrap();
     ex.ck
-        .load_mapping(srm, sp, Vaddr(0xa000), frame, Pte::MESSAGE, Some(internal), None, &mut ex.mpm)
+        .load_mapping(
+            srm,
+            sp,
+            Vaddr(0xa000),
+            frame,
+            Pte::MESSAGE,
+            Some(internal),
+            None,
+            &mut ex.mpm,
+        )
         .unwrap();
     let saved = ex.ck.unload_thread(srm, user, &mut ex.mpm).unwrap();
     assert!(ex.ck.thread(user).is_err());
@@ -519,13 +540,25 @@ fn signal_redirect_reloads_thread_on_demand() {
 
     // The kernel reloads the user thread on demand and re-points the
     // signal mapping back at it.
-    let user2 = ex.ck.load_thread(srm, (*saved).clone(), false, &mut ex.mpm).unwrap();
+    let user2 = ex
+        .ck
+        .load_thread(srm, (*saved).clone(), false, &mut ex.mpm)
+        .unwrap();
     assert_ne!(user2, user, "fresh identifier after reload");
     ex.ck
         .unload_mapping_range(srm, sp, Vaddr(0xa000), PAGE_SIZE, &mut ex.mpm)
         .unwrap();
     ex.ck
-        .load_mapping(srm, sp, Vaddr(0xa000), frame, Pte::MESSAGE, Some(user2), None, &mut ex.mpm)
+        .load_mapping(
+            srm,
+            sp,
+            Vaddr(0xa000),
+            frame,
+            Pte::MESSAGE,
+            Some(user2),
+            None,
+            &mut ex.mpm,
+        )
         .unwrap();
     let out = ex.ck.raise_signal(&mut ex.mpm, 0, Paddr(0x50_0020));
     assert_eq!(out.receivers(), 1);

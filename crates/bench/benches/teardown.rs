@@ -1,0 +1,153 @@
+//! Compound teardown under batched shootdowns.
+//!
+//! An address-space teardown unloads every thread and mapping in the
+//! space; before batching it broadcast one cross-CPU TLB/reverse-TLB
+//! shootdown *per page*, so a 512-mapping teardown paid 512 rounds. The
+//! deferred-shootdown layer collects the whole teardown into one round,
+//! so the host-time and simulated-time cost of teardown should grow only
+//! with the per-page bookkeeping, not with `shootdown_cost × pages`.
+//!
+//! Also measures `unload_mapping_range` over sparse vs dense ranges: the
+//! range walk visits populated PTEs ∩ range, so a sparse range costs
+//! O(populated), not O(span).
+
+use bench::{timed_loop, Bench};
+use cache_kernel::{CkConfig, ObjId, SpaceDesc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hw::{Paddr, Pte, Vaddr, PAGE_SIZE};
+
+struct St {
+    h: Bench,
+    sp: Option<ObjId>,
+}
+
+fn harness() -> Bench {
+    Bench::with_config(
+        CkConfig {
+            space_slots: 8,
+            mapping_capacity: 1024,
+            ..CkConfig::default()
+        },
+        16 * 1024,
+    )
+}
+
+fn populate(s: &mut St, pages: u32, stride: u32) {
+    let sp =
+        s.h.ck
+            .load_space(s.h.srm, SpaceDesc::default(), &mut s.h.mpm)
+            .unwrap();
+    for i in 0..pages {
+        s.h.ck
+            .load_mapping(
+                s.h.srm,
+                sp,
+                Vaddr(0x10_0000 + i * stride * PAGE_SIZE),
+                Paddr(0x40_0000 + i * PAGE_SIZE),
+                Pte::CACHEABLE,
+                None,
+                None,
+                &mut s.h.mpm,
+            )
+            .unwrap();
+    }
+    s.sp = Some(sp);
+}
+
+fn space_teardown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("teardown/space");
+    for pages in [1u32, 64, 512] {
+        g.bench_function(format!("{pages}_mappings"), |b| {
+            let mut s = St {
+                h: harness(),
+                sp: None,
+            };
+            populate(&mut s, pages, 1);
+            b.iter_custom(|iters| {
+                timed_loop(
+                    iters,
+                    &mut s,
+                    |s| {
+                        s.h.ck
+                            .unload_space(s.h.srm, s.sp.take().unwrap(), &mut s.h.mpm)
+                            .unwrap();
+                    },
+                    |s| {
+                        s.h.ck.take_writebacks();
+                        populate(s, pages, 1);
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn range_unload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("teardown/range");
+    // Dense: 128 contiguous pages, all mapped.
+    g.bench_function("dense_128_of_128", |b| {
+        let mut s = St {
+            h: harness(),
+            sp: None,
+        };
+        populate(&mut s, 128, 1);
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .unload_mapping_range(
+                            s.h.srm,
+                            s.sp.unwrap(),
+                            Vaddr(0x10_0000),
+                            128 * PAGE_SIZE,
+                            &mut s.h.mpm,
+                        )
+                        .unwrap();
+                },
+                |s| {
+                    let sp = s.sp.take().unwrap();
+                    s.h.ck.unload_space(s.h.srm, sp, &mut s.h.mpm).unwrap();
+                    populate(s, 128, 1);
+                },
+            )
+        });
+    });
+    // Sparse: 32 mappings spread over a 512-page span (every 16th page).
+    // The O(populated) walk makes this cost ~32 unloads, not 512 probes.
+    g.bench_function("sparse_32_of_512", |b| {
+        let mut s = St {
+            h: harness(),
+            sp: None,
+        };
+        populate(&mut s, 32, 16);
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut s,
+                |s| {
+                    s.h.ck
+                        .unload_mapping_range(
+                            s.h.srm,
+                            s.sp.unwrap(),
+                            Vaddr(0x10_0000),
+                            512 * PAGE_SIZE,
+                            &mut s.h.mpm,
+                        )
+                        .unwrap();
+                },
+                |s| {
+                    let sp = s.sp.take().unwrap();
+                    s.h.ck.unload_space(s.h.srm, sp, &mut s.h.mpm).unwrap();
+                    populate(s, 32, 16);
+                },
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, space_teardown, range_unload);
+criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! Usage: `cargo run --release -p bench --bin report [-- <section>]`
 //! where `<section>` is one of `table1`, `table2`, `trap`, `signal`,
 //! `fault`, `size`, `cache-sweep`, `overhead`, `mp3d`, `policy`,
-//! `quota`, `rtlb`, or `all` (default). Output is what EXPERIMENTS.md
-//! records.
+//! `quota`, `rtlb`, `teardown`, or `all` (default). Output is what
+//! EXPERIMENTS.md records.
 
 use bench::{quick_median_ns, Bench};
 use cache_kernel::{
@@ -58,6 +58,9 @@ fn main() {
     }
     if run("rtlb") {
         rtlb();
+    }
+    if run("teardown") {
+        teardown();
     }
 }
 
@@ -1284,4 +1287,137 @@ fn rtlb() {
         "\nfast path saves {:.1}% per delivery (paper: two-stage lookup cost is\n\"dominated by rescheduling\" only for inactive receivers).\n",
         (off - on) * 100.0 / off
     );
+}
+
+// ---------------------------------------------------------------------
+// A-teardown — batched TLB/rTLB shootdowns on compound operations
+// ---------------------------------------------------------------------
+fn teardown() {
+    println!("## Batched shootdowns — compound teardown and range unload\n");
+    println!("Eager shootdowns broadcast one cross-CPU round per page; the batch");
+    println!("layer issues one round per compound operation. \"eager rounds\" is");
+    println!("what the per-page discipline would have paid (= pages flushed).\n");
+
+    let build = |pages: u32, stride: u32| {
+        let mut h = Bench::with_config(
+            CkConfig {
+                space_slots: 8,
+                mapping_capacity: 1024,
+                ..CkConfig::default()
+            },
+            16 * 1024,
+        );
+        let sp =
+            h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                .unwrap();
+        for i in 0..pages {
+            h.ck.load_mapping(
+                h.srm,
+                sp,
+                Vaddr(0x10_0000 + i * stride * PAGE_SIZE),
+                Paddr(0x40_0000 + i * PAGE_SIZE),
+                Pte::CACHEABLE,
+                None,
+                None,
+                &mut h.mpm,
+            )
+            .unwrap();
+        }
+        (h, sp)
+    };
+
+    println!("space teardown (threads=0):\n");
+    println!("| mappings | eager rounds | batched rounds | sim µs | host ns |");
+    println!("|---------:|-------------:|---------------:|-------:|--------:|");
+    for n in [1u32, 64, 512] {
+        // Counters and simulated time from one fresh teardown.
+        let (mut h, sp) = build(n, 1);
+        let r0 = h.ck.stats.shootdown_rounds;
+        let c0 = h.mpm.clock.cycles();
+        h.ck.unload_space(h.srm, sp, &mut h.mpm).unwrap();
+        let rounds = h.ck.stats.shootdown_rounds - r0;
+        let sim_us = (h.mpm.clock.cycles() - c0) as f64 / h.mpm.config.cost.cycles_per_us as f64;
+        // Host time over teardown/rebuild cycles.
+        let mut st = build(n, 1);
+        let ns = quick_median_ns(
+            9,
+            30,
+            &mut st,
+            |(h, sp)| {
+                h.ck.unload_space(h.srm, *sp, &mut h.mpm).unwrap();
+            },
+            |(h, sp)| {
+                h.ck.take_writebacks();
+                *sp =
+                    h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                        .unwrap();
+                for i in 0..n {
+                    h.ck.load_mapping(
+                        h.srm,
+                        *sp,
+                        Vaddr(0x10_0000 + i * PAGE_SIZE),
+                        Paddr(0x40_0000 + i * PAGE_SIZE),
+                        Pte::CACHEABLE,
+                        None,
+                        None,
+                        &mut h.mpm,
+                    )
+                    .unwrap();
+                }
+            },
+        );
+        println!("| {n:>8} | {n:>12} | {rounds:>14} | {sim_us:>6.1} | {ns:>7.0} |");
+    }
+
+    println!("\nrange unload (one call over the span):\n");
+    println!("| span / populated | batched rounds | pages/round | host ns |");
+    println!("|------------------|---------------:|------------:|--------:|");
+    for (label, pages, stride, span) in [
+        ("dense 128/128", 128u32, 1u32, 128u32),
+        ("sparse 32/512", 32, 16, 512),
+    ] {
+        let (mut h, sp) = build(pages, stride);
+        let (r0, p0) = (
+            h.ck.stats.shootdown_rounds,
+            h.ck.stats.shootdown_batched_pages,
+        );
+        h.ck.unload_mapping_range(h.srm, sp, Vaddr(0x10_0000), span * PAGE_SIZE, &mut h.mpm)
+            .unwrap();
+        let rounds = h.ck.stats.shootdown_rounds - r0;
+        let per_round = (h.ck.stats.shootdown_batched_pages - p0) as f64 / rounds.max(1) as f64;
+        let mut st = build(pages, stride);
+        let ns = quick_median_ns(
+            9,
+            30,
+            &mut st,
+            |(h, sp)| {
+                h.ck.unload_mapping_range(
+                    h.srm,
+                    *sp,
+                    Vaddr(0x10_0000),
+                    span * PAGE_SIZE,
+                    &mut h.mpm,
+                )
+                .unwrap();
+            },
+            |(h, sp)| {
+                for i in 0..pages {
+                    h.ck.load_mapping(
+                        h.srm,
+                        *sp,
+                        Vaddr(0x10_0000 + i * stride * PAGE_SIZE),
+                        Paddr(0x40_0000 + i * PAGE_SIZE),
+                        Pte::CACHEABLE,
+                        None,
+                        None,
+                        &mut h.mpm,
+                    )
+                    .unwrap();
+                }
+            },
+        );
+        println!("| {label:<16} | {rounds:>14} | {per_round:>11.0} | {ns:>7.0} |");
+    }
+    println!("\nSingle-page unloads keep the eager one-round path, so Table 2's");
+    println!("per-operation costs are unchanged by batching.\n");
 }

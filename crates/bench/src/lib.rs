@@ -35,6 +35,7 @@ impl Bench {
         // event queue; skip the informational Signal pipeline events and
         // measure bare delivery cost (counters tick either way).
         ck.signal_events = false;
+        ck.shootdown_events = false;
         let mpm = Mpm::new(MachineConfig {
             phys_frames,
             l2_bytes: 8 * 1024 * 1024,

@@ -79,6 +79,20 @@ pub struct CacheKernel {
     /// nothing ever pumps the queue) can turn this off, tracepoint-style,
     /// to measure bare delivery cost; counters tick either way.
     pub signal_events: bool,
+    /// Whether batched shootdown rounds enter the event pipeline (default
+    /// on). Same tracepoint-style gate as `signal_events`: each batch
+    /// flush becomes one traced event carrying its page count; counters
+    /// tick either way.
+    pub shootdown_events: bool,
+    /// Reusable shootdown batch for compound teardown operations.
+    pub(crate) batch_scratch: crate::shootdown::ShootdownBatch,
+    /// Reusable receiver buffer for slow-path signal delivery
+    /// (`(thread_slot, asid, vaddr)`; keeps the hot path allocation-free).
+    pub(crate) signal_scratch: Vec<(u32, u32, hw::Vaddr)>,
+    /// Reusable sibling buffer for the multi-mapping consistency flush.
+    pub(crate) p2v_scratch: Vec<crate::physmap::P2v>,
+    /// Reusable VPN buffer for range unloads.
+    pub(crate) vpn_scratch: Vec<Vpn>,
     /// Configuration.
     pub config: CkConfig,
     /// Operation counters.
@@ -100,6 +114,11 @@ impl CacheKernel {
             first_kernel: None,
             resume_armed: false,
             signal_events: true,
+            shootdown_events: true,
+            batch_scratch: crate::shootdown::ShootdownBatch::default(),
+            signal_scratch: Vec::new(),
+            p2v_scratch: Vec::new(),
+            vpn_scratch: Vec::new(),
             config,
             stats: CkStats::default(),
         }
@@ -354,8 +373,9 @@ impl CacheKernel {
         if s.owner != caller {
             return Err(CkError::NotOwner(id));
         }
-        // Address-space unload broadcasts an ASID flush.
-        self.charge_op(mpm, Self::shootdown_cost(mpm));
+        // The ASID flush rides the teardown's single batched shootdown
+        // round, charged at the batch flush.
+        self.charge_op(mpm, 0);
         self.do_unload_space(id, mpm, false)?;
         self.stats.unloads[CkStats::idx(ObjKind::AddrSpace)] += 1;
         Ok(())

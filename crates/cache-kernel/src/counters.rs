@@ -34,6 +34,15 @@ pub struct Counters {
     pub traps_forwarded: u64,
     /// Mappings flushed for multi-mapping consistency.
     pub consistency_flushes: u64,
+    /// Cross-CPU TLB/reverse-TLB shootdown rounds issued (eager and
+    /// batched).
+    pub shootdown_rounds: u64,
+    /// Batched rounds among them: one per compound operation (range
+    /// unload, space/thread/kernel teardown, consistency flush).
+    pub shootdown_batches: u64,
+    /// Page flushes folded into batched rounds. `shootdown_batched_pages
+    /// / shootdown_batches` is the batching ratio `report` prints.
+    pub shootdown_batched_pages: u64,
     /// Total events entered into the pipeline.
     pub events_emitted: u64,
     /// Total events delivered by an executive's pump.
@@ -90,11 +99,22 @@ impl Counters {
                 }
             }
             KernelEvent::Writeback(_) => self.writebacks_queued += 1,
+            KernelEvent::Shootdown { pages, .. } => self.note_shootdown_round(*pages as u64),
             KernelEvent::DeviceInterrupt { .. } => self.device_interrupts += 1,
             KernelEvent::PacketArrived { .. } => self.packets += 1,
             KernelEvent::AccountingPeriodEnd { .. } => self.accounting_periods += 1,
             KernelEvent::ThreadExit { .. } => self.thread_exits += 1,
         }
+    }
+
+    /// Account one batched shootdown round covering `pages` page flushes.
+    /// Called from `tick` when the round's event enters the pipeline, or
+    /// directly when `shootdown_events` is off (tracepoint-style gate).
+    #[inline]
+    pub(crate) fn note_shootdown_round(&mut self, pages: u64) {
+        self.shootdown_rounds += 1;
+        self.shootdown_batches += 1;
+        self.shootdown_batched_pages += pages;
     }
 }
 

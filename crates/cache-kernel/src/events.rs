@@ -88,6 +88,18 @@ pub enum KernelEvent {
         /// Payload.
         data: Vec<u8>,
     },
+    /// A batched TLB/reverse-TLB shootdown round was issued for a
+    /// compound operation (range unload, space/thread/kernel teardown,
+    /// multi-mapping consistency flush): one cross-CPU round covering
+    /// every collected invalidation instead of one round per page.
+    Shootdown {
+        /// Page flushes folded into the round (pre-coalescing).
+        pages: u32,
+        /// Distinct reverse-TLB frames invalidated.
+        frames: u32,
+        /// Address spaces coalesced to wholesale TLB flushes.
+        asids: u32,
+    },
     /// An accounting period elapsed; quota enforcement runs (§4.3).
     AccountingPeriodEnd {
         /// Period length in cycles.
@@ -140,6 +152,11 @@ impl KernelEvent {
             KernelEvent::PacketArrived { src, channel, data } => {
                 format!("packet src={src} ch={channel} len={}", data.len())
             }
+            KernelEvent::Shootdown {
+                pages,
+                frames,
+                asids,
+            } => format!("shootdown pages={pages} frames={frames} asids={asids}"),
             KernelEvent::AccountingPeriodEnd { period } => {
                 format!("period-end period={period}")
             }

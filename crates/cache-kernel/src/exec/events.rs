@@ -90,6 +90,11 @@ impl Executive {
                 // layer; the event carried the fact into the ordered
                 // pipeline for counters and tracing.
             }
+            KernelEvent::Shootdown { .. } => {
+                // The TLB/rTLB invalidations were applied synchronously at
+                // the batch flush; the event records the round for
+                // counters and tracing.
+            }
             KernelEvent::DeviceInterrupt { source, paddr } => {
                 self.ck.raise_signal(&mut self.mpm, 0, paddr);
                 if source == DeviceSource::Clock {

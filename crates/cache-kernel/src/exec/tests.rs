@@ -535,7 +535,14 @@ fn cluster_event_traces_are_byte_identical() {
     );
     // The traffic covered the pipeline's breadth.
     let joined = a.join("\n");
-    for needle in ["fault ", "trap ", "thread-exit ", "packet ", "writeback "] {
+    for needle in [
+        "fault ",
+        "trap ",
+        "thread-exit ",
+        "packet ",
+        "writeback ",
+        "shootdown ",
+    ] {
         assert!(joined.contains(needle), "trace missing {needle:?}");
     }
 }

@@ -54,19 +54,21 @@ impl CacheKernel {
                 pt_pairs.insert((asid, vpn.base().0, pte.pfn().base().0));
             }
         }
-        let records = self.physmap.records();
+        // Walk the arena in place (visit_records) instead of snapshotting
+        // it: the checker runs inside property-test loops.
         let mut p2v_handles: HashSet<u32> = HashSet::new();
         let mut p2v_pairs: HashSet<(u32, u32, u32)> = HashSet::new();
-        for (h, r) in &records {
+        let mut dup: Option<(u32, u32)> = None;
+        self.physmap.visit_records(|h, r| {
             if r.context < CTX_COW {
-                p2v_handles.insert(*h);
-                if !p2v_pairs.insert((r.context, r.dependent, r.key)) {
-                    return Err(format!(
-                        "duplicate p2v record for {:?}",
-                        (r.context, r.dependent)
-                    ));
+                p2v_handles.insert(h);
+                if !p2v_pairs.insert((r.context, r.dependent, r.key)) && dup.is_none() {
+                    dup = Some((r.context, r.dependent));
                 }
             }
+        });
+        if let Some(d) = dup {
+            return Err(format!("duplicate p2v record for {d:?}"));
         }
         if pt_pairs != p2v_pairs {
             let missing: Vec<_> = pt_pairs.difference(&p2v_pairs).take(3).collect();
@@ -78,24 +80,32 @@ impl CacheKernel {
 
         // 4. Signal and COW records attach to live p2v records; signal
         //    targets are loaded threads (Fig. 6: signal mapping → thread).
-        for (_, r) in &records {
+        let mut attach_err: Option<String> = None;
+        self.physmap.visit_records(|_, r| {
+            if attach_err.is_some() {
+                return;
+            }
             if r.context == CTX_SIGNAL {
                 if !p2v_handles.contains(&r.key) {
-                    return Err(format!(
+                    attach_err = Some(format!(
                         "signal record attached to dead p2v handle {}",
                         r.key
                     ));
-                }
-                if self.threads.get_slot(r.dependent as u16).is_none() {
-                    return Err(format!(
+                } else if self.threads.get_slot(r.dependent as u16).is_none() {
+                    attach_err = Some(format!(
                         "signal record targets unloaded thread slot {}",
                         r.dependent
                     ));
                 }
             } else if r.context == CTX_COW && !p2v_handles.contains(&r.key) {
-                return Err(format!("COW record attached to dead p2v handle {}", r.key));
+                attach_err = Some(format!("COW record attached to dead p2v handle {}", r.key));
             }
+        });
+        if let Some(e) = attach_err {
+            return Err(e);
         }
+        // 4b. The per-thread signal index mirrors the arena exactly.
+        self.physmap.check_signal_index()?;
 
         // 5. Locked-object counts match reality.
         for (kid, k) in self.kernels.iter() {

@@ -78,6 +78,7 @@ pub mod physmap;
 pub mod program;
 pub mod reclaim;
 pub mod sched;
+pub mod shootdown;
 
 pub use appkernel::{AppKernel, Env, NullKernel};
 pub use ck::{CacheKernel, CkConfig, CkStats, MappingState, Writeback, STAT_MAPPING};
@@ -96,3 +97,4 @@ pub use objects::{
 pub use physmap::{DepRecord, P2v, PhysMap, RecHandle, CTX_COW, CTX_SIGNAL};
 pub use program::{CodeStore, FnProgram, ForkableFn, ProgId, Program, Script, Step, ThreadCtx};
 pub use sched::{Pick, Scheduler};
+pub use shootdown::ShootdownBatch;

@@ -11,7 +11,7 @@ use crate::ck::CacheKernel;
 use crate::error::{CkError, CkResult};
 use crate::events::MappingState;
 use crate::ids::ObjId;
-use hw::{Access, Mpm, Paddr, Pte, Vaddr, Vpn};
+use hw::{Access, Mpm, Paddr, Pte, Vaddr};
 
 use crate::counters::STAT_MAPPING;
 
@@ -115,6 +115,10 @@ impl CacheKernel {
     /// Explicitly unload the mappings covering `vaddr..vaddr+len`,
     /// returning their final states (with referenced/modified bits). Used
     /// by application kernels when reclaiming page frames (§2.1).
+    ///
+    /// Walks only the populated PTEs intersecting the range (O(populated)
+    /// for sparse ranges) and, past a single page, defers all TLB and
+    /// reverse-TLB invalidations into one batched shootdown round.
     pub fn unload_mapping_range(
         &mut self,
         caller: ObjId,
@@ -127,23 +131,51 @@ impl CacheKernel {
         if s.owner != caller {
             return Err(CkError::NotOwner(space));
         }
-        self.charge_op(mpm, 0);
-        let first = vaddr.vpn().0;
+        self.charge_op(mpm, 2 * mpm.config.cost.hash_probe);
+        let first = vaddr.vpn();
         let last = Vaddr(
             vaddr
                 .0
                 .checked_add(len.saturating_sub(1))
                 .ok_or(CkError::Invalid)?,
         )
-        .vpn()
-        .0;
-        let mut out = Vec::new();
-        for vpn in first..=last {
-            if let Some(state) = self.do_unload_mapping(space, Vpn(vpn), mpm, false) {
+        .vpn();
+        if first == last {
+            // Single page: probe it directly down the eager path — Table
+            // 2's unload shape, no range walk.
+            let mut out = Vec::new();
+            if let Some(state) = self.do_unload_mapping(space, first, mpm, false) {
                 out.push(state);
                 self.stats.unloads[STAT_MAPPING] += 1;
             }
+            return Ok(out);
         }
+        let mut vpns = core::mem::take(&mut self.vpn_scratch);
+        vpns.clear();
+        if let Some(s) = self.spaces.get(space) {
+            vpns.extend(s.pt.iter_range(first, last).map(|(v, _)| v));
+        }
+        let mut out = Vec::with_capacity(vpns.len());
+        if vpns.len() == 1 {
+            // One populated page in a wider span: still the eager path.
+            if let Some(state) = self.do_unload_mapping(space, vpns[0], mpm, false) {
+                out.push(state);
+                self.stats.unloads[STAT_MAPPING] += 1;
+            }
+        } else if !vpns.is_empty() {
+            let mut batch = self.take_shootdown_batch();
+            for &vpn in &vpns {
+                if let Some(state) =
+                    self.unload_mapping_impl(space, vpn, mpm, false, Some(&mut batch))
+                {
+                    out.push(state);
+                    self.stats.unloads[STAT_MAPPING] += 1;
+                }
+            }
+            self.finish_shootdown(batch, mpm);
+        }
+        vpns.clear();
+        self.vpn_scratch = vpns;
         Ok(out)
     }
 

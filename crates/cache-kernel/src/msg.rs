@@ -81,13 +81,18 @@ impl CacheKernel {
             mpm.cpus[cpu].rtlb.invalidate(pfn);
         }
 
-        // Slow path: two-stage lookup with optimistic version check.
+        // Slow path: two-stage lookup with optimistic version check. The
+        // receiver list lands in a CK-owned scratch buffer so a steady
+        // stream of slow-path signals allocates nothing.
         mpm.clock.charge(signal_slow);
         mpm.cpus[cpu].consume(signal_slow);
-        let mut receivers;
+        let mut receivers = core::mem::take(&mut self.signal_scratch);
         loop {
+            receivers.clear();
             let version = self.physmap.version();
-            receivers = self.physmap.signals_for(paddr);
+            self.physmap.visit_signals(paddr, |thread, asid, vaddr| {
+                receivers.push((thread, asid, vaddr))
+            });
             if self.physmap.version() == version {
                 // Refill the reverse TLB only if the map stayed stable
                 // under us (§4.2); a sole receiver keeps the entry useful.
@@ -99,13 +104,15 @@ impl CacheKernel {
             }
             // Map changed concurrently: retry the lookup.
         }
-        if receivers.is_empty() {
-            return SignalOutcome::NoReceiver;
-        }
         let n = receivers.len();
-        for (thread, _asid, vaddr) in receivers {
+        for &(thread, _asid, vaddr) in &receivers {
             let va = Vaddr(vaddr.0 | paddr.offset());
             self.deliver_signal(thread as u16, va);
+        }
+        receivers.clear();
+        self.signal_scratch = receivers;
+        if n == 0 {
+            return SignalOutcome::NoReceiver;
         }
         if self.signal_events {
             self.emit(KernelEvent::Signal {

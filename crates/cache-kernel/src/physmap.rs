@@ -20,6 +20,7 @@
 
 use hw::{Paddr, Vaddr};
 use parking_lot::RwLock;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Context value marking a signal-thread dependency record.
@@ -64,6 +65,9 @@ struct Inner {
     buckets: Vec<u32>,
     free: Vec<u32>, // free arena indices
     count: usize,
+    /// Thread slot → arena indices of its live signal records, in attach
+    /// order. Keeps thread unload from scanning the whole arena.
+    sig_index: BTreeMap<u32, Vec<u32>>,
 }
 
 /// The versioned physical memory map.
@@ -85,6 +89,7 @@ impl PhysMap {
                 buckets: vec![0; nbuckets],
                 free: Vec::new(),
                 count: 0,
+                sig_index: BTreeMap::new(),
             }),
             version: AtomicU64::new(0),
             capacity,
@@ -154,7 +159,7 @@ impl PhysMap {
     /// means the map is corrupted; callers surface it as an error rather
     /// than panicking mid-reclamation.
     fn unlink(inner: &mut Inner, idx: u32) -> bool {
-        let Some(rec) = inner.records.get(idx as usize) else {
+        let Some(rec) = inner.records.get(idx as usize).copied() else {
             return false;
         };
         let b = Self::bucket_of(inner.buckets.len(), rec.key);
@@ -172,6 +177,17 @@ impl PhysMap {
                 inner.records[i as usize] = DepRecord::default();
                 inner.free.push(i);
                 inner.count -= 1;
+                if rec.context == CTX_SIGNAL {
+                    // Keep the per-thread signal index in sync (tolerates
+                    // an already-removed entry: remove_signals_of_thread
+                    // drains the whole list up front).
+                    if let Some(v) = inner.sig_index.get_mut(&rec.dependent) {
+                        v.retain(|&x| x != idx);
+                        if v.is_empty() {
+                            inner.sig_index.remove(&rec.dependent);
+                        }
+                    }
+                }
                 return true;
             }
             prev = Some(i);
@@ -190,6 +206,9 @@ impl PhysMap {
         }
         let idx = Self::alloc(&mut inner, rec)?;
         Self::link(&mut inner, idx);
+        if rec.context == CTX_SIGNAL {
+            inner.sig_index.entry(rec.dependent).or_default().push(idx);
+        }
         drop(inner);
         self.bump();
         Some(idx + 1)
@@ -207,11 +226,12 @@ impl PhysMap {
         })
     }
 
-    /// All physical-to-virtual records for the frame containing `paddr`.
-    pub fn find_p2v(&self, paddr: Paddr) -> Vec<P2v> {
+    /// Visit every physical-to-virtual record for the frame containing
+    /// `paddr`, allocation-free, under one read lock. The hot-path form
+    /// of [`PhysMap::find_p2v`].
+    pub fn visit_p2v(&self, paddr: Paddr, mut f: impl FnMut(P2v)) {
         let key = paddr.page_base().0;
         let inner = self.inner.read();
-        let mut out = Vec::new();
         let b = Self::bucket_of(inner.buckets.len(), key);
         let mut cur = inner.buckets[b];
         while cur != 0 {
@@ -219,7 +239,7 @@ impl PhysMap {
                 break; // corrupted chain: stop walking, never panic
             };
             if r.key == key && r.context < CTX_COW {
-                out.push(P2v {
+                f(P2v {
                     handle: cur,
                     asid: r.context,
                     vaddr: Vaddr(r.dependent),
@@ -227,15 +247,34 @@ impl PhysMap {
             }
             cur = r.next;
         }
+    }
+
+    /// All physical-to-virtual records for the frame containing `paddr`.
+    /// Convenience wrapper over [`PhysMap::visit_p2v`] (allocates).
+    pub fn find_p2v(&self, paddr: Paddr) -> Vec<P2v> {
+        let mut out = Vec::new();
+        self.visit_p2v(paddr, |m| out.push(m));
         out
     }
 
     /// The specific physical-to-virtual record for `(paddr, asid, vaddr)`.
+    /// Direct chain walk with early return; no allocation.
     pub fn find_p2v_exact(&self, paddr: Paddr, asid: u32, vaddr: Vaddr) -> Option<RecHandle> {
-        self.find_p2v(paddr)
-            .into_iter()
-            .find(|m| m.asid == asid && m.vaddr == vaddr.page_base())
-            .map(|m| m.handle)
+        let key = paddr.page_base().0;
+        let vpage = vaddr.page_base().0;
+        let inner = self.inner.read();
+        let b = Self::bucket_of(inner.buckets.len(), key);
+        let mut cur = inner.buckets[b];
+        while cur != 0 {
+            let Some(r) = inner.records.get((cur - 1) as usize).copied() else {
+                break;
+            };
+            if r.key == key && r.context == asid && r.dependent == vpage {
+                return Some(cur);
+            }
+            cur = r.next;
+        }
+        None
     }
 
     /// Remove a physical-to-virtual record and any signal/COW records
@@ -276,9 +315,9 @@ impl PhysMap {
         Some((Paddr(rec.key), Vaddr(rec.dependent), rec.context))
     }
 
-    fn attached(&self, handle: RecHandle, ctx: u32) -> Vec<(RecHandle, u32)> {
-        let inner = self.inner.read();
-        let mut out = Vec::new();
+    /// First record attached to `handle` with context `ctx`, walking the
+    /// handle-keyed bucket chain directly (no allocation).
+    fn attached_first(inner: &Inner, handle: RecHandle, ctx: u32) -> Option<u32> {
         let b = Self::bucket_of(inner.buckets.len(), handle);
         let mut cur = inner.buckets[b];
         while cur != 0 {
@@ -286,11 +325,11 @@ impl PhysMap {
                 break;
             };
             if r.key == handle && r.context == ctx {
-                out.push((cur, r.dependent));
+                return Some(r.dependent);
             }
             cur = r.next;
         }
-        out
+        None
     }
 
     /// Attach a signal-thread record to a physical-to-virtual record.
@@ -316,44 +355,75 @@ impl PhysMap {
 
     /// The signal thread registered on a physical-to-virtual record.
     pub fn signal_of(&self, p2v: RecHandle) -> Option<u32> {
-        self.attached(p2v, CTX_SIGNAL).first().map(|(_, t)| *t)
+        let inner = self.inner.read();
+        Self::attached_first(&inner, p2v, CTX_SIGNAL)
     }
 
     /// The COW source registered on a physical-to-virtual record.
     pub fn cow_source_of(&self, p2v: RecHandle) -> Option<Paddr> {
-        self.attached(p2v, CTX_COW).first().map(|(_, s)| Paddr(*s))
+        let inner = self.inner.read();
+        Self::attached_first(&inner, p2v, CTX_COW).map(Paddr)
     }
 
-    /// The two-stage lookup used for slow-path signal delivery (§4.1):
-    /// find the physical-to-virtual records for the page, then the signal
-    /// records for each. Returns `(thread_slot, asid, receiver vaddr)`.
+    /// The two-stage lookup used for slow-path signal delivery (§4.1),
+    /// allocation-free: find the physical-to-virtual records for the
+    /// page, then the signal records for each, all under one read lock.
+    /// Yields `(thread_slot, asid, receiver vaddr)`.
+    pub fn visit_signals(&self, paddr: Paddr, mut f: impl FnMut(u32, u32, Vaddr)) {
+        let key = paddr.page_base().0;
+        let inner = self.inner.read();
+        let b = Self::bucket_of(inner.buckets.len(), key);
+        let mut cur = inner.buckets[b];
+        while cur != 0 {
+            let Some(r) = inner.records.get((cur - 1) as usize).copied() else {
+                break;
+            };
+            if r.key == key && r.context < CTX_COW {
+                // Stage 2: signal records keyed by this p2v handle.
+                let sb = Self::bucket_of(inner.buckets.len(), cur);
+                let mut scur = inner.buckets[sb];
+                while scur != 0 {
+                    let Some(s) = inner.records.get((scur - 1) as usize).copied() else {
+                        break;
+                    };
+                    if s.key == cur && s.context == CTX_SIGNAL {
+                        f(s.dependent, r.context, Vaddr(r.dependent));
+                    }
+                    scur = s.next;
+                }
+            }
+            cur = r.next;
+        }
+    }
+
+    /// The two-stage lookup as a `Vec`; wrapper over
+    /// [`PhysMap::visit_signals`].
     pub fn signals_for(&self, paddr: Paddr) -> Vec<(u32, u32, Vaddr)> {
         let mut out = Vec::new();
-        for m in self.find_p2v(paddr) {
-            for (_, thread) in self.attached(m.handle, CTX_SIGNAL) {
-                out.push((thread, m.asid, m.vaddr));
-            }
-        }
+        self.visit_signals(paddr, |t, asid, v| out.push((t, asid, v)));
         out
     }
 
     /// Remove every signal record pointing at `thread_slot` (the thread is
     /// being unloaded; signal mappings depend on it per Fig. 6). Returns
-    /// the affected physical-to-virtual record handles.
+    /// the affected physical-to-virtual record handles. Served from the
+    /// per-thread signal index — O(signals of this thread), not an arena
+    /// scan.
     pub fn remove_signals_of_thread(&self, thread_slot: u32) -> Vec<RecHandle> {
         let mut inner = self.inner.write();
-        let mut affected = Vec::new();
-        let victims: Vec<u32> = inner
-            .records
-            .iter()
-            .enumerate()
-            .filter(|(i, r)| {
-                inner.live[*i] && r.context == CTX_SIGNAL && r.dependent == thread_slot
-            })
-            .map(|(i, _)| i as u32)
-            .collect();
+        let victims = inner.sig_index.remove(&thread_slot).unwrap_or_default();
+        let mut affected = Vec::with_capacity(victims.len());
         for v in victims {
-            affected.push(inner.records[v as usize].key);
+            let Some(r) = inner.records.get(v as usize).copied() else {
+                continue;
+            };
+            if !inner.live.get(v as usize).copied().unwrap_or(false)
+                || r.context != CTX_SIGNAL
+                || r.dependent != thread_slot
+            {
+                continue; // defensive: stale index entry
+            }
+            affected.push(r.key);
             Self::unlink(&mut inner, v);
         }
         if !affected.is_empty() {
@@ -365,22 +435,17 @@ impl PhysMap {
 
     /// The physical-to-virtual mappings that have a signal record pointing
     /// at `thread_slot` — i.e. the signal mappings that depend on the
-    /// thread (Fig. 6) and must be unloaded when it is.
+    /// thread (Fig. 6) and must be unloaded when it is. Served from the
+    /// per-thread signal index, in attach order (deterministic).
     pub fn signal_mappings_of_thread(&self, thread_slot: u32) -> Vec<(Paddr, Vaddr, u32)> {
         let inner = self.inner.read();
-        let handles: Vec<u32> = inner
-            .records
-            .iter()
-            .enumerate()
-            .filter(|(i, r)| {
-                inner.live[*i] && r.context == CTX_SIGNAL && r.dependent == thread_slot
-            })
-            .map(|(_, r)| r.key)
-            .collect();
-        handles
-            .into_iter()
-            .filter_map(|h| {
-                let idx = h.checked_sub(1)? as usize;
+        let Some(idxs) = inner.sig_index.get(&thread_slot) else {
+            return Vec::new();
+        };
+        idxs.iter()
+            .filter_map(|&i| {
+                let s = inner.records.get(i as usize).copied()?;
+                let idx = s.key.checked_sub(1)? as usize;
                 if !inner.live.get(idx).copied().unwrap_or(false) {
                     return None;
                 }
@@ -390,26 +455,69 @@ impl PhysMap {
             .collect()
     }
 
-    /// Snapshot of all live records (invariant checking, diagnostics).
-    pub fn records(&self) -> Vec<(RecHandle, DepRecord)> {
+    /// Visit all live records under one read lock, allocation-free (the
+    /// invariant checker's walk).
+    pub fn visit_records(&self, mut f: impl FnMut(RecHandle, &DepRecord)) {
         let inner = self.inner.read();
-        inner
-            .records
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| inner.live[*i])
-            .map(|(i, r)| (i as u32 + 1, *r))
-            .collect()
+        for (i, r) in inner.records.iter().enumerate() {
+            if inner.live[i] {
+                f(i as u32 + 1, r);
+            }
+        }
     }
 
-    /// Whether any live signal record targets `thread_slot`.
+    /// Snapshot of all live records (diagnostics); wrapper over
+    /// [`PhysMap::visit_records`].
+    pub fn records(&self) -> Vec<(RecHandle, DepRecord)> {
+        let mut out = Vec::new();
+        self.visit_records(|h, r| out.push((h, *r)));
+        out
+    }
+
+    /// Whether any live signal record targets `thread_slot`. Index probe,
+    /// not an arena scan.
     pub fn thread_has_signals(&self, thread_slot: u32) -> bool {
         let inner = self.inner.read();
         inner
+            .sig_index
+            .get(&thread_slot)
+            .is_some_and(|v| !v.is_empty())
+    }
+
+    /// Verify the per-thread signal index against the arena: every index
+    /// entry names a live signal record of that thread, and every live
+    /// signal record appears in the index exactly once. Returns an error
+    /// description on the first inconsistency (invariant checking).
+    pub fn check_signal_index(&self) -> Result<(), String> {
+        let inner = self.inner.read();
+        let mut indexed = 0usize;
+        for (&slot, idxs) in &inner.sig_index {
+            for &i in idxs {
+                let r = inner
+                    .records
+                    .get(i as usize)
+                    .ok_or_else(|| format!("sig_index[{slot}] names out-of-range record {i}"))?;
+                if !inner.live.get(i as usize).copied().unwrap_or(false) {
+                    return Err(format!("sig_index[{slot}] names dead record {i}"));
+                }
+                if r.context != CTX_SIGNAL || r.dependent != slot {
+                    return Err(format!("sig_index[{slot}] names non-signal record {i}"));
+                }
+                indexed += 1;
+            }
+        }
+        let live_signals = inner
             .records
             .iter()
             .enumerate()
-            .any(|(i, r)| inner.live[i] && r.context == CTX_SIGNAL && r.dependent == thread_slot)
+            .filter(|(i, r)| inner.live[*i] && r.context == CTX_SIGNAL)
+            .count();
+        if indexed != live_signals {
+            return Err(format!(
+                "sig_index covers {indexed} records, arena holds {live_signals} signal records"
+            ));
+        }
+        Ok(())
     }
 }
 

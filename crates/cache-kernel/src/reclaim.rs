@@ -22,6 +22,7 @@ use crate::ck::{CacheKernel, CkStats, MappingState, Writeback, STAT_MAPPING};
 use crate::error::{CkError, CkResult};
 use crate::ids::{ObjId, ObjKind};
 use crate::objects::{KernelDesc, ThreadDesc, ThreadState};
+use crate::shootdown::ShootdownBatch;
 use hw::{Mpm, Pte, Vpn};
 
 impl CacheKernel {
@@ -31,18 +32,36 @@ impl CacheKernel {
 
     /// Unload the mapping at `vpn` in `space`, flushing TLBs and removing
     /// dependency records. If `queue_wb` the state is queued on the
-    /// writeback channel; either way it is returned.
-    ///
-    /// Multi-mapping consistency (§4.2): if the mapping carried a signal
-    /// registration, every *writable* mapping of the same frame is flushed
-    /// too, so a sender can never signal on an address whose receivers
-    /// have silently lost their mappings.
+    /// writeback channel; either way it is returned. Eager single-page
+    /// form: one shootdown round, the Table 2 unload shape.
     pub(crate) fn do_unload_mapping(
         &mut self,
         space: ObjId,
         vpn: Vpn,
         mpm: &mut Mpm,
         queue_wb: bool,
+    ) -> Option<MappingState> {
+        self.unload_mapping_impl(space, vpn, mpm, queue_wb, None)
+    }
+
+    /// Unload one mapping, either eagerly (`batch` = `None`: charge and
+    /// broadcast its own shootdown round) or as part of a compound
+    /// operation (`batch` = `Some`: record the invalidations, the caller
+    /// issues one round for the whole batch).
+    ///
+    /// Multi-mapping consistency (§4.2): if the mapping carried a signal
+    /// registration, every *writable* mapping of the same frame is flushed
+    /// too, so a sender can never signal on an address whose receivers
+    /// have silently lost their mappings. The siblings join the enclosing
+    /// batch; an eager unload opens a local batch so the cascade costs one
+    /// extra round, not one per sibling.
+    pub(crate) fn unload_mapping_impl(
+        &mut self,
+        space: ObjId,
+        vpn: Vpn,
+        mpm: &mut Mpm,
+        queue_wb: bool,
+        mut batch: Option<&mut ShootdownBatch>,
     ) -> Option<MappingState> {
         let (owner, locked_bit, pte) = {
             let s = self.spaces.get_mut(space)?;
@@ -60,11 +79,22 @@ impl CacheKernel {
 
         // Hardware coherence: drop the translation and any reverse-TLB
         // entry for the frame on every CPU — the shootdown dominates the
-        // cost of a mapping unload (Table 2's unload > load).
-        mpm.clock
-            .charge(CacheKernel::shootdown_cost(mpm) + 2 * mpm.config.cost.hash_probe);
-        mpm.flush_page_all_cpus(asid, vaddr);
-        mpm.rtlb_invalidate_all_cpus(pte.pfn());
+        // cost of a mapping unload (Table 2's unload > load). A batched
+        // unload pays only the lookup probes here and shares the round
+        // issued at the batch flush.
+        match batch.as_deref_mut() {
+            Some(b) => {
+                mpm.clock.charge(2 * mpm.config.cost.hash_probe);
+                b.add_page(asid, vpn, pte.pfn());
+            }
+            None => {
+                mpm.clock
+                    .charge(CacheKernel::shootdown_cost(mpm) + 2 * mpm.config.cost.hash_probe);
+                mpm.flush_page_all_cpus(asid, vaddr);
+                mpm.rtlb_invalidate_all_cpus(pte.pfn());
+                self.stats.shootdown_rounds += 1;
+            }
+        }
 
         // Remove the dependency records; note whether a signal was
         // registered before they go.
@@ -95,8 +125,14 @@ impl CacheKernel {
 
         if had_signal {
             // Flush all writable mappings of this frame, in any space.
-            let others = self.physmap.find_p2v(paddr);
-            for m in others {
+            let mut others = core::mem::take(&mut self.p2v_scratch);
+            others.clear();
+            self.physmap.visit_p2v(paddr, |m| others.push(m));
+            let mut local: Option<ShootdownBatch> = match batch {
+                Some(_) => None,
+                None => Some(self.take_shootdown_batch()),
+            };
+            for m in &others {
                 let sp = match self.spaces.id_of_slot(m.asid as u16) {
                     Some(id) => id,
                     None => continue,
@@ -105,9 +141,15 @@ impl CacheKernel {
                 if let Some(opte) = opte {
                     if opte.is_valid() && opte.has(Pte::WRITABLE) {
                         self.stats.consistency_flushes += 1;
-                        self.do_unload_mapping(sp, m.vaddr.vpn(), mpm, true);
+                        let b = batch.as_deref_mut().or(local.as_mut());
+                        self.unload_mapping_impl(sp, m.vaddr.vpn(), mpm, true, b);
                     }
                 }
+            }
+            others.clear();
+            self.p2v_scratch = others;
+            if let Some(lb) = local {
+                self.finish_shootdown(lb, mpm);
             }
         }
         Some(state)
@@ -198,37 +240,55 @@ impl CacheKernel {
     /// Fails with [`CkError::StaleId`] if the identifier no longer names a
     /// live thread — checked up front, *before* side effects, so a stale
     /// id can never strip signal mappings off an unrelated thread that
-    /// reused the slot.
+    /// reused the slot. Eager form: the whole teardown rides one
+    /// shootdown round.
     pub(crate) fn do_unload_thread(
         &mut self,
         id: ObjId,
         mpm: &mut Mpm,
     ) -> CkResult<Box<ThreadDesc>> {
+        let mut batch = self.take_shootdown_batch();
+        let res = self.unload_thread_batched(id, mpm, &mut batch);
+        self.finish_shootdown(batch, mpm);
+        res
+    }
+
+    /// Thread unload body with the invalidations deferred to `batch`. The
+    /// caller issues (and pays for) the cross-CPU round.
+    pub(crate) fn unload_thread_batched(
+        &mut self,
+        id: ObjId,
+        mpm: &mut Mpm,
+        batch: &mut ShootdownBatch,
+    ) -> CkResult<Box<ThreadDesc>> {
         if self.threads.get(id).is_none() {
             return Err(CkError::StaleId(id));
         }
-        // Copy the context out; invalidate reverse-TLB entries everywhere.
-        mpm.clock.charge(
-            CacheKernel::copy_cost(mpm, core::mem::size_of::<ThreadDesc>())
-                + CacheKernel::shootdown_cost(mpm),
-        );
+        // Copy the context out; the reverse-TLB invalidations join the
+        // enclosing batch's single round.
+        mpm.clock.charge(CacheKernel::copy_cost(
+            mpm,
+            core::mem::size_of::<ThreadDesc>(),
+        ));
         // Signal mappings depending on this thread go first (Fig. 6).
         for (paddr, vaddr, asid) in self.physmap.signal_mappings_of_thread(id.slot as u32) {
             let _ = paddr;
             if let Some(sp) = self.spaces.id_of_slot(asid as u16) {
-                self.do_unload_mapping(sp, vaddr.vpn(), mpm, true);
+                self.unload_mapping_impl(sp, vaddr.vpn(), mpm, true, Some(batch));
             }
         }
         // Defensive: drop any orphan signal records.
         self.physmap.remove_signals_of_thread(id.slot as u32);
 
         self.sched.remove(id.slot);
+        // Scheduling state clears immediately; only the reverse-TLB sweep
+        // is deferred to the batch round.
         for cpu in mpm.cpus.iter_mut() {
             if cpu.current == Some(id.slot as u32) {
                 cpu.current = None;
             }
-            cpu.rtlb.invalidate_thread(id.slot as u32);
         }
+        batch.add_thread(id.slot as u32);
         let t = self.threads.remove(id).ok_or(CkError::StaleId(id))?;
         if t.locked {
             if let Some(k) = self.kernels.get_mut(t.owner) {
@@ -289,11 +349,28 @@ impl CacheKernel {
     /// Unload an address space: all threads in it, then all its page
     /// mappings, then the space itself. If `queue_space_wb`, a `Space`
     /// writeback is queued (reclamation); explicit unloads skip it.
+    /// Eager form: one shootdown round covers the whole teardown.
     pub(crate) fn do_unload_space(
         &mut self,
         id: ObjId,
         mpm: &mut Mpm,
         queue_space_wb: bool,
+    ) -> CkResult<()> {
+        let mut batch = self.take_shootdown_batch();
+        let res = self.unload_space_batched(id, mpm, queue_space_wb, &mut batch);
+        // On error the partial teardown's invalidations still must reach
+        // the other CPUs; flush whatever was collected.
+        self.finish_shootdown(batch, mpm);
+        res
+    }
+
+    /// Space unload body with the invalidations deferred to `batch`.
+    pub(crate) fn unload_space_batched(
+        &mut self,
+        id: ObjId,
+        mpm: &mut Mpm,
+        queue_space_wb: bool,
+        batch: &mut ShootdownBatch,
     ) -> CkResult<()> {
         let owner = self
             .spaces
@@ -307,7 +384,7 @@ impl CacheKernel {
             let Some(towner) = self.threads.get(tid).map(|t| t.owner) else {
                 continue;
             };
-            let desc = self.do_unload_thread(tid, mpm)?;
+            let desc = self.unload_thread_batched(tid, mpm, batch)?;
             self.queue_writeback(Writeback::Thread {
                 owner: towner,
                 id: tid,
@@ -315,15 +392,19 @@ impl CacheKernel {
             });
         }
         // Then every mapping.
-        let vpns: Vec<Vpn> = self
-            .spaces
-            .get(id)
-            .map(|s| s.pt.iter().map(|(v, _)| v).collect())
-            .unwrap_or_default();
-        for vpn in vpns {
-            self.do_unload_mapping(id, vpn, mpm, true);
+        let mut vpns = core::mem::take(&mut self.vpn_scratch);
+        vpns.clear();
+        if let Some(s) = self.spaces.get(id) {
+            vpns.extend(s.pt.iter().map(|(v, _)| v));
         }
-        mpm.flush_asid_all_cpus(CacheKernel::asid_of(id));
+        for &vpn in &vpns {
+            self.unload_mapping_impl(id, vpn, mpm, true, Some(batch));
+        }
+        vpns.clear();
+        self.vpn_scratch = vpns;
+        // The whole-ASID flush subsumes this space's per-page entries at
+        // the batch flush.
+        batch.flush_asid(CacheKernel::asid_of(id));
         if let Some(s) = self.spaces.remove(id) {
             if s.locked {
                 if let Some(k) = self.kernels.get_mut(owner) {
@@ -337,10 +418,10 @@ impl CacheKernel {
         Ok(())
     }
 
-    /// Reclamation writeback of a space.
+    /// Reclamation writeback of a space. The shootdown is charged once at
+    /// the teardown's batch flush, not here.
     pub(crate) fn writeback_space(&mut self, id: ObjId, mpm: &mut Mpm) -> CkResult<()> {
-        mpm.clock
-            .charge(CacheKernel::shootdown_cost(mpm) + mpm.config.cost.signal_fast);
+        mpm.clock.charge(mpm.config.cost.signal_fast);
         self.do_unload_space(id, mpm, true)?;
         self.stats.writebacks[CkStats::idx_pub(ObjKind::AddrSpace)] += 1;
         Ok(())
@@ -370,7 +451,7 @@ impl CacheKernel {
     // ------------------------------------------------------------------
 
     /// Unload a kernel object with all its spaces (and their threads and
-    /// mappings).
+    /// mappings). One batched shootdown round covers every space.
     pub(crate) fn do_unload_kernel(
         &mut self,
         id: ObjId,
@@ -379,8 +460,17 @@ impl CacheKernel {
         if self.kernels.get(id).is_none() {
             return Err(CkError::StaleId(id));
         }
+        let mut batch = self.take_shootdown_batch();
+        let mut err = None;
         for sp in self.spaces.ids_where(|s| s.owner == id) {
-            self.do_unload_space(sp, mpm, true)?;
+            if let Err(e) = self.unload_space_batched(sp, mpm, true, &mut batch) {
+                err = Some(e);
+                break;
+            }
+        }
+        self.finish_shootdown(batch, mpm);
+        if let Some(e) = err {
+            return Err(e);
         }
         self.accounts.remove(&id.slot);
         let k = self.kernels.remove(id).ok_or(CkError::StaleId(id))?;

@@ -270,6 +270,62 @@ impl Mpm {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Batched shootdown entry points: one cross-CPU round applies every
+    // collected invalidation, instead of one round per page. The Cache
+    // Kernel's deferred-shootdown layer calls these after a compound
+    // operation (range unload, space/thread/kernel teardown).
+    // ------------------------------------------------------------------
+
+    /// Flush a batch of `(asid, vpn)` page translations from every CPU's
+    /// TLB in one round.
+    pub fn flush_pages_all_cpus(&mut self, pages: &[(Asid, crate::types::Vpn)]) {
+        for c in &mut self.cpus {
+            for &(asid, vpn) in pages {
+                c.tlb.flush_page(asid, vpn);
+            }
+        }
+    }
+
+    /// Flush a batch of address spaces wholesale from every CPU's TLB in
+    /// one round (space teardown, or page flushes coalesced past the TLB
+    /// capacity).
+    pub fn flush_asids_all_cpus(&mut self, asids: &[Asid]) {
+        for c in &mut self.cpus {
+            for &asid in asids {
+                c.tlb.flush_asid(asid);
+            }
+        }
+    }
+
+    /// Invalidate a batch of frames in every CPU's reverse TLB in one
+    /// round.
+    pub fn rtlb_invalidate_many(&mut self, pfns: &[crate::types::Pfn]) {
+        for c in &mut self.cpus {
+            for &pfn in pfns {
+                c.rtlb.invalidate(pfn);
+            }
+        }
+    }
+
+    /// Drop every CPU's entire reverse TLB (batched frame invalidations
+    /// coalesced past the reverse-TLB capacity).
+    pub fn rtlb_clear_all_cpus(&mut self) {
+        for c in &mut self.cpus {
+            c.rtlb.invalidate_all();
+        }
+    }
+
+    /// Invalidate the reverse-TLB entries of a batch of threads on every
+    /// CPU in one round (thread teardown).
+    pub fn rtlb_invalidate_threads_all_cpus(&mut self, threads: &[u32]) {
+        for c in &mut self.cpus {
+            for &t in threads {
+                c.rtlb.invalidate_thread(t);
+            }
+        }
+    }
+
     /// Halt the machine (simulated hardware failure). Only this MPM stops;
     /// the fabric continues carrying other nodes' traffic.
     pub fn halt(&mut self) {

@@ -242,6 +242,34 @@ impl PageTable {
         })
     }
 
+    /// Iterate over the valid `(vpn, pte)` pairs in `first..=last`, in
+    /// ascending VPN order, visiting only *allocated* tables: a sparse
+    /// range costs O(populated entries), not O(pages in range).
+    pub fn iter_range(&self, first: Vpn, last: Vpn) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        let max_vpn = ((L1_ENTRIES as u32) << 13) - 1;
+        let lo = (first.0.min(max_vpn)) as usize;
+        let hi = (last.0.min(max_vpn)) as usize;
+        let (i0, i1) = ((lo >> 13) & 0x7f, (hi >> 13) & 0x7f);
+        let (i0, i1) = (i0.min(i1), i1.max(i0));
+        self.root[i0..=i1]
+            .iter()
+            .enumerate()
+            .flat_map(move |(di, mid)| {
+                let i = i0 + di;
+                mid.iter().flat_map(move |mid| {
+                    mid.iter().enumerate().flat_map(move |(j, leaf)| {
+                        leaf.iter().flat_map(move |leaf| {
+                            leaf.iter().enumerate().filter_map(move |(k, pte)| {
+                                let v = (i << 13) | (j << 6) | k;
+                                (pte.is_valid() && v >= lo && v <= hi)
+                                    .then_some((Vpn(v as u32), *pte))
+                            })
+                        })
+                    })
+                })
+            })
+    }
+
     /// Number of valid page mappings.
     pub fn valid_count(&self) -> usize {
         self.valid
@@ -345,6 +373,34 @@ mod tests {
         let mut want = vpns.to_vec();
         want.sort();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn iter_range_matches_filtered_iter() {
+        let mut pt = PageTable::new();
+        let vpns = [Vpn(3), Vpn(64), Vpn(0x812), Vpn(0x2_0000), Vpn(0x4_0009)];
+        for (n, vpn) in vpns.iter().enumerate() {
+            pt.insert(*vpn, Pte::new(Pfn(n as u32 + 1), 0));
+        }
+        for (first, last) in [
+            (0u32, 0xf_ffff),
+            (64, 0x812),
+            (4, 63),
+            (0x813, 0x3_ffff),
+            (0x4_0009, 0x4_0009),
+        ] {
+            let got: Vec<Vpn> = pt
+                .iter_range(Vpn(first), Vpn(last))
+                .map(|(v, _)| v)
+                .collect();
+            let want: Vec<Vpn> = pt
+                .iter()
+                .map(|(v, _)| v)
+                .filter(|v| v.0 >= first && v.0 <= last)
+                .collect();
+            assert_eq!(got, want, "range {first:#x}..={last:#x}");
+        }
+        assert_eq!(pt.iter_range(Vpn(0), Vpn(2)).count(), 0);
     }
 
     #[test]

@@ -51,6 +51,12 @@ impl Rtlb {
         }
     }
 
+    /// Number of direct-mapped slots. Past this many pending frame
+    /// invalidations a batched shootdown clears the whole table instead.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Enable or disable the fast path (for the A-rtlb ablation). When
     /// disabled every lookup misses.
     pub fn set_enabled(&mut self, on: bool) {

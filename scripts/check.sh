@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== cargo bench --no-run (benches must compile) =="
+cargo bench --workspace --no-run
+
+echo "== shootdown batched/eager equivalence =="
+cargo test -q -p cache-kernel --test prop_shootdown
+
 echo "All checks passed."

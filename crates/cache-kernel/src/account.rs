@@ -153,19 +153,25 @@ impl CacheKernel {
                 Some(id) => id,
                 None => continue,
             };
-            let quota = self.kernels.get(id).unwrap().desc.cpu_quota_pct;
-            let transitions = self
-                .accounts
-                .get_mut(&slot)
-                .unwrap()
-                .end_period(period_cycles, &quota);
+            // The kernel or its account can vanish between the period
+            // event's emission and its delivery (a recovery sweep tearing
+            // down a dead kernel); skip rather than abort the simulation.
+            let Some(quota) = self.kernels.get(id).map(|k| k.desc.cpu_quota_pct) else {
+                continue;
+            };
+            let Some(account) = self.accounts.get_mut(&slot) else {
+                continue;
+            };
+            let transitions = account.end_period(period_cycles, &quota);
             if transitions.is_empty() {
                 continue;
             }
             // Any CPU over quota demotes the kernel's threads (we enforce
             // at kernel granularity; the account tracks per-CPU usage).
-            let demoted = (0..MAX_CPUS).any(|c| self.accounts[&slot].is_demoted(c));
-            let k = self.kernels.get_mut(id).unwrap();
+            let demoted = (0..MAX_CPUS).any(|c| account.is_demoted(c));
+            let Some(k) = self.kernels.get_mut(id) else {
+                continue;
+            };
             if k.demoted != demoted {
                 k.demoted = demoted;
                 changed.push((id, demoted));

@@ -93,6 +93,19 @@ pub struct CacheKernel {
     pub(crate) p2v_scratch: Vec<crate::physmap::P2v>,
     /// Reusable VPN buffer for range unloads.
     pub(crate) vpn_scratch: Vec<Vpn>,
+    /// Kernels declared dead (slot → the id that died there). While a
+    /// slot is in this map its writebacks are redirected to the first
+    /// kernel and its objects await [`recover_kernel`].
+    ///
+    /// [`recover_kernel`]: CacheKernel::recover_kernel
+    pub(crate) dead_kernels: BTreeMap<u16, ObjId>,
+    /// Last cycle each registered kernel was seen alive on the writeback
+    /// channel (clock-tick delivery), keyed by slot.
+    pub(crate) heartbeats: BTreeMap<u16, u64>,
+    /// Restart notices queued by the SRM for the executive: the named
+    /// kernel was reloaded under a fresh identifier and needs its
+    /// application-kernel instance re-registered.
+    pub(crate) restart_notices: VecDeque<(String, ObjId)>,
     /// Configuration.
     pub config: CkConfig,
     /// Operation counters.
@@ -119,6 +132,9 @@ impl CacheKernel {
             signal_scratch: Vec::new(),
             p2v_scratch: Vec::new(),
             vpn_scratch: Vec::new(),
+            dead_kernels: BTreeMap::new(),
+            heartbeats: BTreeMap::new(),
+            restart_notices: VecDeque::new(),
             config,
             stats: CkStats::default(),
         }

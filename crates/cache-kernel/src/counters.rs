@@ -57,6 +57,20 @@ pub struct Counters {
     pub accounting_periods: u64,
     /// Thread terminations processed through the pipeline.
     pub thread_exits: u64,
+    /// Failures injected by an active fault plan (frame loss/duplication,
+    /// device errors, kernel kills).
+    pub faults_injected: u64,
+    /// Application kernels declared dead.
+    pub kernels_failed: u64,
+    /// Dead kernels whose objects were fully reclaimed.
+    pub kernels_recovered: u64,
+    /// Orphaned objects (threads + spaces + mappings) swept during
+    /// dead-kernel recovery.
+    pub orphans_reclaimed: u64,
+    /// Reliable-RPC retransmissions sent after a timeout.
+    pub rpc_retries: u64,
+    /// Duplicate reliable-RPC frames suppressed at the receiver.
+    pub rpc_duplicates_dropped: u64,
 }
 
 /// The historical name: the counters began as the Cache Kernel's stats
@@ -104,6 +118,11 @@ impl Counters {
             KernelEvent::PacketArrived { .. } => self.packets += 1,
             KernelEvent::AccountingPeriodEnd { .. } => self.accounting_periods += 1,
             KernelEvent::ThreadExit { .. } => self.thread_exits += 1,
+            KernelEvent::KernelFailed { .. } => self.kernels_failed += 1,
+            KernelEvent::KernelRecovered { orphans, .. } => {
+                self.kernels_recovered += 1;
+                self.orphans_reclaimed += u64::from(*orphans);
+            }
         }
     }
 

@@ -35,6 +35,12 @@ pub enum CkError {
     Invalid,
     /// Operation restricted to the first kernel (the SRM).
     FirstKernelOnly,
+    /// The kernel has been declared dead; only recovery may touch its
+    /// objects.
+    KernelDead(ObjId),
+    /// A kernel's accounting record is missing (internal inconsistency
+    /// surfaced instead of aborting the simulation).
+    NoAccount(u16),
 }
 
 /// Convenience result alias.
@@ -52,6 +58,8 @@ impl core::fmt::Display for CkError {
             CkError::NoMapping => write!(f, "no mapping at address"),
             CkError::Invalid => write!(f, "invalid request"),
             CkError::FirstKernelOnly => write!(f, "operation restricted to the first kernel"),
+            CkError::KernelDead(id) => write!(f, "kernel {id:?} is dead pending recovery"),
+            CkError::NoAccount(slot) => write!(f, "no accounting record for kernel slot {slot}"),
         }
     }
 }

@@ -25,6 +25,9 @@ pub enum DeviceSource {
     EtherRx,
     /// A fiber-channel reception-slot arrival.
     Fiber,
+    /// An injected device error (fault-plan testing): the device raised
+    /// its error line instead of a completion.
+    Error,
 }
 
 /// One event flowing through the per-executive pipeline.
@@ -105,6 +108,21 @@ pub enum KernelEvent {
         /// Period length in cycles.
         period: u64,
     },
+    /// An application kernel was declared dead (crash or missed
+    /// heartbeats). From this point its writebacks are redirected to the
+    /// first kernel and its objects await reclamation.
+    KernelFailed {
+        /// The dead kernel.
+        kernel: ObjId,
+    },
+    /// A dead kernel's cached objects were fully reclaimed; the slot is
+    /// clean and the SRM may restart it from written-back state.
+    KernelRecovered {
+        /// The recovered (now stale) kernel identifier.
+        kernel: ObjId,
+        /// Orphaned objects swept (threads + spaces + mappings).
+        orphans: u32,
+    },
     /// A thread terminated; its kernel is notified and the thread is
     /// unloaded.
     ThreadExit {
@@ -159,6 +177,10 @@ impl KernelEvent {
             } => format!("shootdown pages={pages} frames={frames} asids={asids}"),
             KernelEvent::AccountingPeriodEnd { period } => {
                 format!("period-end period={period}")
+            }
+            KernelEvent::KernelFailed { kernel } => format!("kernel-failed kernel={kernel:?}"),
+            KernelEvent::KernelRecovered { kernel, orphans } => {
+                format!("kernel-recovered kernel={kernel:?} orphans={orphans}")
             }
             KernelEvent::ThreadExit {
                 owner,
@@ -227,6 +249,16 @@ impl Writeback {
             | Writeback::Kernel { owner, .. } => *owner,
         }
     }
+
+    /// Re-address the writeback (dead-kernel redirection to the SRM).
+    pub(crate) fn set_owner(&mut self, new_owner: ObjId) {
+        match self {
+            Writeback::Mapping { owner, .. }
+            | Writeback::Thread { owner, .. }
+            | Writeback::Space { owner, .. }
+            | Writeback::Kernel { owner, .. } => *owner = new_owner,
+        }
+    }
 }
 
 /// A mapping unload result returned from explicit unload calls.
@@ -249,8 +281,19 @@ impl CacheKernel {
         self.events.push_back(ev);
     }
 
-    /// Queue a writeback toward its owning application kernel.
-    pub(crate) fn queue_writeback(&mut self, wb: Writeback) {
+    /// Queue a writeback toward its owning application kernel. Writebacks
+    /// addressed to a kernel that has been declared dead are redirected to
+    /// the first kernel (the SRM), which holds the displaced state for the
+    /// restart protocol instead of letting it vanish with the crash.
+    pub(crate) fn queue_writeback(&mut self, mut wb: Writeback) {
+        let owner = wb.owner();
+        if self.dead_kernels.get(&owner.slot) == Some(&owner) {
+            if let Some(first) = self.first_kernel {
+                if owner != first {
+                    wb.set_owner(first);
+                }
+            }
+        }
         self.emit(KernelEvent::Writeback(wb));
     }
 

@@ -84,6 +84,16 @@ impl Executive {
             KernelEvent::Writeback(wb) => {
                 let owner = wb.owner();
                 self.call_kernel(owner.slot, 0, |k, env| k.on_writeback(env, wb));
+                // A fault plan may have this kernel die at its K-th
+                // delivered writeback.
+                if self
+                    .faults
+                    .as_mut()
+                    .map(|p| p.note_writeback(owner.slot))
+                    .unwrap_or(false)
+                {
+                    self.crash_kernel(owner.slot);
+                }
             }
             KernelEvent::Signal { .. } => {
                 // Thread wakeup happened synchronously in the messaging
@@ -99,8 +109,13 @@ impl Executive {
                 self.ck.raise_signal(&mut self.mpm, 0, paddr);
                 if source == DeviceSource::Clock {
                     // Registered kernels get their rescheduling hook, in
-                    // deterministic slot order.
+                    // deterministic slot order. Answering the tick is the
+                    // liveness heartbeat the SRM's failure detector reads:
+                    // a crashed (unregistered) kernel stops being stamped
+                    // and its last-seen cycle goes stale.
+                    let now = self.mpm.clock.cycles();
                     for ks in self.kernels.slots() {
+                        self.ck.note_heartbeat(ks, now);
                         self.call_kernel(ks, 0, |k, env| k.on_tick(env));
                     }
                 }
@@ -134,6 +149,10 @@ impl Executive {
                 if self.mpm.cpus[cpu].current == Some(slot as u32) {
                     self.mpm.cpus[cpu].current = None;
                 }
+            }
+            KernelEvent::KernelFailed { .. } | KernelEvent::KernelRecovered { .. } => {
+                // Failure/recovery already happened in the Cache Kernel;
+                // the events record the episode for counters and tracing.
             }
         }
     }

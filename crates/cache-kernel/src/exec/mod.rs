@@ -43,8 +43,11 @@ use crate::fault::{FaultDisposition, TrapDisposition};
 use crate::ids::ObjId;
 use crate::objects::{Priority, ThreadDesc};
 use crate::program::{CodeStore, Program};
-use hw::{Fabric, Mpm, Packet};
+use hw::{Fabric, FaultPlan, FrameFate, Mpm, Packet};
 use std::collections::HashMap;
+
+/// Factory re-instantiating an application kernel after an SRM restart.
+pub type RestartFactory = Box<dyn FnMut(ObjId) -> Box<dyn AppKernel> + Send>;
 
 /// One MPM's executive.
 pub struct Executive {
@@ -76,6 +79,15 @@ pub struct Executive {
     pub(crate) last_fault_disp: Option<FaultDisposition>,
     /// Disposition of the most recently pumped trap forward.
     pub(crate) last_trap_disp: Option<TrapDisposition>,
+    /// Active fault-injection plan, if any (chaos testing). Consulted at
+    /// quantum boundaries for due kills and device errors, at writeback
+    /// delivery for writeback-count kills, and by [`Cluster::step`] for
+    /// frame loss/duplication on this node's outbound traffic.
+    pub faults: Option<FaultPlan>,
+    /// Restart factories by kernel name: when the SRM reloads a crashed
+    /// kernel, the executive re-instantiates its application-kernel
+    /// object through the matching factory.
+    pub(crate) restart_factories: HashMap<String, RestartFactory>,
 }
 
 impl Executive {
@@ -96,6 +108,8 @@ impl Executive {
             trace: EventTrace::default(),
             last_fault_disp: None,
             last_trap_disp: None,
+            faults: None,
+            restart_factories: HashMap::new(),
         }
     }
 
@@ -189,6 +203,75 @@ impl Executive {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection and restart
+    // ------------------------------------------------------------------
+
+    /// Register a restart factory: if the SRM restarts a crashed kernel
+    /// saved under `name`, the executive re-instantiates its
+    /// application-kernel object by calling `f` with the new identifier.
+    pub fn on_restart(
+        &mut self,
+        name: &str,
+        f: impl FnMut(ObjId) -> Box<dyn AppKernel> + Send + 'static,
+    ) {
+        self.restart_factories.insert(name.to_string(), Box::new(f));
+    }
+
+    /// Crash the application kernel in `slot`: its in-memory instance is
+    /// dropped (the crash — all volatile state is lost) and the kernel
+    /// object is declared dead so its writebacks redirect to the SRM. The
+    /// first kernel cannot crash this way. Dead kernels' threads die
+    /// organically: their next fault or trap finds no handler and gets
+    /// the default Kill/Exit disposition.
+    pub fn crash_kernel(&mut self, slot: u16) {
+        let Some(id) = self.ck.kernel_id(slot) else {
+            return;
+        };
+        if id == self.ck.first_kernel() {
+            return;
+        }
+        if self.kernels.remove(slot).is_none() {
+            return; // already dead
+        }
+        self.ck.stats.faults_injected += 1;
+        let _ = self.ck.mark_kernel_failed(id);
+    }
+
+    /// Apply the fault plan's quantum-boundary triggers: due cycle kills
+    /// and device error interrupts.
+    fn apply_fault_plan(&mut self) {
+        let Some(plan) = self.faults.as_mut() else {
+            return;
+        };
+        let now = self.mpm.clock.cycles();
+        let kills = plan.due_cycle_kills(now);
+        let errors = plan.due_device_errors(now);
+        for _ in 0..errors {
+            let pa = self.mpm.clockdev.time_page();
+            self.ck.stats.faults_injected += 1;
+            self.ck.emit(crate::events::KernelEvent::DeviceInterrupt {
+                source: crate::events::DeviceSource::Error,
+                paddr: pa,
+            });
+        }
+        for slot in kills {
+            self.crash_kernel(slot);
+        }
+    }
+
+    /// Re-register application kernels the SRM restarted: drain the
+    /// restart notices and run the matching factories.
+    fn process_restarts(&mut self) {
+        while let Some((name, id)) = self.ck.take_restart_notice() {
+            if let Some(mut f) = self.restart_factories.remove(&name) {
+                let k = f(id);
+                self.register_kernel(id, k);
+                self.restart_factories.insert(name, f);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Main loop
     // ------------------------------------------------------------------
 
@@ -202,6 +285,7 @@ impl Executive {
                 return;
             }
             self.quanta_run += 1;
+            self.apply_fault_plan();
             self.poll_devices();
             self.pump_events();
             for cpu in 0..self.mpm.cpus.len() {
@@ -210,6 +294,7 @@ impl Executive {
             self.close_accounting_period();
             self.loopback_outbox();
             self.pump_events();
+            self.process_restarts();
         }
     }
 
@@ -255,12 +340,31 @@ impl Cluster {
         for node in self.nodes.iter_mut() {
             node.run(quanta);
         }
-        // Drain outboxes into the fabric.
+        // Drain outboxes into the fabric, with the sending node's fault
+        // plan deciding each frame's fate (loss/duplication injection).
         for node in self.nodes.iter_mut() {
             let halted = node.mpm.halted;
             for pkt in node.outbox.drain(..) {
-                if !halted {
-                    self.fabric.send(pkt);
+                if halted {
+                    continue;
+                }
+                let fate = node
+                    .faults
+                    .as_mut()
+                    .map(|p| p.frame_fate())
+                    .unwrap_or(FrameFate::Deliver);
+                match fate {
+                    FrameFate::Deliver => {
+                        self.fabric.send(pkt);
+                    }
+                    FrameFate::Drop => {
+                        node.ck.stats.faults_injected += 1;
+                    }
+                    FrameFate::Duplicate => {
+                        node.ck.stats.faults_injected += 1;
+                        self.fabric.send(pkt.clone());
+                        self.fabric.send(pkt);
+                    }
                 }
             }
         }

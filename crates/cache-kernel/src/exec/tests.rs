@@ -546,3 +546,79 @@ fn cluster_event_traces_are_byte_identical() {
         assert!(joined.contains(needle), "trace missing {needle:?}");
     }
 }
+
+// ----------------------------------------------------------------------
+// Crash injection determinism
+// ----------------------------------------------------------------------
+
+/// Killing a kernel at its K-th writeback and sweeping it up replays
+/// byte-identically from the same fault-plan seed: the trace is a pure
+/// function of (workload, seed), including the failure and recovery
+/// events.
+#[test]
+fn crash_and_recovery_trace_is_deterministic() {
+    let run = || {
+        let (mut ex, srm) = trace_node(0);
+        let pager = ex
+            .ck
+            .load_kernel(
+                srm,
+                KernelDesc {
+                    memory_access: MemoryAccessArray::all(),
+                    ..KernelDesc::default()
+                },
+                &mut ex.mpm,
+            )
+            .unwrap();
+        ex.register_kernel(
+            pager,
+            Box::new(IdentityPager {
+                me: pager,
+                frame_base: 0x10_0000,
+                faults: 0,
+            }),
+        );
+        let sp = ex
+            .ck
+            .load_space(pager, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        for i in 0..2u32 {
+            let prog = Script::new(vec![
+                Step::Store(Vaddr(0x4000 + i * 0x1000), i),
+                Step::Compute(200),
+                Step::Load(Vaddr(0x4000 + i * 0x1000)),
+                Step::Exit(0),
+            ]);
+            ex.spawn_thread(pager, sp, Box::new(prog), 10).unwrap();
+        }
+        // The pager dies at its first writeback delivery: the explicit
+        // writeback of this dormant space.
+        ex.faults = Some(hw::FaultPlan::new(0xC0FFEE).kill_at_writeback(pager.slot, 1));
+        let dormant = ex
+            .ck
+            .load_space(pager, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        ex.ck.writeback_space(dormant, &mut ex.mpm).unwrap();
+        ex.run_until_idle(60);
+        // The crash left the pager's objects orphaned; sweep them.
+        let dead = ex.ck.failed_kernels();
+        assert_eq!(dead.len(), 1, "exactly the pager died");
+        for id in dead {
+            ex.ck.recover_kernel(srm, id, &mut ex.mpm).unwrap();
+        }
+        ex.run_until_idle(10);
+        assert_eq!(ex.ck.stats.kernels_failed, 1);
+        assert_eq!(ex.ck.stats.kernels_recovered, 1);
+        assert_eq!(ex.ck.stats.faults_injected, 1);
+        // Nothing of the pager survives.
+        assert!(ex.ck.kernel(pager).is_err());
+        assert!(ex.ck.space(sp).is_err());
+        ex.trace.lines.join("\n")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "crash replay is byte-identical from the seed");
+    for needle in ["kernel-failed ", "kernel-recovered ", "writeback "] {
+        assert!(a.contains(needle), "trace missing {needle:?}");
+    }
+}

@@ -77,6 +77,7 @@ pub mod objects;
 pub mod physmap;
 pub mod program;
 pub mod reclaim;
+pub mod recover;
 pub mod sched;
 pub mod shootdown;
 
@@ -96,5 +97,6 @@ pub use objects::{
 };
 pub use physmap::{DepRecord, P2v, PhysMap, RecHandle, CTX_COW, CTX_SIGNAL};
 pub use program::{CodeStore, FnProgram, ForkableFn, ProgId, Program, Script, Step, ThreadCtx};
+pub use recover::RecoveryReport;
 pub use sched::{Pick, Scheduler};
 pub use shootdown::ShootdownBatch;

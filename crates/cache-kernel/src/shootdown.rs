@@ -73,6 +73,25 @@ impl ShootdownBatch {
     }
 }
 
+impl Drop for ShootdownBatch {
+    /// A batch must go back through [`CacheKernel::finish_shootdown`]:
+    /// dropping one with queued invalidations would leave stale TLB and
+    /// reverse-TLB entries on other CPUs. Debug builds abort early-return
+    /// paths that lose a batch; release builds keep going (the entries go
+    /// stale, not unsafe, in the simulation).
+    fn drop(&mut self) {
+        debug_assert!(
+            std::thread::panicking() || self.is_empty(),
+            "ShootdownBatch dropped with {} page / {} asid / {} frame / {} thread \
+             invalidations queued; pass it to finish_shootdown",
+            self.pages.len(),
+            self.asids.len(),
+            self.frames.len(),
+            self.threads.len(),
+        );
+    }
+}
+
 impl CacheKernel {
     /// Borrow the reusable scratch batch for a compound operation. Pair
     /// with [`CacheKernel::finish_shootdown`], which returns it. A nested

@@ -18,6 +18,7 @@ pub mod clock;
 pub mod cpu;
 pub mod dev;
 pub mod fabric;
+pub mod faults;
 pub mod l2;
 pub mod machine;
 pub mod mem;
@@ -29,6 +30,7 @@ pub mod types;
 pub use clock::{CostModel, SimClock};
 pub use cpu::{Cpu, Fault, FaultKind, Mode, RegisterFile};
 pub use fabric::{Fabric, LinkStats, Packet};
+pub use faults::{FaultPlan, FaultRng, FaultStats, FrameFate, KillPoint};
 pub use l2::{L2Cache, L2Stats};
 pub use machine::{MachineConfig, Mpm, Translation};
 pub use mem::{MemError, PhysMem};

@@ -50,6 +50,7 @@
 pub mod chan;
 pub mod dsm;
 pub mod mem;
+pub mod reliable;
 pub mod rpc;
 pub mod thread;
 
@@ -59,5 +60,6 @@ pub use mem::{
     BackingStore, Fifo, FrameAllocator, Lru, Mru, Region, ReplacementPolicy, Segment,
     SegmentManager,
 };
+pub use reliable::{Inbound, LinkCounters, ReliableLink, RELIABLE_MAGIC};
 pub use rpc::{Demarshal, Marshal, RpcClient, RpcMessage, RpcServer, RESPONSE};
 pub use thread::{codeschedule, coschedule, Event, SleepQueue};

@@ -1,0 +1,324 @@
+//! Reliable datagram layer for inter-node RPC.
+//!
+//! The fabric gives at-most-once, unordered delivery and — under an
+//! injected fault plan — loses and duplicates frames. RPC traffic that
+//! must survive that (the inter-SRM coordination protocol) wraps its
+//! payloads in a [`ReliableLink`]: per-destination sequence numbers, an
+//! acknowledgment per data frame, timeout-driven retransmission with
+//! capped exponential backoff, and a receive window that suppresses
+//! duplicates. Delivery stays at-most-once and unordered — right for
+//! idempotent advertisement-style RPC — but becomes *almost-certain*
+//! under loss, with bounded retransmissions.
+//!
+//! Frame format (prefixing the application payload):
+//!
+//! ```text
+//! [0]    magic 0xA7
+//! [1]    kind: 1 = DATA, 2 = ACK
+//! [2..6] sequence number, u32 LE (per sender→destination stream)
+//! [6..]  payload (DATA only)
+//! ```
+//!
+//! A frame whose first byte is not the magic passes through untouched,
+//! so reliable and raw senders can share a channel.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// First byte of every reliable frame.
+pub const RELIABLE_MAGIC: u8 = 0xA7;
+const KIND_DATA: u8 = 1;
+const KIND_ACK: u8 = 2;
+const HDR: usize = 6;
+/// Receive-window size per source: sequence numbers more than this far
+/// below the highest seen are assumed long-acknowledged and dropped.
+const SEEN_WINDOW: u32 = 256;
+
+/// Cumulative link counters (fold deltas into global stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Data frames sent (first transmissions).
+    pub sent: u64,
+    /// Retransmissions after a timeout.
+    pub retries: u64,
+    /// Data frames acknowledged.
+    pub acked: u64,
+    /// Duplicate data frames suppressed at the receiver.
+    pub dup_dropped: u64,
+    /// Sends abandoned after the attempt cap.
+    pub gave_up: u64,
+}
+
+/// What [`ReliableLink::on_frame`] decoded from an incoming frame.
+#[derive(Clone, Debug, Default)]
+pub struct Inbound {
+    /// Application payload to deliver, if the frame was fresh (or raw).
+    pub payload: Option<Vec<u8>>,
+    /// Acknowledgment frame to send back to the source, if any.
+    pub ack: Option<Vec<u8>>,
+}
+
+/// An unacknowledged data frame awaiting its ack or next retransmit.
+#[derive(Clone, Debug)]
+struct Pending {
+    dst: usize,
+    seq: u32,
+    frame: Vec<u8>,
+    next_retry: u64,
+    attempts: u32,
+}
+
+/// Per-source receive state: highest sequence seen and the set of seen
+/// sequence numbers within the window below it.
+#[derive(Clone, Debug, Default)]
+struct RecvState {
+    highest: u32,
+    seen: BTreeSet<u32>,
+}
+
+/// Sender/receiver state for reliable datagrams over the fabric.
+#[derive(Debug)]
+pub struct ReliableLink {
+    /// Ticks before the first retransmission of a frame.
+    pub base_timeout: u64,
+    /// Backoff doubles per attempt up to `base_timeout << max_backoff`.
+    pub max_backoff: u32,
+    /// Transmissions (first + retries) before giving up on a frame.
+    pub max_attempts: u32,
+    now: u64,
+    next_seq: HashMap<usize, u32>,
+    pending: Vec<Pending>,
+    recv: HashMap<usize, RecvState>,
+    /// Cumulative counters.
+    pub counters: LinkCounters,
+}
+
+impl Default for ReliableLink {
+    fn default() -> Self {
+        ReliableLink {
+            base_timeout: 2,
+            max_backoff: 5,
+            max_attempts: 8,
+            now: 0,
+            next_seq: HashMap::new(),
+            pending: Vec::new(),
+            recv: HashMap::new(),
+            counters: LinkCounters::default(),
+        }
+    }
+}
+
+fn frame(kind: u8, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(HDR + payload.len());
+    f.push(RELIABLE_MAGIC);
+    f.push(kind);
+    f.extend_from_slice(&seq.to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+impl ReliableLink {
+    /// A link with default timing (retry after 2 ticks, doubling to a cap
+    /// of 64, at most 8 transmissions).
+    pub fn new() -> Self {
+        ReliableLink::default()
+    }
+
+    /// Wrap `payload` for `dst`: assigns the next sequence number,
+    /// remembers the frame for retransmission, and returns the wire
+    /// frame to send.
+    pub fn send(&mut self, dst: usize, payload: &[u8]) -> Vec<u8> {
+        let seq = self.next_seq.entry(dst).or_insert(0);
+        *seq += 1;
+        let seq = *seq;
+        let f = frame(KIND_DATA, seq, payload);
+        self.pending.push(Pending {
+            dst,
+            seq,
+            frame: f.clone(),
+            next_retry: self.now + self.base_timeout,
+            attempts: 1,
+        });
+        self.counters.sent += 1;
+        f
+    }
+
+    /// Process an incoming frame from `src`. Raw (non-magic) frames pass
+    /// through. Data frames always produce an ack (the sender may have
+    /// missed a previous one) and a payload only on first sight. Ack
+    /// frames clear the matching pending entry.
+    pub fn on_frame(&mut self, src: usize, data: &[u8]) -> Inbound {
+        if data.len() < HDR || data[0] != RELIABLE_MAGIC {
+            return Inbound {
+                payload: Some(data.to_vec()),
+                ack: None,
+            };
+        }
+        let kind = data[1];
+        let seq = u32::from_le_bytes([data[2], data[3], data[4], data[5]]);
+        match kind {
+            KIND_DATA => {
+                let ack = Some(frame(KIND_ACK, seq, &[]));
+                let st = self.recv.entry(src).or_default();
+                let floor = st.highest.saturating_sub(SEEN_WINDOW);
+                let dup = seq <= floor || st.seen.contains(&seq);
+                if dup {
+                    self.counters.dup_dropped += 1;
+                    return Inbound { payload: None, ack };
+                }
+                st.seen.insert(seq);
+                if seq > st.highest {
+                    st.highest = seq;
+                    let floor = st.highest.saturating_sub(SEEN_WINDOW);
+                    st.seen = st.seen.split_off(&floor);
+                }
+                Inbound {
+                    payload: Some(data[HDR..].to_vec()),
+                    ack,
+                }
+            }
+            KIND_ACK => {
+                let before = self.pending.len();
+                self.pending.retain(|p| !(p.dst == src && p.seq == seq));
+                if self.pending.len() < before {
+                    self.counters.acked += 1;
+                }
+                Inbound::default()
+            }
+            _ => Inbound::default(),
+        }
+    }
+
+    /// Advance link time one tick and collect due retransmissions as
+    /// `(destination, frame)` pairs. Frames past the attempt cap are
+    /// abandoned (at-most-once keeps its meaning under partition).
+    pub fn tick(&mut self) -> Vec<(usize, Vec<u8>)> {
+        self.now += 1;
+        let now = self.now;
+        let mut out = Vec::new();
+        let (base, cap, max_attempts) = (self.base_timeout, self.max_backoff, self.max_attempts);
+        let counters = &mut self.counters;
+        self.pending.retain_mut(|p| {
+            if now < p.next_retry {
+                return true;
+            }
+            if p.attempts >= max_attempts {
+                counters.gave_up += 1;
+                return false;
+            }
+            counters.retries += 1;
+            let backoff = base << p.attempts.min(cap);
+            p.attempts += 1;
+            p.next_retry = now + backoff;
+            out.push((p.dst, p.frame.clone()));
+            true
+        });
+        out
+    }
+
+    /// Frames awaiting acknowledgment.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_delivers_once_and_acks() {
+        let mut a = ReliableLink::new();
+        let mut b = ReliableLink::new();
+        let f = a.send(1, b"hello");
+        let inb = b.on_frame(0, &f);
+        assert_eq!(inb.payload.as_deref(), Some(&b"hello"[..]));
+        let ack = inb.ack.expect("data frames are acked");
+        assert_eq!(a.in_flight(), 1);
+        a.on_frame(1, &ack);
+        assert_eq!(a.in_flight(), 0);
+        assert_eq!(a.counters.acked, 1);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_but_still_acked() {
+        let mut a = ReliableLink::new();
+        let mut b = ReliableLink::new();
+        let f = a.send(1, b"x");
+        let first = b.on_frame(0, &f);
+        assert!(first.payload.is_some());
+        let dup = b.on_frame(0, &f);
+        assert!(dup.payload.is_none(), "duplicate dropped");
+        assert!(dup.ack.is_some(), "but still acknowledged");
+        assert_eq!(b.counters.dup_dropped, 1);
+    }
+
+    #[test]
+    fn lost_frame_retransmits_with_backoff_then_gives_up() {
+        let mut a = ReliableLink::new();
+        a.max_attempts = 4;
+        let _lost = a.send(1, b"y");
+        let mut retries = 0;
+        let mut gaps = Vec::new();
+        let mut last = 0u64;
+        for t in 1..=2000u64 {
+            let due = a.tick();
+            if !due.is_empty() {
+                retries += due.len();
+                gaps.push(t - last);
+                last = t;
+            }
+            if a.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(retries as u32 + 1, 4, "attempt cap honored");
+        assert_eq!(a.counters.gave_up, 1);
+        assert!(
+            gaps.windows(2).all(|w| w[1] >= w[0]),
+            "backoff never shrinks: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let mut a = ReliableLink::new();
+        a.max_attempts = 40;
+        a.max_backoff = 3; // cap at base << 3 = 16 ticks
+        let _ = a.send(1, b"z");
+        let mut gaps = Vec::new();
+        let mut last = 0u64;
+        for t in 1..=2000u64 {
+            if !a.tick().is_empty() {
+                gaps.push(t - last);
+                last = t;
+            }
+            if a.in_flight() == 0 {
+                break;
+            }
+        }
+        assert!(gaps.iter().all(|&g| g <= 16), "gap cap: {gaps:?}");
+        assert!(gaps.iter().filter(|&&g| g == 16).count() > 2);
+    }
+
+    #[test]
+    fn raw_frames_pass_through() {
+        let mut b = ReliableLink::new();
+        let inb = b.on_frame(0, b"raw-unframed-data");
+        assert_eq!(inb.payload.as_deref(), Some(&b"raw-unframed-data"[..]));
+        assert!(inb.ack.is_none());
+    }
+
+    #[test]
+    fn out_of_order_within_window_delivers() {
+        let mut a = ReliableLink::new();
+        let mut b = ReliableLink::new();
+        let f1 = a.send(1, b"one");
+        let f2 = a.send(1, b"two");
+        // f2 arrives first (reordering), then f1.
+        assert!(b.on_frame(0, &f2).payload.is_some());
+        assert!(b.on_frame(0, &f1).payload.is_some());
+        // Replays of both are duplicates now.
+        assert!(b.on_frame(0, &f1).payload.is_none());
+        assert!(b.on_frame(0, &f2).payload.is_none());
+    }
+}

@@ -11,6 +11,7 @@
 
 use cache_kernel::Env;
 use hw::Packet;
+use libkern::reliable::{LinkCounters, ReliableLink};
 use libkern::rpc::{Demarshal, Marshal, RpcMessage};
 
 /// Fabric channel reserved for SRM-to-SRM traffic.
@@ -49,6 +50,12 @@ pub struct Peers {
     pub ads_sent: u64,
     /// Advertisements received.
     pub ads_received: u64,
+    /// Reliable datagram layer: sequence numbers, acks, retransmission
+    /// with capped backoff, duplicate suppression. Inter-SRM RPC rides
+    /// on it so injected frame loss cannot starve the peer tables.
+    pub link: ReliableLink,
+    /// Link counters already folded into the global stats.
+    reported: LinkCounters,
 }
 
 impl Peers {
@@ -88,21 +95,25 @@ impl Peers {
             .u32(env.ck.sched.ready_count() as u32)
             .done();
         let msg = RpcMessage::request(self.seq, M_ADVERTISE, payload);
+        let wire = msg.encode();
         for dst in 0..self.cluster_nodes {
             if dst == env.node {
                 continue;
             }
+            let data = self.link.send(dst, &wire);
             env.outbox.push(Packet {
                 src: env.node,
                 dst,
                 channel: SRM_CHANNEL,
-                data: msg.encode(),
+                data,
             });
         }
         self.ads_sent += 1;
     }
 
-    /// Periodic work: age the table and send advertisements.
+    /// Periodic work: age the table, send advertisements, retransmit
+    /// unacknowledged frames, and fold link counters into the global
+    /// stats.
     pub fn tick(&mut self, env: &mut Env) {
         for p in self.table.iter_mut() {
             p.age = p.age.saturating_add(1);
@@ -114,14 +125,39 @@ impl Peers {
                 self.advertise(env);
             }
         }
+        for (dst, data) in self.link.tick() {
+            env.outbox.push(Packet {
+                src: env.node,
+                dst,
+                channel: SRM_CHANNEL,
+                data,
+            });
+        }
+        let c = self.link.counters;
+        env.ck.stats.rpc_retries += c.retries - self.reported.retries;
+        env.ck.stats.rpc_duplicates_dropped += c.dup_dropped - self.reported.dup_dropped;
+        self.reported = c;
     }
 
-    /// Handle an SRM-channel packet.
+    /// Handle an SRM-channel packet: unwrap the reliable layer (sending
+    /// any ack it owes, dropping duplicates), then dispatch the RPC.
     pub fn on_packet(&mut self, env: &mut Env, src: usize, channel: u32, data: &[u8]) {
         if channel != SRM_CHANNEL {
             return;
         }
-        let Some(msg) = RpcMessage::decode(data) else {
+        let inbound = self.link.on_frame(src, data);
+        if let Some(ack) = inbound.ack {
+            env.outbox.push(Packet {
+                src: env.node,
+                dst: src,
+                channel: SRM_CHANNEL,
+                data: ack,
+            });
+        }
+        let Some(payload) = inbound.payload else {
+            return; // duplicate suppressed, or a bare ack
+        };
+        let Some(msg) = RpcMessage::decode(&payload) else {
             return;
         };
         match msg.selector() {
@@ -151,11 +187,13 @@ impl Peers {
                     .u32(env.ck.sched.ready_count() as u32)
                     .done();
                 let resp = RpcMessage::response(&msg, payload);
+                let wire = RpcMessage::request(self.seq, M_ADVERTISE, resp.payload).encode();
+                let data = self.link.send(src, &wire);
                 env.outbox.push(Packet {
                     src: env.node,
                     dst: src,
                     channel: SRM_CHANNEL,
-                    data: RpcMessage::request(self.seq, M_ADVERTISE, resp.payload).encode(),
+                    data,
                 });
             }
             _ => {}

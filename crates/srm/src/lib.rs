@@ -64,6 +64,13 @@ pub struct SrmStats {
     pub kernels_swapped: u64,
     /// Channels disconnected for exceeding network quota.
     pub net_disconnects: u64,
+    /// Dead kernels whose objects the SRM had reclaimed.
+    pub kernels_recovered: u64,
+    /// Crashed kernels restarted from written-back state.
+    pub kernels_restarted: u64,
+    /// Crashed kernels left down after exhausting their restart budget
+    /// (their grants returned to the free pool).
+    pub kernels_abandoned: u64,
 }
 
 /// The system resource manager.
@@ -83,6 +90,26 @@ pub struct Srm {
     pub peers: dist::Peers,
     /// Counters.
     pub stats: SrmStats,
+    /// Cycles of clock-tick silence after which a granted kernel is
+    /// declared dead (writeback-channel heartbeat timeout). Eight default
+    /// clock intervals. Internally converted to a budget of *delivered*
+    /// ticks (`timeout / clock_interval`) the kernel may leave
+    /// unanswered, so bursty event delivery never reads as silence.
+    pub heartbeat_timeout: u64,
+    /// Restarts allowed per kernel name before it stays down.
+    pub restart_budget: u32,
+    /// Restarts consumed, by kernel name.
+    restart_counts: HashMap<String, u32>,
+    /// Delivered clock ticks each granted kernel has left unanswered.
+    missed_ticks: HashMap<ObjId, u64>,
+    /// The cycle stamp of the previous failure-detection pass.
+    prev_tick: u64,
+    /// Kernel names recovered and awaiting restart (their kernel-object
+    /// writeback may still be in flight).
+    pending_restart: Vec<String>,
+    /// Grants returned to the pool by abandoned kernels, reusable by
+    /// `start_kernel` before the bump allocator.
+    free_grants: Vec<Grant>,
 }
 
 impl Srm {
@@ -99,6 +126,13 @@ impl Srm {
             net: netmgr::ChannelManager::new(),
             peers: dist::Peers::new(),
             stats: SrmStats::default(),
+            heartbeat_timeout: 200_000,
+            restart_budget: 3,
+            restart_counts: HashMap::new(),
+            missed_ticks: HashMap::new(),
+            prev_tick: 0,
+            pending_restart: Vec::new(),
+            free_grants: Vec::new(),
         }
     }
 
@@ -135,16 +169,33 @@ impl Srm {
         max_priority: u8,
         locked_quota: LockedQuota,
     ) -> CkResult<ObjId> {
-        if groups == 0 || self.next_group + groups > self.last_group {
+        if groups == 0 {
             return Err(CkError::Invalid);
         }
-        let grant = Grant {
-            group_first: self.next_group,
-            group_count: groups,
-            cpu_pct,
-            max_priority,
+        // Prefer a returned grant of the right size (an abandoned
+        // kernel's page groups) over fresh bump allocation.
+        let reusable = self
+            .free_grants
+            .iter()
+            .position(|g| g.group_count == groups);
+        let grant = if let Some(i) = reusable {
+            let mut g = self.free_grants.remove(i);
+            g.cpu_pct = cpu_pct;
+            g.max_priority = max_priority;
+            g
+        } else {
+            if self.next_group + groups > self.last_group {
+                return Err(CkError::Invalid);
+            }
+            let g = Grant {
+                group_first: self.next_group,
+                group_count: groups,
+                cpu_pct,
+                max_priority,
+            };
+            self.next_group += groups;
+            g
         };
-        self.next_group += groups;
         let desc = KernelDesc {
             memory_access: Self::access_array(&grant),
             cpu_quota_pct: cpu_pct,
@@ -155,8 +206,22 @@ impl Srm {
         let id = env.ck.load_kernel(self.me, desc, env.mpm)?;
         self.grants.insert(id, grant);
         self.names.insert(id, name.to_string());
+        self.missed_ticks.insert(id, 0);
         self.stats.kernels_started += 1;
         Ok(id)
+    }
+
+    /// The kernel id currently registered under `name`, if any.
+    pub fn kernel_named(&self, name: &str) -> Option<ObjId> {
+        self.names
+            .iter()
+            .find(|(_, n)| n.as_str() == name)
+            .map(|(id, _)| *id)
+    }
+
+    /// Grants returned to the free pool by abandoned kernels.
+    pub fn free_grant_count(&self) -> usize {
+        self.free_grants.len()
     }
 
     /// Grow a kernel's memory grant with the special modify operation
@@ -198,12 +263,121 @@ impl Srm {
             .load_kernel(self.me, (*saved.desc).clone(), env.mpm)?;
         self.grants.insert(id, saved.grant);
         self.names.insert(id, name.to_string());
+        self.missed_ticks.insert(id, 0);
         Ok(id)
     }
 
     /// A saved kernel by name (swapped or displaced).
     pub fn saved_kernel(&self, name: &str) -> Option<&SavedKernel> {
         self.saved.get(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Failure detection and restart (the recovery protocol)
+    // ------------------------------------------------------------------
+
+    /// Writeback-channel heartbeat check: a granted kernel that has been
+    /// silent (no clock-tick deliveries stamped by the executive) past
+    /// the timeout — or that the Cache Kernel already marked dead — gets
+    /// its cached objects reclaimed. The reclamation queues the
+    /// kernel-object writeback the restart feeds on; `names`/`grants`
+    /// stay in place until that writeback lands so the saved state keeps
+    /// its real grant.
+    fn detect_failures(&mut self, env: &mut Env) {
+        let now = env.mpm.clock.cycles();
+        // Silence is measured in delivered ticks the kernel failed to
+        // answer, never in wall cycles: event delivery can lag the clock
+        // arbitrarily (a long quantum, a thrashing physmap, a burst of
+        // queued interrupts), and a kernel cannot be stamped before the
+        // fan-out reaches it. A heartbeat at or after the previous pass
+        // means the kernel answered the last tick it was offered.
+        let interval = env.mpm.config.clock_interval.max(1);
+        let allowed = (self.heartbeat_timeout / interval).max(1);
+        let mut ids: Vec<ObjId> = self.grants.keys().copied().collect();
+        ids.sort_by_key(|id| (id.slot, id.gen));
+        for id in ids {
+            if id == self.me {
+                continue;
+            }
+            let marked_dead = env.ck.kernel_failed(id);
+            if !marked_dead {
+                let fresh = env
+                    .ck
+                    .heartbeat(id.slot)
+                    .is_some_and(|hb| hb >= self.prev_tick);
+                let missed = self.missed_ticks.entry(id).or_insert(0);
+                if fresh {
+                    *missed = 0;
+                } else {
+                    *missed += 1;
+                }
+                if *missed <= allowed {
+                    continue;
+                }
+            }
+            // Dead (marked or silent past the timeout): reclaim its
+            // objects. A silent-but-unmarked kernel is marked first so
+            // in-flight writebacks redirect here.
+            let name = self
+                .names
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("kernel-{}", id.slot));
+            if !marked_dead && env.ck.mark_kernel_failed(id).is_err() {
+                // Stale id: already gone; just drop our tracking.
+                self.missed_ticks.remove(&id);
+                continue;
+            }
+            match env.ck.recover_kernel(self.me, id, env.mpm) {
+                Ok(_report) => {
+                    self.stats.kernels_recovered += 1;
+                    self.missed_ticks.remove(&id);
+                    self.pending_restart.push(name);
+                }
+                Err(_) => {
+                    self.missed_ticks.remove(&id);
+                }
+            }
+        }
+        self.prev_tick = now;
+    }
+
+    /// Restart protocol: once a recovered kernel's writeback has landed
+    /// in `saved`, reload it under its original grant — unless its
+    /// restart budget is exhausted, in which case it stays down and its
+    /// page groups return to the free pool (graceful degradation).
+    fn process_pending_restarts(&mut self, env: &mut Env) {
+        if self.pending_restart.is_empty() {
+            return;
+        }
+        let mut still_pending = Vec::new();
+        for name in std::mem::take(&mut self.pending_restart) {
+            if !self.saved.contains_key(&name) {
+                // The kernel-object writeback is still in the pipeline;
+                // try again next tick.
+                still_pending.push(name);
+                continue;
+            }
+            let count = self.restart_counts.entry(name.clone()).or_insert(0);
+            if *count >= self.restart_budget {
+                if let Some(s) = self.saved.remove(&name) {
+                    if s.grant.group_count > 0 {
+                        self.free_grants.push(s.grant);
+                    }
+                }
+                self.stats.kernels_abandoned += 1;
+                continue;
+            }
+            *count += 1;
+            match self.swap_in_kernel(env, &name) {
+                Ok(id) => {
+                    self.stats.kernels_restarted += 1;
+                    env.ck.push_restart_notice(&name, id);
+                }
+                Err(_) => still_pending.push(name),
+            }
+        }
+        self.pending_restart = still_pending;
     }
 }
 
@@ -255,6 +429,8 @@ impl AppKernel for Srm {
         let disconnects = self.net.tick(env.mpm);
         self.stats.net_disconnects += disconnects;
         self.peers.tick(env);
+        self.detect_failures(env);
+        self.process_pending_restarts(env);
     }
 
     fn on_packet(&mut self, env: &mut Env, src: usize, channel: u32, data: &[u8]) {

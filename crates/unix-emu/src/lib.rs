@@ -40,6 +40,7 @@ use std::collections::HashMap;
 use syscall::*;
 
 /// Configuration of an emulator instance.
+#[derive(Clone)]
 pub struct UnixConfig {
     /// Physical frames granted to the emulator (suballocated to
     /// processes).

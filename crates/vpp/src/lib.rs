@@ -107,7 +107,15 @@ pub fn boot_unix_node(
         frames: grant.frame_first()..grant.frame_end(),
         ..unix_cfg_base
     };
-    ex.register_kernel(unix, Box::new(UnixEmulator::new(unix, ucfg)));
+    ex.register_kernel(unix, Box::new(UnixEmulator::new(unix, ucfg.clone())));
+    // If the emulator crashes and the SRM restarts it, rebuild a fresh
+    // instance under the (re-granted) frame range. Pids and file contents
+    // reload from written-back state held by the new instance's callers;
+    // here the factory supplies a clean emulator, demonstrating the
+    // paper's claim that recovery is just reloading.
+    ex.on_restart("unix", move |id| {
+        Box::new(UnixEmulator::new(id, ucfg.clone()))
+    });
     (ex, srm_id, unix)
 }
 

@@ -19,4 +19,10 @@ cargo bench --workspace --no-run
 echo "== shootdown batched/eager equivalence =="
 cargo test -q -p cache-kernel --test prop_shootdown
 
+echo "== chaos pinned seeds (deterministic crash containment) =="
+cargo test -q -p vpp --test prop_chaos pinned_seed
+
+echo "== crash recovery example builds =="
+cargo build -q -p vpp --example crash_recovery
+
 echo "All checks passed."

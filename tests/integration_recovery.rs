@@ -1,0 +1,329 @@
+//! Crash containment and SRM-driven restart: an application kernel dies
+//! mid-workload; the Cache Kernel reclaims every object it cached for it
+//! (recovery *is* reclamation — the paper's §6 claim), the SRM detects
+//! the failure over the writeback-channel heartbeat, restarts the kernel
+//! from its written-back state under the original grant, and a bystander
+//! kernel on the same MPM never notices.
+
+use vpp::cache_kernel::{
+    AppKernel, Env, FaultDisposition, ForkableFn, LockedQuota, ObjId, Script, SpaceDesc, Step,
+    ThreadCtx, TrapDisposition, MAX_CPUS,
+};
+use vpp::hw::{Fault, Paddr, Pte, Vaddr, PAGE_SIZE};
+use vpp::srm::Srm;
+use vpp::unix_emu::proc::ProcState;
+use vpp::unix_emu::{syscall, UnixConfig, UnixEmulator};
+use vpp::{boot_node, boot_unix_node, BootConfig};
+
+/// A bystander application kernel: maps pages from its own grant on
+/// fault and records every trap value a thread reports. Its log is the
+/// "output" that must match between a crash run and a fault-free run.
+struct Recorder {
+    me: ObjId,
+    frame_base: u32,
+    log: Vec<u32>,
+}
+
+impl AppKernel for Recorder {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn on_start(&mut self, _env: &mut Env, id: ObjId) {
+        self.me = id;
+    }
+    fn on_page_fault(&mut self, env: &mut Env, thread: ObjId, fault: Fault) -> FaultDisposition {
+        let space = env.ck.thread(thread).unwrap().desc.space;
+        let frame = Paddr((self.frame_base + fault.vaddr.vpn().0 % 32) * PAGE_SIZE);
+        env.ck
+            .load_mapping_and_resume(
+                self.me,
+                space,
+                fault.vaddr.page_base(),
+                frame,
+                Pte::WRITABLE | Pte::CACHEABLE,
+                None,
+                None,
+                env.mpm,
+                env.cpu,
+            )
+            .unwrap();
+        FaultDisposition::Resume
+    }
+    fn on_trap(&mut self, _env: &mut Env, _t: ObjId, no: u32, args: [u32; 4]) -> TrapDisposition {
+        self.log.push(args[0]);
+        TrapDisposition::Return(no)
+    }
+    fn name(&self) -> &str {
+        "recorder"
+    }
+}
+
+const PAGES: u32 = 8;
+
+fn page_addr(p: u32) -> Vaddr {
+    Vaddr(0x10_0000 + p * PAGE_SIZE)
+}
+
+fn expected_log() -> Vec<u32> {
+    (0..PAGES).map(|p| 5 + p * 13).collect()
+}
+
+/// Start the Recorder under an SRM grant beside the UNIX emulator and
+/// give it one thread that stores, reloads and reports a value per page,
+/// spread over time with compute steps so it spans the crash window.
+fn start_bystander(ex: &mut vpp::cache_kernel::Executive, srm: ObjId) -> ObjId {
+    let sim = ex
+        .with_kernel::<Srm, _>(srm, |s, env| {
+            s.start_kernel(env, "sim", 2, [50; MAX_CPUS], 20, LockedQuota::default())
+        })
+        .unwrap()
+        .expect("grant available");
+    let frame_base = ex
+        .with_kernel::<Srm, _>(srm, |s, _| s.grant_of(sim).map(|g| g.frame_first()))
+        .unwrap()
+        .unwrap();
+    ex.register_kernel(
+        sim,
+        Box::new(Recorder {
+            me: sim,
+            frame_base,
+            log: Vec::new(),
+        }),
+    );
+    let sp = ex
+        .ck
+        .load_space(sim, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    let prog = ForkableFn({
+        let mut stage = 0u32;
+        move |ctx: &mut ThreadCtx| {
+            let s = stage;
+            stage += 1;
+            let p = s / 4;
+            if p >= PAGES {
+                return Step::Exit(0);
+            }
+            match s % 4 {
+                0 => Step::Store(page_addr(p), 5 + p * 13),
+                1 => Step::Compute(4_000),
+                2 => Step::Load(page_addr(p)),
+                _ => Step::Trap {
+                    no: 1,
+                    args: [ctx.loaded, 0, 0, 0],
+                },
+            }
+        }
+    });
+    // Above the emulator's process priorities, so the bystander makes
+    // progress no matter what the unix workload does.
+    ex.spawn_thread(sim, sp, Box::new(prog), 19).unwrap();
+    sim
+}
+
+/// A process that forks repeatedly: each iteration forks, the child
+/// exits, the parent waits and loops. Killing the emulator anywhere in
+/// the run lands mid-fork.
+fn fork_loop(
+    iterations: u32,
+) -> ForkableFn<impl FnMut(&mut ThreadCtx) -> Step + Send + Clone + 'static> {
+    ForkableFn({
+        let mut stage = 0u32;
+        let mut done = 0u32;
+        move |ctx: &mut ThreadCtx| {
+            stage += 1;
+            match stage {
+                1 => syscall::fork(),
+                2 => {
+                    if ctx.trap_ret == 0 {
+                        syscall::exit(0)
+                    } else {
+                        syscall::wait()
+                    }
+                }
+                _ => {
+                    done += 1;
+                    if done >= iterations {
+                        syscall::exit(done)
+                    } else {
+                        stage = 0;
+                        Step::Compute(500)
+                    }
+                }
+            }
+        }
+    })
+}
+
+fn run_scenario(crash: bool) -> (Vec<u32>, vpp::cache_kernel::Executive, ObjId, ObjId) {
+    let (mut ex, srm, unix) = boot_unix_node(BootConfig::default(), 8, UnixConfig::default());
+    ex.with_kernel::<Srm, _>(srm, |s, _| s.heartbeat_timeout = 60_000);
+    let sim = start_bystander(&mut ex, srm);
+    ex.with_kernel::<UnixEmulator, _>(unix, |u, env| {
+        u.spawn(env.ck, env.mpm, env.code, Box::new(fork_loop(200)), None, 0)
+            .unwrap()
+    })
+    .unwrap();
+    if crash {
+        // Let the fork treadmill get going, then pull the plug mid-fork.
+        let mut forks = 0;
+        while forks < 5 {
+            ex.run(1);
+            forks = ex
+                .with_kernel::<UnixEmulator, _>(unix, |u, _| u.stats.forks)
+                .unwrap_or(forks);
+        }
+        ex.crash_kernel(unix.slot);
+    }
+    // Run a fixed span of simulated time: long enough for detection,
+    // reclamation, the kernel writeback and the restart.
+    let target = ex.mpm.clock.cycles() + 800_000;
+    while ex.mpm.clock.cycles() < target {
+        ex.run(5);
+    }
+    let log = ex
+        .with_kernel::<Recorder, _>(sim, |r, _| r.log.clone())
+        .unwrap();
+    (log, ex, srm, unix)
+}
+
+#[test]
+fn crash_mid_fork_contained_and_restarted() {
+    let (log, mut ex, srm, unix) = run_scenario(true);
+
+    // Containment: the cache is consistent, and nothing of the dead
+    // kernel instance survives under its old identity.
+    ex.ck.check_invariants().unwrap();
+    assert!(ex.ck.kernel(unix).is_err(), "old kernel object reclaimed");
+    assert_eq!(ex.ck.stats.kernels_failed, 1);
+    assert_eq!(ex.ck.stats.kernels_recovered, 1);
+    assert!(
+        ex.ck.stats.orphans_reclaimed > 0,
+        "the crash left objects to sweep"
+    );
+
+    // Restart: the SRM reloaded the kernel from written-back state under
+    // a fresh id, and the executive rebuilt the emulator via the factory.
+    let new_unix = ex
+        .with_kernel::<Srm, _>(srm, |s, _| s.kernel_named("unix"))
+        .unwrap()
+        .expect("unix restarted under its name");
+    assert_ne!(new_unix, unix, "restart produces a fresh kernel id");
+    let (restarted, recovered) = ex
+        .with_kernel::<Srm, _>(srm, |s, _| {
+            (s.stats.kernels_restarted, s.stats.kernels_recovered)
+        })
+        .unwrap();
+    assert_eq!(restarted, 1);
+    assert_eq!(recovered, 1);
+
+    // The restarted emulator is a working emulator: run a process to
+    // completion on it.
+    let pid = ex
+        .with_kernel::<UnixEmulator, _>(new_unix, |u, env| {
+            u.spawn(
+                env.ck,
+                env.mpm,
+                env.code,
+                Box::new(Script::new(vec![Step::Compute(100), syscall::exit(7)])),
+                None,
+                0,
+            )
+            .unwrap()
+        })
+        .unwrap();
+    ex.run_until_idle(2000);
+    ex.with_kernel::<UnixEmulator, _>(new_unix, |u, _| {
+        assert!(
+            matches!(u.proc(pid).map(|p| p.state), Some(ProcState::Zombie(7))),
+            "process on the restarted emulator ran to completion"
+        );
+    })
+    .unwrap();
+
+    // The bystander's output is exactly the fault-free output.
+    assert_eq!(log, expected_log(), "bystander computed correct values");
+    let (baseline_log, baseline_ex, _, _) = run_scenario(false);
+    assert_eq!(
+        log, baseline_log,
+        "crash next door did not perturb the bystander"
+    );
+    baseline_ex.ck.check_invariants().unwrap();
+    assert_eq!(baseline_ex.ck.stats.kernels_failed, 0);
+}
+
+/// A granted kernel that never responds — no registered application
+/// kernel, so no heartbeats are ever stamped for it — is detected by
+/// timeout, reclaimed, restarted up to its budget, and finally abandoned
+/// with its page groups returned to the pool for reuse.
+#[test]
+fn silent_kernel_times_out_and_budget_bounds_restarts() {
+    let (mut ex, srm) = boot_node(BootConfig::default());
+    ex.with_kernel::<Srm, _>(srm, |s, _| {
+        s.heartbeat_timeout = 50_000;
+        s.restart_budget = 1;
+    });
+    let ghost = ex
+        .with_kernel::<Srm, _>(srm, |s, env| {
+            s.start_kernel(env, "ghost", 2, [10; MAX_CPUS], 10, LockedQuota::default())
+        })
+        .unwrap()
+        .expect("grant available");
+    let ghost_group = ex
+        .with_kernel::<Srm, _>(srm, |s, _| s.grant_of(ghost).map(|g| g.group_first))
+        .unwrap()
+        .unwrap();
+    // Never register an AppKernel for it: the kernel is silent from the
+    // first cycle. Run until the SRM gives up on it (or time out).
+    let deadline = ex.mpm.clock.cycles() + 3_000_000;
+    loop {
+        ex.run(5);
+        let abandoned = ex
+            .with_kernel::<Srm, _>(srm, |s, _| s.stats.kernels_abandoned)
+            .unwrap();
+        if abandoned > 0 {
+            break;
+        }
+        assert!(
+            ex.mpm.clock.cycles() < deadline,
+            "SRM never abandoned the silent kernel"
+        );
+    }
+    let (recovered, restarted, abandoned, freed) = ex
+        .with_kernel::<Srm, _>(srm, |s, _| {
+            (
+                s.stats.kernels_recovered,
+                s.stats.kernels_restarted,
+                s.stats.kernels_abandoned,
+                s.free_grant_count(),
+            )
+        })
+        .unwrap();
+    assert_eq!(restarted, 1, "budget of one restart honored");
+    assert_eq!(recovered, 2, "initial failure plus the failed restart");
+    assert_eq!(abandoned, 1);
+    assert_eq!(freed, 1, "grant returned to the pool");
+    assert!(ex
+        .with_kernel::<Srm, _>(srm, |s, _| s.kernel_named("ghost"))
+        .unwrap()
+        .is_none());
+    ex.ck.check_invariants().unwrap();
+
+    // Graceful degradation is not a leak: the next kernel of the same
+    // size reuses the abandoned grant's page groups.
+    let worker = ex
+        .with_kernel::<Srm, _>(srm, |s, env| {
+            s.start_kernel(env, "worker", 2, [10; MAX_CPUS], 10, LockedQuota::default())
+        })
+        .unwrap()
+        .expect("grant available");
+    let (worker_group, freed_after) = ex
+        .with_kernel::<Srm, _>(srm, |s, _| {
+            (
+                s.grant_of(worker).map(|g| g.group_first).unwrap(),
+                s.free_grant_count(),
+            )
+        })
+        .unwrap();
+    assert_eq!(worker_group, ghost_group, "page groups recycled");
+    assert_eq!(freed_after, 0);
+}

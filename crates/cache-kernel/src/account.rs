@@ -48,6 +48,9 @@ pub struct KernelAccount {
     demoted: [bool; MAX_CPUS],
     /// Lifetime charged cycles (for reports).
     pub total_charged: u64,
+    /// Loads shed with `Again` by overload protection (admission checks
+    /// or reservation defence), charged against this kernel.
+    pub loads_shed: u64,
 }
 
 impl KernelAccount {
@@ -207,6 +210,15 @@ impl CacheKernel {
     /// Whether a kernel is currently demoted.
     pub fn kernel_demoted(&self, kernel: ObjId) -> bool {
         self.kernels.get(kernel).map(|k| k.demoted).unwrap_or(false)
+    }
+
+    /// Loads shed by overload protection charged to `kernel` (the
+    /// per-kernel slice of the global `loads_shed` counter).
+    pub fn kernel_loads_shed(&self, kernel: ObjId) -> u64 {
+        self.accounts
+            .get(&kernel.slot)
+            .map(|a| a.loads_shed)
+            .unwrap_or(0)
     }
 }
 

@@ -39,6 +39,32 @@ pub struct CkConfig {
     pub slice: u32,
     /// Accounting period, in cycles (§4.3 quota enforcement granularity).
     pub accounting_period: u64,
+    /// Per-application-kernel writeback queue bound (0 = unbounded).
+    /// At the bound, further writebacks addressed to the kernel spill to
+    /// the first kernel and the slow kernel's own loads are shed with
+    /// [`CkError::Again`](crate::error::CkError).
+    pub wb_queue_bound: usize,
+    /// Event queue bound (0 = unbounded). At the bound, accounting ticks
+    /// are dropped with a counter; load-bearing events always enter.
+    pub event_queue_bound: usize,
+    /// Thrash-detector window, in per-class loads (0 = detector off): a
+    /// displacement→reload interval at or below this counts as a fast
+    /// reload.
+    pub thrash_window: u64,
+    /// Consecutive fast reloads before `ThrashDetected` fires.
+    pub thrash_threshold: u32,
+    /// Penalty duration after the detector fires, in per-class loads:
+    /// the offender's objects get no second chance from the clock hand.
+    pub thrash_penalty: u64,
+    /// Cache-occupancy watermark (percent) above which the share cap is
+    /// enforced.
+    pub watermark_pct: u8,
+    /// Per-kernel share cap (percent of a cache's slots; 100 = off):
+    /// past the watermark, a kernel already holding this share of a
+    /// cache has further loads of that class shed.
+    pub share_cap_pct: u8,
+    /// Base suggested backoff carried in `Again`, in cycles.
+    pub shed_backoff: u32,
 }
 
 impl Default for CkConfig {
@@ -50,6 +76,14 @@ impl Default for CkConfig {
             mapping_capacity: 65_536,
             slice: 50,
             accounting_period: 100_000,
+            wb_queue_bound: 0,
+            event_queue_bound: 65_536,
+            thrash_window: 0,
+            thrash_threshold: 4,
+            thrash_penalty: 64,
+            watermark_pct: 100,
+            share_cap_pct: 100,
+            shed_backoff: 500,
         }
     }
 }
@@ -106,6 +140,10 @@ pub struct CacheKernel {
     /// kernel was reloaded under a fresh identifier and needs its
     /// application-kernel instance re-registered.
     pub(crate) restart_notices: VecDeque<(String, ObjId)>,
+    /// Per-kernel overload bookkeeping: resident counts, pending
+    /// writebacks, thrash-detector state (side table so victim-selection
+    /// closures borrow it disjointly from the caches).
+    pub(crate) overload: crate::overload::OverloadState,
     /// Configuration.
     pub config: CkConfig,
     /// Operation counters.
@@ -135,6 +173,7 @@ impl CacheKernel {
             dead_kernels: BTreeMap::new(),
             heartbeats: BTreeMap::new(),
             restart_notices: VecDeque::new(),
+            overload: crate::overload::OverloadState::default(),
             config,
             stats: CkStats::default(),
         }
@@ -166,6 +205,7 @@ impl CacheKernel {
         self.first_kernel = Some(id);
         self.accounts.insert(id.slot, KernelAccount::default());
         self.stats.loads[CkStats::idx(ObjKind::Kernel)] += 1;
+        self.note_loaded(id, CkStats::idx(ObjKind::Kernel));
         id
     }
 
@@ -270,6 +310,7 @@ impl CacheKernel {
             .ok_or(CkError::CacheFull)?;
         self.accounts.insert(id.slot, KernelAccount::default());
         self.stats.loads[CkStats::idx(ObjKind::Kernel)] += 1;
+        self.note_loaded(caller, CkStats::idx(ObjKind::Kernel));
         Ok(id)
     }
 
@@ -345,6 +386,42 @@ impl CacheKernel {
         Ok(())
     }
 
+    /// 4. Change a kernel's reserved descriptor slots (SRM only).
+    ///
+    /// Below these counts the kernel's loaded objects cannot be displaced
+    /// by *other* kernels' loads (the greedy load is shed with
+    /// [`CkError::Again`](crate::error::CkError) instead). The sum of all
+    /// kernels' reservations must fit each cache — otherwise every
+    /// overloaded load could be shed forever.
+    pub fn set_kernel_reservation(
+        &mut self,
+        caller: ObjId,
+        kernel: ObjId,
+        reserved: ReservedSlots,
+    ) -> CkResult<()> {
+        self.require_first(caller)?;
+        self.kernel(kernel)?;
+        let (mut spaces, mut threads, mut mappings) = (0usize, 0usize, 0usize);
+        for (id, _) in self.kernels.iter() {
+            let r = if id == kernel {
+                reserved
+            } else {
+                self.overload.reserved(id.slot)
+            };
+            spaces += usize::from(r.spaces);
+            threads += usize::from(r.threads);
+            mappings += usize::from(r.mappings);
+        }
+        if spaces > self.spaces.capacity()
+            || threads > self.threads.capacity()
+            || mappings > self.physmap.capacity()
+        {
+            return Err(CkError::Invalid);
+        }
+        self.overload.set_reserved(kernel.slot, reserved);
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Address-space objects (§2.1)
     // ------------------------------------------------------------------
@@ -356,13 +433,15 @@ impl CacheKernel {
         if desc.locked && k.locked_spaces >= k.desc.locked_quota.spaces {
             return Err(CkError::LockQuota);
         }
+        let class = CkStats::idx(ObjKind::AddrSpace);
+        self.admit_load(caller, class, self.spaces.len(), self.spaces.capacity())?;
         // Root page table (512 B) plus the root object.
         self.charge_op(
             mpm,
             Self::copy_cost(mpm, hw::pagetable::UPPER_TABLE_BYTES + 64),
         );
         if self.spaces.is_full() {
-            let victim = self.space_victim().ok_or(CkError::CacheFull)?;
+            let victim = self.space_victim(caller)?;
             self.writeback_space(victim, mpm)?;
         }
         let id = self
@@ -377,7 +456,8 @@ impl CacheKernel {
         if desc.locked {
             self.kernel_mut(caller)?.locked_spaces += 1;
         }
-        self.stats.loads[CkStats::idx(ObjKind::AddrSpace)] += 1;
+        self.stats.loads[class] += 1;
+        self.note_loaded(caller, class);
         Ok(id)
     }
 
@@ -423,6 +503,8 @@ impl CacheKernel {
         if space.owner != caller {
             return Err(CkError::NotOwner(desc.space));
         }
+        let class = CkStats::idx(ObjKind::Thread);
+        self.admit_load(caller, class, self.threads.len(), self.threads.capacity())?;
         // Copy the register context in and queue the thread.
         self.charge_op(
             mpm,
@@ -430,7 +512,7 @@ impl CacheKernel {
                 + 2 * mpm.config.cost.hash_probe,
         );
         if self.threads.is_full() {
-            let victim = self.thread_victim().ok_or(CkError::CacheFull)?;
+            let victim = self.thread_victim(caller)?;
             self.writeback_thread(victim, mpm)?;
         }
         let state = desc.state;
@@ -453,7 +535,8 @@ impl CacheKernel {
         if state == ThreadState::Ready {
             self.enqueue_thread(id.slot);
         }
-        self.stats.loads[CkStats::idx(ObjKind::Thread)] += 1;
+        self.stats.loads[class] += 1;
+        self.note_loaded(caller, class);
         Ok(id)
     }
 

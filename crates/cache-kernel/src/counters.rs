@@ -71,6 +71,18 @@ pub struct Counters {
     pub rpc_retries: u64,
     /// Duplicate reliable-RPC frames suppressed at the receiver.
     pub rpc_duplicates_dropped: u64,
+    /// Loads shed with `Again` by overload protection (reservation
+    /// defence, share watermark, or writeback backpressure).
+    pub loads_shed: u64,
+    /// Low-value events (accounting ticks) dropped because the event
+    /// queue hit its configured bound.
+    pub events_dropped: u64,
+    /// Writebacks redirected to the first kernel because the addressed
+    /// kernel's writeback queue hit its bound.
+    pub wb_overflow_redirects: u64,
+    /// `ThrashDetected` events raised: a (kernel, class) pair's
+    /// displacement→reload reuse distance collapsed below threshold.
+    pub thrash_detected: u64,
 }
 
 /// The historical name: the counters began as the Cache Kernel's stats
@@ -123,6 +135,7 @@ impl Counters {
                 self.kernels_recovered += 1;
                 self.orphans_reclaimed += u64::from(*orphans);
             }
+            KernelEvent::ThrashDetected { .. } => self.thrash_detected += 1,
         }
     }
 

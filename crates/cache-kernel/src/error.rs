@@ -10,6 +10,10 @@ use hw::Paddr;
 /// loaded, writing back other objects to make space if necessary" (§7).
 /// [`CkError::CacheFull`] arises only when every slot is pinned by a fully
 /// locked object, which the locked-object quotas are sized to prevent.
+/// Under overload protection a load can also be *shed* with the retryable
+/// [`CkError::Again`]: the cache could make space, but only by evicting a
+/// bystander below its reservation (or the caller is being backpressured
+/// for slow writeback draining), so the caller should back off and retry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CkError {
     /// The identifier does not name a currently loaded object — either it
@@ -41,6 +45,15 @@ pub enum CkError {
     /// A kernel's accounting record is missing (internal inconsistency
     /// surfaced instead of aborting the simulation).
     NoAccount(u16),
+    /// The load was shed by overload protection — every displaceable
+    /// victim sits below its owner's reservation, the caller exceeded its
+    /// cache-share watermark, or the caller is backpressured for slow
+    /// writeback draining. Retry after roughly `backoff` cycles (the
+    /// Cache Kernel's suggested wait, which grows with contention).
+    Again {
+        /// Suggested wait before retrying, in simulated cycles.
+        backoff: u32,
+    },
 }
 
 /// Convenience result alias.
@@ -60,6 +73,12 @@ impl core::fmt::Display for CkError {
             CkError::FirstKernelOnly => write!(f, "operation restricted to the first kernel"),
             CkError::KernelDead(id) => write!(f, "kernel {id:?} is dead pending recovery"),
             CkError::NoAccount(slot) => write!(f, "no accounting record for kernel slot {slot}"),
+            CkError::Again { backoff } => {
+                write!(
+                    f,
+                    "load shed by overload protection; retry in ~{backoff} cycles"
+                )
+            }
         }
     }
 }
@@ -76,5 +95,14 @@ mod tests {
         let e = CkError::StaleId(ObjId::new(ObjKind::Thread, 1, 2));
         assert!(format!("{e}").contains("stale"));
         assert!(format!("{}", CkError::CacheFull).contains("locked"));
+        assert!(format!("{}", CkError::Again { backoff: 500 }).contains("500"));
+    }
+
+    #[test]
+    fn again_is_copy_and_comparable() {
+        let a = CkError::Again { backoff: 100 };
+        let b = a; // Copy
+        assert_eq!(a, b);
+        assert_ne!(a, CkError::Again { backoff: 200 });
     }
 }

@@ -14,7 +14,6 @@ use crate::ck::CacheKernel;
 use crate::ids::ObjId;
 use crate::objects::{KernelDesc, ThreadDesc};
 use hw::{Fault, Paddr, Vaddr};
-use std::collections::VecDeque;
 
 /// Which device raised an interrupt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,6 +122,22 @@ pub enum KernelEvent {
         /// Orphaned objects swept (threads + spaces + mappings).
         orphans: u32,
     },
+    /// A (kernel, object class) pair's displacement→reload interval
+    /// collapsed below the configured window `thrash_threshold` times in
+    /// a row: the kernel's working set no longer fits its cache share and
+    /// it is reloading objects it just displaced. The offender is
+    /// penalized in clock-hand victim selection until the penalty
+    /// expires; the event informs the SRM / tracing.
+    ThrashDetected {
+        /// The thrashing application kernel.
+        kernel: ObjId,
+        /// Stats-array class index (0 = kernel, 1 = space, 2 = thread,
+        /// 3 = mapping).
+        class: usize,
+        /// Fast reloads observed inside the window when the detector
+        /// fired.
+        fast_reloads: u32,
+    },
     /// A thread terminated; its kernel is notified and the thread is
     /// unloaded.
     ThreadExit {
@@ -179,6 +194,11 @@ impl KernelEvent {
                 format!("period-end period={period}")
             }
             KernelEvent::KernelFailed { kernel } => format!("kernel-failed kernel={kernel:?}"),
+            KernelEvent::ThrashDetected {
+                kernel,
+                class,
+                fast_reloads,
+            } => format!("thrash kernel={kernel:?} class={class} fast-reloads={fast_reloads}"),
             KernelEvent::KernelRecovered { kernel, orphans } => {
                 format!("kernel-recovered kernel={kernel:?} orphans={orphans}")
             }
@@ -275,8 +295,23 @@ pub struct MappingState {
 impl CacheKernel {
     /// Enter an event into the pipeline. The single choke point where
     /// the [`Counters`](crate::counters::Counters) registry is ticked.
+    ///
+    /// The queue is explicitly bounded (`CkConfig::event_queue_bound`).
+    /// At the bound the lowest-value traffic — accounting ticks, whose
+    /// books the next period closes anyway — is dropped with a counter
+    /// instead of growing the queue without limit; load-bearing events
+    /// always enter (loads are backpressured at admission, not here).
+    /// Dropped events are never counted as emitted, so the
+    /// emitted/delivered balance stays exact.
     #[inline]
     pub fn emit(&mut self, ev: KernelEvent) {
+        if matches!(ev, KernelEvent::AccountingPeriodEnd { .. }) {
+            let bound = self.config.event_queue_bound;
+            if bound != 0 && self.events.len() >= bound {
+                self.stats.events_dropped += 1;
+                return;
+            }
+        }
         self.stats.tick(&ev);
         self.events.push_back(ev);
     }
@@ -285,6 +320,13 @@ impl CacheKernel {
     /// addressed to a kernel that has been declared dead are redirected to
     /// the first kernel (the SRM), which holds the displaced state for the
     /// restart protocol instead of letting it vanish with the crash.
+    ///
+    /// Per-kernel writeback queues are bounded (`CkConfig::wb_queue_bound`):
+    /// once a kernel has that many undelivered writebacks, further
+    /// displaced state addressed to it spills to the first kernel (which
+    /// holds it exactly as it does for a dead kernel), so the slow
+    /// kernel's queue provably never exceeds the bound. The first kernel
+    /// itself is exempt — it is the spill target of last resort.
     pub(crate) fn queue_writeback(&mut self, mut wb: Writeback) {
         let owner = wb.owner();
         if self.dead_kernels.get(&owner.slot) == Some(&owner) {
@@ -294,6 +336,17 @@ impl CacheKernel {
                 }
             }
         }
+        let bound = self.config.wb_queue_bound;
+        if bound != 0 {
+            if let Some(first) = self.first_kernel {
+                let addr = wb.owner();
+                if addr != first && self.overload.wb_pending(addr.slot) as usize >= bound {
+                    wb.set_owner(first);
+                    self.stats.wb_overflow_redirects += 1;
+                }
+            }
+        }
+        self.overload.note_wb_queued(wb.owner().slot);
         self.emit(KernelEvent::Writeback(wb));
     }
 
@@ -301,7 +354,11 @@ impl CacheKernel {
     /// the queue one event at a time so deliveries that emit further
     /// events keep strict emission order.
     pub fn pop_event(&mut self) -> Option<KernelEvent> {
-        self.events.pop_front()
+        let ev = self.events.pop_front();
+        if let Some(KernelEvent::Writeback(wb)) = &ev {
+            self.overload.note_wb_drained(wb.owner().slot);
+        }
+        ev
     }
 
     /// Number of events awaiting delivery.
@@ -312,7 +369,13 @@ impl CacheKernel {
     /// Drain all pending events without delivering them (harness and
     /// bench use, where no executive pumps the queue).
     pub fn drain_events(&mut self) -> Vec<KernelEvent> {
-        self.events.drain(..).collect()
+        let out: Vec<KernelEvent> = self.events.drain(..).collect();
+        for ev in &out {
+            if let KernelEvent::Writeback(wb) = ev {
+                self.overload.note_wb_drained(wb.owner().slot);
+            }
+        }
+        out
     }
 
     /// Drain the pending writebacks owed to application kernels, leaving
@@ -321,14 +384,20 @@ impl CacheKernel {
     /// executive the event pump delivers them instead.
     pub fn take_writebacks(&mut self) -> Vec<Writeback> {
         let mut out = Vec::new();
-        let mut rest = VecDeque::with_capacity(self.events.len());
-        for ev in self.events.drain(..) {
-            match ev {
-                KernelEvent::Writeback(wb) => out.push(wb),
-                other => rest.push_back(other),
+        // Rotate in place: pop each pending event once, keep the
+        // writebacks, push everything else back. The queue reuses its
+        // buffer and non-writeback events keep their relative order —
+        // no intermediate rebuild.
+        for _ in 0..self.events.len() {
+            match self.events.pop_front() {
+                Some(KernelEvent::Writeback(wb)) => {
+                    self.overload.note_wb_drained(wb.owner().slot);
+                    out.push(wb);
+                }
+                Some(other) => self.events.push_back(other),
+                None => break,
             }
         }
-        self.events = rest;
         out
     }
 

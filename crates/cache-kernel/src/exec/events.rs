@@ -154,6 +154,11 @@ impl Executive {
                 // Failure/recovery already happened in the Cache Kernel;
                 // the events record the episode for counters and tracing.
             }
+            KernelEvent::ThrashDetected { .. } => {
+                // Informational: the victim-selection penalty was armed
+                // when the detector fired; the event carries the episode
+                // into counters and traces for the overload harness.
+            }
         }
     }
 
@@ -199,6 +204,26 @@ impl Executive {
                         }
                     }
                     self.ck.sched.remove(slot);
+                }
+                self.mpm.cpus[cpu].current = None;
+            }
+            FaultDisposition::Retry => {
+                // The resolving load was shed (`Again`): put the thread
+                // back on the ready queue so it refaults after the
+                // pressure has had a chance to drain. The charged
+                // forward/return is the simulated cost of the backoff.
+                self.ck.end_forward(&mut self.mpm, cpu);
+                if self.ck.thread_id(slot) == Some(thread) {
+                    let mut requeue = false;
+                    if let Some(t) = self.ck.threads.get_slot_mut(slot) {
+                        if matches!(t.desc.state, ThreadState::Running(_)) {
+                            t.desc.state = ThreadState::Ready;
+                            requeue = true;
+                        }
+                    }
+                    if requeue {
+                        self.ck.enqueue_thread(slot);
+                    }
                 }
                 self.mpm.cpus[cpu].current = None;
             }

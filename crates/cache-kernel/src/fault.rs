@@ -29,6 +29,11 @@ pub enum FaultDisposition {
     /// The thread must block (e.g. page-in started asynchronously); the
     /// application kernel will resume or reload it later.
     Block,
+    /// The load that would resolve the fault was shed by overload
+    /// protection ([`CkError::Again`](crate::error::CkError)); requeue
+    /// the thread Ready so it retries after other work has drained the
+    /// pressure.
+    Retry,
     /// The thread was terminated (e.g. an unhandleable SEGV).
     Kill,
 }

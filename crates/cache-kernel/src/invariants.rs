@@ -7,11 +7,12 @@
 //! [`CacheKernel::check_invariants`] after arbitrary operation sequences.
 
 use crate::ck::CacheKernel;
+use crate::counters::{Counters, STAT_MAPPING};
 use crate::ids::ObjKind;
 use crate::objects::ThreadState;
 use crate::physmap::{CTX_COW, CTX_SIGNAL};
 use hw::Vaddr;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 impl CacheKernel {
     /// Verify every cross-structure invariant; returns a description of
@@ -184,6 +185,55 @@ impl CacheKernel {
             for va in &t.signal_queue {
                 let _: Vaddr = *va;
             }
+        }
+
+        // 9. The overload side table mirrors reality. Resident counts per
+        //    (owning kernel, class) recompute exactly from the caches,
+        //    and per-kernel pending-writeback counts equal the Writeback
+        //    events actually sitting in the queue.
+        let kidx = Counters::idx_pub(ObjKind::Kernel);
+        let sidx = Counters::idx_pub(ObjKind::AddrSpace);
+        let tidx = Counters::idx_pub(ObjKind::Thread);
+        let mut resident: BTreeMap<u16, [u32; 4]> = BTreeMap::new();
+        for (_, k) in self.kernels.iter() {
+            resident.entry(k.owner.slot).or_default()[kidx] += 1;
+        }
+        for (_, s) in self.spaces.iter() {
+            let r = resident.entry(s.owner.slot).or_default();
+            r[sidx] += 1;
+            r[STAT_MAPPING] += s.pt.iter().count() as u32;
+        }
+        for (_, t) in self.threads.iter() {
+            resident.entry(t.owner.slot).or_default()[tidx] += 1;
+        }
+        let mut wb_queued: BTreeMap<u16, u32> = BTreeMap::new();
+        for ev in &self.events {
+            if let crate::events::KernelEvent::Writeback(wb) = ev {
+                *wb_queued.entry(wb.owner().slot).or_default() += 1;
+            }
+        }
+        for slot in 0..self.kernels.capacity() as u16 {
+            let actual = resident.get(&slot).copied().unwrap_or([0; 4]);
+            let tracked: [u32; 4] =
+                core::array::from_fn(|class| self.overload.resident(slot, class));
+            if tracked != actual {
+                return Err(format!(
+                    "overload residency for kernel slot {slot} drifted: \
+                     tracked={tracked:?} actual={actual:?}"
+                ));
+            }
+            let queued = wb_queued.get(&slot).copied().unwrap_or(0);
+            if self.overload.wb_pending(slot) != queued {
+                return Err(format!(
+                    "wb_pending for kernel slot {slot} drifted: tracked={} queued={queued}",
+                    self.overload.wb_pending(slot)
+                ));
+            }
+        }
+        if self.overload.wb_pending_total()
+            != wb_queued.values().map(|&n| u64::from(n)).sum::<u64>()
+        {
+            return Err("wb_pending total does not match queued writebacks".into());
         }
         Ok(())
     }

@@ -74,6 +74,7 @@ pub mod lock;
 pub mod mapping;
 pub mod msg;
 pub mod objects;
+pub mod overload;
 pub mod physmap;
 pub mod program;
 pub mod reclaim;
@@ -92,9 +93,10 @@ pub use fault::{FaultDisposition, TrapDisposition};
 pub use ids::{ObjId, ObjKind};
 pub use msg::SignalOutcome;
 pub use objects::{
-    KernelDesc, LockedQuota, MemoryAccessArray, Priority, SpaceDesc, ThreadDesc, ThreadState,
-    IDLE_PRIORITY, MAX_CPUS, MAX_PRIORITY, PRIORITY_LEVELS,
+    KernelDesc, LockedQuota, MemoryAccessArray, Priority, ReservedSlots, SpaceDesc, ThreadDesc,
+    ThreadState, IDLE_PRIORITY, MAX_CPUS, MAX_PRIORITY, PRIORITY_LEVELS,
 };
+pub use overload::{KernelOverload, OverloadState, ThrashState};
 pub use physmap::{DepRecord, P2v, PhysMap, RecHandle, CTX_COW, CTX_SIGNAL};
 pub use program::{CodeStore, FnProgram, ForkableFn, ProgId, Program, Script, Step, ThreadCtx};
 pub use recover::RecoveryReport;

@@ -68,6 +68,13 @@ impl CacheKernel {
             None => None,
         };
 
+        self.admit_load(
+            caller,
+            STAT_MAPPING,
+            self.physmap.len(),
+            self.physmap.capacity(),
+        )?;
+
         // One trap, a couple of probes, one 16-byte record.
         self.charge_op(
             mpm,
@@ -83,11 +90,10 @@ impl CacheKernel {
 
         // Make room in the mapping descriptor pool: "loading of a new page
         // descriptor may cause another page descriptor to be written back
-        // … to make space" (§2.1).
+        // … to make space" (§2.1). Fails `Again` when only reservation-
+        // protected bystanders remain, `CacheFull` when all pinned.
         while self.physmap.len() >= self.physmap.capacity() {
-            if !self.reclaim_one_mapping(mpm) {
-                return Err(CkError::CacheFull);
-            }
+            self.reclaim_one_mapping(caller, mpm)?;
         }
 
         let handle = self
@@ -109,6 +115,7 @@ impl CacheKernel {
         }
         self.mapping_fifo.push_back((space.slot, space_gen, vpn));
         self.stats.loads[STAT_MAPPING] += 1;
+        self.note_loaded(caller, STAT_MAPPING);
         Ok(())
     }
 

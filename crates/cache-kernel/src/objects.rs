@@ -102,6 +102,24 @@ impl Default for LockedQuota {
     }
 }
 
+/// Per-type *reserved* descriptor slots (overload protection): while a
+/// kernel holds at most this many loaded objects of a class, other
+/// kernels' loads cannot displace them — the greedy load is shed with the
+/// retryable [`CkError::Again`](crate::error::CkError) instead. Set by
+/// the SRM via `set_kernel_reservation`, which checks that the sum of
+/// reservations fits each cache. Defaults to zero: no reservation, and
+/// victim selection pays nothing for the feature.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(C)]
+pub struct ReservedSlots {
+    /// Address-space slots reserved.
+    pub spaces: u16,
+    /// Thread slots reserved.
+    pub threads: u16,
+    /// Mapping descriptors reserved.
+    pub mappings: u16,
+}
+
 /// Descriptor of an application kernel (§2.4): its handler entry points,
 /// resource authorizations and memory access array.
 #[derive(Clone)]

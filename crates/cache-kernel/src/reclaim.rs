@@ -73,6 +73,7 @@ impl CacheKernel {
                 k.locked_mappings = k.locked_mappings.saturating_sub(1);
             }
         }
+        self.overload.note_unload(owner.slot, STAT_MAPPING);
         let asid = CacheKernel::asid_of(space);
         let vaddr = vpn.base();
         let paddr = pte.pfn().base();
@@ -155,20 +156,27 @@ impl CacheKernel {
         Some(state)
     }
 
-    /// Reclaim one mapping descriptor to make room, honoring lock rules
-    /// and giving referenced mappings a second chance. Returns false if
-    /// nothing could be reclaimed (everything pinned).
-    pub(crate) fn reclaim_one_mapping(&mut self, mpm: &mut Mpm) -> bool {
+    /// Reclaim one mapping descriptor to make room for a load by
+    /// `for_kernel`, honoring lock rules and giving referenced mappings a
+    /// second chance — with two overload twists: a bystander kernel at or
+    /// below its mapping reservation is not displaceable by another
+    /// kernel's load (the load is shed with [`CkError::Again`]), and a
+    /// kernel under thrash penalty forfeits the second chance for its own
+    /// mappings. Fails with [`CkError::CacheFull`] only when everything
+    /// is pinned by locks.
+    pub(crate) fn reclaim_one_mapping(&mut self, for_kernel: ObjId, mpm: &mut Mpm) -> CkResult<()> {
+        let now = self.stats.loads[STAT_MAPPING];
+        let mut protected = false;
         let budget = self.mapping_fifo.len();
         for _ in 0..=budget {
             let (slot, gen, vpn) = match self.mapping_fifo.pop_front() {
                 Some(e) => e,
-                None => return false,
+                None => break,
             };
             // Entry may be stale: space reloaded or mapping replaced.
             let space = ObjId::new(ObjKind::AddrSpace, slot, gen);
-            let pte = match self.spaces.get(space) {
-                Some(s) => s.pt.lookup(vpn),
+            let (owner, pte) = match self.spaces.get(space) {
+                Some(s) => (s.owner, s.pt.lookup(vpn)),
                 None => continue,
             };
             if !pte.is_valid() {
@@ -178,7 +186,15 @@ impl CacheKernel {
                 self.mapping_fifo.push_back((slot, gen, vpn));
                 continue;
             }
-            if pte.has(Pte::REFERENCED) {
+            if owner != for_kernel {
+                let reserved = u32::from(self.overload.reserved(owner.slot).mappings);
+                if reserved != 0 && self.overload.resident(owner.slot, STAT_MAPPING) <= reserved {
+                    protected = true;
+                    self.mapping_fifo.push_back((slot, gen, vpn));
+                    continue;
+                }
+            }
+            if pte.has(Pte::REFERENCED) && !self.overload.penalized(owner.slot, STAT_MAPPING, now) {
                 // Second chance: clear and requeue.
                 if let Some(s) = self.spaces.get_mut(space) {
                     s.pt.update(vpn, |p| p.without(Pte::REFERENCED));
@@ -188,10 +204,17 @@ impl CacheKernel {
             }
             if self.do_unload_mapping(space, vpn, mpm, true).is_some() {
                 self.stats.writebacks[STAT_MAPPING] += 1;
-                return true;
+                self.overload
+                    .note_displacement(owner.slot, STAT_MAPPING, now);
+                return Ok(());
             }
         }
-        false
+        if protected {
+            let backoff = self.config.shed_backoff;
+            Err(self.shed_load(for_kernel, backoff))
+        } else {
+            Err(CkError::CacheFull)
+        }
     }
 
     /// Whether a mapping is protected from reclamation: it is locked *and*
@@ -290,6 +313,8 @@ impl CacheKernel {
         }
         batch.add_thread(id.slot as u32);
         let t = self.threads.remove(id).ok_or(CkError::StaleId(id))?;
+        self.overload
+            .note_unload(t.owner.slot, CkStats::idx_pub(ObjKind::Thread));
         if t.locked {
             if let Some(k) = self.kernels.get_mut(t.owner) {
                 k.locked_threads = k.locked_threads.saturating_sub(1);
@@ -312,23 +337,41 @@ impl CacheKernel {
                 + mpm.config.cost.signal_fast,
         );
         let desc = self.do_unload_thread(id, mpm)?;
-        self.stats.writebacks[CkStats::idx_pub(ObjKind::Thread)] += 1;
+        let class = CkStats::idx_pub(ObjKind::Thread);
+        self.stats.writebacks[class] += 1;
+        self.overload
+            .note_displacement(owner.slot, class, self.stats.loads[class]);
         self.queue_writeback(Writeback::Thread { owner, id, desc });
         Ok(())
     }
 
     /// Choose a thread to displace with the shared clock sweep
-    /// ([`crate::cache::ObjCache::victim`]). A thread is pinned if it is
-    /// currently running, or if it is locked *and* its address space and
-    /// owning kernel are locked too; referenced threads get a second
-    /// chance.
-    pub(crate) fn thread_victim(&mut self) -> Option<ObjId> {
+    /// ([`crate::cache::ObjCache::victim`]), on behalf of a load by
+    /// `for_kernel`. A thread is pinned if it is currently running, or if
+    /// it is locked *and* its address space and owning kernel are locked
+    /// too; referenced threads get a second chance. Overload rules: a
+    /// bystander kernel at or below its thread reservation is protected
+    /// (shedding the greedy load with [`CkError::Again`] if nothing else
+    /// is displaceable), and a kernel under thrash penalty forfeits the
+    /// second chance for its own threads.
+    pub(crate) fn thread_victim(&mut self, for_kernel: ObjId) -> CkResult<ObjId> {
         let spaces = &self.spaces;
         let kernels = &self.kernels;
-        self.threads.victim(
+        let overload = &self.overload;
+        let class = CkStats::idx_pub(ObjKind::Thread);
+        let now = self.stats.loads[class];
+        let mut protected = false;
+        let victim = self.threads.victim(
             |_, t| {
                 if matches!(t.desc.state, ThreadState::Running(_)) {
                     return true;
+                }
+                if t.owner != for_kernel {
+                    let reserved = u32::from(overload.reserved(t.owner.slot).threads);
+                    if reserved != 0 && overload.resident(t.owner.slot, class) <= reserved {
+                        protected = true;
+                        return true;
+                    }
                 }
                 t.locked
                     && spaces
@@ -338,8 +381,22 @@ impl CacheKernel {
                         })
                         .unwrap_or(false)
             },
-            |t| core::mem::replace(&mut t.referenced, false),
-        )
+            |t| {
+                if overload.penalized(t.owner.slot, class, now) {
+                    t.referenced = false;
+                    return false;
+                }
+                core::mem::replace(&mut t.referenced, false)
+            },
+        );
+        match victim {
+            Some(id) => Ok(id),
+            None if protected => {
+                let backoff = self.config.shed_backoff;
+                Err(self.shed_load(for_kernel, backoff))
+            }
+            None => Err(CkError::CacheFull),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -406,6 +463,8 @@ impl CacheKernel {
         // the batch flush.
         batch.flush_asid(CacheKernel::asid_of(id));
         if let Some(s) = self.spaces.remove(id) {
+            self.overload
+                .note_unload(owner.slot, CkStats::idx_pub(ObjKind::AddrSpace));
             if s.locked {
                 if let Some(k) = self.kernels.get_mut(owner) {
                     k.locked_spaces = k.locked_spaces.saturating_sub(1);
@@ -421,20 +480,43 @@ impl CacheKernel {
     /// Reclamation writeback of a space. The shootdown is charged once at
     /// the teardown's batch flush, not here.
     pub(crate) fn writeback_space(&mut self, id: ObjId, mpm: &mut Mpm) -> CkResult<()> {
+        let owner = self
+            .spaces
+            .get(id)
+            .map(|s| s.owner)
+            .ok_or(CkError::StaleId(id))?;
         mpm.clock.charge(mpm.config.cost.signal_fast);
         self.do_unload_space(id, mpm, true)?;
-        self.stats.writebacks[CkStats::idx_pub(ObjKind::AddrSpace)] += 1;
+        let class = CkStats::idx_pub(ObjKind::AddrSpace);
+        self.stats.writebacks[class] += 1;
+        self.overload
+            .note_displacement(owner.slot, class, self.stats.loads[class]);
         Ok(())
     }
 
-    /// Choose an address space to displace with the shared clock sweep.
-    /// A space is pinned if locked with a locked owner kernel, or if it
-    /// contains a running thread; referenced spaces get a second chance.
-    pub(crate) fn space_victim(&mut self) -> Option<ObjId> {
+    /// Choose an address space to displace with the shared clock sweep,
+    /// on behalf of a load by `for_kernel`. A space is pinned if locked
+    /// with a locked owner kernel, or if it contains a running thread;
+    /// referenced spaces get a second chance. Overload rules as in
+    /// [`CacheKernel::thread_victim`]: bystanders at or below their space
+    /// reservation are protected, thrash-penalized owners forfeit the
+    /// second chance.
+    pub(crate) fn space_victim(&mut self, for_kernel: ObjId) -> CkResult<ObjId> {
         let threads = &self.threads;
         let kernels = &self.kernels;
-        self.spaces.victim(
+        let overload = &self.overload;
+        let class = CkStats::idx_pub(ObjKind::AddrSpace);
+        let now = self.stats.loads[class];
+        let mut protected = false;
+        let victim = self.spaces.victim(
             |id, s| {
+                if s.owner != for_kernel {
+                    let reserved = u32::from(overload.reserved(s.owner.slot).spaces);
+                    if reserved != 0 && overload.resident(s.owner.slot, class) <= reserved {
+                        protected = true;
+                        return true;
+                    }
+                }
                 let fully_locked =
                     s.locked && kernels.get(s.owner).map(|k| k.locked).unwrap_or(false);
                 let has_running = threads.iter().any(|(_, t)| {
@@ -442,8 +524,22 @@ impl CacheKernel {
                 });
                 fully_locked || has_running
             },
-            |s| core::mem::replace(&mut s.referenced, false),
-        )
+            |s| {
+                if overload.penalized(s.owner.slot, class, now) {
+                    s.referenced = false;
+                    return false;
+                }
+                core::mem::replace(&mut s.referenced, false)
+            },
+        );
+        match victim {
+            Some(id) => Ok(id),
+            None if protected => {
+                let backoff = self.config.shed_backoff;
+                Err(self.shed_load(for_kernel, backoff))
+            }
+            None => Err(CkError::CacheFull),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -474,6 +570,13 @@ impl CacheKernel {
         }
         self.accounts.remove(&id.slot);
         let k = self.kernels.remove(id).ok_or(CkError::StaleId(id))?;
+        self.overload
+            .note_unload(k.owner.slot, CkStats::idx_pub(ObjKind::Kernel));
+        // The unloaded kernel's reservation and thrash state die with it;
+        // its pending-writeback count survives until the queue drains
+        // (the sum-of-pending invariant tracks queued events, not loaded
+        // kernels).
+        self.overload.reset_kernel(id.slot);
         Ok(Box::new(k.desc))
     }
 
@@ -493,7 +596,10 @@ impl CacheKernel {
                 + mpm.config.cost.signal_fast,
         );
         let desc = self.do_unload_kernel(id, mpm)?;
-        self.stats.writebacks[CkStats::idx_pub(ObjKind::Kernel)] += 1;
+        let class = CkStats::idx_pub(ObjKind::Kernel);
+        self.stats.writebacks[class] += 1;
+        self.overload
+            .note_displacement(owner.slot, class, self.stats.loads[class]);
         self.queue_writeback(Writeback::Kernel { owner, id, desc });
         Ok(())
     }
@@ -501,9 +607,10 @@ impl CacheKernel {
     /// Choose a kernel object to displace with the shared clock sweep:
     /// never the first kernel, never a locked kernel (a kernel has no
     /// dependencies, so its lock alone pins it); referenced kernels get a
-    /// second chance.
+    /// second chance. Returns `None` before boot instead of panicking
+    /// (nothing is displaceable in an unbooted Cache Kernel).
     pub(crate) fn kernel_victim(&mut self) -> Option<ObjId> {
-        let first = self.first_kernel();
+        let first = self.first_kernel?;
         self.kernels.victim(
             |id, k| id == first || k.locked,
             |k| core::mem::replace(&mut k.referenced, false),
@@ -839,13 +946,13 @@ mod tests {
             .unwrap();
         ck.threads.get_mut(t1).unwrap().referenced = true;
         ck.threads.get_mut(t2).unwrap().referenced = false;
-        assert_eq!(ck.thread_victim(), Some(t2), "unreferenced taken first");
+        assert_eq!(ck.thread_victim(srm), Ok(t2), "unreferenced taken first");
         // The sweep cleared t1's bit in passing; it is the next victim.
-        assert_eq!(ck.thread_victim(), Some(t1));
+        assert_eq!(ck.thread_victim(srm), Ok(t1));
         // Running threads are pinned outright.
         ck.threads.get_mut(t1).unwrap().desc.state = ThreadState::Running(0);
         ck.threads.get_mut(t2).unwrap().desc.state = ThreadState::Running(1);
-        assert_eq!(ck.thread_victim(), None);
+        assert_eq!(ck.thread_victim(srm), Err(CkError::CacheFull));
     }
 
     #[test]
@@ -963,5 +1070,230 @@ mod tests {
             ck.modify_kernel_grant(k, k, 0, 1, Rights::Read),
             Err(CkError::FirstKernelOnly)
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Overload protection: reserved slots, backpressure, thrash detector.
+
+    fn app_kernel_desc() -> KernelDesc {
+        KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        }
+    }
+
+    #[test]
+    fn reservation_protects_bystander_and_sheds_greedy_load() {
+        let (mut ck, mut mpm, srm) = setup(CkConfig {
+            kernel_slots: 4,
+            space_slots: 4,
+            thread_slots: 4,
+            mapping_capacity: 2,
+            shed_backoff: 123,
+            ..CkConfig::default()
+        });
+        let a = ck.load_kernel(srm, app_kernel_desc(), &mut mpm).unwrap();
+        let b = ck.load_kernel(srm, app_kernel_desc(), &mut mpm).unwrap();
+        ck.set_kernel_reservation(
+            srm,
+            a,
+            ReservedSlots {
+                mappings: 2,
+                ..ReservedSlots::default()
+            },
+        )
+        .unwrap();
+        let sp_a = ck.load_space(a, SpaceDesc::default(), &mut mpm).unwrap();
+        let sp_b = ck.load_space(b, SpaceDesc::default(), &mut mpm).unwrap();
+        for i in 0..2u32 {
+            ck.load_mapping(
+                a,
+                sp_a,
+                hw::Vaddr(0x10_0000 + i * 0x1000),
+                Paddr(0x20_0000 + i * 0x1000),
+                Pte::CACHEABLE,
+                None,
+                None,
+                &mut mpm,
+            )
+            .unwrap();
+        }
+        // B's load finds only A's reservation-protected mappings to
+        // displace: shed with the configured backoff, nothing evicted.
+        let r = ck.load_mapping(
+            b,
+            sp_b,
+            hw::Vaddr(0x30_0000),
+            Paddr(0x40_0000),
+            Pte::CACHEABLE,
+            None,
+            None,
+            &mut mpm,
+        );
+        assert_eq!(r, Err(CkError::Again { backoff: 123 }));
+        assert_eq!(ck.stats.loads_shed, 1);
+        assert_eq!(ck.kernel_loads_shed(b), 1);
+        assert_eq!(ck.kernel_residency(a).unwrap()[STAT_MAPPING], 2);
+        // A displacing its own objects is still allowed (self-churn).
+        ck.load_mapping(
+            a,
+            sp_a,
+            hw::Vaddr(0x50_0000),
+            Paddr(0x60_0000),
+            Pte::CACHEABLE,
+            None,
+            None,
+            &mut mpm,
+        )
+        .unwrap();
+        ck.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reservation_oversubscription_is_rejected() {
+        let (mut ck, mut mpm, srm) = setup(CkConfig {
+            kernel_slots: 4,
+            space_slots: 3,
+            thread_slots: 4,
+            mapping_capacity: 8,
+            ..CkConfig::default()
+        });
+        let a = ck.load_kernel(srm, app_kernel_desc(), &mut mpm).unwrap();
+        let b = ck.load_kernel(srm, app_kernel_desc(), &mut mpm).unwrap();
+        let two_spaces = ReservedSlots {
+            spaces: 2,
+            ..ReservedSlots::default()
+        };
+        ck.set_kernel_reservation(srm, a, two_spaces).unwrap();
+        // 2 + 2 > 3 space slots: rejected.
+        assert_eq!(
+            ck.set_kernel_reservation(srm, b, two_spaces),
+            Err(CkError::Invalid)
+        );
+        // Only the first kernel may set reservations.
+        assert_eq!(
+            ck.set_kernel_reservation(a, b, two_spaces),
+            Err(CkError::FirstKernelOnly)
+        );
+    }
+
+    #[test]
+    fn writeback_backpressure_sheds_loads_and_spills_to_first() {
+        let (mut ck, mut mpm, srm) = setup(CkConfig {
+            kernel_slots: 4,
+            space_slots: 8,
+            thread_slots: 4,
+            mapping_capacity: 16,
+            wb_queue_bound: 2,
+            shed_backoff: 50,
+            ..CkConfig::default()
+        });
+        let b = ck.load_kernel(srm, app_kernel_desc(), &mut mpm).unwrap();
+        // B fills the space cache beyond capacity; each extra load
+        // displaces one of B's own spaces, queueing a writeback to B.
+        let mut loaded = 0u32;
+        let mut shed = false;
+        for _ in 0..12 {
+            match ck.load_space(b, SpaceDesc::default(), &mut mpm) {
+                Ok(_) => loaded += 1,
+                Err(CkError::Again { backoff }) => {
+                    assert_eq!(backoff, 100, "wb backpressure doubles the base wait");
+                    shed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+            assert!(
+                ck.kernel_wb_pending(b).unwrap() <= 2,
+                "per-kernel wb queue length must never exceed the bound"
+            );
+        }
+        assert!(shed, "B was never shed (loaded {loaded})");
+        assert_eq!(ck.kernel_wb_pending(b).unwrap(), 2);
+        // Pressure from a third party while B sits at its bound spills
+        // the displaced state to the first kernel instead of B.
+        let redirects_before = ck.stats.wb_overflow_redirects;
+        for _ in 0..4 {
+            ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        }
+        assert!(ck.stats.wb_overflow_redirects > redirects_before);
+        assert_eq!(ck.kernel_wb_pending(b).unwrap(), 2);
+        ck.check_invariants().unwrap();
+        // Draining the queue releases the backpressure.
+        while ck.pop_event().is_some() {}
+        assert_eq!(ck.kernel_wb_pending(b).unwrap(), 0);
+        ck.load_space(b, SpaceDesc::default(), &mut mpm).unwrap();
+        ck.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn thrash_detector_fires_and_penalizes_the_offender() {
+        let (mut ck, mut mpm, srm) = setup(CkConfig {
+            kernel_slots: 4,
+            space_slots: 4,
+            thread_slots: 4,
+            mapping_capacity: 2,
+            thrash_window: 64,
+            thrash_threshold: 3,
+            thrash_penalty: 64,
+            ..CkConfig::default()
+        });
+        let a = ck.load_kernel(srm, app_kernel_desc(), &mut mpm).unwrap();
+        let sp = ck.load_space(a, SpaceDesc::default(), &mut mpm).unwrap();
+        // A's working set (3 pages) exceeds the 2-descriptor pool: every
+        // load displaces and immediately reloads — textbook thrash.
+        for i in 0..8u32 {
+            ck.load_mapping(
+                a,
+                sp,
+                hw::Vaddr(0x10_0000 + (i % 3) * 0x1000),
+                Paddr(0x20_0000 + (i % 3) * 0x1000),
+                Pte::CACHEABLE,
+                None,
+                None,
+                &mut mpm,
+            )
+            .unwrap();
+        }
+        assert!(
+            ck.stats.thrash_detected >= 1,
+            "detector must fire: {} fast reloads never reached threshold",
+            ck.stats.thrash_detected
+        );
+        assert!(ck.kernel_thrash_penalized(a, STAT_MAPPING));
+        // The event made it into the pipeline.
+        let evs = ck.drain_events();
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            crate::events::KernelEvent::ThrashDetected { kernel, class, .. }
+                if *kernel == a && *class == STAT_MAPPING
+        )));
+        ck.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn defaults_keep_the_fast_path_inert() {
+        // With everything at defaults no load is ever shed and no
+        // detector fires, whatever the churn.
+        let (mut ck, mut mpm, srm) = setup(small());
+        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        for i in 0..64u32 {
+            ck.load_mapping(
+                srm,
+                sp,
+                hw::Vaddr(0x10_0000 + (i % 12) * 0x1000),
+                Paddr(0x20_0000 + (i % 12) * 0x1000),
+                Pte::CACHEABLE,
+                None,
+                None,
+                &mut mpm,
+            )
+            .unwrap();
+        }
+        assert_eq!(ck.stats.loads_shed, 0);
+        assert_eq!(ck.stats.thrash_detected, 0);
+        assert_eq!(ck.stats.wb_overflow_redirects, 0);
+        assert_eq!(ck.stats.events_dropped, 0);
+        ck.check_invariants().unwrap();
     }
 }

@@ -72,7 +72,7 @@ impl Scheduler {
     /// A one-CPU scheduler with the given time-slice length (in executor
     /// steps). The executive widens it via [`set_cpus`](Self::set_cpus).
     pub fn new(slice: u32) -> Self {
-        assert!(slice > 0);
+        assert!(slice > 0, "time slice must be at least one step");
         Scheduler {
             cpus: vec![CpuQueues::new()],
             slice,
@@ -127,7 +127,12 @@ impl Scheduler {
     /// stealing in fixed wrap-around order (`cpu+1, cpu+2, ...`).
     pub fn pick(&mut self, cpu: usize) -> Option<Pick> {
         let n = self.cpus.len();
-        debug_assert!(cpu < n, "pick from unconfigured CPU");
+        if cpu >= n {
+            // An unconfigured CPU simply has nothing to run; indexing
+            // would abort the whole simulation over a harness mistake.
+            debug_assert!(false, "pick from unconfigured CPU {cpu} (of {n})");
+            return None;
+        }
         for p in (0..PRIORITY_LEVELS).rev() {
             if let Some(slot) = self.cpus[cpu].levels[p].pop_front() {
                 return Some(Pick {

@@ -164,7 +164,13 @@ impl DbKernel {
         frames: core::ops::Range<u32>,
         policy: Policy,
     ) -> CkResult<Self> {
-        let space = ck.load_space(me, SpaceDesc::default(), mpm)?;
+        // Server creation may race other kernels into a full space
+        // cache: honor `Again` backpressure with a bounded retry
+        // instead of failing the whole server.
+        let space = libkern::retry(libkern::Backoff::default(), |wait| {
+            mpm.clock.charge(u64::from(wait));
+            ck.load_space(me, SpaceDesc::default(), mpm)
+        })?;
         let mut sm = SegmentManager::new(space, cache_pages, policy.build());
         sm.add_segment(Segment {
             id: TABLE_SEGMENT,

@@ -51,6 +51,7 @@ pub mod chan;
 pub mod dsm;
 pub mod mem;
 pub mod reliable;
+pub mod retry;
 pub mod rpc;
 pub mod thread;
 
@@ -61,5 +62,6 @@ pub use mem::{
     SegmentManager,
 };
 pub use reliable::{Inbound, LinkCounters, ReliableLink, RELIABLE_MAGIC};
+pub use retry::{retry, Backoff};
 pub use rpc::{Demarshal, Marshal, RpcClient, RpcMessage, RpcServer, RESPONSE};
 pub use thread::{codeschedule, coschedule, Event, SleepQueue};

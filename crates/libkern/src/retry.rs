@@ -1,0 +1,136 @@
+//! Capped-backoff retry for overload-shed Cache Kernel calls.
+//!
+//! Overload protection (reserved slots, writeback backpressure, the
+//! share watermark) sheds loads with the retryable
+//! [`CkError::Again`], carrying a suggested wait. A well-behaved
+//! application kernel backs off for at least that long — charging the
+//! wait to the simulated clock so backoff has a real cost — and
+//! re-issues the call a bounded number of times before surfacing the
+//! failure to its own caller.
+
+use cache_kernel::{CkError, CkResult};
+
+/// Retry policy: how many attempts, and a cap on the per-attempt wait.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    /// Total attempts (including the first); at least 1.
+    pub max_attempts: u32,
+    /// Upper bound on a single wait, in simulated cycles.
+    pub cap: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            max_attempts: 8,
+            cap: 65_536,
+        }
+    }
+}
+
+impl Backoff {
+    /// The wait before attempt `attempt + 1`, given the kernel's
+    /// `suggested` backoff from the shed: the suggestion doubled per
+    /// elapsed attempt, capped.
+    pub fn wait_for(&self, attempt: u32, suggested: u32) -> u32 {
+        let base = suggested.max(1);
+        let grown = base.checked_shl(attempt.min(16)).unwrap_or(self.cap);
+        grown.min(self.cap)
+    }
+}
+
+/// Drive `op` until it stops returning [`CkError::Again`] or the policy
+/// runs out of attempts. The closure receives the wait (in simulated
+/// cycles) to charge to its clock *before* re-issuing the call — `0` on
+/// the first attempt — so backed-off retries cost simulated time
+/// instead of spinning for free.
+///
+/// Returns the operation's result, or the final `Again` if every
+/// attempt was shed.
+pub fn retry<T>(policy: Backoff, mut op: impl FnMut(u32) -> CkResult<T>) -> CkResult<T> {
+    let mut wait = 0u32;
+    let mut last = CkError::Again { backoff: 0 };
+    for attempt in 0..policy.max_attempts.max(1) {
+        match op(wait) {
+            Err(CkError::Again { backoff }) => {
+                last = CkError::Again { backoff };
+                wait = policy.wait_for(attempt, backoff);
+            }
+            other => return other,
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_waits_nothing() {
+        let mut waits = Vec::new();
+        let r: CkResult<u32> = retry(Backoff::default(), |w| {
+            waits.push(w);
+            Ok(7)
+        });
+        assert_eq!(r, Ok(7));
+        assert_eq!(waits, vec![0]);
+    }
+
+    #[test]
+    fn waits_grow_and_success_passes_through() {
+        let mut calls = 0u32;
+        let mut waits = Vec::new();
+        let r = retry(Backoff::default(), |w| {
+            waits.push(w);
+            calls += 1;
+            if calls < 4 {
+                Err(CkError::Again { backoff: 100 })
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r, Ok(4));
+        // Suggested 100, doubled per elapsed attempt: 0, 100, 200, 400.
+        assert_eq!(waits, vec![0, 100, 200, 400]);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let mut calls = 0u32;
+        let r: CkResult<()> = retry(
+            Backoff {
+                max_attempts: 3,
+                cap: 1_000,
+            },
+            |_| {
+                calls += 1;
+                Err(CkError::Again { backoff: 5_000 })
+            },
+        );
+        assert_eq!(calls, 3);
+        assert_eq!(r, Err(CkError::Again { backoff: 5_000 }));
+    }
+
+    #[test]
+    fn cap_bounds_the_wait() {
+        let p = Backoff {
+            max_attempts: 20,
+            cap: 1_000,
+        };
+        assert_eq!(p.wait_for(0, 600), 600);
+        assert_eq!(p.wait_for(1, 600), 1_000);
+        assert_eq!(p.wait_for(31, 600), 1_000);
+    }
+
+    #[test]
+    fn other_errors_pass_through_immediately() {
+        let mut calls = 0u32;
+        let r: CkResult<()> = retry(Backoff::default(), |_| {
+            calls += 1;
+            Err(CkError::CacheFull)
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(r, Err(CkError::CacheFull));
+    }
+}

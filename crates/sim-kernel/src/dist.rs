@@ -212,16 +212,19 @@ fn boot_node(cfg: &DistConfig, node: usize) -> Executive {
     let space = ck.load_space(id, SpaceDesc::default(), &mut mpm).unwrap();
     let pages = (cfg.slots_per_node * PARTICLE_BYTES).div_ceil(PAGE_SIZE);
     for p in 0..pages {
-        ck.load_mapping(
-            id,
-            space,
-            Vaddr(REGION_BASE.0 + p * PAGE_SIZE),
-            Paddr((REGION_FRAME + p) * PAGE_SIZE),
-            Pte::WRITABLE | Pte::CACHEABLE,
-            None,
-            None,
-            &mut mpm,
-        )
+        libkern::retry(libkern::Backoff::default(), |wait| {
+            mpm.clock.charge(u64::from(wait));
+            ck.load_mapping(
+                id,
+                space,
+                Vaddr(REGION_BASE.0 + p * PAGE_SIZE),
+                Paddr((REGION_FRAME + p) * PAGE_SIZE),
+                Pte::WRITABLE | Pte::CACHEABLE,
+                None,
+                None,
+                &mut mpm,
+            )
+        })
         .unwrap();
     }
 

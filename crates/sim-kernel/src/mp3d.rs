@@ -170,16 +170,21 @@ pub fn run(cfg: &Mp3dConfig) -> Mp3dResult {
     // Pre-map the particle region: frame i backs page i of the region.
     let first_frame = 16u32;
     for page in 0..cfg.bytes().div_ceil(PAGE_SIZE) {
-        ck.load_mapping(
-            srm,
-            space,
-            Vaddr(base.0 + page * PAGE_SIZE),
-            hw::Paddr((first_frame + page) * PAGE_SIZE),
-            hw::Pte::WRITABLE | hw::Pte::CACHEABLE,
-            None,
-            None,
-            &mut mpm,
-        )
+        // The pre-map may be shed under overload (`Again`); back off on
+        // the simulated clock and retry rather than abort the setup.
+        libkern::retry(libkern::Backoff::default(), |wait| {
+            mpm.clock.charge(u64::from(wait));
+            ck.load_mapping(
+                srm,
+                space,
+                Vaddr(base.0 + page * PAGE_SIZE),
+                hw::Paddr((first_frame + page) * PAGE_SIZE),
+                hw::Pte::WRITABLE | hw::Pte::CACHEABLE,
+                None,
+                None,
+                &mut mpm,
+            )
+        })
         .unwrap();
     }
 

@@ -16,7 +16,7 @@ pub mod netmgr;
 
 use cache_kernel::{
     AppKernel, CkError, CkResult, Env, FaultDisposition, KernelDesc, LockedQuota,
-    MemoryAccessArray, ObjId, TrapDisposition, Writeback, MAX_CPUS,
+    MemoryAccessArray, ObjId, ReservedSlots, TrapDisposition, Writeback, MAX_CPUS,
 };
 use hw::{Fault, Rights, PAGE_GROUP_PAGES};
 use std::collections::HashMap;
@@ -98,6 +98,11 @@ pub struct Srm {
     pub heartbeat_timeout: u64,
     /// Restarts allowed per kernel name before it stays down.
     pub restart_budget: u32,
+    /// Descriptor-slot reservation applied to every kernel this SRM
+    /// starts (overload policy, §4.3 flavor): while a kernel holds at
+    /// most this many objects of a class, other kernels cannot displace
+    /// them. Zero (the default) reserves nothing.
+    pub default_reservation: ReservedSlots,
     /// Restarts consumed, by kernel name.
     restart_counts: HashMap<String, u32>,
     /// Delivered clock ticks each granted kernel has left unanswered.
@@ -128,6 +133,7 @@ impl Srm {
             stats: SrmStats::default(),
             heartbeat_timeout: 200_000,
             restart_budget: 3,
+            default_reservation: ReservedSlots::default(),
             restart_counts: HashMap::new(),
             missed_ticks: HashMap::new(),
             prev_tick: 0,
@@ -204,11 +210,31 @@ impl Srm {
             ..KernelDesc::default()
         };
         let id = env.ck.load_kernel(self.me, desc, env.mpm)?;
+        if self.default_reservation != ReservedSlots::default() {
+            // Best effort: an over-subscribed reservation (sum across
+            // kernels exceeding a cache capacity) leaves the kernel
+            // running without one rather than failing the start.
+            let _ = env
+                .ck
+                .set_kernel_reservation(self.me, id, self.default_reservation);
+        }
         self.grants.insert(id, grant);
         self.names.insert(id, name.to_string());
         self.missed_ticks.insert(id, 0);
         self.stats.kernels_started += 1;
         Ok(id)
+    }
+
+    /// Set (or clear, with zeros) a kernel's descriptor-slot reservation
+    /// (overload policy passthrough; first-kernel only in the Cache
+    /// Kernel, so this is the supported path for harnesses).
+    pub fn set_reservation(
+        &mut self,
+        env: &mut Env,
+        kernel: ObjId,
+        reserved: ReservedSlots,
+    ) -> CkResult<()> {
+        env.ck.set_kernel_reservation(self.me, kernel, reserved)
     }
 
     /// The kernel id currently registered under `name`, if any.
@@ -261,6 +287,14 @@ impl Srm {
         let id = env
             .ck
             .load_kernel(self.me, (*saved.desc).clone(), env.mpm)?;
+        // Reservations live in the Cache Kernel's overload table, not
+        // on the descriptor, and were cleared at swap-out; re-apply the
+        // policy default with the same best-effort rule as a start.
+        if self.default_reservation != ReservedSlots::default() {
+            let _ = env
+                .ck
+                .set_kernel_reservation(self.me, id, self.default_reservation);
+        }
         self.grants.insert(id, saved.grant);
         self.names.insert(id, name.to_string());
         self.missed_ticks.insert(id, 0);

@@ -396,7 +396,14 @@ impl UnixEmulator {
         let data_segment = self.next_segment;
         self.next_segment += 1;
 
-        let child_space = match env.ck.load_space(self.me, SpaceDesc::default(), env.mpm) {
+        // Under overload the space load may be shed with `Again`; back
+        // off on the simulated clock and retry a bounded number of
+        // times before failing the fork.
+        let me = self.me;
+        let child_space = match libkern::retry(libkern::Backoff::default(), |wait| {
+            env.mpm.clock.charge(u64::from(wait));
+            env.ck.load_space(me, SpaceDesc::default(), env.mpm)
+        }) {
             Ok(s) => s,
             Err(_) => {
                 env.code.remove(child_prog);
@@ -484,12 +491,16 @@ impl UnixEmulator {
             c.trap_ret = 0;
             c.thread = None;
         });
-        let thread = match env.ck.load_thread(
-            self.me,
-            ThreadDesc::new(child_space, child_prog, base_priority),
-            false,
-            env.mpm,
-        ) {
+        let me = self.me;
+        let thread = match libkern::retry(libkern::Backoff::default(), |wait| {
+            env.mpm.clock.charge(u64::from(wait));
+            env.ck.load_thread(
+                me,
+                ThreadDesc::new(child_space, child_prog, base_priority),
+                false,
+                env.mpm,
+            )
+        }) {
             Ok(t) => t,
             Err(_) => {
                 env.code.remove(child_prog);
@@ -628,23 +639,28 @@ impl UnixEmulator {
         let _ = env
             .ck
             .unload_mapping_range(self.me, space, va, PAGE_SIZE, env.mpm);
-        if env
-            .ck
-            .load_mapping_and_resume(
-                self.me,
-                space,
-                va,
-                new.base(),
-                flags,
-                None,
-                None,
-                env.mpm,
-                env.cpu,
-            )
-            .is_err()
-        {
-            self.frames.free(new);
-            return FaultDisposition::Kill;
+        match env.ck.load_mapping_and_resume(
+            self.me,
+            space,
+            va,
+            new.base(),
+            flags,
+            None,
+            None,
+            env.mpm,
+            env.cpu,
+        ) {
+            Ok(()) => {}
+            Err(cache_kernel::CkError::Again { .. }) => {
+                // Shed by overload protection: give the frame back and
+                // let the thread refault after the backoff.
+                self.frames.free(new);
+                return FaultDisposition::Retry;
+            }
+            Err(_) => {
+                self.frames.free(new);
+                return FaultDisposition::Kill;
+            }
         }
         let p = self.procs.get_mut(&pid).unwrap();
         if let Some(old) = p.sm.replace_frame(va, new) {
@@ -706,7 +722,11 @@ impl UnixEmulator {
         desc.state = cache_kernel::ThreadState::Ready;
         // "Reloading in response to user input does not introduce
         // significant delay because the thread reload time is short" §2.3.
-        let thread = match env.ck.load_thread(self.me, (*desc).clone(), false, env.mpm) {
+        let me = self.me;
+        let thread = match libkern::retry(libkern::Backoff::default(), |wait| {
+            env.mpm.clock.charge(u64::from(wait));
+            env.ck.load_thread(me, (*desc).clone(), false, env.mpm)
+        }) {
             Ok(t) => t,
             Err(e) => {
                 self.parked.insert(pid, desc);
@@ -845,8 +865,10 @@ impl AppKernel for UnixEmulator {
             return FaultDisposition::Kill;
         };
         let me = self.me;
-        if self.ensure_space(env.ck, env.mpm, pid).is_err() {
-            return FaultDisposition::Kill;
+        match self.ensure_space(env.ck, env.mpm, pid) {
+            Ok(_) => {}
+            Err(cache_kernel::CkError::Again { .. }) => return FaultDisposition::Retry,
+            Err(_) => return FaultDisposition::Kill,
         }
         let p = self.procs.get_mut(&pid).unwrap();
         match p.sm.handle_fault(
@@ -866,6 +888,7 @@ impl AppKernel for UnixEmulator {
                 self.do_exit(env, pid, -11);
                 FaultDisposition::Kill
             }
+            Err(cache_kernel::CkError::Again { .. }) => FaultDisposition::Retry,
             Err(_) => FaultDisposition::Kill,
         }
     }

@@ -22,6 +22,10 @@ cargo test -q -p cache-kernel --test prop_shootdown
 echo "== chaos pinned seeds (deterministic crash containment) =="
 cargo test -q -p vpp --test prop_chaos pinned_seed
 
+echo "== overload pinned seeds (reservations, backpressure, thrash) =="
+cargo test -q -p vpp --test prop_overload pinned_seed
+cargo test -q -p vpp --test prop_chaos pinned_seed_overload
+
 echo "== crash recovery example builds =="
 cargo build -q -p vpp --example crash_recovery
 

@@ -71,6 +71,11 @@ pub trait AppKernel: Send + 'static {
     /// A thread of this kernel exited.
     fn on_thread_exit(&mut self, _env: &mut Env, _thread: ObjId, _code: i32) {}
 
+    /// Cluster membership changed (node down/rejoined, epoch advance).
+    /// Fanned out to every registered kernel so DSM directories can
+    /// re-home lines and schedulers can drop dead peers.
+    fn on_cluster_event(&mut self, _env: &mut Env, _ev: crate::events::ClusterEvent) {}
+
     /// Diagnostic name.
     fn name(&self) -> &str {
         "app-kernel"

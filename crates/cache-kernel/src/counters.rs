@@ -83,6 +83,23 @@ pub struct Counters {
     /// `ThrashDetected` events raised: a (kernel, class) pair's
     /// displacement→reload reuse distance collapsed below threshold.
     pub thrash_detected: u64,
+    /// Malformed or misaddressed network frames (DSM, SRM RPC) dropped
+    /// at decode instead of panicking the executive.
+    pub frames_rejected: u64,
+    /// Peer-table entries expired after `peer_expiry_ticks` silent ticks.
+    pub peers_expired: u64,
+    /// Cluster peers declared dead by the membership protocol.
+    pub nodes_down: u64,
+    /// Cluster peers that rejoined after a partition healed or a restart.
+    pub nodes_rejoined: u64,
+    /// Membership epoch advances (local bumps and adoptions).
+    pub epoch_changes: u64,
+    /// Stale-epoch DSM replies fenced off (late LINE/NACK from a
+    /// pre-partition owner rejected and the fetch re-driven).
+    pub stale_rejected: u64,
+    /// DSM lines re-homed from a dead or partitioned owner to the lowest
+    /// live node by the reclamation sweep.
+    pub lines_rehomed: u64,
 }
 
 /// The historical name: the counters began as the Cache Kernel's stats
@@ -136,6 +153,11 @@ impl Counters {
                 self.orphans_reclaimed += u64::from(*orphans);
             }
             KernelEvent::ThrashDetected { .. } => self.thrash_detected += 1,
+            KernelEvent::Cluster(ev) => match ev {
+                crate::events::ClusterEvent::NodeDown { .. } => self.nodes_down += 1,
+                crate::events::ClusterEvent::NodeRejoined { .. } => self.nodes_rejoined += 1,
+                crate::events::ClusterEvent::EpochChanged { .. } => self.epoch_changes += 1,
+            },
         }
     }
 

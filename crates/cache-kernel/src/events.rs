@@ -150,6 +150,45 @@ pub enum KernelEvent {
         /// CPU it last ran on.
         cpu: usize,
     },
+    /// Cluster membership changed (node loss, rejoin, epoch adoption).
+    /// Fanned out to every registered kernel so DSM directories and
+    /// schedulers can react in pipeline order.
+    Cluster(ClusterEvent),
+}
+
+/// A cluster membership transition observed by the local SRM's membership
+/// protocol and broadcast through the event pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// A peer node was declared dead or unreachable (suspicion fired, or
+    /// this side of a partition lost its quorum view of the peer).
+    NodeDown {
+        /// The lost node.
+        node: usize,
+        /// Membership epoch in force after the transition.
+        epoch: u64,
+        /// Whether the declaring side still holds a strict majority of
+        /// the configured cluster *after* the whole batch of suspicions
+        /// was evaluated. Only a quorum-backed declaration is allowed to
+        /// re-home the dead node's DSM lines; consumers must not
+        /// re-derive this from their own (event-at-a-time) mirrors.
+        quorum: bool,
+    },
+    /// A previously-dead or partitioned peer is reachable again.
+    NodeRejoined {
+        /// The returning node.
+        node: usize,
+        /// Membership epoch in force after the transition.
+        epoch: u64,
+    },
+    /// The membership epoch advanced — either a local majority-side bump
+    /// or adoption of a higher epoch heard from a peer.
+    EpochChanged {
+        /// The new epoch.
+        epoch: u64,
+        /// Peer the epoch was adopted from, `None` for a local bump.
+        adopted_from: Option<usize>,
+    },
 }
 
 impl KernelEvent {
@@ -208,6 +247,22 @@ impl KernelEvent {
                 code,
                 cpu,
             } => format!("thread-exit owner={owner:?} thread={thread:?} code={code} cpu={cpu}"),
+            KernelEvent::Cluster(ev) => match ev {
+                ClusterEvent::NodeDown {
+                    node,
+                    epoch,
+                    quorum,
+                } => {
+                    format!("node-down node={node} epoch={epoch} quorum={quorum}")
+                }
+                ClusterEvent::NodeRejoined { node, epoch } => {
+                    format!("node-rejoined node={node} epoch={epoch}")
+                }
+                ClusterEvent::EpochChanged {
+                    epoch,
+                    adopted_from,
+                } => format!("epoch-changed epoch={epoch} from={adopted_from:?}"),
+            },
         }
     }
 }

@@ -159,6 +159,15 @@ impl Executive {
                 // when the detector fired; the event carries the episode
                 // into counters and traces for the overload harness.
             }
+            KernelEvent::Cluster(cev) => {
+                // Membership transitions fan out to every registered
+                // kernel in deterministic slot order, mirroring the clock
+                // tick: a DSM kernel re-homes a dead owner's lines, the
+                // SRM freezes or thaws its placement.
+                for ks in self.kernels.slots() {
+                    self.call_kernel(ks, 0, |k, env| k.on_cluster_event(env, cev));
+                }
+            }
         }
     }
 

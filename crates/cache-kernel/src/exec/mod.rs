@@ -323,6 +323,10 @@ pub struct Cluster {
     pub nodes: Vec<Executive>,
     /// The interconnect.
     pub fabric: Fabric,
+    /// Cluster-level fault schedule: partitions, heals and whole-node
+    /// failures, applied at step boundaries against simulated time.
+    /// `None` keeps the fault-free fast path exactly as before.
+    pub net_faults: Option<FaultPlan>,
 }
 
 impl Cluster {
@@ -330,13 +334,39 @@ impl Cluster {
     /// carry distinct node indices).
     pub fn new(nodes: Vec<Executive>) -> Self {
         let fabric = Fabric::new(nodes.len());
-        Cluster { nodes, fabric }
+        Cluster {
+            nodes,
+            fabric,
+            net_faults: None,
+        }
     }
 
     /// Run every node for `quanta`, then move fabric traffic. A failed
     /// (halted) MPM simply stops executing; the fabric drops its traffic
     /// (fault containment, §3).
     pub fn step(&mut self, quanta: usize) {
+        // Fire due fabric schedule entries before the quantum, so every
+        // protocol on every node sees the same seeded network cut at the
+        // same simulated instant.
+        if let Some(plan) = self.net_faults.as_mut() {
+            let now = self
+                .nodes
+                .iter()
+                .map(|n| n.mpm.clock.cycles())
+                .max()
+                .unwrap_or(0);
+            for ev in plan.due_fabric_events(now) {
+                match ev {
+                    hw::FabricEvent::Partition(groups) => self.fabric.set_partition(&groups),
+                    hw::FabricEvent::Heal => self.fabric.heal(),
+                    hw::FabricEvent::NodeDown(n) => {
+                        if n < self.nodes.len() {
+                            self.fail_node(n);
+                        }
+                    }
+                }
+            }
+        }
         for node in self.nodes.iter_mut() {
             node.run(quanta);
         }

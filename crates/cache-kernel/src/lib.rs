@@ -87,7 +87,7 @@ pub use ck::{CacheKernel, CkConfig, CkStats, MappingState, Writeback, STAT_MAPPI
 pub use counters::Counters;
 pub use drivers::EtherDriver;
 pub use error::{CkError, CkResult};
-pub use events::{DeviceSource, KernelEvent};
+pub use events::{ClusterEvent, DeviceSource, KernelEvent};
 pub use exec::{Cluster, Executive};
 pub use fault::{FaultDisposition, TrapDisposition};
 pub use ids::{ObjId, ObjKind};

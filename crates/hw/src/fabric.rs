@@ -43,6 +43,12 @@ pub struct Fabric {
     /// Nodes marked failed: packets to or from them are dropped (used by
     /// the fault-containment experiments).
     failed: Vec<bool>,
+    /// Partition group per node. All zero means fully connected; a send is
+    /// carried only between nodes in the same group.
+    group_of: Vec<u32>,
+    /// Sends dropped because the endpoints were in different partition
+    /// groups.
+    blocked: u64,
 }
 
 impl Fabric {
@@ -52,6 +58,8 @@ impl Fabric {
             queues: (0..nodes).map(|_| VecDeque::new()).collect(),
             stats: vec![LinkStats::default(); nodes],
             failed: vec![false; nodes],
+            group_of: vec![0; nodes],
+            blocked: 0,
         }
     }
 
@@ -61,12 +69,18 @@ impl Fabric {
     }
 
     /// Inject a packet. Returns `false` (dropping it) if either endpoint is
-    /// out of range or failed.
+    /// out of range or failed, or a partition separates the endpoints. This
+    /// is the choke point every cluster protocol sends through, so one
+    /// fault schedule gives every protocol the same seeded network.
     pub fn send(&mut self, pkt: Packet) -> bool {
         if pkt.src >= self.nodes() || pkt.dst >= self.nodes() {
             return false;
         }
         if self.failed[pkt.src] || self.failed[pkt.dst] {
+            return false;
+        }
+        if self.group_of[pkt.src] != self.group_of[pkt.dst] {
+            self.blocked += 1;
             return false;
         }
         self.stats[pkt.src].tx_packets += 1;
@@ -104,6 +118,58 @@ impl Fabric {
     /// Whether `node` is failed.
     pub fn is_failed(&self, node: usize) -> bool {
         self.failed[node]
+    }
+
+    /// Partition the fabric: each listed group keeps full connectivity
+    /// among its members; nodes not listed in any group become isolated
+    /// singletons. Packets already queued across the cut are dropped —
+    /// a partition severs the physical link, in-flight frames included.
+    pub fn set_partition(&mut self, groups: &[Vec<usize>]) {
+        let n = self.nodes();
+        // Listed groups take ids 1..=groups.len(); unlisted nodes get a
+        // unique singleton id above that range, so they reach no one.
+        for (node, g) in self.group_of.iter_mut().enumerate() {
+            *g = (groups.len() + 1 + node) as u32;
+        }
+        for (i, group) in groups.iter().enumerate() {
+            for &node in group {
+                if node < n {
+                    self.group_of[node] = i as u32 + 1;
+                }
+            }
+        }
+        for dst in 0..n {
+            let keep: VecDeque<Packet> = self.queues[dst]
+                .drain(..)
+                .filter(|p| {
+                    let cut = self.group_of[p.src] != self.group_of[dst];
+                    if cut {
+                        self.blocked += 1;
+                    }
+                    !cut
+                })
+                .collect();
+            self.queues[dst] = keep;
+        }
+    }
+
+    /// Dissolve all partitions (failed nodes stay failed).
+    pub fn heal(&mut self) {
+        self.group_of.iter_mut().for_each(|g| *g = 0);
+    }
+
+    /// Whether a packet from `src` could currently be carried to `dst`.
+    pub fn reachable(&self, src: usize, dst: usize) -> bool {
+        src < self.nodes()
+            && dst < self.nodes()
+            && !self.failed[src]
+            && !self.failed[dst]
+            && self.group_of[src] == self.group_of[dst]
+    }
+
+    /// Sends dropped at a partition cut so far.
+    pub fn frames_blocked(&self) -> u64 {
+        self.blocked
     }
 }
 
@@ -158,5 +224,46 @@ mod tests {
     fn out_of_range_rejected() {
         let mut f = Fabric::new(1);
         assert!(!f.send(pkt(0, 5, b"x")));
+    }
+
+    #[test]
+    fn partition_blocks_across_groups_and_heals() {
+        let mut f = Fabric::new(3);
+        f.send(pkt(0, 2, b"inflight")); // queued across the future cut
+        f.set_partition(&[vec![0, 1], vec![2]]);
+        assert_eq!(f.pending(2), 0, "in-flight frame severed with the link");
+        assert!(f.send(pkt(0, 1, b"same-side")));
+        assert!(!f.send(pkt(0, 2, b"cross")));
+        assert!(!f.send(pkt(2, 1, b"cross-back")));
+        assert!(f.reachable(0, 1));
+        assert!(!f.reachable(1, 2));
+        assert_eq!(f.frames_blocked(), 3);
+        f.heal();
+        assert!(f.send(pkt(0, 2, b"post-heal")));
+        assert!(f.reachable(1, 2));
+        assert_eq!(f.frames_blocked(), 3);
+    }
+
+    #[test]
+    fn unlisted_nodes_are_isolated_singletons() {
+        let mut f = Fabric::new(4);
+        f.set_partition(&[vec![0, 1]]);
+        // 2 and 3 were not listed: isolated from the group and each other.
+        assert!(!f.send(pkt(2, 0, b"a")));
+        assert!(!f.send(pkt(2, 3, b"b")));
+        assert!(f.send(pkt(0, 1, b"c")));
+        // Cross-partition sends don't count toward link stats.
+        assert_eq!(f.stats(2).tx_packets, 0);
+    }
+
+    #[test]
+    fn partition_composes_with_failed_nodes() {
+        let mut f = Fabric::new(3);
+        f.fail_node(2);
+        f.set_partition(&[vec![0, 1, 2]]);
+        assert!(!f.send(pkt(0, 2, b"dead")), "failure outranks grouping");
+        assert!(!f.reachable(0, 2));
+        f.heal();
+        assert!(f.is_failed(2), "heal does not resurrect a failed node");
     }
 }

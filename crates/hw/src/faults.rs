@@ -68,6 +68,34 @@ struct KernelKill {
     seen_writebacks: u32,
 }
 
+/// A scheduled change to the fabric topology. Unlike frame fates (which
+/// are per-frame probabilistic draws), fabric events are absolute-time
+/// schedule entries: at or after the trigger cycle the cluster loop
+/// applies them to the [`Fabric`](crate::fabric::Fabric), whose send
+/// choke point then enforces them on every protocol identically —
+/// seeded runs replay the same network byte-for-byte.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// Split the nodes into isolated groups; traffic crosses a group
+    /// boundary nowhere. Nodes not listed in any group are isolated
+    /// singletons.
+    Partition(Vec<Vec<usize>>),
+    /// Restore full connectivity (partitions only; downed nodes stay
+    /// down).
+    Heal,
+    /// Halt a whole node: its MPM stops executing and the fabric drops
+    /// its traffic permanently.
+    NodeDown(usize),
+}
+
+/// A fabric event armed at a trigger cycle.
+#[derive(Clone, Debug)]
+struct ScheduledFabricEvent {
+    at: u64,
+    event: FabricEvent,
+    fired: bool,
+}
+
 /// What should happen to an outbound fabric frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FrameFate {
@@ -90,12 +118,18 @@ pub struct FaultStats {
     pub kills_fired: u64,
     /// Device error interrupts raised.
     pub device_errors: u64,
+    /// Fabric topology events fired (partitions, heals, node downs).
+    pub fabric_events: u64,
 }
 
 impl FaultStats {
     /// Total injections of any kind.
     pub fn total(&self) -> u64 {
-        self.frames_dropped + self.frames_duplicated + self.kills_fired + self.device_errors
+        self.frames_dropped
+            + self.frames_duplicated
+            + self.kills_fired
+            + self.device_errors
+            + self.fabric_events
     }
 }
 
@@ -112,6 +146,8 @@ pub struct FaultPlan {
     kills: Vec<KernelKill>,
     /// `(cycle, fired)` device-error schedule.
     device_errors: Vec<(u64, bool)>,
+    /// Fabric topology schedule (partitions, heals, node downs).
+    fabric: Vec<ScheduledFabricEvent>,
     /// What the plan has injected so far.
     pub stats: FaultStats,
 }
@@ -126,6 +162,7 @@ impl FaultPlan {
             frame_dup_permille: 0,
             kills: Vec::new(),
             device_errors: Vec::new(),
+            fabric: Vec::new(),
             stats: FaultStats::default(),
         }
     }
@@ -171,6 +208,66 @@ impl FaultPlan {
     pub fn device_error_at(mut self, cycle: u64) -> Self {
         self.device_errors.push((cycle, false));
         self
+    }
+
+    /// Schedule a network partition at the first cluster step at or after
+    /// cycle `at`: nodes can reach each other only within their listed
+    /// group; unlisted nodes are isolated singletons.
+    pub fn partition(mut self, at: u64, groups: &[&[usize]]) -> Self {
+        self.fabric.push(ScheduledFabricEvent {
+            at,
+            event: FabricEvent::Partition(groups.iter().map(|g| g.to_vec()).collect()),
+            fired: false,
+        });
+        self
+    }
+
+    /// Schedule a heal at the first cluster step at or after cycle `at`:
+    /// partitions are dissolved (downed nodes stay down).
+    pub fn heal(mut self, at: u64) -> Self {
+        self.fabric.push(ScheduledFabricEvent {
+            at,
+            event: FabricEvent::Heal,
+            fired: false,
+        });
+        self
+    }
+
+    /// Schedule a whole-node failure at the first cluster step at or
+    /// after cycle `at`: the node's MPM halts and the fabric drops its
+    /// traffic permanently.
+    pub fn node_down(mut self, at: u64, node: usize) -> Self {
+        self.fabric.push(ScheduledFabricEvent {
+            at,
+            event: FabricEvent::NodeDown(node),
+            fired: false,
+        });
+        self
+    }
+
+    /// Fabric events due at simulated cycle `now`, in trigger order
+    /// (ties resolve in schedule order). Each fires once.
+    pub fn due_fabric_events(&mut self, now: u64) -> Vec<FabricEvent> {
+        let mut due: Vec<(u64, usize)> = self
+            .fabric
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.fired && now >= e.at)
+            .map(|(i, e)| (e.at, i))
+            .collect();
+        due.sort_unstable();
+        due.into_iter()
+            .map(|(_, i)| {
+                self.fabric[i].fired = true;
+                self.stats.fabric_events += 1;
+                self.fabric[i].event.clone()
+            })
+            .collect()
+    }
+
+    /// Whether any fabric event remains armed.
+    pub fn fabric_events_pending(&self) -> bool {
+        self.fabric.iter().any(|e| !e.fired)
     }
 
     /// A fully random chaos plan derived from `seed`: moderate frame
@@ -327,6 +424,29 @@ mod tests {
         assert_eq!(p.due_device_errors(5), 0);
         assert_eq!(p.due_device_errors(10), 2);
         assert_eq!(p.due_device_errors(11), 0);
+    }
+
+    #[test]
+    fn fabric_events_fire_once_in_trigger_order() {
+        let mut p = FaultPlan::new(0)
+            .heal(500)
+            .partition(100, &[&[0, 1], &[2]])
+            .node_down(100, 2);
+        assert!(p.fabric_events_pending());
+        assert!(p.due_fabric_events(50).is_empty());
+        // Two events tie at 100: schedule order breaks the tie, and the
+        // heal armed later (cycle 500) is not due yet.
+        assert_eq!(
+            p.due_fabric_events(120),
+            vec![
+                FabricEvent::Partition(vec![vec![0, 1], vec![2]]),
+                FabricEvent::NodeDown(2),
+            ]
+        );
+        assert!(p.due_fabric_events(120).is_empty()); // fired once
+        assert_eq!(p.due_fabric_events(900), vec![FabricEvent::Heal]);
+        assert!(!p.fabric_events_pending());
+        assert_eq!(p.stats.fabric_events, 3);
     }
 
     #[test]

@@ -12,6 +12,25 @@
 //! faulting kernel sends a FETCH, the owner replies with the line bytes
 //! and marks its own copy remote (ownership migrates). Messages use the
 //! [`crate::rpc`] frame encoding over fabric packets.
+//!
+//! # Partition tolerance
+//!
+//! Every directory entry carries an **owner epoch** `(epoch, xfer)`:
+//! the membership epoch the entry was last re-homed under and a
+//! transfer counter bumped on every migration within that epoch. A
+//! remote claim replaces the local entry only if its stamp is
+//! lexicographically greater — max-stamp-wins makes directory merge
+//! order-independent.
+//!
+//! When membership declares an owner dead, every majority-side node
+//! runs the same deterministic **reclamation sweep** ([`Dsm::rehome_dead`]):
+//! the dead owner's lines move to the lowest live node under the new
+//! epoch with `xfer = 0`. Because the new epoch is strictly greater,
+//! anything the dead owner later replays — a late LINE reply, a FETCH
+//! sent before the cut — carries an older stamp and is **fenced**:
+//! rejected, counted in [`DsmStats::stale_rejected`], and re-driven
+//! toward the current owner. A healed node re-syncs its directory from
+//! the epoch holder with SYNC_REQ/SYNC before trusting it again.
 
 use crate::rpc::{Demarshal, Marshal, RpcMessage};
 use hw::{Mpm, Packet, Paddr, CACHE_LINE_SIZE};
@@ -19,24 +38,111 @@ use std::collections::HashMap;
 
 /// Fabric channel reserved for DSM traffic.
 pub const DSM_CHANNEL: u32 = 0xffff_0002;
-/// Method: fetch a line (request carries the line index; the response
-/// carries the bytes).
+/// Method: fetch a line (carries the line index, requester and the
+/// requester's epoch).
 pub const M_FETCH: u32 = 1;
-/// Method: line data response.
+/// Method: line data (bytes plus the `(epoch, xfer)` ownership stamp).
 pub const M_LINE: u32 = 2;
+/// Method: fetch refusal — the server is not the owner (or the
+/// requester is stale); carries the server's directory entry so the
+/// requester can redirect.
+pub const M_NACK: u32 = 3;
+/// Method: ask the receiver for its full directory (rejoin re-sync).
+pub const M_SYNC_REQ: u32 = 4;
+/// Method: directory transfer — sorted `(line, owner, epoch, xfer)`
+/// entries, merged max-stamp-wins.
+pub const M_SYNC: u32 = 5;
+/// Method: ownership broadcast — the new owner announces a migrated
+/// line so third-party directories converge without extra hops.
+pub const M_OWNER: u32 = 6;
+
+/// One line's directory entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineEntry {
+    /// Current owner node.
+    pub owner: usize,
+    /// Membership epoch the entry was created/re-homed under.
+    pub epoch: u64,
+    /// Migrations within this epoch; `(epoch, xfer)` is the fencing
+    /// stamp compared lexicographically.
+    pub xfer: u32,
+}
+
+/// DSM robustness counters (folded into the global registry by the
+/// owning kernel).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DsmStats {
+    /// Malformed or misaddressed DSM frames dropped at decode.
+    pub frames_rejected: u64,
+    /// Stale-epoch messages fenced off (late LINE/FETCH/claims from a
+    /// pre-partition owner).
+    pub stale_rejected: u64,
+    /// Lines re-homed from a dead owner by the reclamation sweep.
+    pub rehomed: u64,
+}
+
+/// What [`Dsm::on_packet`] decided about an incoming DSM frame.
+#[derive(Debug)]
+pub enum DsmAction {
+    /// Nothing to do (e.g. a SYNC with no news).
+    None,
+    /// A reply to send (NACK or SYNC).
+    Reply(Packet),
+    /// A fetch was served and ownership migrated: send the LINE reply
+    /// and broadcast the new entry for `addr` to every live peer — the
+    /// server survives the serve by construction, so third-party
+    /// directories learn the migration even if the new owner dies
+    /// before its own announcement gets out.
+    Served {
+        /// The LINE reply toward the requester.
+        reply: Packet,
+        /// Base address of the migrated line.
+        addr: Paddr,
+    },
+    /// A line was installed locally; the waiter for `addr` can resume.
+    Installed {
+        /// Base address of the installed line.
+        addr: Paddr,
+    },
+    /// We turned out to already own `addr` (the reclamation sweep
+    /// re-homed it here while our fetch was in flight); resume.
+    Owned {
+        /// Base address of the line.
+        addr: Paddr,
+    },
+    /// The current owner is elsewhere (stale reply fenced, or a NACK
+    /// forwarded the directory entry); re-drive the fetch toward
+    /// [`Dsm::owner_of`] if still waiting.
+    Redirect {
+        /// Base address of the line to re-fetch.
+        addr: Paddr,
+    },
+    /// A directory transfer was merged.
+    Synced {
+        /// Entries that changed.
+        updated: u32,
+    },
+    /// Malformed/misaddressed frame dropped (counted).
+    Rejected,
+}
 
 /// Per-node DSM state for one shared region.
 pub struct Dsm {
     /// This node's index.
     pub node: usize,
-    /// Line index → current owner (kept consistent by migration; in a
-    /// real system this directory would itself be distributed).
-    owners: HashMap<u32, usize>,
+    /// This node's view of the membership epoch (fencing baseline).
+    pub epoch: u64,
+    /// Line index → directory entry (kept consistent by migration
+    /// broadcasts and sync; in a real system this directory would
+    /// itself be distributed).
+    lines: HashMap<u32, LineEntry>,
     seq: u32,
     /// Fetches issued.
     pub fetches: u64,
     /// Fetches served.
     pub serves: u64,
+    /// Robustness counters.
+    pub stats: DsmStats,
 }
 
 impl Dsm {
@@ -44,10 +150,12 @@ impl Dsm {
     pub fn new(node: usize) -> Self {
         Dsm {
             node,
-            owners: HashMap::new(),
+            epoch: 1,
+            lines: HashMap::new(),
             seq: 0,
             fetches: 0,
             serves: 0,
+            stats: DsmStats::default(),
         }
     }
 
@@ -57,7 +165,14 @@ impl Dsm {
     pub fn share_lines(&mut self, mpm: &mut Mpm, first: Paddr, count: u32, owner: usize) {
         for i in 0..count {
             let line_addr = Paddr((first.line() + i) * CACHE_LINE_SIZE);
-            self.owners.insert(line_addr.line(), owner);
+            self.lines.insert(
+                line_addr.line(),
+                LineEntry {
+                    owner,
+                    epoch: self.epoch,
+                    xfer: 0,
+                },
+            );
             if owner != self.node {
                 mpm.mark_remote_line(line_addr);
             }
@@ -66,73 +181,412 @@ impl Dsm {
 
     /// Current owner of the line containing `addr`.
     pub fn owner_of(&self, addr: Paddr) -> Option<usize> {
-        self.owners.get(&addr.line()).copied()
+        self.lines.get(&addr.line()).map(|e| e.owner)
+    }
+
+    /// The directory entry for the line containing `addr`.
+    pub fn entry_of(&self, addr: Paddr) -> Option<LineEntry> {
+        self.lines.get(&addr.line()).copied()
+    }
+
+    /// The full directory, sorted by line index (deterministic; tests
+    /// compare directories across nodes with this).
+    pub fn directory(&self) -> Vec<(u32, LineEntry)> {
+        let mut d: Vec<(u32, LineEntry)> = self.lines.iter().map(|(l, e)| (*l, *e)).collect();
+        d.sort_unstable_by_key(|(l, _)| *l);
+        d
+    }
+
+    /// Lines this node currently owns.
+    pub fn owned_count(&self) -> usize {
+        self.lines.values().filter(|e| e.owner == self.node).count()
+    }
+
+    /// Adopt a (higher) membership epoch as the fencing baseline.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
     }
 
     /// Handle a consistency fault at physical `addr`: build the FETCH
     /// packet toward the current owner. Returns `None` if the line is
-    /// not under DSM management (a failed memory module, not a migrated
-    /// line — the application decides how to recover from that).
+    /// not under DSM management or already ours (a failed memory module
+    /// or a stale mark — the application decides how to recover).
     pub fn fetch_request(&mut self, addr: Paddr) -> Option<Packet> {
-        let owner = self.owner_of(addr)?;
-        if owner == self.node {
-            return None; // we own it; the mark is stale or a module failed
+        let entry = self.entry_of(addr)?;
+        if entry.owner == self.node {
+            return None;
         }
         self.seq += 1;
         self.fetches += 1;
-        let payload = Marshal::new().u32(addr.line()).u32(self.node as u32).done();
+        let payload = Marshal::new()
+            .u32(addr.line())
+            .u32(self.node as u32)
+            .u64(self.epoch)
+            .done();
         Some(Packet {
             src: self.node,
-            dst: owner,
+            dst: entry.owner,
             channel: DSM_CHANNEL,
             data: RpcMessage::request(self.seq, M_FETCH, payload).encode(),
         })
     }
 
-    /// Owner side: serve a FETCH — read the line out of local memory,
-    /// transfer ownership to the requester, mark our copy remote.
-    pub fn serve_fetch(&mut self, mpm: &mut Mpm, data: &[u8]) -> Option<Packet> {
-        let req = RpcMessage::decode(data)?;
-        if req.is_response() || req.selector() != M_FETCH {
-            return None;
+    /// Merge a remote directory claim, adjusting the hardware remote
+    /// marks when ownership moves toward or away from this node.
+    /// Returns whether the entry changed (max-stamp-wins).
+    fn apply_entry(
+        &mut self,
+        mpm: &mut Mpm,
+        line: u32,
+        owner: usize,
+        epoch: u64,
+        xfer: u32,
+    ) -> bool {
+        let Some(e) = self.lines.get_mut(&line) else {
+            return false;
+        };
+        if (epoch, xfer) <= (e.epoch, e.xfer) {
+            return false;
         }
-        let mut d = Demarshal::new(&req.payload);
-        let line = d.u32()?;
-        let requester = d.u32()? as usize;
+        let was_mine = e.owner == self.node;
+        *e = LineEntry { owner, epoch, xfer };
         let addr = Paddr(line * CACHE_LINE_SIZE);
-        let mut bytes = vec![0u8; CACHE_LINE_SIZE as usize];
-        mpm.mem.read(addr, &mut bytes).ok()?;
-        // Ownership migrates.
-        self.owners.insert(line, requester);
-        mpm.mark_remote_line(addr);
-        self.serves += 1;
-        let payload = Marshal::new().u32(line).bytes(&bytes).done();
+        let is_mine = owner == self.node;
+        if was_mine && !is_mine {
+            mpm.mark_remote_line(addr);
+        } else if !was_mine && is_mine {
+            mpm.clear_remote_line(addr);
+            mpm.l2.invalidate_page(addr);
+        }
+        true
+    }
+
+    fn nack_packet(&mut self, dst: usize, line: u32, entry: LineEntry) -> Packet {
+        self.seq += 1;
+        let payload = Marshal::new()
+            .u32(line)
+            .u32(entry.owner as u32)
+            .u64(entry.epoch)
+            .u32(entry.xfer)
+            .done();
+        Packet {
+            src: self.node,
+            dst,
+            channel: DSM_CHANNEL,
+            data: RpcMessage::request(self.seq, M_NACK, payload).encode(),
+        }
+    }
+
+    /// The M_OWNER announcement of the current directory entry for
+    /// `addr` (sent to every live peer after an install or a serve, so
+    /// third-party directories converge). `None` for unmanaged lines.
+    pub fn owner_announcement(&mut self, addr: Paddr, dst: usize) -> Option<Packet> {
+        let entry = self.entry_of(addr)?;
+        self.seq += 1;
+        let payload = Marshal::new()
+            .u32(addr.line())
+            .u32(entry.owner as u32)
+            .u64(entry.epoch)
+            .u32(entry.xfer)
+            .done();
         Some(Packet {
             src: self.node,
-            dst: requester,
+            dst,
             channel: DSM_CHANNEL,
-            data: RpcMessage::response(&req, payload).encode(),
+            data: RpcMessage::request(self.seq, M_OWNER, payload).encode(),
         })
     }
 
-    /// Requester side: install a LINE response — write the bytes locally,
-    /// take ownership, clear the remote mark so the faulting access can
-    /// retry.
-    pub fn install_line(&mut self, mpm: &mut Mpm, data: &[u8]) -> Option<Paddr> {
-        let resp = RpcMessage::decode(data)?;
-        if !resp.is_response() {
-            return None;
+    /// Ask `from` for its full directory (rejoin re-sync from the
+    /// current epoch holder).
+    pub fn sync_request(&mut self, from: usize) -> Packet {
+        self.seq += 1;
+        let payload = Marshal::new().u32(self.node as u32).done();
+        Packet {
+            src: self.node,
+            dst: from,
+            channel: DSM_CHANNEL,
+            data: RpcMessage::request(self.seq, M_SYNC_REQ, payload).encode(),
         }
-        let mut d = Demarshal::new(&resp.payload);
-        let line = d.u32()?;
-        let bytes = d.bytes()?;
+    }
+
+    /// Build a directory transfer toward `dst`. With `owned_only` the
+    /// transfer carries just this node's owned lines (the claims a
+    /// surviving node pushes at a freshly-rejoined peer); otherwise the
+    /// full directory (the answer to a SYNC_REQ). Entries are sorted by
+    /// line index, so identical state serializes identically.
+    pub fn sync_packet(&mut self, dst: usize, owned_only: bool) -> Packet {
+        let entries: Vec<(u32, LineEntry)> = self
+            .directory()
+            .into_iter()
+            .filter(|(_, e)| !owned_only || e.owner == self.node)
+            .collect();
+        let mut m = Marshal::new().u64(self.epoch).u32(entries.len() as u32);
+        for (line, e) in entries {
+            m = m.u32(line).u32(e.owner as u32).u64(e.epoch).u32(e.xfer);
+        }
+        self.seq += 1;
+        Packet {
+            src: self.node,
+            dst,
+            channel: DSM_CHANNEL,
+            data: RpcMessage::request(self.seq, M_SYNC, m.done()).encode(),
+        }
+    }
+
+    /// Reclamation sweep: re-home every line owned by `dead` to
+    /// `target` (the lowest live node) under `epoch`. Runs identically
+    /// on every majority-side node, so the surviving directories agree
+    /// without a coordination round. The dead owner's last writes are
+    /// lost with it; the new owner serves its local (pre-migration)
+    /// copy. Returns the number of lines re-homed.
+    pub fn rehome_dead(&mut self, mpm: &mut Mpm, dead: usize, target: usize, epoch: u64) -> u32 {
+        self.set_epoch(epoch);
+        let mut lines: Vec<u32> = self
+            .lines
+            .iter()
+            .filter(|(_, e)| e.owner == dead)
+            .map(|(l, _)| *l)
+            .collect();
+        lines.sort_unstable();
+        let n = lines.len() as u32;
+        for line in lines {
+            if let Some(e) = self.lines.get_mut(&line) {
+                *e = LineEntry {
+                    owner: target,
+                    epoch,
+                    xfer: 0,
+                };
+            }
+            let addr = Paddr(line * CACHE_LINE_SIZE);
+            if target == self.node {
+                mpm.clear_remote_line(addr);
+                mpm.l2.invalidate_page(addr);
+            } else {
+                mpm.mark_remote_line(addr);
+            }
+        }
+        self.stats.rehomed += u64::from(n);
+        n
+    }
+
+    /// Dispatch one DSM-channel frame from node `src`. Malformed or
+    /// misaddressed frames are counted and dropped — never panicked on;
+    /// stale-epoch traffic is fenced and counted.
+    pub fn on_packet(&mut self, mpm: &mut Mpm, src: usize, data: &[u8]) -> DsmAction {
+        let Some(msg) = RpcMessage::decode(data) else {
+            self.stats.frames_rejected += 1;
+            return DsmAction::Rejected;
+        };
+        if msg.is_response() {
+            self.stats.frames_rejected += 1;
+            return DsmAction::Rejected;
+        }
+        match msg.selector() {
+            M_FETCH => self.handle_fetch(mpm, src, &msg),
+            M_LINE => self.handle_line(mpm, &msg),
+            M_NACK => self.handle_nack(mpm, &msg),
+            M_SYNC_REQ => {
+                let mut d = Demarshal::new(&msg.payload);
+                let Some(requester) = d.u32() else {
+                    self.stats.frames_rejected += 1;
+                    return DsmAction::Rejected;
+                };
+                if requester as usize != src {
+                    self.stats.frames_rejected += 1;
+                    return DsmAction::Rejected;
+                }
+                DsmAction::Reply(self.sync_packet(src, false))
+            }
+            M_SYNC => self.handle_sync(mpm, &msg),
+            M_OWNER => {
+                let mut d = Demarshal::new(&msg.payload);
+                let (Some(line), Some(owner), Some(epoch), Some(xfer)) =
+                    (d.u32(), d.u32(), d.u64(), d.u32())
+                else {
+                    self.stats.frames_rejected += 1;
+                    return DsmAction::Rejected;
+                };
+                self.apply_entry(mpm, line, owner as usize, epoch, xfer);
+                DsmAction::None
+            }
+            _ => {
+                self.stats.frames_rejected += 1;
+                DsmAction::Rejected
+            }
+        }
+    }
+
+    /// Owner side of a FETCH: serve (migrating ownership), re-serve a
+    /// lost LINE, or NACK with the directory entry. A requester whose
+    /// epoch predates ours is fenced — it must re-sync and re-drive
+    /// before ownership can migrate to it.
+    fn handle_fetch(&mut self, mpm: &mut Mpm, src: usize, req: &RpcMessage) -> DsmAction {
+        let mut d = Demarshal::new(&req.payload);
+        let (Some(line), Some(requester), Some(req_epoch)) = (d.u32(), d.u32(), d.u64()) else {
+            self.stats.frames_rejected += 1;
+            return DsmAction::Rejected;
+        };
+        let requester = requester as usize;
+        if requester != src || requester == self.node {
+            self.stats.frames_rejected += 1; // misaddressed or reflected
+            return DsmAction::Rejected;
+        }
+        let Some(entry) = self.entry_of(Paddr(line * CACHE_LINE_SIZE)) else {
+            self.stats.frames_rejected += 1; // not a line we manage
+            return DsmAction::Rejected;
+        };
+        if req_epoch < self.epoch {
+            // A pre-partition fetch replayed after the sweep: fence it.
+            // The NACK carries the current entry, so once the requester
+            // adopts the epoch its re-driven fetch goes to the right
+            // owner.
+            self.stats.stale_rejected += 1;
+            return DsmAction::Reply(self.nack_packet(src, line, entry));
+        }
+        if entry.owner == self.node {
+            // Migrate: bump the transfer stamp, hand the line over.
+            let next = LineEntry {
+                owner: requester,
+                epoch: entry.epoch,
+                xfer: entry.xfer + 1,
+            };
+            self.serve_line(mpm, line, requester, next)
+        } else if entry.owner == requester {
+            // The requester already owns it per our directory — its
+            // LINE was lost in flight (e.g. severed by a partition).
+            // Re-serve the bytes idempotently under the same stamp; our
+            // copy is still intact because the requester never
+            // installed (so never wrote).
+            self.serve_line(mpm, line, requester, entry)
+        } else {
+            DsmAction::Reply(self.nack_packet(src, line, entry))
+        }
+    }
+
+    fn serve_line(
+        &mut self,
+        mpm: &mut Mpm,
+        line: u32,
+        requester: usize,
+        entry: LineEntry,
+    ) -> DsmAction {
         let addr = Paddr(line * CACHE_LINE_SIZE);
-        mpm.mem.write(addr, bytes).ok()?;
-        self.owners.insert(line, self.node);
+        let mut bytes = vec![0u8; CACHE_LINE_SIZE as usize];
+        if mpm.mem.read(addr, &mut bytes).is_err() {
+            self.stats.frames_rejected += 1;
+            return DsmAction::Rejected;
+        }
+        let was_mine = self.lines.get(&line).is_some_and(|e| e.owner == self.node);
+        self.lines.insert(line, entry);
+        if was_mine && entry.owner != self.node {
+            mpm.mark_remote_line(addr);
+        }
+        self.serves += 1;
+        self.seq += 1;
+        let payload = Marshal::new()
+            .u32(line)
+            .bytes(&bytes)
+            .u64(entry.epoch)
+            .u32(entry.xfer)
+            .done();
+        DsmAction::Served {
+            reply: Packet {
+                src: self.node,
+                dst: requester,
+                channel: DSM_CHANNEL,
+                data: RpcMessage::request(self.seq, M_LINE, payload).encode(),
+            },
+            addr,
+        }
+    }
+
+    /// Requester side of a LINE: install if the stamp is fresh, fence
+    /// if stale (the sweep moved on while this reply was in flight).
+    fn handle_line(&mut self, mpm: &mut Mpm, msg: &RpcMessage) -> DsmAction {
+        let mut d = Demarshal::new(&msg.payload);
+        let (Some(line), Some(bytes), Some(epoch), Some(xfer)) =
+            (d.u32(), d.bytes().map(<[u8]>::to_vec), d.u64(), d.u32())
+        else {
+            self.stats.frames_rejected += 1;
+            return DsmAction::Rejected;
+        };
+        let addr = Paddr(line * CACHE_LINE_SIZE);
+        let Some(entry) = self.entry_of(addr) else {
+            self.stats.frames_rejected += 1;
+            return DsmAction::Rejected;
+        };
+        if (epoch, xfer) <= (entry.epoch, entry.xfer) {
+            // Fenced: a late reply from a stale owner never wins. If the
+            // sweep already re-homed the line here we can just resume;
+            // otherwise the waiter re-drives toward the current owner.
+            self.stats.stale_rejected += 1;
+            return if entry.owner == self.node {
+                DsmAction::Owned { addr }
+            } else {
+                DsmAction::Redirect { addr }
+            };
+        }
+        if mpm.mem.write(addr, &bytes).is_err() {
+            self.stats.frames_rejected += 1;
+            return DsmAction::Rejected;
+        }
+        self.lines.insert(
+            line,
+            LineEntry {
+                owner: self.node,
+                epoch,
+                xfer,
+            },
+        );
         mpm.clear_remote_line(addr);
         // The stale copy may sit in the L2; invalidate the page's lines.
         mpm.l2.invalidate_page(addr);
-        Some(addr)
+        DsmAction::Installed { addr }
+    }
+
+    /// A NACK carried the server's directory entry: merge it and tell
+    /// the caller whether the line is now ours or needs a re-fetch.
+    fn handle_nack(&mut self, mpm: &mut Mpm, msg: &RpcMessage) -> DsmAction {
+        let mut d = Demarshal::new(&msg.payload);
+        let (Some(line), Some(owner), Some(epoch), Some(xfer)) =
+            (d.u32(), d.u32(), d.u64(), d.u32())
+        else {
+            self.stats.frames_rejected += 1;
+            return DsmAction::Rejected;
+        };
+        let addr = Paddr(line * CACHE_LINE_SIZE);
+        if self.entry_of(addr).is_none() {
+            self.stats.frames_rejected += 1;
+            return DsmAction::Rejected;
+        }
+        self.apply_entry(mpm, line, owner as usize, epoch, xfer);
+        match self.entry_of(addr) {
+            Some(e) if e.owner == self.node => DsmAction::Owned { addr },
+            _ => DsmAction::Redirect { addr },
+        }
+    }
+
+    /// Merge a directory transfer (full sync or a survivor's claims).
+    fn handle_sync(&mut self, mpm: &mut Mpm, msg: &RpcMessage) -> DsmAction {
+        let mut d = Demarshal::new(&msg.payload);
+        let (Some(epoch), Some(count)) = (d.u64(), d.u32()) else {
+            self.stats.frames_rejected += 1;
+            return DsmAction::Rejected;
+        };
+        self.set_epoch(epoch);
+        let mut updated = 0;
+        for _ in 0..count {
+            let (Some(line), Some(owner), Some(e), Some(x)) = (d.u32(), d.u32(), d.u64(), d.u32())
+            else {
+                self.stats.frames_rejected += 1;
+                return DsmAction::Rejected;
+            };
+            if self.apply_entry(mpm, line, owner as usize, e, x) {
+                updated += 1;
+            }
+        }
+        DsmAction::Synced { updated }
     }
 }
 
@@ -148,6 +602,10 @@ mod tests {
             l2_bytes: 32 * 1024,
             ..MachineConfig::default()
         })
+    }
+
+    fn packet_roundtrip(dsm_to: &mut Dsm, mpm_to: &mut Mpm, pkt: &Packet) -> DsmAction {
+        dsm_to.on_packet(mpm_to, pkt.src, &pkt.data)
     }
 
     #[test]
@@ -176,10 +634,14 @@ mod tests {
         // Protocol round trip.
         let req = d1.fetch_request(line_addr).expect("fetch toward owner");
         assert_eq!(req.dst, 0);
-        let resp = d0.serve_fetch(&mut m0, &req.data).expect("owner serves");
+        let DsmAction::Served { reply: resp, .. } = packet_roundtrip(&mut d0, &mut m0, &req) else {
+            panic!("owner serves");
+        };
         assert_eq!(resp.dst, 1);
-        let installed = d1.install_line(&mut m1, &resp.data).unwrap();
-        assert_eq!(installed, line_addr);
+        let DsmAction::Installed { addr } = packet_roundtrip(&mut d1, &mut m1, &resp) else {
+            panic!("requester installs");
+        };
+        assert_eq!(addr, line_addr);
 
         // Node 1 now owns the line and can access it; node 0 faults.
         assert!(m1
@@ -192,6 +654,8 @@ mod tests {
         assert_eq!(d0.owner_of(line_addr), Some(1));
         assert_eq!(d1.owner_of(line_addr), Some(1));
         assert_eq!((d1.fetches, d0.serves), (1, 1));
+        // The stamp advanced with the migration.
+        assert_eq!(d1.entry_of(line_addr).unwrap().xfer, 1);
     }
 
     #[test]
@@ -218,5 +682,238 @@ mod tests {
         assert!(m1.is_remote_line(Paddr(0x5040)));
         assert!(!m1.is_remote_line(Paddr(0x5000)));
         assert!(!m1.is_remote_line(Paddr(0x5060)));
+    }
+
+    #[test]
+    fn rehome_moves_dead_owners_lines_to_lowest_live() {
+        let mut m1 = mpm(1);
+        let mut d1 = Dsm::new(1);
+        let base = Paddr(0x5000);
+        // Lines alternate owners 0 and 2; node 2 dies.
+        d1.share_lines(&mut m1, base, 2, 0);
+        d1.share_lines(&mut m1, Paddr(0x5040), 2, 2);
+        let moved = d1.rehome_dead(&mut m1, 2, 1, 2);
+        assert_eq!(moved, 2);
+        assert_eq!(d1.stats.rehomed, 2);
+        assert_eq!(d1.epoch, 2);
+        // Node 2's lines now belong to this node (the re-home target):
+        // marks cleared, entry stamped with the new epoch.
+        assert_eq!(
+            d1.entry_of(Paddr(0x5040)).unwrap(),
+            LineEntry {
+                owner: 1,
+                epoch: 2,
+                xfer: 0
+            }
+        );
+        assert!(!m1.is_remote_line(Paddr(0x5040)));
+        // Node 0's lines are untouched.
+        assert_eq!(d1.entry_of(base).unwrap().epoch, 1);
+        assert_eq!(d1.owner_of(base), Some(0));
+    }
+
+    #[test]
+    fn stale_line_reply_is_fenced_and_redirected() {
+        // Node 1 fetched from node 2; the partition hit, the sweep
+        // re-homed node 2's lines to node 0 at epoch 2; then node 2's
+        // late LINE reply arrives. It must be rejected and the fetch
+        // re-driven toward node 0.
+        let mut m1 = mpm(1);
+        let mut m2 = mpm(2);
+        let mut d1 = Dsm::new(1);
+        let mut d2 = Dsm::new(2);
+        let addr = Paddr(0x5000);
+        d1.share_lines(&mut m1, addr, 1, 2);
+        d2.share_lines(&mut m2, addr, 1, 2);
+        m2.mem.write(addr, b"pre-partition bytes!").unwrap();
+
+        let req = d1.fetch_request(addr).unwrap();
+        let DsmAction::Served {
+            reply: late_line, ..
+        } = packet_roundtrip(&mut d2, &mut m2, &req)
+        else {
+            panic!("node 2 serves before it learns of the partition");
+        };
+        // Sweep runs on node 1 before the reply lands.
+        d1.rehome_dead(&mut m1, 2, 0, 2);
+        let act = packet_roundtrip(&mut d1, &mut m1, &late_line);
+        let DsmAction::Redirect { addr: a } = act else {
+            panic!("late LINE fenced, got {act:?}");
+        };
+        assert_eq!(a, addr);
+        assert_eq!(d1.stats.stale_rejected, 1);
+        assert_eq!(d1.owner_of(addr), Some(0), "directory still post-sweep");
+        // The re-driven fetch goes to the current owner.
+        assert_eq!(d1.fetch_request(addr).unwrap().dst, 0);
+    }
+
+    #[test]
+    fn stale_fetch_is_fenced_with_nack() {
+        // Node 2 healed but still carries epoch 1; its replayed FETCH
+        // reaches node 0, which swept to epoch 2. The fetch is refused
+        // and the NACK carries the current entry.
+        let mut m0 = mpm(0);
+        let mut m2 = mpm(2);
+        let mut d0 = Dsm::new(0);
+        let mut d2 = Dsm::new(2);
+        let addr = Paddr(0x5000);
+        d0.share_lines(&mut m0, addr, 1, 0);
+        d2.share_lines(&mut m2, addr, 1, 0);
+        d0.rehome_dead(&mut m0, 9, 0, 2); // no lines move; epoch bumps to 2
+        let req = d2.fetch_request(addr).unwrap();
+        let DsmAction::Reply(nack) = d0.on_packet(&mut m0, req.src, &req.data) else {
+            panic!("stale fetch NACKed");
+        };
+        assert_eq!(d0.stats.stale_rejected, 1);
+        assert_eq!(d0.serves, 0, "no migration to a stale node");
+        // The NACK does not move node 2's directory (the entry itself
+        // never migrated), but tells the waiter to re-drive.
+        let act = d2.on_packet(&mut m2, nack.src, &nack.data);
+        assert!(matches!(act, DsmAction::Redirect { .. }));
+        // Once node 2 adopts the current epoch (membership heal), the
+        // re-driven fetch is served normally.
+        d2.set_epoch(2);
+        let retry = d2.fetch_request(addr).unwrap();
+        let act = d0.on_packet(&mut m0, retry.src, &retry.data);
+        assert!(matches!(act, DsmAction::Served { .. }));
+        assert_eq!(d0.serves, 1);
+    }
+
+    #[test]
+    fn lost_line_is_reserved_idempotently() {
+        // Node 0 serves node 1 but the LINE frame is severed by the
+        // cut. Node 1 retries the fetch; node 0's directory says node 1
+        // already owns it, so it re-serves the same stamp and bytes.
+        let mut m0 = mpm(0);
+        let mut m1 = mpm(1);
+        let mut d0 = Dsm::new(0);
+        let mut d1 = Dsm::new(1);
+        let addr = Paddr(0x5000);
+        d0.share_lines(&mut m0, addr, 1, 0);
+        d1.share_lines(&mut m1, addr, 1, 0);
+        m0.mem.write(addr, b"survives-retransmit!").unwrap();
+
+        let req = d1.fetch_request(addr).unwrap();
+        let DsmAction::Served { reply: lost, .. } = packet_roundtrip(&mut d0, &mut m0, &req) else {
+            panic!("served");
+        };
+        drop(lost); // the fabric severed it
+        let retry = d1.fetch_request(addr).unwrap();
+        let DsmAction::Served { reply: line, .. } = packet_roundtrip(&mut d0, &mut m0, &retry)
+        else {
+            panic!("re-served");
+        };
+        let DsmAction::Installed { .. } = packet_roundtrip(&mut d1, &mut m1, &line) else {
+            panic!("installed on retry");
+        };
+        let mut got = [0u8; 20];
+        m1.mem.read(addr, &mut got).unwrap();
+        assert_eq!(&got, b"survives-retransmit!");
+        assert_eq!(d0.serves, 2, "idempotent re-serve");
+        assert_eq!(
+            d1.entry_of(addr).unwrap().xfer,
+            1,
+            "stamp not double-bumped"
+        );
+    }
+
+    #[test]
+    fn sync_merges_by_max_stamp_and_adjusts_marks() {
+        // A rejoined node re-syncs from the epoch holder: entries it
+        // holds with older stamps are overwritten, lines it wrongly
+        // believes it owns get re-marked remote.
+        let mut m0 = mpm(0);
+        let mut m2 = mpm(2);
+        let mut d0 = Dsm::new(0);
+        let mut d2 = Dsm::new(2);
+        let addr = Paddr(0x5000);
+        // Node 2 owned the line pre-partition; majority swept it to 0.
+        d0.share_lines(&mut m0, addr, 1, 2);
+        d2.share_lines(&mut m2, addr, 1, 2);
+        d0.rehome_dead(&mut m0, 2, 0, 2);
+        assert!(!m2.is_remote_line(addr), "node 2 still believes it owns");
+
+        let req = d2.sync_request(0);
+        let DsmAction::Reply(sync) = d0.on_packet(&mut m0, req.src, &req.data) else {
+            panic!("sync served");
+        };
+        let DsmAction::Synced { updated } = d2.on_packet(&mut m2, sync.src, &sync.data) else {
+            panic!("sync merged");
+        };
+        assert_eq!(updated, 1);
+        assert_eq!(d2.epoch, 2, "epoch adopted from the holder");
+        assert_eq!(d2.owner_of(addr), Some(0));
+        assert!(
+            m2.is_remote_line(addr),
+            "the lost line faults again on next touch"
+        );
+        // Replaying the same sync is a no-op (idempotent merge).
+        let req2 = d2.sync_request(0);
+        let DsmAction::Reply(sync2) = d0.on_packet(&mut m0, req2.src, &req2.data) else {
+            panic!();
+        };
+        let DsmAction::Synced { updated } = d2.on_packet(&mut m2, sync2.src, &sync2.data) else {
+            panic!();
+        };
+        assert_eq!(updated, 0);
+    }
+
+    #[test]
+    fn malformed_and_misaddressed_frames_rejected() {
+        let mut m0 = mpm(0);
+        let mut d0 = Dsm::new(0);
+        d0.share_lines(&mut m0, Paddr(0x5000), 1, 0);
+        // Garbage bytes.
+        assert!(matches!(
+            d0.on_packet(&mut m0, 1, b"\xff\x01"),
+            DsmAction::Rejected
+        ));
+        // Unknown selector.
+        let wire = RpcMessage::request(1, 999, Vec::new()).encode();
+        assert!(matches!(
+            d0.on_packet(&mut m0, 1, &wire),
+            DsmAction::Rejected
+        ));
+        // Truncated FETCH payload.
+        let wire = RpcMessage::request(2, M_FETCH, Marshal::new().u32(0x140).done()).encode();
+        assert!(matches!(
+            d0.on_packet(&mut m0, 1, &wire),
+            DsmAction::Rejected
+        ));
+        // FETCH whose payload requester disagrees with the fabric src.
+        let payload = Marshal::new().u32(0x140).u32(2).u64(1).done();
+        let wire = RpcMessage::request(3, M_FETCH, payload).encode();
+        assert!(matches!(
+            d0.on_packet(&mut m0, 1, &wire),
+            DsmAction::Rejected
+        ));
+        // FETCH for an unmanaged line.
+        let payload = Marshal::new().u32(0xdead).u32(1).u64(1).done();
+        let wire = RpcMessage::request(4, M_FETCH, payload).encode();
+        assert!(matches!(
+            d0.on_packet(&mut m0, 1, &wire),
+            DsmAction::Rejected
+        ));
+        assert_eq!(d0.stats.frames_rejected, 5);
+        assert_eq!(d0.serves, 0);
+    }
+
+    #[test]
+    fn owner_broadcast_converges_third_party_directory() {
+        let mut m2 = mpm(2);
+        let mut d2 = Dsm::new(2);
+        let addr = Paddr(0x5000);
+        d2.share_lines(&mut m2, addr, 1, 0);
+        // Node 1 took the line from node 0 (xfer 1) and broadcasts.
+        let mut m1 = mpm(1);
+        let mut d1 = Dsm::new(1);
+        d1.share_lines(&mut m1, addr, 1, 0);
+        d1.apply_entry(&mut m1, addr.line(), 1, 1, 1);
+        let ann = d1.owner_announcement(addr, 2).unwrap();
+        d2.on_packet(&mut m2, ann.src, &ann.data);
+        assert_eq!(d2.owner_of(addr), Some(1));
+        // A replay of an older announcement does not regress it.
+        d2.apply_entry(&mut m2, addr.line(), 0, 1, 0);
+        assert_eq!(d2.owner_of(addr), Some(1));
     }
 }

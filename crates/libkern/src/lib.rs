@@ -56,7 +56,7 @@ pub mod rpc;
 pub mod thread;
 
 pub use chan::{Channel, CHAN_HDR, CHAN_MAX};
-pub use dsm::{Dsm, DSM_CHANNEL};
+pub use dsm::{Dsm, DsmAction, DsmStats, LineEntry, DSM_CHANNEL};
 pub use mem::{
     BackingStore, Fifo, FrameAllocator, Lru, Mru, Region, ReplacementPolicy, Segment,
     SegmentManager,

@@ -219,6 +219,16 @@ impl ReliableLink {
     pub fn in_flight(&self) -> usize {
         self.pending.len()
     }
+
+    /// Abandon every pending frame toward `dst` (the membership layer
+    /// declared it dead): retransmitting into a black hole would only
+    /// burn the backoff ceiling. Abandoned frames count as `gave_up`, so
+    /// the sent = acked + gave_up + in-flight balance still holds.
+    pub fn forget_dst(&mut self, dst: usize) {
+        let before = self.pending.len();
+        self.pending.retain(|p| p.dst != dst);
+        self.counters.gave_up += (before - self.pending.len()) as u64;
+    }
 }
 
 #[cfg(test)]

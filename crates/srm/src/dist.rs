@@ -41,6 +41,19 @@ pub struct Peers {
     table: Vec<PeerLoad>,
     /// Known cluster size (0 = standalone, no advertisements sent).
     pub cluster_nodes: usize,
+    /// Ticks of silence after which a peer entry is expired from the
+    /// table (and counted in `peers_expired`). Ads go out every 4 ticks,
+    /// so the default of 8 tolerates one lost advertisement.
+    pub peer_expiry_ticks: u32,
+    /// Membership epoch advertised with each load report; peers use it
+    /// to adopt the highest epoch in their partition (set by the owning
+    /// SRM from its membership state each tick).
+    pub my_epoch: u64,
+    /// Frozen while this side of a partition lacks a majority: load
+    /// reports are still *sent* and heard (the membership layer needs
+    /// them to detect the heal), but the placement table is not updated,
+    /// so stale minority data never steers placement.
+    pub frozen: bool,
     seq: u32,
     ticks_between_ads: u32,
     since_ad: u32,
@@ -63,6 +76,8 @@ impl Peers {
     pub fn new() -> Self {
         Peers {
             ticks_between_ads: 4,
+            peer_expiry_ticks: 8,
+            my_epoch: 1,
             ..Peers::default()
         }
     }
@@ -77,7 +92,7 @@ impl Peers {
     pub fn least_loaded(&self, my_node: usize, my_ready: u32) -> usize {
         let mut best = (my_node, my_ready, self.my_free_groups);
         for p in &self.table {
-            if p.age > 8 {
+            if p.age > self.peer_expiry_ticks {
                 continue; // stale: possibly a failed MPM
             }
             if (p.ready_threads, u32::MAX - p.free_groups) < (best.1, u32::MAX - best.2) {
@@ -93,6 +108,7 @@ impl Peers {
             .u32(env.node as u32)
             .u32(self.my_free_groups)
             .u32(env.ck.sched.ready_count() as u32)
+            .u64(self.my_epoch)
             .done();
         let msg = RpcMessage::request(self.seq, M_ADVERTISE, payload);
         let wire = msg.encode();
@@ -118,6 +134,13 @@ impl Peers {
         for p in self.table.iter_mut() {
             p.age = p.age.saturating_add(1);
         }
+        // Expire silent peers entirely (a failed MPM, or the far side of
+        // a partition) so placement never consults them; each expiry is
+        // counted through the registry.
+        let expiry = self.peer_expiry_ticks;
+        let before = self.table.len();
+        self.table.retain(|p| p.age <= expiry);
+        env.ck.stats.peers_expired += (before - self.table.len()) as u64;
         if self.cluster_nodes > 1 {
             self.since_ad += 1;
             if self.since_ad >= self.ticks_between_ads {
@@ -141,9 +164,21 @@ impl Peers {
 
     /// Handle an SRM-channel packet: unwrap the reliable layer (sending
     /// any ack it owes, dropping duplicates), then dispatch the RPC.
-    pub fn on_packet(&mut self, env: &mut Env, src: usize, channel: u32, data: &[u8]) {
+    /// Malformed or misaddressed frames are counted in `frames_rejected`
+    /// and dropped — never panicked on.
+    ///
+    /// Returns the `(node, epoch)` a load advertisement carried, so the
+    /// owning SRM can feed its membership detector.
+    pub fn on_packet(
+        &mut self,
+        env: &mut Env,
+        src: usize,
+        channel: u32,
+        data: &[u8],
+    ) -> Option<(usize, u64)> {
         if channel != SRM_CHANNEL {
-            return;
+            env.ck.stats.frames_rejected += 1;
+            return None;
         }
         let inbound = self.link.on_frame(src, data);
         if let Some(ack) = inbound.ack {
@@ -154,29 +189,41 @@ impl Peers {
                 data: ack,
             });
         }
-        let Some(payload) = inbound.payload else {
-            return; // duplicate suppressed, or a bare ack
-        };
+        let payload = inbound.payload?; // duplicate suppressed, or a bare ack
         let Some(msg) = RpcMessage::decode(&payload) else {
-            return;
+            env.ck.stats.frames_rejected += 1;
+            return None;
         };
         match msg.selector() {
             M_ADVERTISE => {
                 let mut d = Demarshal::new(&msg.payload);
-                let (Some(node), Some(free), Some(ready)) = (d.u32(), d.u32(), d.u32()) else {
-                    return;
+                let (Some(node), Some(free), Some(ready), Some(epoch)) =
+                    (d.u32(), d.u32(), d.u32(), d.u64())
+                else {
+                    env.ck.stats.frames_rejected += 1;
+                    return None;
                 };
-                let load = PeerLoad {
-                    node: node as usize,
-                    free_groups: free,
-                    ready_threads: ready,
-                    age: 0,
-                };
-                match self.table.iter_mut().find(|p| p.node == node as usize) {
-                    Some(p) => *p = load,
-                    None => self.table.push(load),
+                if node as usize >= self.cluster_nodes.max(1) || node as usize == env.node {
+                    env.ck.stats.frames_rejected += 1; // misaddressed
+                    return None;
+                }
+                // A frozen (minority-side) table keeps hearing peers —
+                // the membership layer needs that to detect the heal —
+                // but placement data is not updated from stale sources.
+                if !self.frozen {
+                    let load = PeerLoad {
+                        node: node as usize,
+                        free_groups: free,
+                        ready_threads: ready,
+                        age: 0,
+                    };
+                    match self.table.iter_mut().find(|p| p.node == node as usize) {
+                        Some(p) => *p = load,
+                        None => self.table.push(load),
+                    }
                 }
                 self.ads_received += 1;
+                Some((node as usize, epoch))
             }
             M_QUERY => {
                 // Answer with an advertisement directly to the querier.
@@ -185,6 +232,7 @@ impl Peers {
                     .u32(env.node as u32)
                     .u32(self.my_free_groups)
                     .u32(env.ck.sched.ready_count() as u32)
+                    .u64(self.my_epoch)
                     .done();
                 let resp = RpcMessage::response(&msg, payload);
                 let wire = RpcMessage::request(self.seq, M_ADVERTISE, resp.payload).encode();
@@ -195,9 +243,21 @@ impl Peers {
                     channel: SRM_CHANNEL,
                     data,
                 });
+                None
             }
-            _ => {}
+            _ => {
+                env.ck.stats.frames_rejected += 1;
+                None
+            }
         }
+    }
+
+    /// Drop every queued retransmission and peer entry for dead `node`
+    /// (membership declared it down): a frame to a dead node would retry
+    /// to the backoff ceiling for nothing.
+    pub fn forget_peer(&mut self, node: usize) {
+        self.table.retain(|p| p.node != node);
+        self.link.forget_dst(node);
     }
 }
 
@@ -236,6 +296,51 @@ mod tests {
         // With no fresh peers better than me, I keep the work.
         p.table.clear();
         assert_eq!(p.least_loaded(0, 0), 0);
+    }
+
+    #[test]
+    fn peer_entries_expire_after_knob_ticks() {
+        let (mut ex, srm_id) = crate::tests::boot();
+        ex.with_kernel::<crate::Srm, _>(srm_id, |s, env| {
+            s.peers.cluster_nodes = 2;
+            s.peers.peer_expiry_ticks = 3;
+            let payload = Marshal::new().u32(1).u32(9).u32(0).u64(1).done();
+            let wire = RpcMessage::request(1, M_ADVERTISE, payload).encode();
+            assert_eq!(s.peers.on_packet(env, 1, SRM_CHANNEL, &wire), Some((1, 1)));
+            assert!(s.peers.peer(1).is_some());
+            for _ in 0..3 {
+                s.peers.tick(env);
+            }
+            assert!(s.peers.peer(1).is_some(), "age == knob: still considered");
+            s.peers.tick(env);
+            assert!(s.peers.peer(1).is_none(), "silent past the knob: expired");
+            assert_eq!(env.ck.stats.peers_expired, 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn malformed_frames_rejected_not_panicked() {
+        let (mut ex, srm_id) = crate::tests::boot();
+        ex.with_kernel::<crate::Srm, _>(srm_id, |s, env| {
+            s.peers.cluster_nodes = 2;
+            // Misaddressed: not the SRM channel.
+            assert_eq!(s.peers.on_packet(env, 1, 42, b"junk"), None);
+            // Garbage bytes that decode as no RPC message.
+            assert_eq!(s.peers.on_packet(env, 1, SRM_CHANNEL, b"\x01\x02"), None);
+            // Truncated advertisement payload.
+            let wire = RpcMessage::request(1, M_ADVERTISE, vec![1, 2, 3]).encode();
+            assert_eq!(s.peers.on_packet(env, 1, SRM_CHANNEL, &wire), None);
+            // Unknown selector.
+            let wire = RpcMessage::request(2, 999, Vec::new()).encode();
+            assert_eq!(s.peers.on_packet(env, 1, SRM_CHANNEL, &wire), None);
+            // Advertisement claiming to be from ourselves (spoof/loop).
+            let payload = Marshal::new().u32(0).u32(1).u32(1).u64(1).done();
+            let wire = RpcMessage::request(3, M_ADVERTISE, payload).encode();
+            assert_eq!(s.peers.on_packet(env, 0, SRM_CHANNEL, &wire), None);
+            assert_eq!(env.ck.stats.frames_rejected, 5);
+        })
+        .unwrap();
     }
 
     #[test]

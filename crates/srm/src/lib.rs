@@ -12,11 +12,12 @@
 //! with the RPC facility ([`dist`]).
 
 pub mod dist;
+pub mod membership;
 pub mod netmgr;
 
 use cache_kernel::{
-    AppKernel, CkError, CkResult, Env, FaultDisposition, KernelDesc, LockedQuota,
-    MemoryAccessArray, ObjId, ReservedSlots, TrapDisposition, Writeback, MAX_CPUS,
+    AppKernel, CkError, CkResult, ClusterEvent, Env, FaultDisposition, KernelDesc, KernelEvent,
+    LockedQuota, MemoryAccessArray, ObjId, ReservedSlots, TrapDisposition, Writeback, MAX_CPUS,
 };
 use hw::{Fault, Rights, PAGE_GROUP_PAGES};
 use std::collections::HashMap;
@@ -88,6 +89,8 @@ pub struct Srm {
     pub net: netmgr::ChannelManager,
     /// Distributed coordination state.
     pub peers: dist::Peers,
+    /// Epoch-based cluster membership (partition tolerance, §3).
+    pub membership: membership::Membership,
     /// Counters.
     pub stats: SrmStats,
     /// Cycles of clock-tick silence after which a granted kernel is
@@ -130,6 +133,7 @@ impl Srm {
             names: HashMap::new(),
             net: netmgr::ChannelManager::new(),
             peers: dist::Peers::new(),
+            membership: membership::Membership::new(),
             stats: SrmStats::default(),
             heartbeat_timeout: 200_000,
             restart_budget: 3,
@@ -413,6 +417,32 @@ impl Srm {
         }
         self.pending_restart = still_pending;
     }
+
+    /// Place a unit of work: the least-loaded node by the gathered peer
+    /// table — unless this side of a partition is degraded, in which
+    /// case placement falls back local rather than acting on stale load
+    /// data from across the cut.
+    pub fn place(&self, env: &Env, my_ready: u32) -> usize {
+        if self.membership.degraded {
+            return env.node;
+        }
+        self.peers.least_loaded(env.node, my_ready)
+    }
+
+    /// Drain membership transitions: emit each through the pipeline
+    /// choke point (fanned out to every kernel next pump) and apply the
+    /// SRM-local reactions — dead peers are dropped from the peer table
+    /// and their queued retransmissions abandoned.
+    fn pump_membership_events(&mut self, env: &mut Env) {
+        for ev in self.membership.take_events() {
+            if let ClusterEvent::NodeDown { node, .. } = ev {
+                self.peers.forget_peer(node);
+            }
+            env.ck.emit(KernelEvent::Cluster(ev));
+        }
+        self.peers.frozen = self.membership.degraded;
+        self.peers.my_epoch = self.membership.epoch;
+    }
 }
 
 impl AppKernel for Srm {
@@ -463,12 +493,17 @@ impl AppKernel for Srm {
         let disconnects = self.net.tick(env.mpm);
         self.stats.net_disconnects += disconnects;
         self.peers.tick(env);
+        self.membership.on_tick();
+        self.pump_membership_events(env);
         self.detect_failures(env);
         self.process_pending_restarts(env);
     }
 
     fn on_packet(&mut self, env: &mut Env, src: usize, channel: u32, data: &[u8]) {
-        self.peers.on_packet(env, src, channel, data);
+        if let Some((peer, epoch)) = self.peers.on_packet(env, src, channel, data) {
+            self.membership.heard(peer, epoch);
+            self.pump_membership_events(env);
+        }
     }
 
     fn name(&self) -> &str {

@@ -62,8 +62,11 @@ impl ChannelManager {
     /// aggregate traffic; the manager attributes per-channel bytes as the
     /// executive reports sends).
     pub fn account(&mut self, channel: u32, bytes: u64) {
+        // Saturate rather than overflow: a hostile or buggy kernel
+        // reporting absurd byte counts must at worst pin the channel at
+        // its quota ceiling, never panic the executive.
         if let Some(c) = self.channels.get_mut(&channel) {
-            c.last_bytes += bytes;
+            c.last_bytes = c.last_bytes.saturating_add(bytes);
         }
     }
 
@@ -132,6 +135,16 @@ mod tests {
             assert_eq!(cm.tick(&mut m), 0);
         }
         assert!(!cm.is_disconnected(3));
+    }
+
+    #[test]
+    fn absurd_byte_counts_saturate_instead_of_overflowing() {
+        let mut m = mpm();
+        let mut cm = ChannelManager::new();
+        cm.set_quota(7, 1000, 2);
+        cm.account(7, u64::MAX);
+        cm.account(7, u64::MAX); // would overflow without saturation
+        assert_eq!(cm.tick(&mut m), 1, "pinned over quota, no panic");
     }
 
     #[test]

@@ -131,6 +131,7 @@ pub fn boot_cluster(n: usize, base: BootConfig) -> (Cluster, Vec<ObjId>) {
         });
         ex.with_kernel::<Srm, _>(srm_id, |s, _| {
             s.peers.cluster_nodes = n;
+            s.membership.join(node, n);
         });
         nodes.push(ex);
         srms.push(srm_id);

@@ -1,0 +1,457 @@
+//! A partition-tolerant DSM workload kernel.
+//!
+//! [`DsmNodeKernel`] is an application kernel that hammers a shared line
+//! region through the [`libkern::dsm`] migratory protocol while the
+//! cluster underneath it partitions, heals and loses nodes. It is the
+//! load generator for the partition property tests, the
+//! `examples/partition.rs` demo and the `report -- partition` section.
+//!
+//! Per tick it touches the next line of a seeded reference string:
+//! owned lines are written directly (progress), remote lines are
+//! fetched and the access parks until the line installs. Cluster events
+//! from the membership detector drive recovery:
+//!
+//! * `NodeDown` — mirror the death; when the event carries a quorum
+//!   verdict (membership still held a strict majority after evaluating
+//!   the whole suspicion batch) run the deterministic reclamation sweep
+//!   re-homing the dead owner's lines to the lowest live node.
+//! * `NodeRejoined` — mirror the rejoin and push an owned-lines claims
+//!   sync at the returnee so its directory converges.
+//! * `EpochChanged` — adopt the epoch; when it was adopted *from* a
+//!   peer (we were the stale side), request a full directory re-sync
+//!   from that peer.
+//!
+//! Minority-side nodes keep making progress on the lines they own and
+//! skip the rest — they must not stall, but they must also never win
+//! ownership while cut off (the epoch fence enforces that on the
+//! majority side).
+
+use cache_kernel::{AppKernel, ClusterEvent, Env, FaultDisposition, ObjId, TrapDisposition};
+use hw::{Fault, Paddr, CACHE_LINE_SIZE};
+use libkern::{Dsm, DsmAction, DsmStats, DSM_CHANNEL};
+
+/// Configuration for one [`DsmNodeKernel`].
+#[derive(Clone, Debug)]
+pub struct DsmNodeConfig {
+    /// This node's index.
+    pub node: usize,
+    /// Configured cluster size.
+    pub cluster_nodes: usize,
+    /// Base physical address of the shared line region.
+    pub base: Paddr,
+    /// Number of shared lines (striped across nodes round-robin).
+    pub lines: u32,
+    /// Reference-string seed.
+    pub seed: u64,
+    /// Accesses to plan (the string wraps if the run is longer).
+    pub accesses: usize,
+    /// Ticks a parked access waits before re-driving its fetch.
+    pub retry_ticks: u32,
+    /// Anti-entropy cadence: every `gossip_ticks` ticks each node sends
+    /// its owned-lines claims to every live peer. Max-stamp-wins makes
+    /// the gossip idempotent, and it repairs the residual windows no
+    /// event-driven path covers (e.g. a migration whose broadcast raced
+    /// a rejoin, then was orphaned by the owner's death).
+    pub gossip_ticks: u64,
+}
+
+impl Default for DsmNodeConfig {
+    fn default() -> Self {
+        DsmNodeConfig {
+            node: 0,
+            cluster_nodes: 1,
+            base: Paddr(0x30_0000),
+            lines: 32,
+            seed: 1,
+            accesses: 4096,
+            retry_ticks: 6,
+            gossip_ticks: 24,
+        }
+    }
+}
+
+/// One parked access waiting for a line to arrive.
+struct Pending {
+    line: u32,
+    age: u32,
+    /// Owner the last fetch went to, to avoid hot redirect loops.
+    last_target: usize,
+}
+
+/// The workload kernel. See the module docs.
+pub struct DsmNodeKernel {
+    cfg: DsmNodeConfig,
+    me: ObjId,
+    /// The node's DSM endpoint.
+    pub dsm: Dsm,
+    /// Membership mirror maintained from cluster events.
+    alive: Vec<bool>,
+    stream: Vec<u32>,
+    pos: usize,
+    pending: Option<Pending>,
+    /// Completed line accesses (the progress measure).
+    pub progress: u64,
+    /// Accesses skipped while degraded (line owned across the cut).
+    pub skipped: u64,
+    /// Human-readable membership/epoch timeline for the demo binary.
+    pub timeline: Vec<String>,
+    folded: DsmStats,
+    ticks: u64,
+    /// Lines whose in-flight fetch was abandoned while degraded. The
+    /// serving side may have committed the migration before the cut ate
+    /// the LINE reply, leaving an entry that names us owner while we
+    /// never installed — a state only we can repair (the server
+    /// re-serves idempotently). Re-driven once per gossip round until
+    /// the directory says we own the line.
+    orphans: Vec<u32>,
+}
+
+impl DsmNodeKernel {
+    /// Build the kernel; `share` must be called from `on_start` (the
+    /// constructor has no machine access).
+    pub fn new(cfg: DsmNodeConfig) -> Self {
+        let stream = crate::uniform_stream(cfg.lines, cfg.accesses, cfg.seed);
+        DsmNodeKernel {
+            dsm: Dsm::new(cfg.node),
+            alive: vec![true; cfg.cluster_nodes.max(1)],
+            stream,
+            pos: 0,
+            pending: None,
+            progress: 0,
+            skipped: 0,
+            timeline: Vec::new(),
+            folded: DsmStats::default(),
+            ticks: 0,
+            orphans: Vec::new(),
+            me: ObjId::new(cache_kernel::ObjKind::Kernel, 0, 0),
+            cfg,
+        }
+    }
+
+    fn majority(&self) -> bool {
+        self.alive.iter().filter(|a| **a).count() * 2 > self.cfg.cluster_nodes
+    }
+
+    fn lowest_alive(&self) -> usize {
+        self.alive.iter().position(|a| *a).unwrap_or(self.cfg.node)
+    }
+
+    fn line_addr(&self, line: u32) -> Paddr {
+        Paddr(self.cfg.base.0 + line * CACHE_LINE_SIZE)
+    }
+
+    /// Fold this kernel's DSM counter deltas into the global registry.
+    fn fold_stats(&mut self, env: &mut Env) {
+        let s = self.dsm.stats;
+        env.ck.stats.frames_rejected += s.frames_rejected - self.folded.frames_rejected;
+        env.ck.stats.stale_rejected += s.stale_rejected - self.folded.stale_rejected;
+        env.ck.stats.lines_rehomed += s.rehomed - self.folded.rehomed;
+        self.folded = s;
+    }
+
+    fn note(&mut self, env: &Env, what: String) {
+        self.timeline.push(format!(
+            "[node {} @{}] {what}",
+            self.cfg.node,
+            env.mpm.clock.cycles()
+        ));
+    }
+
+    /// Complete the access to `line` (we own it now): write a
+    /// deterministic stamp and advance the reference string.
+    fn complete(&mut self, env: &mut Env, line: u32) {
+        let addr = self.line_addr(line);
+        let stamp = ((self.cfg.node as u32) << 24) ^ (self.pos as u32);
+        let _ = env.mpm.mem.write_u32(addr, stamp);
+        self.progress += 1;
+        self.pos += 1;
+        self.pending = None;
+    }
+
+    /// Issue (or re-issue) the fetch for `line` toward the current
+    /// owner. Returns whether a packet went out.
+    fn drive_fetch(&mut self, env: &mut Env, line: u32) -> bool {
+        let addr = self.line_addr(line);
+        let Some(owner) = self.dsm.owner_of(addr) else {
+            return false;
+        };
+        if let Some(pkt) = self.dsm.fetch_request(addr) {
+            env.outbox.push(pkt);
+            self.pending = Some(Pending {
+                line,
+                age: 0,
+                last_target: owner,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Stop initiating new accesses (tests freeze the workload before
+    /// checking cross-node directory equality at quiescence).
+    pub fn freeze(&mut self) {
+        self.pos = self.stream.len();
+    }
+
+    /// Broadcast the new ownership of `addr` to every live peer.
+    fn announce(&mut self, env: &mut Env, addr: Paddr) {
+        for peer in 0..self.cfg.cluster_nodes {
+            if peer == self.cfg.node || !self.alive[peer] {
+                continue;
+            }
+            if let Some(pkt) = self.dsm.owner_announcement(addr, peer) {
+                env.outbox.push(pkt);
+            }
+        }
+    }
+}
+
+impl AppKernel for DsmNodeKernel {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, env: &mut Env, id: ObjId) {
+        self.me = id;
+        // Stripe initial ownership round-robin across the cluster.
+        for line in 0..self.cfg.lines {
+            let owner = line as usize % self.cfg.cluster_nodes.max(1);
+            self.dsm
+                .share_lines(env.mpm, self.line_addr(line), 1, owner);
+        }
+    }
+
+    fn on_page_fault(&mut self, _env: &mut Env, _t: ObjId, _f: Fault) -> FaultDisposition {
+        FaultDisposition::Kill
+    }
+
+    fn on_trap(&mut self, _env: &mut Env, _t: ObjId, no: u32, _a: [u32; 4]) -> TrapDisposition {
+        TrapDisposition::Return(no)
+    }
+
+    fn on_tick(&mut self, env: &mut Env) {
+        self.ticks += 1;
+        if self.cfg.gossip_ticks > 0 && self.ticks.is_multiple_of(self.cfg.gossip_ticks) {
+            // Anti-entropy round: push our owned-lines claims at every
+            // live peer. Max-stamp-wins makes this idempotent; it is
+            // what guarantees cross-node directory convergence at
+            // quiescence regardless of which broadcasts a cut ate.
+            if self.dsm.owned_count() > 0 {
+                for peer in 0..self.cfg.cluster_nodes {
+                    if peer == self.cfg.node || !self.alive[peer] {
+                        continue;
+                    }
+                    env.outbox.push(self.dsm.sync_packet(peer, true));
+                }
+            }
+            // Re-drive orphaned migrations: a fetch abandoned mid-cut
+            // may already be committed on the serving side, naming us
+            // owner of a line we never installed. Only a fresh fetch
+            // from us resolves that (the server re-serves the same
+            // stamp), so chase each orphan until the directory says we
+            // own it.
+            let mut orphans = std::mem::take(&mut self.orphans);
+            orphans.retain(|&line| {
+                let addr = self.line_addr(line);
+                match self.dsm.owner_of(addr) {
+                    Some(o) if o == self.cfg.node => false,
+                    Some(o) if self.alive[o] => {
+                        if let Some(pkt) = self.dsm.fetch_request(addr) {
+                            env.outbox.push(pkt);
+                        }
+                        true
+                    }
+                    _ => true,
+                }
+            });
+            self.orphans = orphans;
+        }
+        if let Some(line) = self.pending.as_ref().map(|p| p.line) {
+            // A parked access: complete it if the sweep re-homed the
+            // line here; re-drive it if the reply is overdue (lost to a
+            // cut, or the owner changed under us).
+            let addr = self.line_addr(line);
+            if self.dsm.owner_of(addr) == Some(self.cfg.node) {
+                self.complete(env, line);
+            } else {
+                let p = self.pending.as_mut().expect("checked above");
+                p.age += 1;
+                if p.age > self.cfg.retry_ticks {
+                    let owner = self.dsm.owner_of(addr);
+                    if owner.is_some_and(|o| self.alive[o]) || self.majority() {
+                        self.drive_fetch(env, line);
+                    } else {
+                        // Degraded and the owner is across the cut:
+                        // give up on this access for now, keep moving —
+                        // but remember the line; the owner may already
+                        // have committed the migration to us.
+                        if !self.orphans.contains(&line) {
+                            self.orphans.push(line);
+                        }
+                        self.skipped += 1;
+                        self.pos += 1;
+                        self.pending = None;
+                    }
+                }
+            }
+        }
+        if self.pending.is_none() && self.pos < self.stream.len() {
+            let line = self.stream[self.pos];
+            let addr = self.line_addr(line);
+            match self.dsm.owner_of(addr) {
+                Some(o) if o == self.cfg.node => self.complete(env, line),
+                Some(o) if self.alive[o] || self.majority() => {
+                    self.drive_fetch(env, line);
+                }
+                _ => {
+                    // Degraded minority: skip lines owned across the
+                    // cut rather than stall the whole workload.
+                    self.skipped += 1;
+                    self.pos += 1;
+                }
+            }
+        }
+        self.fold_stats(env);
+    }
+
+    fn on_packet(&mut self, env: &mut Env, src: usize, channel: u32, data: &[u8]) {
+        if channel != DSM_CHANNEL {
+            return;
+        }
+        match self.dsm.on_packet(env.mpm, src, data) {
+            DsmAction::Reply(pkt) => env.outbox.push(pkt),
+            DsmAction::Served { reply, addr } => {
+                env.outbox.push(reply);
+                // Announce the migration from the serving side too: if
+                // the new owner dies before its own broadcast gets out,
+                // third parties still learn the transfer.
+                self.announce(env, addr);
+            }
+            DsmAction::Installed { addr } | DsmAction::Owned { addr } => {
+                self.announce(env, addr);
+                if let Some(p) = &self.pending {
+                    if self.line_addr(p.line) == addr {
+                        self.complete(env, addr.line() - self.cfg.base.line());
+                    }
+                }
+            }
+            DsmAction::Redirect { addr } => {
+                // The directory moved: chase the new owner immediately,
+                // unless it is the same node we just asked (then let the
+                // tick-retry pace the loop).
+                if let Some(p) = &self.pending {
+                    let line = p.line;
+                    let last = p.last_target;
+                    if self.line_addr(line) == addr
+                        && self.dsm.owner_of(addr).is_some_and(|o| o != last)
+                    {
+                        self.drive_fetch(env, line);
+                    }
+                }
+            }
+            DsmAction::None | DsmAction::Synced { .. } | DsmAction::Rejected => {}
+        }
+        self.fold_stats(env);
+    }
+
+    fn on_cluster_event(&mut self, env: &mut Env, ev: ClusterEvent) {
+        match ev {
+            ClusterEvent::NodeDown {
+                node,
+                epoch,
+                quorum,
+            } => {
+                if node < self.alive.len() {
+                    self.alive[node] = false;
+                }
+                self.dsm.set_epoch(epoch);
+                // Sweep strictly on the event's quorum verdict, never on
+                // the local mirror: membership evaluates the whole batch
+                // of suspicions before deciding, while the mirror sees
+                // one death at a time — a node about to lose quorum
+                // would otherwise sweep under an unbumped epoch, an
+                // unfenceable stamp no later merge can repair.
+                if quorum {
+                    let target = self.lowest_alive();
+                    let moved = self.dsm.rehome_dead(env.mpm, node, target, epoch);
+                    self.note(
+                        env,
+                        format!("node-down peer={node} epoch={epoch} rehomed={moved}->n{target}"),
+                    );
+                } else {
+                    self.note(env, format!("node-down peer={node} degraded (minority)"));
+                }
+            }
+            ClusterEvent::NodeRejoined { node, epoch } => {
+                if node < self.alive.len() {
+                    self.alive[node] = true;
+                }
+                self.dsm.set_epoch(epoch);
+                // Push our owned-lines claims at the returnee so its
+                // directory stops pointing at pre-partition owners.
+                let claims = self.dsm.sync_packet(node, true);
+                env.outbox.push(claims);
+                self.note(env, format!("node-rejoined peer={node} epoch={epoch}"));
+            }
+            ClusterEvent::EpochChanged {
+                epoch,
+                adopted_from,
+            } => {
+                self.dsm.set_epoch(epoch);
+                if let Some(peer) = adopted_from {
+                    // We were the stale side: re-sync the directory from
+                    // the epoch holder before trusting it.
+                    let req = self.dsm.sync_request(peer);
+                    env.outbox.push(req);
+                    self.note(env, format!("epoch-adopted epoch={epoch} from=n{peer}"));
+                } else {
+                    self.note(env, format!("epoch-changed epoch={epoch}"));
+                }
+            }
+        }
+        self.fold_stats(env);
+    }
+
+    fn name(&self) -> &str {
+        "dsm-node"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_string_is_seeded_and_in_range() {
+        let k = DsmNodeKernel::new(DsmNodeConfig {
+            lines: 8,
+            seed: 42,
+            accesses: 100,
+            ..DsmNodeConfig::default()
+        });
+        let k2 = DsmNodeKernel::new(DsmNodeConfig {
+            lines: 8,
+            seed: 42,
+            accesses: 100,
+            ..DsmNodeConfig::default()
+        });
+        assert_eq!(k.stream, k2.stream);
+        assert!(k.stream.iter().all(|&l| l < 8));
+    }
+
+    #[test]
+    fn majority_mirror_tracks_cluster_size() {
+        let mut k = DsmNodeKernel::new(DsmNodeConfig {
+            node: 0,
+            cluster_nodes: 3,
+            ..DsmNodeConfig::default()
+        });
+        assert!(k.majority());
+        k.alive[1] = false;
+        assert!(k.majority(), "2 of 3 is a majority");
+        k.alive[2] = false;
+        assert!(!k.majority(), "1 of 3 is not");
+        assert_eq!(k.lowest_alive(), 0);
+    }
+}

@@ -6,6 +6,8 @@
 //! them. Everything returns plain index vectors so the same stream can
 //! drive the database kernel, the segment manager, or a raw cache model.
 
+pub mod dsm_cluster;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -29,4 +29,11 @@ cargo test -q -p vpp --test prop_chaos pinned_seed_overload
 echo "== crash recovery example builds =="
 cargo build -q -p vpp --example crash_recovery
 
+echo "== partition pinned seeds (membership, fencing, replay) =="
+cargo test -q -p vpp --test prop_partition pinned_partition
+cargo test -q -p vpp --test prop_partition fault_free_run_is_inert
+
+echo "== partition report smoke =="
+cargo run -q --release -p bench --bin report -- partition > /dev/null
+
 echo "All checks passed."

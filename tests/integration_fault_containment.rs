@@ -69,10 +69,11 @@ fn peer_entries_go_stale_after_failure() {
     for _ in 0..20 {
         cluster.step(40);
     }
-    let age_after = cluster.nodes[0]
-        .with_kernel::<Srm, _>(srms[0], |s, _| s.peers.peer(1).map(|p| p.age).unwrap_or(0))
+    let gone = cluster.nodes[0]
+        .with_kernel::<Srm, _>(srms[0], |s, _| s.peers.peer(1).is_none())
         .unwrap();
-    assert!(age_after > 8, "dead peer aged out of placement decisions");
+    assert!(gone, "dead peer expired out of the table");
+    assert!(cluster.nodes[0].ck.stats.peers_expired > 0);
     // Placement avoids the dead node even though it advertised 'idle'.
     let placed = cluster.nodes[0]
         .with_kernel::<Srm, _>(srms[0], |s, _| s.peers.least_loaded(0, 5))

@@ -305,7 +305,7 @@ use vpp::cache_kernel::{
     MemoryAccessArray, ObjId, TrapDisposition,
 };
 use vpp::hw::FaultKind;
-use vpp::libkern::{Dsm, DSM_CHANNEL};
+use vpp::libkern::{Dsm, DsmAction, DSM_CHANNEL};
 
 /// An application kernel that resolves consistency faults with the DSM
 /// protocol: FETCH toward the owner, block the thread, resume when the
@@ -351,19 +351,23 @@ impl AppKernel for DsmKernel {
     fn on_trap(&mut self, _env: &mut Env, _t: ObjId, no: u32, _a: [u32; 4]) -> TrapDisposition {
         TrapDisposition::Return(no)
     }
-    fn on_packet(&mut self, env: &mut Env, _src: usize, channel: u32, data: &[u8]) {
+    fn on_packet(&mut self, env: &mut Env, src: usize, channel: u32, data: &[u8]) {
         if channel != DSM_CHANNEL {
             return;
         }
-        // Either a fetch to serve (we own the line) or a line to install.
-        if let Some(reply) = self.dsm.serve_fetch(env.mpm, data) {
-            env.outbox.push(reply);
-            return;
-        }
-        if self.dsm.install_line(env.mpm, data).is_some() {
-            if let Some(t) = self.waiting.take() {
-                let _ = env.ck.resume_thread(self.me, t);
+        match self.dsm.on_packet(env.mpm, src, data) {
+            DsmAction::Reply(pkt) | DsmAction::Served { reply: pkt, .. } => env.outbox.push(pkt),
+            DsmAction::Installed { .. } | DsmAction::Owned { .. } => {
+                if let Some(t) = self.waiting.take() {
+                    let _ = env.ck.resume_thread(self.me, t);
+                }
             }
+            DsmAction::Redirect { addr } if self.waiting.is_some() => {
+                if let Some(pkt) = self.dsm.fetch_request(addr) {
+                    env.outbox.push(pkt);
+                }
+            }
+            _ => {}
         }
     }
     fn name(&self) -> &str {

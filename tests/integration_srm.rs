@@ -197,3 +197,94 @@ fn swapped_kernel_restarts_with_state() {
         .unwrap();
     assert_eq!(ex.ck.kernel(k2).unwrap().desc.max_priority, max_prio_before);
 }
+
+// ----------------------------------------------------------------------
+// ReliableLink under a one-way partition: data gets through, acks don't.
+// ----------------------------------------------------------------------
+
+use vpp::libkern::ReliableLink;
+
+#[test]
+fn one_way_partition_retransmits_cap_at_backoff_ceiling() {
+    // A→B delivers, B→A (the acks) is severed. A must retransmit with
+    // doubling backoff capped at base << max_backoff, then abandon the
+    // frame at the attempt cap instead of retrying forever.
+    let mut a = ReliableLink::new();
+    let mut b = ReliableLink::new();
+    let wire = a.send(1, b"doomed");
+    let inb = b.on_frame(0, &wire);
+    assert!(inb.payload.is_some());
+    drop(inb.ack); // severed
+
+    let ceiling = a.base_timeout << a.max_backoff;
+    let mut last_retry_at: Option<u64> = None;
+    let mut gaps = Vec::new();
+    for t in 1..2000u64 {
+        for (dst, f) in a.tick() {
+            assert_eq!(dst, 1);
+            if let Some(prev) = last_retry_at {
+                gaps.push(t - prev);
+            }
+            last_retry_at = Some(t);
+            drop(b.on_frame(0, &f).ack); // data still flows, acks don't
+        }
+        if a.in_flight() == 0 {
+            break;
+        }
+    }
+    assert_eq!(a.in_flight(), 0, "abandoned at the attempt cap");
+    assert_eq!(a.counters.gave_up, 1);
+    assert_eq!(a.counters.retries, u64::from(a.max_attempts) - 1);
+    assert!(
+        gaps.iter().all(|&g| g <= ceiling),
+        "no retry gap exceeds the ceiling: {gaps:?}"
+    );
+    assert!(
+        gaps.windows(2).all(|w| w[1] >= w[0]),
+        "backoff is monotone: {gaps:?}"
+    );
+    assert_eq!(*gaps.last().unwrap(), ceiling, "last gaps sit at the cap");
+    // The receiver saw every retransmission as a duplicate.
+    assert_eq!(b.counters.dup_dropped, u64::from(a.max_attempts) - 1);
+}
+
+#[test]
+fn one_way_partition_counters_balance_and_link_resumes_after_heal() {
+    let mut a = ReliableLink::new();
+    let mut b = ReliableLink::new();
+
+    // Phase 1: acks severed for a few sends, long enough for give-ups.
+    for i in 0..3u8 {
+        let w = a.send(1, &[i]);
+        drop(b.on_frame(0, &w).ack);
+    }
+    for _ in 0..1000 {
+        for (_, f) in a.tick() {
+            drop(b.on_frame(0, &f).ack);
+        }
+    }
+    let c = a.counters;
+    assert_eq!(
+        c.sent,
+        c.acked + c.gave_up + a.in_flight() as u64,
+        "sent = acked + gave_up + in-flight under one-way loss"
+    );
+    assert_eq!(c.gave_up, 3);
+
+    // Phase 2: heal — acks flow again; fresh traffic completes.
+    let w = a.send(1, b"after-heal");
+    let inb = b.on_frame(0, &w);
+    assert_eq!(inb.payload.as_deref(), Some(b"after-heal".as_ref()));
+    let ack = inb.ack.unwrap();
+    a.on_frame(1, &ack);
+    assert_eq!(a.in_flight(), 0);
+    let c = a.counters;
+    assert_eq!(c.acked, 1);
+    assert_eq!(c.sent, c.acked + c.gave_up, "balance holds after heal");
+    // No spurious retransmission of the healed frame.
+    let retries_before = c.retries;
+    for _ in 0..200 {
+        assert!(a.tick().is_empty());
+    }
+    assert_eq!(a.counters.retries, retries_before);
+}

@@ -1,0 +1,57 @@
+//! Sharded-machine throughput: the job mill end to end.
+//!
+//! Measures whole-mill wall time — build, run to quiescence, verify
+//! every job completed — for lockstep vs free-running threaded modes at
+//! several shard counts, and the sensitivity to ring capacity (tiny
+//! rings force `rings_full` retries; throughput should degrade
+//! gracefully, never deadlock).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::throughput::{build, ThroughputSpec};
+
+fn run_mill(spec: &ThroughputSpec) -> u64 {
+    let mut m = build(spec);
+    m.run_until_idle(1_000_000);
+    let c = m.counters();
+    assert_eq!(c.thread_exits, spec.total_jobs(), "mill must finish");
+    c.events_emitted
+}
+
+fn mill_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput/mill");
+    for &(shards, threads) in &[(1usize, false), (4, false), (4, true), (8, true)] {
+        let mode = if threads { "threaded" } else { "lockstep" };
+        g.bench_function(format!("{shards}cpu_{mode}"), |b| {
+            b.iter(|| {
+                run_mill(&ThroughputSpec {
+                    shards,
+                    jobs_per_shard: 32,
+                    threads,
+                    ..ThroughputSpec::default()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn mill_ring_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput/ring_capacity");
+    for &cap in &[4usize, 64, 1024] {
+        g.bench_function(format!("cap_{cap}"), |b| {
+            b.iter(|| {
+                run_mill(&ThroughputSpec {
+                    shards: 4,
+                    jobs_per_shard: 32,
+                    threads: true,
+                    ring_capacity: cap,
+                    ..ThroughputSpec::default()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, mill_modes, mill_ring_capacity);
+criterion_main!(benches);

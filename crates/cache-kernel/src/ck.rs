@@ -65,6 +65,15 @@ pub struct CkConfig {
     pub share_cap_pct: u8,
     /// Base suggested backoff carried in `Again`, in cycles.
     pub shed_backoff: u32,
+    /// Number of CPU shards in the machine this Cache Kernel is one
+    /// shard of (0 or 1 = not sharded). When ≥ 2, compound shootdown
+    /// rounds are also exported as [`ShardMsg::Shootdown`] broadcasts so
+    /// the other shards' TLBs see the same consistency action — the
+    /// cross-CPU round as an explicit message instead of shared
+    /// mutation.
+    ///
+    /// [`ShardMsg::Shootdown`]: crate::shardmsg::ShardMsg
+    pub shard_fanout: usize,
 }
 
 impl Default for CkConfig {
@@ -84,6 +93,7 @@ impl Default for CkConfig {
             watermark_pct: 100,
             share_cap_pct: 100,
             shed_backoff: 500,
+            shard_fanout: 0,
         }
     }
 }
@@ -144,6 +154,14 @@ pub struct CacheKernel {
     /// writebacks, thrash-detector state (side table so victim-selection
     /// closures borrow it disjointly from the caches).
     pub(crate) overload: crate::overload::OverloadState,
+    /// Messages bound for other shards of a sharded machine, queued by
+    /// the kernel's lower layers (shootdown broadcast) and by
+    /// application kernels through [`Env::ck`](crate::appkernel::Env).
+    /// The machine layer drains this after every quantum and routes the
+    /// messages onto the inter-executive rings; outside a sharded
+    /// machine (`shard_fanout` < 2 and no driver pushing) it stays
+    /// empty and costs nothing.
+    pub shard_exports: Vec<crate::shardmsg::ShardExport>,
     /// Configuration.
     pub config: CkConfig,
     /// Operation counters.
@@ -174,6 +192,7 @@ impl CacheKernel {
             heartbeats: BTreeMap::new(),
             restart_notices: VecDeque::new(),
             overload: crate::overload::OverloadState::default(),
+            shard_exports: Vec::new(),
             config,
             stats: CkStats::default(),
         }

@@ -100,6 +100,25 @@ pub struct Counters {
     /// DSM lines re-homed from a dead or partitioned owner to the lowest
     /// live node by the reclamation sweep.
     pub lines_rehomed: u64,
+    /// Cross-shard messages sent onto the SPSC rings.
+    pub shard_msgs_sent: u64,
+    /// Cross-shard messages delivered off the rings and processed.
+    pub shard_msgs_delivered: u64,
+    /// Sends deferred because the destination ring was full (the message
+    /// is retried next quantum — backpressure, never loss, never panic).
+    pub rings_full: u64,
+    /// Shootdown rounds received from another shard and applied to this
+    /// shard's TLB/reverse-TLB.
+    pub remote_shootdowns: u64,
+    /// Jobs migrated to another shard through idle steal.
+    pub shard_steals: u64,
+    /// Displaced descriptors shipped to their home shard.
+    pub wb_shipped: u64,
+    /// Jobs admitted from the backlog into the thread cache.
+    pub jobs_admitted: u64,
+    /// Executive threads that panicked in free-running mode (the shard
+    /// is declared failed and the machine keeps going).
+    pub threads_panicked: u64,
 }
 
 /// The historical name: the counters began as the Cache Kernel's stats
@@ -170,7 +189,38 @@ impl Counters {
         self.shootdown_batches += 1;
         self.shootdown_batched_pages += pages;
     }
+
+    /// Add `other`'s counts into `self`. The sharded machine keeps one
+    /// `Counters` cell per CPU shard and merges them on read, so the hot
+    /// path never shares a counter cache line across threads.
+    ///
+    /// Every field of `Counters` is a `u64` or an array of `u64` (the
+    /// `_ALL_U64` assertion below pins the layout), so the merge is an
+    /// element-wise sum over the struct's `u64` lanes — new counters are
+    /// picked up automatically and can never be forgotten here.
+    pub fn merge_from(&mut self, other: &Counters) {
+        const LANES: usize = std::mem::size_of::<Counters>() / 8;
+        // SAFETY: `Counters` is `Copy` with every field `u64`-typed (or
+        // `[u64; 4]`), so it is exactly `LANES` aligned u64s with no
+        // padding; both references are valid for that many lanes and
+        // cannot overlap (`&mut` vs `&`).
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(self as *mut Counters as *mut u64, LANES) };
+        let src =
+            unsafe { std::slice::from_raw_parts(other as *const Counters as *const u64, LANES) };
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += *s;
+        }
+    }
 }
+
+/// Layout guard for [`Counters::merge_from`]: the struct must stay an
+/// integral number of u64 lanes with u64 alignment. Adding a non-u64
+/// field breaks this assertion at compile time.
+const _ALL_U64: () = {
+    assert!(std::mem::size_of::<Counters>().is_multiple_of(8));
+    assert!(std::mem::align_of::<Counters>() == 8);
+};
 
 #[cfg(test)]
 mod tests {
@@ -201,6 +251,31 @@ mod tests {
         assert_eq!(c.device_interrupts, 1);
         assert_eq!(c.accounting_periods, 1);
         assert_eq!(c.events_emitted, 4);
+    }
+
+    #[test]
+    fn merge_sums_every_lane() {
+        let mut a = Counters {
+            loads: [1, 2, 3, 4],
+            signals_fast: 7,
+            rings_full: 1,
+            ..Counters::default()
+        };
+        let b = Counters {
+            loads: [10, 20, 30, 40],
+            signals_fast: 3,
+            threads_panicked: 2,
+            ..Counters::default()
+        };
+        a.merge_from(&b);
+        assert_eq!(a.loads, [11, 22, 33, 44]);
+        assert_eq!(a.signals_fast, 10);
+        assert_eq!(a.rings_full, 1);
+        assert_eq!(a.threads_panicked, 2);
+        // Merging a default is the identity on every lane.
+        let before = a;
+        a.merge_from(&Counters::default());
+        assert_eq!(format!("{before:?}"), format!("{a:?}"));
     }
 
     #[test]

@@ -146,8 +146,10 @@ impl Executive {
                 if let Some(pc) = pc {
                     self.code.remove(pc);
                 }
-                if self.mpm.cpus[cpu].current == Some(slot as u32) {
-                    self.mpm.cpus[cpu].current = None;
+                if let Some(c) = self.mpm.cpus.get_mut(cpu) {
+                    if c.current == Some(slot as u32) {
+                        c.current = None;
+                    }
                 }
             }
             KernelEvent::KernelFailed { .. } | KernelEvent::KernelRecovered { .. } => {
@@ -202,7 +204,7 @@ impl Executive {
                 }
                 self.ck.resume_armed = false;
                 if self.ck.thread_id(slot) != Some(thread) {
-                    self.mpm.cpus[cpu].current = None;
+                    self.clear_current(cpu);
                 }
             }
             FaultDisposition::Block => {
@@ -214,7 +216,7 @@ impl Executive {
                     }
                     self.ck.sched.remove(slot);
                 }
-                self.mpm.cpus[cpu].current = None;
+                self.clear_current(cpu);
             }
             FaultDisposition::Retry => {
                 // The resolving load was shed (`Again`): put the thread
@@ -234,13 +236,13 @@ impl Executive {
                         self.ck.enqueue_thread(slot);
                     }
                 }
-                self.mpm.cpus[cpu].current = None;
+                self.clear_current(cpu);
             }
             FaultDisposition::Kill => {
                 if self.ck.thread_id(slot) == Some(thread) {
                     self.terminate_thread(cpu, slot, -11); // SIGSEGV flavor
                 } else {
-                    self.mpm.cpus[cpu].current = None;
+                    self.clear_current(cpu);
                 }
             }
         }
@@ -281,7 +283,7 @@ impl Executive {
                     }
                     self.ck.sched.remove(slot);
                 }
-                self.mpm.cpus[cpu].current = None;
+                self.clear_current(cpu);
             }
             TrapDisposition::Exit => {
                 self.terminate_thread(cpu, slot, no as i32);

@@ -96,8 +96,10 @@ impl Executive {
                 }
             }
         }
-        if self.mpm.cpus[cpu].current == Some(slot as u32) {
-            self.mpm.cpus[cpu].current = None;
+        if let Some(c) = self.mpm.cpus.get_mut(cpu) {
+            if c.current == Some(slot as u32) {
+                c.current = None;
+            }
         }
     }
 }

@@ -30,11 +30,13 @@ mod devices;
 mod dispatch;
 pub mod events;
 mod faultpath;
+pub mod shard;
 #[cfg(test)]
 mod tests;
 
 pub use appkernels::AppKernelTable;
 pub use events::EventTrace;
+pub use shard::{Cluster, Machine, RunMode, ShardConfig};
 
 use crate::appkernel::{AppKernel, Env};
 use crate::ck::CacheKernel;
@@ -43,8 +45,8 @@ use crate::fault::{FaultDisposition, TrapDisposition};
 use crate::ids::ObjId;
 use crate::objects::{Priority, ThreadDesc};
 use crate::program::{CodeStore, Program};
-use hw::{Fabric, FaultPlan, FrameFate, Mpm, Packet};
-use std::collections::HashMap;
+use hw::{FaultPlan, Mpm, Packet};
+use std::collections::{HashMap, VecDeque};
 
 /// Factory re-instantiating an application kernel after an SRM restart.
 pub type RestartFactory = Box<dyn FnMut(ObjId) -> Box<dyn AppKernel> + Send>;
@@ -88,6 +90,25 @@ pub struct Executive {
     /// kernel, the executive re-instantiates its application-kernel
     /// object through the matching factory.
     pub(crate) restart_factories: HashMap<String, RestartFactory>,
+    /// Deferred jobs awaiting admission into the thread cache. Jobs
+    /// migrate between the shards of a sharded machine via idle steal.
+    pub jobs: VecDeque<crate::shardmsg::Job>,
+    /// Kernel and address space that admitted jobs spawn into (`None`
+    /// disables admission entirely — the pre-sharding behavior).
+    pub job_target: Option<(ObjId, ObjId)>,
+    /// Jobs admitted from the backlog per quantum (the thread cache is
+    /// the scarce resource; the backlog is not).
+    pub job_admit: usize,
+    /// Writeback shipments archived on this shard (the home shard keeps
+    /// displaced descriptors the way the SRM keeps restart state).
+    pub wb_archive: Vec<crate::shardmsg::WbShipment>,
+    /// Last steal victim (rotates).
+    pub(crate) steal_victim: usize,
+    /// A steal request is outstanding; don't send another.
+    pub(crate) steal_outstanding: bool,
+    /// Consecutive empty steal grants; a full rotation's worth stops
+    /// the stealing until work appears again.
+    pub(crate) steal_empty_rounds: usize,
 }
 
 impl Executive {
@@ -110,6 +131,13 @@ impl Executive {
             last_trap_disp: None,
             faults: None,
             restart_factories: HashMap::new(),
+            jobs: VecDeque::new(),
+            job_target: None,
+            job_admit: 4,
+            wb_archive: Vec::new(),
+            steal_victim: 0,
+            steal_outstanding: false,
+            steal_empty_rounds: 0,
         }
     }
 
@@ -286,6 +314,7 @@ impl Executive {
             }
             self.quanta_run += 1;
             self.apply_fault_plan();
+            self.admit_jobs();
             self.poll_devices();
             self.pump_events();
             for cpu in 0..self.mpm.cpus.len() {
@@ -305,10 +334,7 @@ impl Executive {
             if self.mpm.halted {
                 return q;
             }
-            let busy = self.ck.sched.ready_count() > 0
-                || self.mpm.cpus.iter().any(|c| c.current.is_some())
-                || self.ck.pending_events() > 0;
-            if !busy {
+            if self.idle() {
                 return q;
             }
             self.run(1);
@@ -317,101 +343,161 @@ impl Executive {
     }
 }
 
-/// A cluster of MPMs connected by the fabric (Fig. 4).
-pub struct Cluster {
-    /// The per-node executives.
-    pub nodes: Vec<Executive>,
-    /// The interconnect.
-    pub fabric: Fabric,
-    /// Cluster-level fault schedule: partitions, heals and whole-node
-    /// failures, applied at step boundaries against simulated time.
-    /// `None` keeps the fault-free fast path exactly as before.
-    pub net_faults: Option<FaultPlan>,
-}
+impl Executive {
+    // ------------------------------------------------------------------
+    // Shard protocol (see `exec::shard`)
+    // ------------------------------------------------------------------
 
-impl Cluster {
-    /// Assemble a cluster from executives (their machine configs should
-    /// carry distinct node indices).
-    pub fn new(nodes: Vec<Executive>) -> Self {
-        let fabric = Fabric::new(nodes.len());
-        Cluster {
-            nodes,
-            fabric,
-            net_faults: None,
-        }
+    /// Nothing runnable, nothing pending, nothing backlogged: the
+    /// executive has no work it could make progress on by itself.
+    pub fn idle(&self) -> bool {
+        self.ck.sched.ready_count() == 0
+            && self.mpm.cpus.iter().all(|c| c.current.is_none())
+            && self.ck.pending_events() == 0
+            && self.jobs.is_empty()
     }
 
-    /// Run every node for `quanta`, then move fabric traffic. A failed
-    /// (halted) MPM simply stops executing; the fabric drops its traffic
-    /// (fault containment, §3).
-    pub fn step(&mut self, quanta: usize) {
-        // Fire due fabric schedule entries before the quantum, so every
-        // protocol on every node sees the same seeded network cut at the
-        // same simulated instant.
-        if let Some(plan) = self.net_faults.as_mut() {
-            let now = self
-                .nodes
-                .iter()
-                .map(|n| n.mpm.clock.cycles())
-                .max()
-                .unwrap_or(0);
-            for ev in plan.due_fabric_events(now) {
-                match ev {
-                    hw::FabricEvent::Partition(groups) => self.fabric.set_partition(&groups),
-                    hw::FabricEvent::Heal => self.fabric.heal(),
-                    hw::FabricEvent::NodeDown(n) => {
-                        if n < self.nodes.len() {
-                            self.fail_node(n);
-                        }
-                    }
-                }
-            }
+    /// Admit backlog jobs into the thread cache, up to `job_admit` per
+    /// quantum and only while the ready queue has headroom (backlog
+    /// depth is free; cached-thread pressure is not). A load the Cache
+    /// Kernel refuses (cache full, overload shed) puts the job back and
+    /// ends admission for this quantum — jobs are never lost.
+    fn admit_jobs(&mut self) {
+        let Some((kernel, space)) = self.job_target else {
+            return;
+        };
+        if self.job_admit == 0 {
+            return;
         }
-        for node in self.nodes.iter_mut() {
-            node.run(quanta);
-        }
-        // Drain outboxes into the fabric, with the sending node's fault
-        // plan deciding each frame's fate (loss/duplication injection).
-        for node in self.nodes.iter_mut() {
-            let halted = node.mpm.halted;
-            for pkt in node.outbox.drain(..) {
-                if halted {
-                    continue;
+        let headroom = self.job_admit + self.mpm.cpus.len();
+        let mut admitted = 0;
+        while admitted < self.job_admit && self.ck.sched.ready_count() < headroom {
+            let Some(job) = self.jobs.pop_front() else {
+                break;
+            };
+            let pc = self.code.register(job.program);
+            let desc = ThreadDesc::new(space, pc, job.priority);
+            match self.ck.load_thread(kernel, desc, false, &mut self.mpm) {
+                Ok(_) => {
+                    self.ck.stats.jobs_admitted += 1;
+                    admitted += 1;
                 }
-                let fate = node
-                    .faults
-                    .as_mut()
-                    .map(|p| p.frame_fate())
-                    .unwrap_or(FrameFate::Deliver);
-                match fate {
-                    FrameFate::Deliver => {
-                        self.fabric.send(pkt);
+                Err(_) => {
+                    if let Some(program) = self.code.remove(pc) {
+                        self.jobs.push_front(crate::shardmsg::Job {
+                            program,
+                            priority: job.priority,
+                        });
                     }
-                    FrameFate::Drop => {
-                        node.ck.stats.faults_injected += 1;
-                    }
-                    FrameFate::Duplicate => {
-                        node.ck.stats.faults_injected += 1;
-                        self.fabric.send(pkt.clone());
-                        self.fabric.send(pkt);
-                    }
+                    break;
                 }
-            }
-        }
-        // Deliver incoming traffic.
-        for i in 0..self.nodes.len() {
-            if self.fabric.is_failed(i) || self.nodes[i].mpm.halted {
-                continue;
-            }
-            while let Some(pkt) = self.fabric.recv(i) {
-                self.nodes[i].deliver_packet(pkt);
             }
         }
     }
 
-    /// Halt a node (simulated MPM hardware failure) and stop its traffic.
-    pub fn fail_node(&mut self, node: usize) {
-        self.nodes[node].mpm.halt();
-        self.fabric.fail_node(node);
+    /// Queue a deferred job on this shard's backlog.
+    pub fn push_job(&mut self, program: Box<dyn Program>, priority: Priority) {
+        self.jobs
+            .push_back(crate::shardmsg::Job { program, priority });
+    }
+
+    /// If this shard is idle with an empty backlog, ask the next victim
+    /// in rotation for work — at most one request outstanding, and
+    /// after a full rotation of empty-handed answers the shard stops
+    /// asking until work shows up again.
+    pub(crate) fn maybe_request_steal(&mut self, shards: usize) {
+        if shards < 2 {
+            return;
+        }
+        if !self.idle() {
+            self.steal_empty_rounds = 0;
+            return;
+        }
+        if self.steal_outstanding || self.steal_empty_rounds >= shards - 1 {
+            return;
+        }
+        let me = self.node();
+        let mut victim = (self.steal_victim + 1) % shards;
+        if victim == me {
+            victim = (victim + 1) % shards;
+        }
+        self.steal_victim = victim;
+        self.steal_outstanding = true;
+        self.ck.shard_exports.push(crate::shardmsg::ShardExport {
+            dst: crate::shardmsg::ShardDst::Node(victim),
+            msg: crate::shardmsg::ShardMsg::StealRequest { thief: me },
+        });
+    }
+
+    /// Clear a CPU's current-thread latch, tolerating an out-of-range
+    /// index: the `cpu` in an event payload may describe a wider
+    /// machine than this shard (every shard of a sharded build runs
+    /// one CPU), and a stale index must never panic a worker thread.
+    pub(crate) fn clear_current(&mut self, cpu: usize) {
+        if let Some(c) = self.mpm.cpus.get_mut(cpu) {
+            c.current = None;
+        }
+    }
+
+    /// Apply one message from another shard. Replies (steal grants) go
+    /// out through `ck.shard_exports` like any other cross-shard
+    /// traffic; nothing here can panic on a malformed or late message.
+    pub fn process_shard_msg(&mut self, msg: crate::shardmsg::ShardMsg) {
+        use crate::shardmsg::{ShardDst, ShardExport, ShardMsg};
+        self.ck.stats.shard_msgs_delivered += 1;
+        match msg {
+            ShardMsg::Packet(pkt) => self.deliver_packet(pkt),
+            ShardMsg::Shootdown(rs) => {
+                self.ck.stats.remote_shootdowns += 1;
+                self.mpm.flush_pages_all_cpus(&rs.pages);
+                self.mpm.flush_asids_all_cpus(&rs.asids);
+                if rs.rtlb_clear {
+                    self.mpm.rtlb_clear_all_cpus();
+                } else {
+                    self.mpm.rtlb_invalidate_many(&rs.frames);
+                }
+                self.mpm.rtlb_invalidate_threads_all_cpus(&rs.threads);
+                // The remote half of the round is a kernel event on
+                // this CPU, symmetric with the issuing side's local
+                // Shootdown event (same tracepoint-style gate).
+                if self.ck.shootdown_events {
+                    self.ck.emit(crate::KernelEvent::Shootdown {
+                        pages: rs.pages.len() as u32,
+                        frames: rs.frames.len() as u32,
+                        asids: rs.asids.len() as u32,
+                    });
+                } else {
+                    self.ck.stats.note_shootdown_round(rs.pages.len() as u64);
+                }
+            }
+            ShardMsg::Signal { paddr } => {
+                let _ = self.ck.raise_signal(&mut self.mpm, 0, paddr);
+            }
+            ShardMsg::Writeback(ws) => {
+                self.wb_archive.push(ws);
+            }
+            ShardMsg::StealRequest { thief } => {
+                // Grant the younger half of the backlog (possibly
+                // nothing); an empty grant still answers, so the thief
+                // can move on to its next victim.
+                let grant = self.jobs.len() / 2;
+                let split = self.jobs.len() - grant;
+                let jobs: Vec<crate::shardmsg::Job> = self.jobs.split_off(split).into();
+                self.ck.shard_exports.push(ShardExport {
+                    dst: ShardDst::Node(thief),
+                    msg: ShardMsg::Work(jobs),
+                });
+            }
+            ShardMsg::Work(jobs) => {
+                self.steal_outstanding = false;
+                if jobs.is_empty() {
+                    self.steal_empty_rounds += 1;
+                } else {
+                    self.steal_empty_rounds = 0;
+                    self.ck.stats.shard_steals += jobs.len() as u64;
+                    self.jobs.extend(jobs);
+                }
+            }
+        }
     }
 }

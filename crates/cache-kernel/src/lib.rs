@@ -80,6 +80,7 @@ pub mod program;
 pub mod reclaim;
 pub mod recover;
 pub mod sched;
+pub mod shardmsg;
 pub mod shootdown;
 
 pub use appkernel::{AppKernel, Env, NullKernel};
@@ -88,7 +89,7 @@ pub use counters::Counters;
 pub use drivers::EtherDriver;
 pub use error::{CkError, CkResult};
 pub use events::{ClusterEvent, DeviceSource, KernelEvent};
-pub use exec::{Cluster, Executive};
+pub use exec::{Cluster, Executive, Machine, RunMode, ShardConfig};
 pub use fault::{FaultDisposition, TrapDisposition};
 pub use ids::{ObjId, ObjKind};
 pub use msg::SignalOutcome;
@@ -101,4 +102,5 @@ pub use physmap::{DepRecord, P2v, PhysMap, RecHandle, CTX_COW, CTX_SIGNAL};
 pub use program::{CodeStore, FnProgram, ForkableFn, ProgId, Program, Script, Step, ThreadCtx};
 pub use recover::RecoveryReport;
 pub use sched::{Pick, Scheduler};
+pub use shardmsg::{Job, RemoteShootdown, ShardDst, ShardExport, ShardMsg, WbShipment};
 pub use shootdown::ShootdownBatch;

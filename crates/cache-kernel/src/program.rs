@@ -130,8 +130,8 @@ impl CodeStore {
     }
 
     /// Remove a program permanently (thread exited).
-    pub fn remove(&mut self, id: ProgId) {
-        self.progs.remove(&id);
+    pub fn remove(&mut self, id: ProgId) -> Option<Box<dyn Program>> {
+        self.progs.remove(&id).map(|(p, _)| p)
     }
 
     /// Read a program's persistent context (tests, diagnostics).

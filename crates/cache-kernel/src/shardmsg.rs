@@ -1,0 +1,125 @@
+//! Cross-shard messages.
+//!
+//! The sharded machine ([`exec::Machine`]) runs one executive per
+//! simulated CPU, each owning its shard of kernel state: its object-cache
+//! partition, its physmap partition, its per-CPU ready queue and its
+//! counter cell. No executive ever touches another's shard directly;
+//! every cross-CPU interaction is one of these messages on a bounded
+//! SPSC ring between the two executives ([`hw::ring`]). The Cache Kernel
+//! itself stays single-threaded — it only *exports* messages into
+//! [`CacheKernel::shard_exports`]; the machine layer routes them.
+//!
+//! [`exec::Machine`]: crate::exec::Machine
+//! [`CacheKernel::shard_exports`]: crate::ck::CacheKernel
+//! [`hw::ring`]: hw::ring
+
+use crate::objects::Priority;
+use crate::program::Program;
+use hw::{Asid, Packet, Paddr, Pfn, Vpn};
+
+/// One TLB/reverse-TLB consistency round, summarized for broadcast to
+/// the other shards of a machine. Mirrors what
+/// [`finish_shootdown`](crate::ck::CacheKernel) applies locally: the
+/// receiving executive flushes the listed translations from its own
+/// CPU's TLB/rTLB, which is exactly the inter-processor interrupt the
+/// paper's §4.2 consistency actions pay for.
+#[derive(Clone, Debug, Default)]
+pub struct RemoteShootdown {
+    /// `(asid, vpn)` page translations to drop.
+    pub pages: Vec<(Asid, Vpn)>,
+    /// Address spaces flushed wholesale.
+    pub asids: Vec<Asid>,
+    /// Frames whose reverse-TLB entries drop (empty when `rtlb_clear`).
+    pub frames: Vec<Pfn>,
+    /// Threads whose reverse-TLB entries drop.
+    pub threads: Vec<u32>,
+    /// The frame list coalesced past the reverse-TLB capacity: clear the
+    /// whole reverse TLB instead.
+    pub rtlb_clear: bool,
+}
+
+/// A displaced descriptor shipped to its home shard (the sharded
+/// machine's stand-in for writeback delivery toward the SRM): the home
+/// shard archives the bytes the way the SRM keeps written-back
+/// descriptors as restart state.
+#[derive(Clone, Debug)]
+pub struct WbShipment {
+    /// Shard the descriptor was displaced on.
+    pub from: usize,
+    /// Object-kind index (same indices as the `loads`/`writebacks`
+    /// counter arrays).
+    pub class: u8,
+    /// Serialized descriptor.
+    pub bytes: Vec<u8>,
+}
+
+/// One unit of deferred work: a program plus the priority its thread
+/// spawns at. Jobs sit in an executive's backlog until admitted into the
+/// thread cache, and migrate between shards through idle steal.
+pub struct Job {
+    /// The program the spawned thread runs.
+    pub program: Box<dyn Program>,
+    /// Thread priority at spawn.
+    pub priority: Priority,
+}
+
+/// A message between two executives of a sharded machine.
+pub enum ShardMsg {
+    /// A fabric packet: in a sharded machine the rings *are* the
+    /// interconnect, so inter-shard packets ride them instead of the
+    /// cluster fabric.
+    Packet(Packet),
+    /// A cross-shard MMU consistency round (§4.2 as explicit message
+    /// exchange rather than shared mutation).
+    Shootdown(RemoteShootdown),
+    /// An address-valued signal raised on a page homed on the receiving
+    /// shard (cross-shard signal fan-out).
+    Signal {
+        /// Physical address the signal is raised on.
+        paddr: Paddr,
+    },
+    /// A displaced descriptor travelling to its home shard.
+    Writeback(WbShipment),
+    /// An idle shard asking `thief`'s next victim for work.
+    StealRequest {
+        /// The requesting shard.
+        thief: usize,
+    },
+    /// Work granted to a steal request (possibly empty: the victim had
+    /// no backlog, and the thief moves to its next victim).
+    Work(Vec<Job>),
+}
+
+impl ShardMsg {
+    /// Diagnostic tag (trace lines, tests).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ShardMsg::Packet(_) => "packet",
+            ShardMsg::Shootdown(_) => "shootdown",
+            ShardMsg::Signal { .. } => "signal",
+            ShardMsg::Writeback(_) => "writeback",
+            ShardMsg::StealRequest { .. } => "steal-request",
+            ShardMsg::Work(_) => "work",
+        }
+    }
+}
+
+/// Where an exported message is bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardDst {
+    /// Every other shard of the machine (consistency rounds).
+    All,
+    /// One specific shard.
+    Node(usize),
+}
+
+/// A message the Cache Kernel (or an application kernel through
+/// [`Env::ck`](crate::appkernel::Env)) queued for the machine layer to
+/// route. Lower layers never touch rings directly; they push here and
+/// the executive's owner drains it after every quantum.
+pub struct ShardExport {
+    /// Destination shard(s).
+    pub dst: ShardDst,
+    /// The message.
+    pub msg: ShardMsg,
+}

@@ -164,6 +164,29 @@ impl CacheKernel {
         }
         mpm.rtlb_invalidate_threads_all_cpus(&batch.threads);
 
+        // In a sharded machine the other CPUs live behind other
+        // executives: the same round goes out once as an explicit
+        // broadcast message instead of a shared-memory walk of their
+        // TLBs (the §4.2 consistency action as message exchange). The
+        // eager single-page path stays shard-local so Table 2's
+        // per-operation costs are untouched.
+        if self.config.shard_fanout >= 2 {
+            self.shard_exports.push(crate::shardmsg::ShardExport {
+                dst: crate::shardmsg::ShardDst::All,
+                msg: crate::shardmsg::ShardMsg::Shootdown(crate::shardmsg::RemoteShootdown {
+                    pages: batch.pages.clone(),
+                    asids: batch.asids.clone(),
+                    frames: if rtlb_all {
+                        Vec::new()
+                    } else {
+                        batch.frames.clone()
+                    },
+                    threads: batch.threads.clone(),
+                    rtlb_clear: rtlb_all,
+                }),
+            });
+        }
+
         let frames = batch.frames.len() as u32;
         let asids = batch.asids.len() as u32;
         batch.clear();

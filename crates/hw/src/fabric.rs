@@ -102,6 +102,13 @@ impl Fabric {
         self.queues[node].len()
     }
 
+    /// Packets queued toward any node — the fabric's contribution to a
+    /// cluster-wide quiescence check: zero means no frame is still in
+    /// flight anywhere.
+    pub fn total_pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
     /// Link statistics for `node`.
     pub fn stats(&self, node: usize) -> LinkStats {
         self.stats[node]

@@ -23,6 +23,7 @@ pub mod l2;
 pub mod machine;
 pub mod mem;
 pub mod pagetable;
+pub mod ring;
 pub mod rtlb;
 pub mod tlb;
 pub mod types;
@@ -35,6 +36,7 @@ pub use l2::{L2Cache, L2Stats};
 pub use machine::{MachineConfig, Mpm, Translation};
 pub use mem::{MemError, PhysMem};
 pub use pagetable::{PageTable, Pte};
+pub use ring::{spsc, RingRx, RingTx};
 pub use rtlb::{Rtlb, RtlbEntry, RtlbStats};
 pub use tlb::{Asid, Tlb, TlbStats};
 pub use types::{

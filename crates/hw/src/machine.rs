@@ -163,8 +163,16 @@ impl Mpm {
     ) -> Result<Translation, Fault> {
         let vpn = vaddr.vpn();
         let cost = &self.config.cost;
-        let c = &mut self.cpus[cpu];
         let write = access == Access::Write;
+        // A CPU index from a wider machine (an event replayed onto a
+        // single-CPU shard) is an access-rights fault, not a panic.
+        let Some(c) = self.cpus.get_mut(cpu) else {
+            return Err(Fault {
+                kind: FaultKind::AccessRights,
+                vaddr,
+                write,
+            });
+        };
 
         let (mut pte, tlb_hit) = match c.tlb.lookup(asid, vpn) {
             Some(p) => {

@@ -1,0 +1,222 @@
+//! Bounded single-producer/single-consumer rings.
+//!
+//! The sharded execution layer runs one executive per simulated CPU and
+//! turns every cross-CPU interaction — shootdown rounds, writeback
+//! shipments, signal fan-out, idle steal, fabric packets — into an
+//! explicit message between executives. Each ordered pair of shards gets
+//! one of these rings, so no send ever contends with another sender and
+//! the free-running threaded mode needs no locks on its hot path.
+//!
+//! The implementation is the classic Lamport queue: a fixed slot array
+//! with monotonically increasing `head` (consumer) and `tail` (producer)
+//! indices. The producer owns `tail`, the consumer owns `head`; each
+//! side only ever *reads* the other's index. `push` on a full ring
+//! returns the value to the caller — the sharded machine counts the
+//! deferral (`rings_full`) and retries next quantum instead of blocking
+//! or panicking.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Shared<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will read (monotonic; slot = head % cap).
+    head: AtomicUsize,
+    /// Next slot the producer will write (monotonic; slot = tail % cap).
+    tail: AtomicUsize,
+}
+
+// SAFETY: the producer half writes a slot strictly before publishing it
+// with the release store on `tail`; the consumer half reads it strictly
+// after the acquire load observes that store (and vice versa for slot
+// reuse through `head`). Each index has exactly one writer, so the only
+// data that crosses threads is the slot payload, which is `Send`.
+unsafe impl<T: Send> Sync for Shared<T> {}
+unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point; drop whatever is still queued.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = &self.buf[i % self.buf.len()];
+            // SAFETY: slots in [head, tail) were written and never read.
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The producer half of a bounded SPSC ring.
+pub struct RingTx<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consumer half of a bounded SPSC ring.
+pub struct RingRx<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Build a bounded SPSC ring with room for `capacity` messages.
+pub fn spsc<T: Send>(capacity: usize) -> (RingTx<T>, RingRx<T>) {
+    assert!(capacity > 0, "ring capacity must be at least 1");
+    let buf = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let shared = Arc::new(Shared {
+        buf,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        RingTx {
+            shared: Arc::clone(&shared),
+        },
+        RingRx { shared },
+    )
+}
+
+impl<T: Send> RingTx<T> {
+    /// Enqueue `v`. On a full ring the value comes straight back as
+    /// `Err` so the caller can count the deferral and retry later —
+    /// nothing is ever dropped or blocked on inside the ring itself.
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let s = &*self.shared;
+        let tail = s.tail.load(Ordering::Relaxed); // sole writer
+        let head = s.head.load(Ordering::Acquire);
+        if tail - head == s.buf.len() {
+            return Err(v);
+        }
+        // SAFETY: slot `tail % cap` is outside [head, tail) so the
+        // consumer does not touch it until the release store below.
+        unsafe { (*s.buf[tail % s.buf.len()].get()).write(v) };
+        s.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail
+            .load(Ordering::Relaxed)
+            .saturating_sub(s.head.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.buf.len()
+    }
+}
+
+impl<T: Send> RingRx<T> {
+    /// Dequeue the oldest message, if any.
+    pub fn pop(&self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed); // sole writer
+        let tail = s.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: slot `head % cap` is inside [head, tail): written by
+        // the producer and published by the acquire load above.
+        let v = unsafe { (*s.buf[head % s.buf.len()].get()).assume_init_read() };
+        s.head.store(head + 1, Ordering::Release);
+        Some(v)
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail
+            .load(Ordering::Acquire)
+            .saturating_sub(s.head.load(Ordering::Relaxed))
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_full_semantics() {
+        let (tx, rx) = spsc::<u32>(2);
+        assert!(rx.is_empty());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(3), "full ring hands the value back");
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(3).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), None);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn queued_messages_drop_with_the_ring() {
+        // A type with a drop effect so leaks would be visible under Miri
+        // and the drop-count check below.
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (tx, rx) = spsc::<D>(4);
+        assert!(tx.push(D).is_ok());
+        assert!(tx.push(D).is_ok());
+        drop(rx.pop()); // one consumed
+        drop((tx, rx)); // one still queued
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless_and_ordered() {
+        const N: u64 = 200_000;
+        let (tx, rx) = spsc::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            let mut backoff = 0u64;
+            for i in 0..N {
+                let mut v = i;
+                while let Err(back) = tx.push(v) {
+                    v = back;
+                    backoff += 1;
+                    std::thread::yield_now();
+                }
+            }
+            backoff
+        });
+        let mut expect = 0u64;
+        while expect < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expect, "messages arrive in order, exactly once");
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.is_empty());
+    }
+}

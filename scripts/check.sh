@@ -36,4 +36,28 @@ cargo test -q -p vpp --test prop_partition fault_free_run_is_inert
 echo "== partition report smoke =="
 cargo run -q --release -p bench --bin report -- partition > /dev/null
 
+echo "== threaded/lockstep pinned seeds (sharded executives) =="
+cargo test -q -p vpp --test prop_threaded pinned_threaded_seed
+cargo test -q -p vpp --test prop_threaded pinned_lockstep_replay
+
+echo "== throughput report smoke =="
+cargo run -q --release -p bench --bin report -- throughput > /dev/null
+
+if [[ "${TSAN:-0}" == "1" ]]; then
+  # Opt-in ThreadSanitizer pass over the cross-thread paths (the SPSC
+  # rings and the free-running shard workers). Needs a nightly
+  # toolchain with the rust-src component:
+  #   rustup toolchain install nightly --component rust-src
+  #   TSAN=1 scripts/check.sh
+  echo "== ThreadSanitizer (nightly) =="
+  host="$(rustc -vV | sed -n 's/^host: //p')"
+  tsan() {
+    RUSTFLAGS="-Z sanitizer=thread" \
+      cargo +nightly test -Z build-std --target "$host" -q "$@"
+  }
+  tsan -p hw ring::
+  tsan -p workloads throughput::
+  tsan -p vpp --test prop_threaded pinned_threaded_seed
+fi
+
 echo "All checks passed."

@@ -99,6 +99,96 @@ fn signal_ops(c: &mut Criterion) {
     });
 
     g.finish();
+
+    // Multi-receiver storms: the same 16-raise burst delivered raise by
+    // raise (one two-stage lookup each — the rTLB is useless with 4
+    // receivers per page) versus through one SignalBatch (one lookup per
+    // unique page, one arena touch per receiving thread).
+    let mut g = c.benchmark_group("signal_storm");
+    const RECEIVERS: usize = 4;
+    const PAGES: usize = 4;
+    const RAISES: usize = 16;
+
+    g.bench_function("eager_16_raises_4x4", |b| {
+        let mut h = Bench::new();
+        let slots = setup_fanout(&mut h, RECEIVERS, PAGES);
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut h,
+                |h| {
+                    for r in 0..RAISES {
+                        h.ck.raise_signal(&mut h.mpm, 0, storm_paddr(r, PAGES));
+                    }
+                },
+                |h| drain_slots(h, &slots),
+            )
+        });
+    });
+
+    g.bench_function("batched_16_raises_4x4", |b| {
+        let mut h = Bench::new();
+        let slots = setup_fanout(&mut h, RECEIVERS, PAGES);
+        b.iter_custom(|iters| {
+            timed_loop(
+                iters,
+                &mut h,
+                |h| {
+                    let mut batch = h.ck.take_signal_batch();
+                    for r in 0..RAISES {
+                        batch.add(storm_paddr(r, PAGES));
+                    }
+                    h.ck.finish_signal_batch(batch, &mut h.mpm, 0);
+                },
+                |h| drain_slots(h, &slots),
+            )
+        });
+    });
+
+    g.finish();
+}
+
+/// Storm raise `r`: round-robin over the fan-out pages, offsets varied.
+fn storm_paddr(r: usize, pages: usize) -> Paddr {
+    Paddr(FANOUT_BASE + (r % pages) as u32 * hw::PAGE_SIZE + (r as u32 * 16) % hw::PAGE_SIZE)
+}
+
+const FANOUT_BASE: u32 = 0x40_0000;
+
+/// `receivers` threads (each in its own space) all watching the same
+/// `pages` message pages.
+fn setup_fanout(h: &mut Bench, receivers: usize, pages: usize) -> Vec<u16> {
+    let mut slots = Vec::new();
+    for _ in 0..receivers {
+        let sp =
+            h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                .unwrap();
+        let t =
+            h.ck.load_thread(h.srm, ThreadDesc::new(sp, 1, 20), false, &mut h.mpm)
+                .unwrap();
+        for p in 0..pages {
+            h.ck.load_mapping(
+                h.srm,
+                sp,
+                Vaddr(0xa000 + p as u32 * hw::PAGE_SIZE),
+                Paddr(FANOUT_BASE + p as u32 * hw::PAGE_SIZE),
+                Pte::MESSAGE,
+                Some(t),
+                None,
+                &mut h.mpm,
+            )
+            .unwrap();
+        }
+        slots.push(t.slot);
+    }
+    slots
+}
+
+fn drain_slots(h: &mut Bench, slots: &[u16]) {
+    for &slot in slots {
+        while h.ck.take_signal(slot).is_some() {}
+        h.ck.signal_return(slot);
+    }
 }
 
 criterion_group!(benches, signal_ops);

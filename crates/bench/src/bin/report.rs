@@ -1,12 +1,15 @@
 //! The evaluation report: regenerates every quantitative artifact of the
 //! paper's §5 in paper format, side by side with the original numbers.
 //!
-//! Usage: `cargo run --release -p bench --bin report [-- <section>]`
+//! Usage: `cargo run --release -p bench --bin report [-- <section> [--json]]`
 //! where `<section>` is one of `table1`, `table2`, `trap`, `signal`,
 //! `fault`, `size`, `cache-sweep`, `overhead`, `mp3d`, `policy`,
 //! `quota`, `rtlb`, `teardown`, `recovery`, `overload`, `partition`,
-//! `throughput`, or `all` (default). Output is what EXPERIMENTS.md
-//! records.
+//! `throughput`, `msg`, or `all` (default). Output is what
+//! EXPERIMENTS.md records. With `--json`, the `signal`, `throughput`
+//! and `msg` sections additionally write a machine-readable
+//! `BENCH_<section>.json` artifact beside the working directory's
+//! manifest (numbers plus the pinned seeds the check gates replay).
 
 use bench::{quick_median_ns, Bench};
 use cache_kernel::{
@@ -16,9 +19,16 @@ use cache_kernel::{
 use db_kernel::{DbKernel, DbOp, Policy};
 use hw::{Access, MachineConfig, Mpm, Paddr, Pte, Vaddr, PAGE_SIZE};
 use sim_kernel::mp3d::{locality_comparison, Mp3dConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    JSON.store(args.iter().any(|a| a == "--json"), Ordering::Relaxed);
+    let arg = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
     let run = |name: &str| arg == "all" || arg == name;
     println!("# V++ Cache Kernel — evaluation report\n");
     if run("table1") {
@@ -75,6 +85,66 @@ fn main() {
     if run("throughput") {
         throughput();
     }
+    if run("msg") {
+        msg();
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON artifacts (`--json`): hand-rolled writer, no serialization dep.
+// ---------------------------------------------------------------------
+
+static JSON: AtomicBool = AtomicBool::new(false);
+
+/// Write `BENCH_<section>.json` when `--json` was passed. `fields` are
+/// (key, already-encoded JSON value) pairs.
+fn write_json(section: &str, fields: &[(&str, String)]) {
+    if !JSON.load(Ordering::Relaxed) {
+        return;
+    }
+    let body = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let path = format!("BENCH_{section}.json");
+    if let Err(e) = std::fs::write(&path, format!("{{\n{body}\n}}\n")) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("[wrote {path}]");
+    }
+}
+
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+fn jarr(items: Vec<String>) -> String {
+    format!("[{}]", items.join(", "))
+}
+
+fn jobj(fields: &[(&str, String)]) -> String {
+    let body = fields
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
+/// The pinned seeds `scripts/check.sh` replays for the messaging
+/// properties; recorded in every artifact so a number can be traced to
+/// the exact gated scenario set.
+fn pinned_seeds() -> String {
+    jarr(vec![
+        "\"0xC4E5_1994\"".into(),
+        "\"0x51B_BA7C_0FEE\"".into(),
+        "\"0..32\"".into(),
+    ])
 }
 
 // ---------------------------------------------------------------------
@@ -717,6 +787,18 @@ fn signal() {
     println!(
         "       fast-path deliveries so far: {} fast vs {} slow\n",
         h.ck.stats.signals_fast, h.ck.stats.signals_slow
+    );
+    write_json(
+        "signal",
+        &[
+            ("paper_total_us", "71".into()),
+            ("deliver_ns_host", jf(deliver_ns)),
+            ("return_ns_host", jf(return_ns)),
+            ("deliver_us_sim", jf(sim_deliver)),
+            ("signals_fast", h.ck.stats.signals_fast.to_string()),
+            ("signals_slow", h.ck.stats.signals_slow.to_string()),
+            ("pinned_seeds", pinned_seeds()),
+        ],
     );
 }
 
@@ -1874,6 +1956,7 @@ fn throughput() {
     println!("| shards | mode | wall ms | KernelEvents | Mev/s | msgs | rings_full | steals |");
     println!("|-------:|:-----|--------:|-------------:|------:|-----:|-----------:|-------:|");
     let mut threaded16 = 0.0f64;
+    let mut rows = Vec::new();
     for &(shards, threads) in &[
         (1usize, false),
         (2, false),
@@ -1910,6 +1993,16 @@ fn throughput() {
             c.rings_full,
             c.shard_steals,
         );
+        rows.push(jobj(&[
+            ("shards", shards.to_string()),
+            (
+                "mode",
+                format!("\"{}\"", if threads { "threaded" } else { "lockstep" }),
+            ),
+            ("wall_ms", jf(wall.as_secs_f64() * 1e3)),
+            ("events", c.events_emitted.to_string()),
+            ("mev_per_s", jf(mevs)),
+        ]));
     }
     println!();
     println!("Ring-capacity sensitivity (4 shards, threaded): tiny rings trade");
@@ -1941,5 +2034,309 @@ fn throughput() {
     println!();
     println!(
         "16-CPU free-running machine: {threaded16:.2} M KernelEvents/sec (target ≥ 1 M ev/s).\n"
+    );
+    write_json(
+        "throughput",
+        &[
+            ("jobs_per_shard", jobs_per_shard.to_string()),
+            ("rows", jarr(rows)),
+            ("threaded16_mev_per_s", jf(threaded16)),
+            ("pinned_seeds", pinned_seeds()),
+        ],
+    );
+}
+
+// ---------------------------------------------------------------------
+// A-msg — zero-copy batched messaging
+// ---------------------------------------------------------------------
+fn msg() {
+    use libkern::{Channel, PageChannel};
+
+    println!("## A-msg — zero-copy batched messaging\n");
+
+    // 1. Signal storms: the same 16-raise burst (4 pages × 4 receivers)
+    //    delivered raise by raise versus through one SignalBatch.
+    const RECEIVERS: usize = 4;
+    const PAGES: u32 = 4;
+    const RAISES: usize = 16;
+    let base = 0x40_0000u32;
+    let setup_fanout = |h: &mut Bench| -> Vec<u16> {
+        let mut slots = Vec::new();
+        for _ in 0..RECEIVERS {
+            let sp =
+                h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                    .unwrap();
+            let t =
+                h.ck.load_thread(h.srm, ThreadDesc::new(sp, 1, 20), false, &mut h.mpm)
+                    .unwrap();
+            for p in 0..PAGES {
+                h.ck.load_mapping(
+                    h.srm,
+                    sp,
+                    Vaddr(0xa000 + p * PAGE_SIZE),
+                    Paddr(base + p * PAGE_SIZE),
+                    Pte::MESSAGE,
+                    Some(t),
+                    None,
+                    &mut h.mpm,
+                )
+                .unwrap();
+            }
+            slots.push(t.slot);
+        }
+        slots
+    };
+    let storm_paddr = |r: usize| Paddr(base + (r as u32 % PAGES) * PAGE_SIZE + (r as u32 * 16));
+    let drain = |h: &mut Bench, slots: &[u16]| {
+        for &slot in slots {
+            while h.ck.take_signal(slot).is_some() {}
+            h.ck.signal_return(slot);
+        }
+    };
+
+    let mut h = Bench::new();
+    let slots = setup_fanout(&mut h);
+    let c0 = h.mpm.clock.cycles();
+    for r in 0..RAISES {
+        h.ck.raise_signal(&mut h.mpm, 0, storm_paddr(r));
+    }
+    let eager_cycles = h.mpm.clock.cycles() - c0;
+    drain(&mut h, &slots);
+    let eager_ns = quick_median_ns(
+        9,
+        200,
+        &mut h,
+        |h| {
+            for r in 0..RAISES {
+                h.ck.raise_signal(&mut h.mpm, 0, storm_paddr(r));
+            }
+        },
+        |h| drain(h, &slots),
+    );
+
+    let mut h = Bench::new();
+    let slots = setup_fanout(&mut h);
+    let c0 = h.mpm.clock.cycles();
+    let mut batch = h.ck.take_signal_batch();
+    for r in 0..RAISES {
+        batch.add(storm_paddr(r));
+    }
+    h.ck.finish_signal_batch(batch, &mut h.mpm, 0);
+    let batched_cycles = h.mpm.clock.cycles() - c0;
+    drain(&mut h, &slots);
+    let batched_ns = quick_median_ns(
+        9,
+        200,
+        &mut h,
+        |h| {
+            let mut batch = h.ck.take_signal_batch();
+            for r in 0..RAISES {
+                batch.add(storm_paddr(r));
+            }
+            h.ck.finish_signal_batch(batch, &mut h.mpm, 0);
+        },
+        |h| drain(h, &slots),
+    );
+
+    println!("Signal storm ({RAISES} raises, {PAGES} pages x {RECEIVERS} receivers):");
+    println!("  eager  : {eager_ns:.0} ns host / {eager_cycles} sim cycles per storm");
+    println!("  batched: {batched_ns:.0} ns host / {batched_cycles} sim cycles per storm");
+    println!(
+        "  batched/eager: {:.2}x host, {:.2}x sim\n",
+        batched_ns / eager_ns,
+        batched_cycles as f64 / eager_cycles as f64
+    );
+
+    // 2. Classic copying channel versus page-remap channel. Host time
+    //    is dominated by harness overhead at these sizes; the simulated
+    //    cycles carry the claim — the copy cost scales with the payload,
+    //    the remap cost is flat.
+    let mut chan_rows = Vec::new();
+    println!("| payload | classic ns/msg | zero-copy ns/msg | classic sim | zero-copy sim |");
+    println!("|--------:|---------------:|-----------------:|------------:|--------------:|");
+    for &size in &[16usize, 256, 3900] {
+        let payload = vec![0xabu8; size];
+
+        let mut h = Bench::new();
+        let (chan, slot) = {
+            let tx_sp =
+                h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                    .unwrap();
+            let rx_sp =
+                h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                    .unwrap();
+            let rx =
+                h.ck.load_thread(h.srm, ThreadDesc::new(rx_sp, 1, 20), false, &mut h.mpm)
+                    .unwrap();
+            let c = Channel::setup(
+                &mut h.ck,
+                &mut h.mpm,
+                h.srm,
+                tx_sp,
+                Vaddr(0xa000),
+                rx_sp,
+                Vaddr(0xb000),
+                rx,
+                Paddr(0x48_0000),
+            )
+            .unwrap();
+            (c, rx.slot)
+        };
+        let mut st = (h, chan);
+        // Warm (rTLB + first slow signal), then one metered send.
+        st.1.send_bytes(&mut st.0.ck, &mut st.0.mpm, 0, &payload)
+            .unwrap();
+        st.0.ck.take_signal(slot);
+        st.0.ck.signal_return(slot);
+        let c0 = st.0.mpm.clock.cycles();
+        st.1.send_bytes(&mut st.0.ck, &mut st.0.mpm, 0, &payload)
+            .unwrap();
+        let _ = st.1.recv(&mut st.0.mpm, 0).unwrap();
+        let classic_sim = st.0.mpm.clock.cycles() - c0;
+        st.0.ck.take_signal(slot);
+        st.0.ck.signal_return(slot);
+        let classic_ns = quick_median_ns(
+            9,
+            200,
+            &mut st,
+            |(h, chan)| {
+                chan.send_bytes(&mut h.ck, &mut h.mpm, 0, &payload).unwrap();
+                let _ = chan.recv(&mut h.mpm, 0).unwrap();
+            },
+            |(h, _)| {
+                h.ck.take_signal(slot);
+                h.ck.signal_return(slot);
+            },
+        );
+
+        let mut h = Bench::new();
+        let (chan, slot) = {
+            let tx_sp =
+                h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                    .unwrap();
+            let rx_sp =
+                h.ck.load_space(h.srm, SpaceDesc::default(), &mut h.mpm)
+                    .unwrap();
+            let rx =
+                h.ck.load_thread(h.srm, ThreadDesc::new(rx_sp, 1, 20), false, &mut h.mpm)
+                    .unwrap();
+            let c = PageChannel::setup(
+                &mut h.ck,
+                &mut h.mpm,
+                h.srm,
+                tx_sp,
+                Vaddr(0xa000),
+                rx_sp,
+                Vaddr(0xb000),
+                rx,
+                Paddr(0x48_0000),
+                Paddr(0x49_0000),
+            )
+            .unwrap();
+            (c, rx.slot)
+        };
+        let mut st = (h, chan);
+        // Warm, then one metered remap round trip.
+        st.1.send(&mut st.0.ck, &mut st.0.mpm, 0, &payload).unwrap();
+        st.0.ck.take_signal(slot);
+        st.0.ck.signal_return(slot);
+        st.1.complete(&mut st.0.ck, &mut st.0.mpm).unwrap();
+        let c0 = st.0.mpm.clock.cycles();
+        st.1.send(&mut st.0.ck, &mut st.0.mpm, 0, &payload).unwrap();
+        let _ = st.1.read_in_place(&st.0.mpm).unwrap();
+        st.1.complete(&mut st.0.ck, &mut st.0.mpm).unwrap();
+        let zerocopy_sim = st.0.mpm.clock.cycles() - c0;
+        st.0.ck.take_signal(slot);
+        st.0.ck.signal_return(slot);
+        let zerocopy_ns = quick_median_ns(
+            9,
+            200,
+            &mut st,
+            |(h, chan)| {
+                chan.send(&mut h.ck, &mut h.mpm, 0, &payload).unwrap();
+                let _ = chan.read_in_place(&h.mpm).unwrap();
+                chan.complete(&mut h.ck, &mut h.mpm).unwrap();
+            },
+            |(h, _)| {
+                h.ck.take_signal(slot);
+                h.ck.signal_return(slot);
+            },
+        );
+        let (remaps, copies) = (st.1.remaps, st.1.copies);
+        println!(
+            "| {:>7} | {:>14.0} | {:>16.0} | {:>11} | {:>13} |",
+            size, classic_ns, zerocopy_ns, classic_sim, zerocopy_sim
+        );
+        chan_rows.push(jobj(&[
+            ("payload", size.to_string()),
+            ("classic_ns", jf(classic_ns)),
+            ("zerocopy_ns", jf(zerocopy_ns)),
+            ("classic_sim_cycles", classic_sim.to_string()),
+            ("zerocopy_sim_cycles", zerocopy_sim.to_string()),
+            ("remaps", remaps.to_string()),
+            ("copies", copies.to_string()),
+        ]));
+    }
+    println!();
+
+    // 3. Cross-shard fan-out sweep: one publisher broadcasting to every
+    //    shard's listener over the MPSC fan-out ring.
+    use workloads::fanout::{build as build_fanout, received, FanoutSpec};
+    let mut fanout_rows = Vec::new();
+    println!("Fan-out sweep (256 broadcasts, burst 8, threaded):");
+    println!("| shards | wall ms | signals delivered | batches | batched signals |");
+    println!("|-------:|--------:|------------------:|--------:|----------------:|");
+    for &shards in &[2usize, 4, 8] {
+        let spec = FanoutSpec {
+            shards,
+            rounds: 256,
+            burst: 8,
+            threads: true,
+            ..FanoutSpec::default()
+        };
+        let mut m = build_fanout(&spec);
+        let t0 = std::time::Instant::now();
+        m.run_until_idle(10_000_000);
+        let wall = t0.elapsed();
+        let got = received(&mut m);
+        assert_eq!(got, (shards * spec.rounds) as u64, "fan-out must finish");
+        let c = m.counters();
+        println!(
+            "| {:>6} | {:>7.1} | {:>17} | {:>7} | {:>15} |",
+            shards,
+            wall.as_secs_f64() * 1e3,
+            got,
+            c.signal_batches,
+            c.signals_batched,
+        );
+        fanout_rows.push(jobj(&[
+            ("shards", shards.to_string()),
+            ("wall_ms", jf(wall.as_secs_f64() * 1e3)),
+            ("signals", got.to_string()),
+            ("batches", c.signal_batches.to_string()),
+            ("batched_signals", c.signals_batched.to_string()),
+        ]));
+    }
+    println!();
+
+    write_json(
+        "msg",
+        &[
+            (
+                "storm",
+                jobj(&[
+                    ("raises", RAISES.to_string()),
+                    ("pages", PAGES.to_string()),
+                    ("receivers", RECEIVERS.to_string()),
+                    ("eager_ns", jf(eager_ns)),
+                    ("batched_ns", jf(batched_ns)),
+                    ("eager_sim_cycles", eager_cycles.to_string()),
+                    ("batched_sim_cycles", batched_cycles.to_string()),
+                ]),
+            ),
+            ("channel", jarr(chan_rows)),
+            ("fanout", jarr(fanout_rows)),
+            ("pinned_seeds", pinned_seeds()),
+        ],
     );
 }

@@ -65,6 +65,15 @@ pub struct CkConfig {
     pub share_cap_pct: u8,
     /// Base suggested backoff carried in `Again`, in cycles.
     pub shed_backoff: u32,
+    /// Per-thread signal queue bound (0 = unbounded, the default).
+    /// "Additional signals are queued within the Cache Kernel" (§2.2)
+    /// with no stated limit, but an unresponsive receiver can then pin
+    /// unbounded kernel memory. At the bound further signals to that
+    /// thread are dropped and counted in
+    /// [`Counters::signals_dropped`](crate::Counters); wakeups are
+    /// unaffected (a waiting thread always has an empty queue, so the
+    /// waking signal is never the one dropped).
+    pub signal_queue_bound: usize,
     /// Number of CPU shards in the machine this Cache Kernel is one
     /// shard of (0 or 1 = not sharded). When ≥ 2, compound shootdown
     /// rounds are also exported as [`ShardMsg::Shootdown`] broadcasts so
@@ -93,6 +102,7 @@ impl Default for CkConfig {
             watermark_pct: 100,
             share_cap_pct: 100,
             shed_backoff: 500,
+            signal_queue_bound: 0,
             shard_fanout: 0,
         }
     }
@@ -130,6 +140,8 @@ pub struct CacheKernel {
     pub shootdown_events: bool,
     /// Reusable shootdown batch for compound teardown operations.
     pub(crate) batch_scratch: crate::shootdown::ShootdownBatch,
+    /// Reusable signal batch for coalesced per-round delivery.
+    pub(crate) sigbatch_scratch: crate::sigbatch::SignalBatch,
     /// Reusable receiver buffer for slow-path signal delivery
     /// (`(thread_slot, asid, vaddr)`; keeps the hot path allocation-free).
     pub(crate) signal_scratch: Vec<(u32, u32, hw::Vaddr)>,
@@ -185,6 +197,7 @@ impl CacheKernel {
             signal_events: true,
             shootdown_events: true,
             batch_scratch: crate::shootdown::ShootdownBatch::default(),
+            sigbatch_scratch: crate::sigbatch::SignalBatch::default(),
             signal_scratch: Vec::new(),
             p2v_scratch: Vec::new(),
             vpn_scratch: Vec::new(),

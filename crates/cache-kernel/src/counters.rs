@@ -28,12 +28,33 @@ pub struct Counters {
     pub signals_fast: u64,
     /// Signals delivered via the two-stage lookup.
     pub signals_slow: u64,
+    /// Batched delivery rounds flushed (2+ raises each; a batch of one
+    /// takes the eager path and ticks the fast/slow counters instead).
+    pub signal_batches: u64,
+    /// Raises delivered through batched rounds (those that reached at
+    /// least one receiver). `signals_batched / signal_batches` is the
+    /// coalescing ratio `report` prints.
+    pub signals_batched: u64,
+    /// Unique pages resolved across batched rounds: the two-stage
+    /// lookups actually charged, versus `signals_batched` had each raise
+    /// paid its own.
+    pub signal_batch_pages: u64,
+    /// Signals dropped at a thread's configured queue bound
+    /// (`signal_queue_bound`; 0 and the counter never moves).
+    pub signals_dropped: u64,
     /// Faults forwarded to application kernels.
     pub faults_forwarded: u64,
     /// Traps forwarded to application kernels.
     pub traps_forwarded: u64,
     /// Mappings flushed for multi-mapping consistency.
     pub consistency_flushes: u64,
+    /// Message pages remapped between spaces by `transfer_mapping` (the
+    /// zero-copy channel handoff).
+    pub mapping_transfers: u64,
+    /// Transfer teardowns resolved with a local TLB flush instead of an
+    /// IPI round (single-mapped message page, handoff synchronized by
+    /// the send trap and the delivery signal).
+    pub transfer_local_flushes: u64,
     /// Cross-CPU TLB/reverse-TLB shootdown rounds issued (eager and
     /// batched).
     pub shootdown_rounds: u64,

@@ -500,4 +500,28 @@ impl Executive {
             }
         }
     }
+
+    /// Deliver every signal drained off this shard's fan-out ring in one
+    /// pass. A sweep of one keeps the eager path (reverse-TLB fast path
+    /// included); two or more coalesce through a [`SignalBatch`]: one
+    /// two-stage lookup per unique page, one wakeup per receiving
+    /// thread, instead of the full cost per shipped signal.
+    ///
+    /// [`SignalBatch`]: crate::sigbatch::SignalBatch
+    pub(crate) fn deliver_signal_sweep(&mut self, paddrs: &[hw::Paddr]) {
+        self.ck.stats.shard_msgs_delivered += paddrs.len() as u64;
+        match paddrs {
+            [] => {}
+            [paddr] => {
+                let _ = self.ck.raise_signal(&mut self.mpm, 0, *paddr);
+            }
+            _ => {
+                let mut batch = self.ck.take_signal_batch();
+                for &paddr in paddrs {
+                    batch.add(paddr);
+                }
+                self.ck.finish_signal_batch(batch, &mut self.mpm, 0);
+            }
+        }
+    }
 }

@@ -39,7 +39,10 @@ use super::Executive;
 use crate::ck::{CacheKernel, CkConfig};
 use crate::counters::Counters;
 use crate::shardmsg::{ShardDst, ShardMsg};
-use hw::{spsc, Fabric, FaultPlan, FrameFate, MachineConfig, Mpm, RingRx, RingTx};
+use hw::{
+    mpsc, spsc, Fabric, FaultPlan, FrameFate, MachineConfig, Mpm, MpscRx, MpscTx, Paddr, RingRx,
+    RingTx,
+};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -100,11 +103,19 @@ pub(crate) struct ShardPort {
     tx: Vec<Option<RingTx<ShardMsg>>>,
     rx: Vec<Option<RingRx<ShardMsg>>>,
     egress: Vec<VecDeque<ShardMsg>>,
+    /// Producer ends of the other shards' signal fan-out rings.
+    sig_tx: Vec<Option<MpscTx<Paddr>>>,
+    /// Consumer end of this shard's signal fan-out ring.
+    sig_rx: Option<MpscRx<Paddr>>,
+    /// Per-destination deferred signals (full fan-out ring).
+    sig_egress: Vec<VecDeque<Paddr>>,
+    /// Reusable drain buffer for one sweep of the fan-out ring.
+    sig_sweep: Vec<Paddr>,
 }
 
 impl ShardPort {
     fn egress_empty(&self) -> bool {
-        self.egress.iter().all(|q| q.is_empty())
+        self.egress.iter().all(|q| q.is_empty()) && self.sig_egress.iter().all(|q| q.is_empty())
     }
 }
 
@@ -126,6 +137,10 @@ impl RingMesh {
                 tx: (0..shards).map(|_| None).collect(),
                 rx: (0..shards).map(|_| None).collect(),
                 egress: (0..shards).map(|_| VecDeque::new()).collect(),
+                sig_tx: (0..shards).map(|_| None).collect(),
+                sig_rx: None,
+                sig_egress: (0..shards).map(|_| VecDeque::new()).collect(),
+                sig_sweep: Vec::new(),
             })
             .collect();
         for src in 0..shards {
@@ -137,6 +152,22 @@ impl RingMesh {
                 ports[src].tx[dst] = Some(tx);
                 ports[dst].rx[src] = Some(rx);
             }
+        }
+        // One MPSC fan-out ring per shard for shipped signals: every
+        // other shard holds a producer handle, so a broadcast signal is
+        // one cheap `Paddr` push per peer instead of a full `ShardMsg`,
+        // and the receiver drains the whole ring in one wakeup sweep.
+        for dst in 0..shards {
+            if shards < 2 {
+                break;
+            }
+            let (tx, rx) = mpsc::<Paddr>(capacity);
+            for (src, port) in ports.iter_mut().enumerate() {
+                if src != dst {
+                    port.sig_tx[dst] = Some(tx.clone());
+                }
+            }
+            ports[dst].sig_rx = Some(rx);
         }
         RingMesh {
             ports,
@@ -475,6 +506,26 @@ impl Machine {
                         mesh.in_flight.fetch_sub(1, Ordering::SeqCst);
                     }
                 }
+                // The signal fan-out ring drains after the SPSC rings,
+                // delivered as one batched sweep. Producers pushed in
+                // index order under the lockstep schedule, so the sweep
+                // contents are deterministic.
+                let port = &mut mesh.ports[dst];
+                if let Some(rx) = port.sig_rx.as_ref() {
+                    let mut sweep = core::mem::take(&mut port.sig_sweep);
+                    sweep.clear();
+                    while let Some(paddr) = rx.pop() {
+                        sweep.push(paddr);
+                    }
+                    if !sweep.is_empty() {
+                        if !self.nodes[dst].mpm.halted {
+                            self.nodes[dst].deliver_signal_sweep(&sweep);
+                        }
+                        mesh.in_flight
+                            .fetch_sub(sweep.len() as u64, Ordering::SeqCst);
+                    }
+                    port.sig_sweep = sweep;
+                }
             }
             for (node, port) in self.nodes.iter_mut().zip(mesh.ports.iter_mut()) {
                 collect_exports(node, port, &mesh.in_flight, steal, n);
@@ -525,10 +576,16 @@ impl Machine {
                                 // The shard is lost but the machine is
                                 // not: flag it so the owner halts it
                                 // after the join, and unblock the
-                                // coordinator.
+                                // coordinator. Until the coordinator
+                                // calls the run, keep draining (and
+                                // dropping) this shard's receive rings —
+                                // a dead CPU must not wedge its senders
+                                // or hold the in-flight count above
+                                // zero forever.
                                 flags.panicked[i].store(true, Ordering::SeqCst);
                                 flags.idle[i].store(true, Ordering::SeqCst);
                                 flags.done[i].store(true, Ordering::SeqCst);
+                                drain_after_panic(port, flags, in_flight);
                                 0
                             }
                         }
@@ -655,6 +712,47 @@ fn shard_worker(
     used
 }
 
+/// Post-panic containment: the worker's state may be arbitrary, but the
+/// port is intact (the panic propagated out of `shard_worker`, ending
+/// its borrows). Undo the in-flight charges of anything still queued
+/// for egress (it will never be sent), then keep draining and dropping
+/// the receive rings until the coordinator stops the run, so peers
+/// pushing to this shard never see a permanently full ring and the
+/// in-flight count can reach zero.
+fn drain_after_panic(port: &mut ShardPort, flags: &RunFlags, in_flight: &AtomicU64) {
+    for q in port.egress.iter_mut() {
+        while q.pop_front().is_some() {
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    for q in port.sig_egress.iter_mut() {
+        while q.pop_front().is_some() {
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    while !flags.stop.load(Ordering::SeqCst) {
+        let mut drained = 0usize;
+        for src in 0..port.rx.len() {
+            let Some(rx) = port.rx[src].as_ref() else {
+                continue;
+            };
+            while rx.pop().is_some() {
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                drained += 1;
+            }
+        }
+        if let Some(rx) = port.sig_rx.as_ref() {
+            while rx.pop().is_some() {
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                drained += 1;
+            }
+        }
+        if drained == 0 {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
+}
+
 /// Pop and process every message currently queued on `node`'s receive
 /// rings. Clears the idle flag before processing (see the worker-loop
 /// invariants); decrements the in-flight count only after processing.
@@ -679,6 +777,26 @@ fn drain_rings(
             in_flight.fetch_sub(1, Ordering::SeqCst);
             processed += 1;
         }
+    }
+    // Drain the signal fan-out ring into one sweep and deliver it as a
+    // batch: N shipped signals cost one wakeup pass, not N. The
+    // in-flight decrement happens only after the sweep is processed, so
+    // quiescence still covers every shipped signal end to end.
+    if let Some(rx) = port.sig_rx.as_ref() {
+        let mut sweep = core::mem::take(&mut port.sig_sweep);
+        sweep.clear();
+        while let Some(paddr) = rx.pop() {
+            sweep.push(paddr);
+        }
+        if !sweep.is_empty() {
+            flags.idle[i].store(false, Ordering::SeqCst);
+            if !halted {
+                node.deliver_signal_sweep(&sweep);
+            }
+            in_flight.fetch_sub(sweep.len() as u64, Ordering::SeqCst);
+            processed += sweep.len();
+        }
+        port.sig_sweep = sweep;
     }
     processed
 }
@@ -728,12 +846,14 @@ fn collect_exports(
                     }
                 }
                 ShardMsg::Signal { paddr } => {
+                    // Broadcast signals ride the per-shard MPSC fan-out
+                    // ring: one `Paddr` per peer, drained in one sweep.
                     for dst in 0..shards {
                         if dst == me {
                             continue;
                         }
                         in_flight.fetch_add(1, Ordering::SeqCst);
-                        port.egress[dst].push_back(ShardMsg::Signal { paddr: *paddr });
+                        port.sig_egress[dst].push_back(*paddr);
                     }
                 }
                 // Jobs and writebacks are not broadcastable (they carry
@@ -778,5 +898,143 @@ fn flush_egress(node: &mut Executive, port: &mut ShardPort) -> bool {
             }
         }
     }
+    for dst in 0..port.sig_egress.len() {
+        let Some(tx) = port.sig_tx[dst].as_ref() else {
+            continue;
+        };
+        while let Some(paddr) = port.sig_egress[dst].pop_front() {
+            match tx.push(paddr) {
+                Ok(()) => node.ck.stats.shard_msgs_sent += 1,
+                Err(paddr) => {
+                    node.ck.stats.rings_full += 1;
+                    port.sig_egress[dst].push_front(paddr);
+                    all = false;
+                    break;
+                }
+            }
+        }
+    }
     all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appkernel::{AppKernel, Env};
+    use crate::fault::{FaultDisposition, TrapDisposition};
+    use crate::ids::ObjId;
+    use crate::objects::{KernelDesc, MemoryAccessArray, SpaceDesc, ThreadDesc};
+    use crate::program::{Script, Step};
+    use hw::{Fault, Paddr};
+
+    const SIG_FRAME: Paddr = Paddr(0x20_0000);
+
+    /// Shard 0's kernel: each trap broadcasts `args[0]` signals on the
+    /// fan-out ring.
+    struct Caster;
+
+    impl AppKernel for Caster {
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn on_page_fault(&mut self, _e: &mut Env, _t: ObjId, _f: Fault) -> FaultDisposition {
+            FaultDisposition::Kill
+        }
+        fn on_trap(&mut self, e: &mut Env, _t: ObjId, _no: u32, args: [u32; 4]) -> TrapDisposition {
+            for _ in 0..args[0] {
+                e.ck.broadcast_signal(e.mpm, e.cpu, SIG_FRAME);
+            }
+            TrapDisposition::Return(0)
+        }
+        fn name(&self) -> &str {
+            "caster"
+        }
+    }
+
+    /// Shard 1's kernel: the first trap panics the shard worker.
+    struct Bomb;
+
+    impl AppKernel for Bomb {
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn on_page_fault(&mut self, _e: &mut Env, _t: ObjId, _f: Fault) -> FaultDisposition {
+            FaultDisposition::Kill
+        }
+        fn on_trap(&mut self, _e: &mut Env, _t: ObjId, _no: u32, _a: [u32; 4]) -> TrapDisposition {
+            panic!("induced shard panic");
+        }
+        fn name(&self) -> &str {
+            "bomb"
+        }
+    }
+
+    fn boot_shard(node: &mut Executive, steps: Vec<Step>, kernel: Box<dyn AppKernel>) {
+        let k = node.ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        let sp = node
+            .ck
+            .load_space(k, SpaceDesc::default(), &mut node.mpm)
+            .unwrap();
+        let pc = node.code.register(Box::new(Script::new(steps)));
+        node.ck
+            .load_thread(k, ThreadDesc::new(sp, pc, 10), false, &mut node.mpm)
+            .unwrap();
+        node.register_kernel(k, kernel);
+    }
+
+    /// A panicked free-running shard must not wedge the machine: its
+    /// post-panic drain keeps consuming both its SPSC mesh rings and its
+    /// fan-out ring (dropping the messages) so the in-flight count
+    /// reaches zero and the coordinator stops without the wall-clock
+    /// watchdog.
+    #[test]
+    fn panicked_shard_drains_fanout_ring() {
+        let mut m = Machine::sharded(ShardConfig {
+            shards: 2,
+            threads: true,
+            ring_capacity: 8,
+            steal: false,
+            ..ShardConfig::default()
+        });
+        // Shard 0: publish 64 bursts of 8 broadcast signals — far more
+        // fan-out traffic than a capacity-8 ring holds, so the run only
+        // quiesces if the dead peer keeps draining.
+        let mut steps = Vec::new();
+        for _ in 0..64 {
+            steps.push(Step::Trap {
+                no: 1,
+                args: [8, 0, 0, 0],
+            });
+        }
+        steps.push(Step::Exit(0));
+        boot_shard(&mut m.nodes[0], steps, Box::new(Caster));
+        // Shard 1: dies on its first quantum.
+        boot_shard(
+            &mut m.nodes[1],
+            vec![
+                Step::Trap {
+                    no: 9,
+                    args: [0; 4],
+                },
+                Step::Exit(0),
+            ],
+            Box::new(Bomb),
+        );
+
+        let start = std::time::Instant::now();
+        m.run_until_idle(10_000);
+        assert!(
+            start.elapsed().as_secs() < 30,
+            "panicked shard wedged quiescence until the watchdog"
+        );
+        assert_eq!(m.in_flight(), 0);
+        let c = m.counters();
+        assert_eq!(c.threads_panicked, 1);
+        // The publisher ran to completion despite the dead peer.
+        assert_eq!(c.thread_exits, 1);
+        assert!(m.nodes[1].mpm.halted);
+    }
 }

@@ -82,6 +82,7 @@ pub mod recover;
 pub mod sched;
 pub mod shardmsg;
 pub mod shootdown;
+pub mod sigbatch;
 
 pub use appkernel::{AppKernel, Env, NullKernel};
 pub use ck::{CacheKernel, CkConfig, CkStats, MappingState, Writeback, STAT_MAPPING};
@@ -92,6 +93,7 @@ pub use events::{ClusterEvent, DeviceSource, KernelEvent};
 pub use exec::{Cluster, Executive, Machine, RunMode, ShardConfig};
 pub use fault::{FaultDisposition, TrapDisposition};
 pub use ids::{ObjId, ObjKind};
+pub use mapping::TransferOutcome;
 pub use msg::SignalOutcome;
 pub use objects::{
     KernelDesc, LockedQuota, MemoryAccessArray, Priority, ReservedSlots, SpaceDesc, ThreadDesc,
@@ -104,3 +106,4 @@ pub use recover::RecoveryReport;
 pub use sched::{Pick, Scheduler};
 pub use shardmsg::{Job, RemoteShootdown, ShardDst, ShardExport, ShardMsg, WbShipment};
 pub use shootdown::ShootdownBatch;
+pub use sigbatch::SignalBatch;

@@ -15,6 +15,18 @@ use hw::{Access, Mpm, Paddr, Pte, Vaddr};
 
 use crate::counters::STAT_MAPPING;
 
+/// Result of a [`CacheKernel::transfer_mapping`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// The page was remapped from the source space into the destination
+    /// space: a true zero-copy handoff, no data moved.
+    Remapped,
+    /// The frame is mapped in more than one place, so moving it would
+    /// silently yank it from the other holders: nothing was changed and
+    /// the caller should fall back to copying the payload.
+    MultiplyMapped,
+}
+
 impl CacheKernel {
     /// Load a page mapping into `space`. `flags` are [`Pte`] flag bits;
     /// `signal_thread` registers the page for memory-based messaging;
@@ -184,6 +196,113 @@ impl CacheKernel {
         vpns.clear();
         self.vpn_scratch = vpns;
         Ok(out)
+    }
+
+    /// Move the page mapped at `src_vaddr` in `src_space` to `dst_vaddr`
+    /// in `dst_space` — the zero-copy channel handoff (§2.2): instead of
+    /// copying a message out of the sender's buffer, ownership of the
+    /// page itself transfers to the receiver through the mapping
+    /// machinery. The new mapping gets `flags` and an optional signal
+    /// registration; the old one is torn down with its TLB/reverse-TLB
+    /// invalidations riding one batched shootdown round.
+    ///
+    /// The move is only safe when the source holds the frame's *only*
+    /// mapping; otherwise the transfer would silently yank the page from
+    /// the other holders, and the call returns
+    /// [`TransferOutcome::MultiplyMapped`] without changing anything so
+    /// the caller can fall back to a copy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_mapping(
+        &mut self,
+        caller: ObjId,
+        src_space: ObjId,
+        src_vaddr: Vaddr,
+        dst_space: ObjId,
+        dst_vaddr: Vaddr,
+        flags: u32,
+        signal_thread: Option<ObjId>,
+        mpm: &mut Mpm,
+    ) -> CkResult<TransferOutcome> {
+        {
+            let s = self.space(src_space)?;
+            if s.owner != caller {
+                return Err(CkError::NotOwner(src_space));
+            }
+        }
+        let src_vpn = src_vaddr.vpn();
+        if src_space == dst_space && src_vpn == dst_vaddr.vpn() {
+            return Err(CkError::Invalid);
+        }
+        let src_pte = self.space(src_space)?.pt.lookup(src_vpn);
+        if !src_pte.is_valid() {
+            return Err(CkError::NoMapping);
+        }
+        let paddr = src_pte.pfn().base();
+
+        // One probe to count the frame's holders; a multiply-mapped frame
+        // stays put and the caller copies instead.
+        self.charge_op(mpm, mpm.config.cost.hash_probe);
+        let mut holders = 0usize;
+        self.physmap.visit_p2v(paddr, |_| holders += 1);
+        if holders > 1 {
+            return Ok(TransferOutcome::MultiplyMapped);
+        }
+
+        // Sole holder: tear the source mapping down first (no siblings,
+        // so no consistency cascade fires), then install the destination
+        // mapping. Teardown first also means the transient state is
+        // "unmapped", never "aliased in two spaces".
+        let src_flags = src_pte.flags();
+        let src_sig = self
+            .physmap
+            .find_p2v_exact(
+                paddr,
+                Self::asid_of(src_space) as u32,
+                src_vaddr.page_base(),
+            )
+            .and_then(|h| self.physmap.signal_of(h))
+            .and_then(|slot| self.threads.id_of_slot(slot as u16));
+        // With one holder the only CPU that can cache the stale
+        // translation is the one the sender last ran on, and it is in the
+        // send trap right now; the receiver cannot touch the destination
+        // address before the delivery signal lands. So the teardown is a
+        // local flush riding the trap, not an IPI broadcast — the saving
+        // that makes a remap cheaper than copying a page-sized payload.
+        let mut batch = self.take_shootdown_batch();
+        self.unload_mapping_impl(src_space, src_vpn, mpm, false, Some(&mut batch));
+        self.finish_shootdown_local(batch, mpm);
+        self.stats.unloads[STAT_MAPPING] += 1;
+
+        match self.load_mapping(
+            caller,
+            dst_space,
+            dst_vaddr.page_base(),
+            paddr,
+            flags,
+            signal_thread,
+            None,
+            mpm,
+        ) {
+            Ok(()) => {
+                self.stats.mapping_transfers += 1;
+                Ok(TransferOutcome::Remapped)
+            }
+            Err(e) => {
+                // Best-effort restore of the source mapping so a shed or
+                // rejected load doesn't strand the page unmapped.
+                let _ = self.load_mapping(
+                    caller,
+                    src_space,
+                    src_vaddr.page_base(),
+                    paddr,
+                    src_flags,
+                    src_sig,
+                    None,
+                    mpm,
+                );
+                Err(e)
+            }
+        }
     }
 
     /// Query a mapping (query operations are deliberately few; this one

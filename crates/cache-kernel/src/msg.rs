@@ -54,9 +54,14 @@ impl CacheKernel {
         // lookup both validates the entry and delivers the signal.
         if let Some(entry) = mpm.cpus[cpu].rtlb.lookup(pfn) {
             let slot = entry.thread as u16;
+            let bound = self.config.signal_queue_bound;
             if let Some(t) = self.threads.get_slot_mut(slot) {
                 let va = Vaddr(entry.vaddr.0 | paddr.offset());
-                t.signal_queue.push_back(va);
+                if bound != 0 && t.signal_queue.len() >= bound {
+                    self.stats.signals_dropped += 1;
+                } else {
+                    t.signal_queue.push_back(va);
+                }
                 let wake = t.desc.state == ThreadState::WaitSignal;
                 if wake {
                     t.desc.state = ThreadState::Ready;
@@ -132,10 +137,17 @@ impl CacheKernel {
     /// thread drains the queue one signal per handler activation.
     pub(crate) fn deliver_signal(&mut self, slot: u16, va: Vaddr) {
         {
+            let bound = self.config.signal_queue_bound;
             let t = match self.threads.get_slot_mut(slot) {
                 Some(t) => t,
                 None => return,
             };
+            if bound != 0 && t.signal_queue.len() >= bound {
+                // A waiting thread always has an empty queue, so the
+                // dropped signal is never the one that would wake it.
+                self.stats.signals_dropped += 1;
+                return;
+            }
             t.signal_queue.push_back(va);
             if t.desc.state != ThreadState::WaitSignal {
                 return;

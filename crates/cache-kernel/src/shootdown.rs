@@ -100,6 +100,40 @@ impl CacheKernel {
         core::mem::take(&mut self.batch_scratch)
     }
 
+    /// Apply `batch`'s invalidations as a *local* flush: no IPI round is
+    /// charged because the caller has established that no other CPU can
+    /// hold the stale translations. `transfer_mapping` qualifies — the
+    /// frame is single-mapped and the handoff is synchronized by the send
+    /// trap (sender's CPU flushes locally as part of the trap it is
+    /// already in) and the delivery signal (the receiver cannot touch the
+    /// destination address before the signal lands, after the new mapping
+    /// is installed). State-wise the entries are still dropped everywhere,
+    /// keeping the simulated TLBs conservative. A sharded kernel falls
+    /// back to the full round: remote executives must hear about the
+    /// invalidation via the mesh regardless.
+    pub(crate) fn finish_shootdown_local(&mut self, mut batch: ShootdownBatch, mpm: &mut Mpm) {
+        if self.config.shard_fanout >= 2 {
+            return self.finish_shootdown(batch, mpm);
+        }
+        if batch.is_empty() {
+            self.batch_scratch = batch;
+            return;
+        }
+        batch.pages.sort_unstable_by_key(|&(a, v)| (a, v.0));
+        batch.pages.dedup();
+        batch.frames.sort_unstable();
+        batch.frames.dedup();
+        batch.threads.sort_unstable();
+        batch.threads.dedup();
+        mpm.flush_pages_all_cpus(&batch.pages);
+        mpm.flush_asids_all_cpus(&batch.asids);
+        mpm.rtlb_invalidate_many(&batch.frames);
+        mpm.rtlb_invalidate_threads_all_cpus(&batch.threads);
+        self.stats.transfer_local_flushes += 1;
+        batch.clear();
+        self.batch_scratch = batch;
+    }
+
     /// Issue everything `batch` collected as one cross-CPU shootdown
     /// round, charging `shootdown_cost` once, then return the (cleared)
     /// batch to the scratch slot. An empty batch costs nothing.

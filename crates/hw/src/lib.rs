@@ -36,7 +36,7 @@ pub use l2::{L2Cache, L2Stats};
 pub use machine::{MachineConfig, Mpm, Translation};
 pub use mem::{MemError, PhysMem};
 pub use pagetable::{PageTable, Pte};
-pub use ring::{spsc, RingRx, RingTx};
+pub use ring::{mpsc, spsc, MpscRx, MpscTx, RingRx, RingTx};
 pub use rtlb::{Rtlb, RtlbEntry, RtlbStats};
 pub use tlb::{Asid, Tlb, TlbStats};
 pub use types::{

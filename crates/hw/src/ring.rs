@@ -14,6 +14,15 @@
 //! returns the value to the caller — the sharded machine counts the
 //! deferral (`rings_full`) and retries next quantum instead of blocking
 //! or panicking.
+//!
+//! Beside the SPSC pair lives [`mpsc`], a bounded multi-producer /
+//! single-consumer ring (per-slot sequence numbers, CAS-claimed tail)
+//! for the fan-out case: one busy message page with many registered
+//! waiters, or cross-shard signal shipment, where N producers publish
+//! into one receiving shard's ring and the shard drains them in a
+//! single sweep instead of servicing N point-to-point rings. Same
+//! backpressure contract: a full ring hands the value back, never
+//! drops or blocks.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -151,6 +160,197 @@ impl<T: Send> RingRx<T> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Multi-producer / single-consumer ring
+// ---------------------------------------------------------------------
+
+struct MpscSlot<T> {
+    /// Slot state stamp. `seq == pos`: free for the producer claiming
+    /// `pos`; `seq == pos + 1`: written and readable by the consumer;
+    /// after consumption the consumer stamps `pos + capacity`, handing
+    /// the slot to the producer of the next lap.
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct MpscShared<T> {
+    buf: Box<[MpscSlot<T>]>,
+    /// Next slot a producer will claim (CAS-incremented; slot = pos % cap).
+    tail: AtomicUsize,
+    /// Next slot the consumer will read (sole writer; slot = pos % cap).
+    head: AtomicUsize,
+}
+
+// SAFETY: a producer touches a slot's payload only between winning the
+// CAS on `tail` (exclusive claim of that position) and the release
+// store of `seq = pos + 1`; the consumer reads it only after the
+// acquire load observes that stamp, and frees it with a release store
+// of `pos + cap` that the next lap's producer acquires. The payload is
+// the only data crossing threads, and it is `Send`.
+unsafe impl<T: Send> Sync for MpscShared<T> {}
+unsafe impl<T: Send> Send for MpscShared<T> {}
+
+impl<T> Drop for MpscShared<T> {
+    fn drop(&mut self) {
+        // Sole owner: every winning producer has finished its publish
+        // (push never returns between claim and publish), so exactly
+        // the slots stamped `pos + 1` still hold values.
+        let cap = self.buf.len();
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for pos in head..tail {
+            let slot = &self.buf[pos % cap];
+            debug_assert_eq!(slot.seq.load(Ordering::Relaxed), pos + 1);
+            // SAFETY: slots in [head, tail) were published, never read.
+            unsafe { (*slot.val.get()).assume_init_drop() };
+        }
+    }
+}
+
+/// A producer handle for a bounded MPSC ring. Cloning hands another
+/// producer a handle to the same ring; sends from one handle arrive in
+/// the order they were pushed.
+pub struct MpscTx<T> {
+    shared: Arc<MpscShared<T>>,
+}
+
+impl<T> Clone for MpscTx<T> {
+    fn clone(&self) -> Self {
+        MpscTx {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// The single-consumer half of a bounded MPSC ring.
+pub struct MpscRx<T> {
+    shared: Arc<MpscShared<T>>,
+}
+
+/// Build a bounded multi-producer/single-consumer ring with room for
+/// `capacity` messages.
+pub fn mpsc<T: Send>(capacity: usize) -> (MpscTx<T>, MpscRx<T>) {
+    assert!(capacity > 0, "ring capacity must be at least 1");
+    let buf = (0..capacity)
+        .map(|i| MpscSlot {
+            seq: AtomicUsize::new(i),
+            val: UnsafeCell::new(MaybeUninit::uninit()),
+        })
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let shared = Arc::new(MpscShared {
+        buf,
+        tail: AtomicUsize::new(0),
+        head: AtomicUsize::new(0),
+    });
+    (
+        MpscTx {
+            shared: Arc::clone(&shared),
+        },
+        MpscRx { shared },
+    )
+}
+
+impl<T: Send> MpscTx<T> {
+    /// Enqueue `v`. A full ring hands the value straight back as `Err`
+    /// — count the deferral and retry later, exactly like the SPSC
+    /// ring. Producers that race for the same position retry on the
+    /// next one; a push never spins on a *full* ring.
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let s = &*self.shared;
+        let cap = s.buf.len();
+        let mut pos = s.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &s.buf[pos % cap];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // Free for this lap: claim it.
+                match s.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gives this producer exclusive
+                        // ownership of position `pos`; the consumer
+                        // waits for the stamp below.
+                        unsafe { (*slot.val.get()).write(v) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(now) => pos = now, // lost the race, try the next
+                }
+            } else if seq < pos {
+                // The consumer has not freed this slot from the
+                // previous lap: the ring is full.
+                return Err(v);
+            } else {
+                // Another producer claimed `pos` concurrently; reload.
+                pos = s.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Messages currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail
+            .load(Ordering::Relaxed)
+            .saturating_sub(s.head.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.buf.len()
+    }
+}
+
+impl<T: Send> MpscRx<T> {
+    /// Dequeue the oldest published message, if any. A slot claimed but
+    /// not yet published stalls the queue momentarily (`None`) rather
+    /// than reordering past it — total order is the claim order.
+    pub fn pop(&self) -> Option<T> {
+        let s = &*self.shared;
+        let cap = s.buf.len();
+        let pos = s.head.load(Ordering::Relaxed); // sole writer
+        let slot = &s.buf[pos % cap];
+        if slot.seq.load(Ordering::Acquire) != pos + 1 {
+            return None;
+        }
+        // SAFETY: the stamp `pos + 1` means the producer's write is
+        // published; the release store below frees the slot for the
+        // next lap.
+        let v = unsafe { (*slot.val.get()).assume_init_read() };
+        slot.seq.store(pos + cap, Ordering::Release);
+        s.head.store(pos + 1, Ordering::Relaxed);
+        Some(v)
+    }
+
+    /// Messages currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail
+            .load(Ordering::Acquire)
+            .saturating_sub(s.head.load(Ordering::Relaxed))
+    }
+
+    /// Whether the ring is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.buf.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +418,86 @@ mod tests {
         }
         producer.join().unwrap();
         assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn mpsc_fifo_and_full_semantics() {
+        let (tx, rx) = mpsc::<u32>(2);
+        assert!(rx.is_empty());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(3), "full ring hands the value back");
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(3).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), None);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn mpsc_queued_messages_drop_with_the_ring() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (tx, rx) = mpsc::<D>(4);
+        let tx2 = tx.clone();
+        assert!(tx.push(D).is_ok());
+        assert!(tx2.push(D).is_ok());
+        assert!(tx.push(D).is_ok());
+        drop(rx.pop()); // one consumed
+        drop((tx, tx2, rx)); // two still queued
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn mpsc_backpressure_never_loses_under_contention() {
+        // Several producers hammer a tiny ring; every deferred push is
+        // retried with the value the ring handed back. The consumer
+        // must see every message exactly once and, per producer, in
+        // the order that producer pushed.
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 50_000;
+        let (tx, rx) = mpsc::<(u64, u64)>(8);
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = (p, i);
+                        while let Err(back) = tx.push(v) {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut next = [0u64; PRODUCERS as usize];
+        let mut seen = 0u64;
+        while seen < PRODUCERS * PER_PRODUCER {
+            if let Some((p, i)) = rx.pop() {
+                assert_eq!(
+                    i, next[p as usize],
+                    "producer {p} messages arrive in push order, exactly once"
+                );
+                next[p as usize] += 1;
+                seen += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(rx.is_empty());
+        assert_eq!(next, [PER_PRODUCER; PRODUCERS as usize]);
     }
 }

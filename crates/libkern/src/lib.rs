@@ -55,7 +55,7 @@ pub mod retry;
 pub mod rpc;
 pub mod thread;
 
-pub use chan::{Channel, CHAN_HDR, CHAN_MAX};
+pub use chan::{Channel, PageChannel, CHAN_HDR, CHAN_MAX};
 pub use dsm::{Dsm, DsmAction, DsmStats, LineEntry, DSM_CHANNEL};
 pub use mem::{
     BackingStore, Fifo, FrameAllocator, Lru, Mru, Region, ReplacementPolicy, Segment,

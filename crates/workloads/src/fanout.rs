@@ -1,0 +1,297 @@
+//! The cross-shard signal fan-out workload.
+//!
+//! One publisher thread on shard 0 broadcasts bursts of address-valued
+//! signals on a message frame that every shard maps with its own
+//! listener thread as the signal thread. A broadcast is raised eagerly
+//! on the publishing shard and published once per peer shard on the
+//! multi-producer fan-out ring; each receiving shard drains its ring in
+//! one sweep and delivers the burst through the batched signal path
+//! (one two-stage lookup per unique page, one wakeup per listener)
+//! instead of one `ShardMsg` round-trip per signal.
+//!
+//! Listeners consume exactly `rounds` signals each and exit with their
+//! receive count, so the structural totals — signals consumed, thread
+//! exits — are invariant between deterministic lockstep and
+//! free-running threaded execution, while the *shape* of delivery
+//! (burst sizes, batch counts) is timing-dependent and deliberately
+//! left out of the cross-mode comparison.
+
+use cache_kernel::{
+    Env, FaultDisposition, FnProgram, KernelDesc, Machine, MemoryAccessArray, ObjId, Priority,
+    Script, ShardConfig, Step, TrapDisposition,
+};
+use hw::{Fault, Paddr, Pte, Vaddr};
+
+/// Trap number: broadcast `args[0]` signals on [`SIG_FRAME`].
+pub const T_CAST: u32 = 0x2001;
+/// The shared message frame (same physical address in every shard's
+/// partition — it models one globally shared message page).
+pub const SIG_FRAME: Paddr = Paddr(0x20_0000);
+/// Listener-side virtual address of the message page.
+pub const SIG_VA: Vaddr = Vaddr(0xb000);
+
+/// Workload shape.
+#[derive(Clone, Debug)]
+pub struct FanoutSpec {
+    /// Shards (one listener each; shard 0 also hosts the publisher).
+    pub shards: usize,
+    /// Total signals broadcast (every listener receives all of them).
+    pub rounds: usize,
+    /// Signals per publisher trap; bursts of 2+ ride the batched
+    /// delivery path on receiving shards.
+    pub burst: usize,
+    /// Free-running threaded mode (`false` = deterministic lockstep).
+    pub threads: bool,
+    /// Capacity of each inter-shard ring (SPSC mesh and fan-out ring).
+    pub ring_capacity: usize,
+}
+
+impl Default for FanoutSpec {
+    fn default() -> Self {
+        FanoutSpec {
+            shards: 4,
+            rounds: 64,
+            burst: 4,
+            threads: false,
+            ring_capacity: 256,
+        }
+    }
+}
+
+/// Per-shard application kernel: relays the publisher's broadcast trap
+/// and tallies listener exits.
+#[derive(Default)]
+pub struct FanoutDriver {
+    /// Broadcast calls relayed (publisher's shard only).
+    pub casts: u64,
+    /// Signals consumed by listeners that exited on this shard.
+    pub received: u64,
+    /// Listener threads that exited on this shard.
+    pub completed: u64,
+}
+
+impl cache_kernel::AppKernel for FanoutDriver {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_page_fault(&mut self, _env: &mut Env, _thread: ObjId, _fault: Fault) -> FaultDisposition {
+        // Neither program touches unmapped memory.
+        FaultDisposition::Kill
+    }
+
+    fn on_trap(
+        &mut self,
+        env: &mut Env,
+        _thread: ObjId,
+        no: u32,
+        args: [u32; 4],
+    ) -> TrapDisposition {
+        if no == T_CAST {
+            for _ in 0..args[0] {
+                env.ck.broadcast_signal(env.mpm, env.cpu, SIG_FRAME);
+            }
+            self.casts += 1;
+            TrapDisposition::Return(0)
+        } else {
+            TrapDisposition::Return(no)
+        }
+    }
+
+    fn on_thread_exit(&mut self, _env: &mut Env, _thread: ObjId, code: i32) {
+        // Listeners exit with their (positive) receive count; the
+        // publisher exits 0 and is not a completion.
+        if code > 0 {
+            self.completed += 1;
+            self.received += code as u64;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "fanout-driver"
+    }
+}
+
+/// Build the sharded machine: every shard boots a kernel + space, maps
+/// [`SIG_FRAME`] in message mode with a listener as the signal thread;
+/// shard 0 additionally loads the publisher.
+pub fn build(spec: &FanoutSpec) -> Machine {
+    let mut m = Machine::sharded(ShardConfig {
+        shards: spec.shards,
+        ring_capacity: spec.ring_capacity,
+        threads: spec.threads,
+        steal: false,
+        ..ShardConfig::default()
+    });
+    let rounds = spec.rounds;
+    for i in 0..m.shards() {
+        let node = &mut m.nodes[i];
+        let kernel = node.ck.boot(KernelDesc {
+            memory_access: MemoryAccessArray::all(),
+            ..KernelDesc::default()
+        });
+        let space = node
+            .ck
+            .load_space(kernel, cache_kernel::SpaceDesc::default(), &mut node.mpm)
+            .expect("boot space on shard");
+
+        // Listener: consume `rounds` signals, exit with the count.
+        let pc = node.code.register(Box::new(FnProgram({
+            let mut got: usize = 0;
+            move |ctx| {
+                if ctx.signal.take().is_some() {
+                    got += 1;
+                }
+                if got >= rounds {
+                    Step::Exit(got as i32)
+                } else {
+                    Step::WaitSignal
+                }
+            }
+        })));
+        let listener = node
+            .ck
+            .load_thread(
+                kernel,
+                cache_kernel::ThreadDesc::new(space, pc, 12),
+                false,
+                &mut node.mpm,
+            )
+            .expect("load listener");
+        node.ck
+            .load_mapping(
+                kernel,
+                space,
+                SIG_VA,
+                SIG_FRAME,
+                Pte::MESSAGE,
+                Some(listener),
+                None,
+                &mut node.mpm,
+            )
+            .expect("map message frame");
+        node.job_target = Some((kernel, space));
+        node.register_kernel(kernel, Box::new(FanoutDriver::default()));
+
+        if i == 0 {
+            let mut steps = Vec::new();
+            let mut left = spec.rounds;
+            while left > 0 {
+                let b = spec.burst.max(1).min(left);
+                steps.push(Step::Trap {
+                    no: T_CAST,
+                    args: [b as u32, 0, 0, 0],
+                });
+                left -= b;
+            }
+            steps.push(Step::Exit(0));
+            let pub_pc = node.code.register(Box::new(Script::new(steps)));
+            node.ck
+                .load_thread(
+                    kernel,
+                    cache_kernel::ThreadDesc::new(space, pub_pc, 10 as Priority),
+                    false,
+                    &mut node.mpm,
+                )
+                .expect("load publisher");
+        }
+    }
+    m
+}
+
+/// Sum of signals consumed by exited listeners across the machine.
+pub fn received(m: &mut Machine) -> u64 {
+    driver_total(m, |d| d.received)
+}
+
+/// Sum of listener exits across the machine.
+pub fn completed(m: &mut Machine) -> u64 {
+    driver_total(m, |d| d.completed)
+}
+
+fn driver_total(m: &mut Machine, f: fn(&FanoutDriver) -> u64) -> u64 {
+    let mut total = 0;
+    for i in 0..m.shards() {
+        let id = m.nodes[i].job_target.map(|(k, _)| k);
+        if let Some(k) = id {
+            if let Some(v) = m.nodes[i].with_kernel::<FanoutDriver, u64>(k, |d, _| f(d)) {
+                total += v;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lockstep_fanout_delivers_every_signal() {
+        let spec = FanoutSpec {
+            shards: 4,
+            rounds: 32,
+            burst: 4,
+            ..FanoutSpec::default()
+        };
+        let mut m = build(&spec);
+        let used = m.run_until_idle(20_000);
+        assert!(used < 20_000, "machine failed to quiesce");
+        // Every listener consumed every broadcast.
+        assert_eq!(
+            received(&mut m),
+            (spec.shards * spec.rounds) as u64,
+            "each of {} listeners should consume {} signals",
+            spec.shards,
+            spec.rounds
+        );
+        assert_eq!(completed(&mut m), spec.shards as u64);
+        let c = m.counters();
+        // Listeners plus the publisher all exited.
+        assert_eq!(c.thread_exits, spec.shards as u64 + 1);
+        // Remote bursts rode the batched path: sweeps of 2+ signals go
+        // through `finish_signal_batch`, not one raise per message.
+        assert!(c.signal_batches > 0, "no batched deliveries: {c:?}");
+        assert!(c.signals_batched >= c.signal_batches);
+        // The fan-out ring carried one publication per (signal, peer).
+        assert!(c.shard_msgs_sent >= (spec.rounds * (spec.shards - 1)) as u64);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn lockstep_fanout_is_deterministic() {
+        let run = || {
+            let spec = FanoutSpec {
+                shards: 3,
+                rounds: 24,
+                burst: 3,
+                ..FanoutSpec::default()
+            };
+            let mut m = build(&spec);
+            m.run_until_idle(20_000);
+            (received(&mut m), format!("{:?}", m.counters()))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn threaded_fanout_matches_lockstep_totals() {
+        let mk = |threads| {
+            let spec = FanoutSpec {
+                shards: 4,
+                rounds: 24,
+                burst: 4,
+                threads,
+                ring_capacity: 16,
+            };
+            let mut m = build(&spec);
+            m.run_until_idle(40_000);
+            let c = m.counters();
+            (received(&mut m), completed(&mut m), c.thread_exits)
+        };
+        let lockstep = mk(false);
+        let threaded = mk(true);
+        assert_eq!(lockstep, threaded);
+        assert_eq!(lockstep.0, 4 * 24);
+    }
+}

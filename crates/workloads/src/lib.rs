@@ -7,6 +7,7 @@
 //! drive the database kernel, the segment manager, or a raw cache model.
 
 pub mod dsm_cluster;
+pub mod fanout;
 pub mod throughput;
 
 use rand::rngs::StdRng;

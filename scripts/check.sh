@@ -43,6 +43,20 @@ cargo test -q -p vpp --test prop_threaded pinned_lockstep_replay
 echo "== throughput report smoke =="
 cargo run -q --release -p bench --bin report -- throughput > /dev/null
 
+echo "== signal batched/eager equivalence pinned seeds =="
+cargo test -q -p vpp --test prop_signal_batch pinned_signal_batch
+
+echo "== fan-out ring drain (lockstep + threaded + panic) =="
+cargo test -q -p workloads fanout::
+cargo test -q -p cache-kernel shard::tests::panicked_shard_drains_fanout_ring
+
+echo "== messaging report smoke =="
+cargo run -q --release -p bench --bin report -- msg > /dev/null
+
+echo "== messaging bench smoke (criterion baselines) =="
+cargo bench -q -p bench --bench signal_latency -- --save-baseline msg-gate > /dev/null
+cargo bench -q -p bench --bench ipc_channel -- --save-baseline msg-gate > /dev/null
+
 if [[ "${TSAN:-0}" == "1" ]]; then
   # Opt-in ThreadSanitizer pass over the cross-thread paths (the SPSC
   # rings and the free-running shard workers). Needs a nightly

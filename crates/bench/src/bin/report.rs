@@ -5,9 +5,9 @@
 //! where `<section>` is one of `table1`, `table2`, `trap`, `signal`,
 //! `fault`, `size`, `cache-sweep`, `overhead`, `mp3d`, `policy`,
 //! `quota`, `rtlb`, `teardown`, `recovery`, `overload`, `partition`,
-//! `throughput`, `msg`, or `all` (default). Output is what
-//! EXPERIMENTS.md records. With `--json`, the `signal`, `throughput`
-//! and `msg` sections additionally write a machine-readable
+//! `throughput`, `msg`, `caps`, or `all` (default). Output is what
+//! EXPERIMENTS.md records. With `--json`, the `signal`, `throughput`,
+//! `msg` and `caps` sections additionally write a machine-readable
 //! `BENCH_<section>.json` artifact beside the working directory's
 //! manifest (numbers plus the pinned seeds the check gates replay).
 
@@ -17,7 +17,7 @@ use cache_kernel::{
     SpaceDesc, Step, ThreadCtx, ThreadDesc,
 };
 use db_kernel::{DbKernel, DbOp, Policy};
-use hw::{Access, MachineConfig, Mpm, Paddr, Pte, Vaddr, PAGE_SIZE};
+use hw::{Access, MachineConfig, Mpm, Paddr, Pte, Rights, Vaddr, PAGE_GROUP_SIZE, PAGE_SIZE};
 use sim_kernel::mp3d::{locality_comparison, Mp3dConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -88,6 +88,114 @@ fn main() {
     if run("msg") {
         msg();
     }
+    if run("caps") {
+        caps();
+    }
+}
+
+// ---------------------------------------------------------------------
+// E-caps — capability enforcement cost (granted path vs violation path)
+// ---------------------------------------------------------------------
+
+/// Granted-path and denied-path mapping-load cost under one
+/// `caps_enforce` setting. The caller is a scoped (non-first) kernel so
+/// the rights check actually runs.
+fn caps_cell(caps_on: bool) -> (f64, f64) {
+    let mut h = Bench::with_config(
+        CkConfig {
+            caps_enforce: caps_on,
+            ..CkConfig::default()
+        },
+        16 * 1024,
+    );
+    let mut desc = KernelDesc {
+        memory_access: MemoryAccessArray::none(),
+        ..KernelDesc::default()
+    };
+    desc.memory_access.set(0, Rights::ReadWrite);
+    let k = h.ck.load_kernel(h.srm, desc, &mut h.mpm).unwrap();
+    let sp =
+        h.ck.load_space(k, SpaceDesc::default(), &mut h.mpm)
+            .unwrap();
+    let granted_ns = quick_median_ns(
+        9,
+        400,
+        &mut h,
+        |h| {
+            h.ck.load_mapping(
+                k,
+                sp,
+                Vaddr(0x1000),
+                Paddr(0x3000),
+                Pte::WRITABLE | Pte::CACHEABLE,
+                None,
+                None,
+                &mut h.mpm,
+            )
+            .unwrap();
+        },
+        |h| {
+            h.ck.unload_mapping_range(k, sp, Vaddr(0x1000), PAGE_SIZE, &mut h.mpm)
+                .unwrap();
+            h.ck.take_writebacks();
+            h.ck.drain_events();
+        },
+    );
+    let denied_ns = quick_median_ns(
+        9,
+        400,
+        &mut h,
+        |h| {
+            h.ck.load_mapping(
+                k,
+                sp,
+                Vaddr(0x2000),
+                Paddr(PAGE_GROUP_SIZE),
+                Pte::WRITABLE,
+                None,
+                None,
+                &mut h.mpm,
+            )
+            .unwrap_err();
+        },
+        |h| {
+            h.ck.drain_events();
+        },
+    );
+    (granted_ns, denied_ns)
+}
+
+fn caps() {
+    println!("## Capability enforcement — granted path vs violation path\n");
+    let (off_granted, off_denied) = caps_cell(false);
+    let (on_granted, on_denied) = caps_cell(true);
+    let overhead_pct = (on_granted - off_granted) / off_granted * 100.0;
+    println!("| path                    | caps off | caps on |");
+    println!("|-------------------------|---------:|--------:|");
+    println!("| granted mapping load    | {off_granted:7.0}ns | {on_granted:6.0}ns |");
+    println!("| denied  mapping load    | {off_denied:7.0}ns | {on_denied:6.0}ns |");
+    println!(
+        "\ngranted-path overhead with enforcement on: {overhead_pct:+.1}% \
+         (the check is the same branch either way; only the error path\n\
+         gains the violation event and counter)\n"
+    );
+    write_json(
+        "caps",
+        &[
+            ("granted_ns_caps_off", jf(off_granted)),
+            ("granted_ns_caps_on", jf(on_granted)),
+            ("granted_overhead_pct", jf(overhead_pct)),
+            ("denied_ns_caps_off", jf(off_denied)),
+            ("denied_ns_caps_on", jf(on_denied)),
+            (
+                "pinned_adversarial_seeds",
+                jarr(vec![
+                    "\"0x00C0_FFEE_DEAD_BEEF\"".into(),
+                    "\"0x9E37_79B9_7F4A_7C15\"".into(),
+                ]),
+            ),
+        ],
+    );
 }
 
 // ---------------------------------------------------------------------

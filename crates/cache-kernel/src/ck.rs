@@ -83,6 +83,25 @@ pub struct CkConfig {
     ///
     /// [`ShardMsg::Shootdown`]: crate::shardmsg::ShardMsg
     pub shard_fanout: usize,
+    /// Capability enforcement at the application-kernel boundary
+    /// (default off, and provably inert then: every rights failure keeps
+    /// its legacy error shape and no new counter or event moves). When
+    /// on, out-of-grant maps, forged writeback targets, bystander signal
+    /// registrations and grant-escalation attempts are denied with
+    /// [`CkError::CapDenied`](crate::error::CkError), counted in
+    /// `cap_denied` and traced as `CapViolation` events; a grant
+    /// *reduction* additionally tears down the kernel's now-out-of-grant
+    /// mappings in one batched shootdown round. The first kernel is
+    /// exempt throughout.
+    pub caps_enforce: bool,
+    /// MProtect-style metadata-only descriptor mode (default off): the
+    /// Cache Kernel tracks residency and consistency for pages whose
+    /// contents it cannot read. Mapping writebacks carry an opaque
+    /// payload handle ([`caps::opaque_payload`](crate::caps)) instead of
+    /// implying readable page data, counted in `metadata_writebacks`;
+    /// reclaim and recovery already operate purely on descriptor
+    /// metadata, so no other path changes.
+    pub metadata_only: bool,
 }
 
 impl Default for CkConfig {
@@ -104,6 +123,8 @@ impl Default for CkConfig {
             shed_backoff: 500,
             signal_queue_bound: 0,
             shard_fanout: 0,
+            caps_enforce: false,
+            metadata_only: false,
         }
     }
 }
@@ -371,7 +392,14 @@ impl CacheKernel {
     /// §7): added "as optimizations of this basic mechanism" of unloading,
     /// modifying and reloading.
     ///
-    /// 1. Change the page-group rights of a kernel (SRM only).
+    /// 1. Change the page-group rights of a kernel (SRM only; with
+    ///    capability enforcement on, a non-first caller's attempt is
+    ///    traced and denied as a grant-escalation violation rather than
+    ///    the bare [`CkError::FirstKernelOnly`]). Under `caps_enforce`,
+    ///    a rights *reduction* also tears down the kernel's mappings
+    ///    that the narrowed grant no longer covers, in one batched
+    ///    shootdown round — a down-scoped kernel cannot keep touching
+    ///    pages through stale PTEs.
     pub fn modify_kernel_grant(
         &mut self,
         caller: ObjId,
@@ -379,14 +407,28 @@ impl CacheKernel {
         group_first: u32,
         group_count: u32,
         rights: Rights,
+        mpm: &mut Mpm,
     ) -> CkResult<()> {
-        self.require_first(caller)?;
+        if Some(caller) != self.first_kernel {
+            let anchor = hw::Paddr(group_first.saturating_mul(hw::PAGE_GROUP_SIZE));
+            return Err(self.cap_escalation_denied(caller, anchor));
+        }
         let k = self.kernel_mut(kernel)?;
+        let mut narrowed = false;
         for g in group_first..group_first.saturating_add(group_count) {
             if g >= hw::PAGE_GROUPS_TOTAL {
                 return Err(CkError::Invalid);
             }
+            let old = k.desc.memory_access.get(g);
             k.desc.memory_access.set(g, rights);
+            if (old.allows(hw::Access::Read) && !rights.allows(hw::Access::Read))
+                || (old.allows(hw::Access::Write) && !rights.allows(hw::Access::Write))
+            {
+                narrowed = true;
+            }
+        }
+        if narrowed && self.config.caps_enforce && Some(kernel) != self.first_kernel {
+            self.revoke_out_of_grant_mappings(kernel, group_first, group_count, mpm);
         }
         Ok(())
     }

@@ -26,12 +26,18 @@ pub(crate) fn setup() -> (CacheKernel, Mpm, ObjId) {
     (ck, mpm, srm)
 }
 
+/// Blanket full-access grant — kept for the explicit privilege test
+/// below; everything else uses minimal scoped grants
+/// ([`crate::test_support::grant_groups`]) so capability checking is
+/// actually exercised.
 fn grant_all() -> KernelDesc {
     KernelDesc {
         memory_access: MemoryAccessArray::all(),
         ..KernelDesc::default()
     }
 }
+
+use crate::test_support::grant_groups;
 
 #[test]
 fn boot_loads_locked_first_kernel() {
@@ -44,6 +50,9 @@ fn boot_loads_locked_first_kernel() {
 #[test]
 fn only_first_kernel_loads_kernels() {
     let (mut ck, mut mpm, srm) = setup();
+    // The one test that keeps a blanket grant: even full memory access
+    // confers no kernel-management privilege — that is the first-kernel
+    // convention, not a rights bit.
     let k2 = ck.load_kernel(srm, grant_all(), &mut mpm).unwrap();
     assert_eq!(
         ck.load_kernel(k2, KernelDesc::default(), &mut mpm),
@@ -164,7 +173,7 @@ fn mapping_query_and_unload() {
 #[test]
 fn priority_cap_enforced() {
     let (mut ck, mut mpm, srm) = setup();
-    let mut desc = grant_all();
+    let mut desc = grant_groups(&[]); // maps nothing; no grant needed
     desc.max_priority = 10;
     let k = ck.load_kernel(srm, desc, &mut mpm).unwrap();
     let sp = ck.load_space(k, SpaceDesc::default(), &mut mpm).unwrap();
@@ -183,7 +192,7 @@ fn priority_cap_enforced() {
 #[test]
 fn lock_quota_enforced() {
     let (mut ck, mut mpm, srm) = setup();
-    let mut desc = grant_all();
+    let mut desc = grant_groups(&[0]); // all test mappings sit in group 0
     desc.locked_quota = LockedQuota {
         spaces: 1,
         threads: 1,
@@ -231,7 +240,7 @@ fn lock_quota_enforced() {
 #[test]
 fn ownership_checks() {
     let (mut ck, mut mpm, srm) = setup();
-    let k = ck.load_kernel(srm, grant_all(), &mut mpm).unwrap();
+    let k = ck.load_kernel(srm, grant_groups(&[0]), &mut mpm).unwrap();
     let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
     // k cannot load a thread into srm's space.
     assert_eq!(

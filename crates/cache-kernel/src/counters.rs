@@ -140,6 +140,16 @@ pub struct Counters {
     /// Executive threads that panicked in free-running mode (the shard
     /// is declared failed and the machine keeps going).
     pub threads_panicked: u64,
+    /// Operations denied by capability enforcement (`caps_enforce`):
+    /// out-of-grant maps, forged writeback targets, bystander signal
+    /// registrations, grant-escalation attempts. Balanced one-to-one
+    /// against raised `CapViolation` events. Never moves with the knob
+    /// off.
+    pub cap_denied: u64,
+    /// Mapping writebacks shipped with an opaque payload handle in
+    /// metadata-only mode (`metadata_only`). Never moves with the knob
+    /// off.
+    pub metadata_writebacks: u64,
 }
 
 /// The historical name: the counters began as the Cache Kernel's stats
@@ -198,6 +208,7 @@ impl Counters {
                 crate::events::ClusterEvent::NodeRejoined { .. } => self.nodes_rejoined += 1,
                 crate::events::ClusterEvent::EpochChanged { .. } => self.epoch_changes += 1,
             },
+            KernelEvent::CapViolation { .. } => self.cap_denied += 1,
         }
     }
 

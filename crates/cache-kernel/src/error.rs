@@ -54,6 +54,21 @@ pub enum CkError {
         /// Suggested wait before retrying, in simulated cycles.
         backoff: u32,
     },
+    /// Capability scoping (`CkConfig::caps_enforce`) denied the operation:
+    /// the caller tried to reach a physical page, writeback target or
+    /// grant outside its authorized scope. Each denial is counted in
+    /// [`Counters::cap_denied`](crate::Counters) and traced as a
+    /// `CapViolation` event — never a panic. A *retryable* denial means
+    /// the caller holds some rights on the page group but not enough for
+    /// the requested access (it may retry after renegotiating its grant
+    /// with the SRM); a non-retryable one means the target is wholly
+    /// outside the grant — a forged or adversarial request.
+    CapDenied {
+        /// The physical page the denial anchors to.
+        paddr: Paddr,
+        /// Whether renegotiating the grant could make the call succeed.
+        retryable: bool,
+    },
 }
 
 /// Convenience result alias.
@@ -79,6 +94,17 @@ impl core::fmt::Display for CkError {
                     "load shed by overload protection; retry in ~{backoff} cycles"
                 )
             }
+            CkError::CapDenied { paddr, retryable } => {
+                write!(
+                    f,
+                    "capability denied on physical page {paddr:?} ({})",
+                    if *retryable {
+                        "retryable after grant renegotiation"
+                    } else {
+                        "outside the kernel's grant"
+                    }
+                )
+            }
         }
     }
 }
@@ -96,6 +122,22 @@ mod tests {
         assert!(format!("{e}").contains("stale"));
         assert!(format!("{}", CkError::CacheFull).contains("locked"));
         assert!(format!("{}", CkError::Again { backoff: 500 }).contains("500"));
+        assert!(format!(
+            "{}",
+            CkError::CapDenied {
+                paddr: Paddr(0x4000),
+                retryable: false
+            }
+        )
+        .contains("capability"));
+        assert!(format!(
+            "{}",
+            CkError::CapDenied {
+                paddr: Paddr(0x4000),
+                retryable: true
+            }
+        )
+        .contains("retryable"));
     }
 
     #[test]

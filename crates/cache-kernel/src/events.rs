@@ -154,6 +154,21 @@ pub enum KernelEvent {
     /// Fanned out to every registered kernel so DSM directories and
     /// schedulers can react in pipeline order.
     Cluster(ClusterEvent),
+    /// Capability enforcement (`CkConfig::caps_enforce`) denied an
+    /// operation: the named kernel tried to reach a physical page,
+    /// writeback target or grant outside its authorized scope. The
+    /// caller received [`CkError::CapDenied`](crate::error::CkError);
+    /// this event carries the violation into the ordered pipeline for
+    /// counting and tracing — informational to the executive, never a
+    /// delivery action and never a panic.
+    CapViolation {
+        /// The violating kernel.
+        kernel: ObjId,
+        /// The physical page the violation anchors to.
+        paddr: Paddr,
+        /// Which boundary surface was violated.
+        op: crate::caps::CapOp,
+    },
 }
 
 /// A cluster membership transition observed by the local SRM's membership
@@ -263,6 +278,11 @@ impl KernelEvent {
                     adopted_from,
                 } => format!("epoch-changed epoch={epoch} from={adopted_from:?}"),
             },
+            KernelEvent::CapViolation { kernel, paddr, op } => format!(
+                "cap-violation kernel={kernel:?} op={} pa={:#x}",
+                op.as_str(),
+                paddr.0
+            ),
         }
     }
 }
@@ -285,6 +305,12 @@ pub enum Writeback {
         paddr: Paddr,
         /// Final PTE flag bits (REFERENCED/MODIFIED/WRITABLE/…).
         flags: u32,
+        /// Opaque payload handle in metadata-only mode
+        /// (`CkConfig::metadata_only`): a content-free token the owning
+        /// kernel joins against its own backing store, standing in for
+        /// page data the Cache Kernel cannot read. Always 0 when the
+        /// mode is off.
+        payload: u64,
     },
     /// A thread's full state.
     Thread {

@@ -161,6 +161,12 @@ impl Executive {
                 // when the detector fired; the event carries the episode
                 // into counters and traces for the overload harness.
             }
+            KernelEvent::CapViolation { .. } => {
+                // Informational: the violator already received
+                // `CapDenied` synchronously and the counter ticked at
+                // emit; the event carries the violation into traces so
+                // adversarial runs can audit containment.
+            }
             KernelEvent::Cluster(cev) => {
                 // Membership transitions fan out to every registered
                 // kernel in deterministic slot order, mirroring the clock

@@ -155,9 +155,13 @@ mod tests {
     use crate::objects::*;
     use hw::{MachineConfig, Pte};
 
+    /// Boot (first kernel keeps the conventional blanket grant) and load
+    /// one app kernel scoped to page group 0 — the tests below fault and
+    /// map as that kernel, so the capability path is exercised rather
+    /// than bypassed with `grant_all`.
     fn setup() -> (CacheKernel, Mpm, ObjId) {
         let mut ck = CacheKernel::new(CkConfig::default());
-        let mpm = Mpm::new(MachineConfig {
+        let mut mpm = Mpm::new(MachineConfig {
             phys_frames: 1024,
             l2_bytes: 64 * 1024,
             ..MachineConfig::default()
@@ -166,15 +170,18 @@ mod tests {
             memory_access: MemoryAccessArray::all(),
             ..KernelDesc::default()
         });
-        (ck, mpm, srm)
+        let k = ck
+            .load_kernel(srm, crate::test_support::grant_groups(&[0]), &mut mpm)
+            .unwrap();
+        (ck, mpm, k)
     }
 
     #[test]
     fn forward_charges_and_counts() {
-        let (mut ck, mut mpm, srm) = setup();
-        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let (mut ck, mut mpm, k) = setup();
+        let sp = ck.load_space(k, SpaceDesc::default(), &mut mpm).unwrap();
         let t = ck
-            .load_thread(srm, ThreadDesc::new(sp, 1, 5), false, &mut mpm)
+            .load_thread(k, ThreadDesc::new(sp, 1, 5), false, &mut mpm)
             .unwrap();
         let fault = hw::Fault {
             kind: hw::FaultKind::Unmapped,
@@ -183,7 +190,7 @@ mod tests {
         };
         let c0 = mpm.clock.cycles();
         let owner = ck.begin_fault_forward(&mut mpm, 0, t.slot, fault).unwrap();
-        assert_eq!(owner, srm);
+        assert_eq!(owner, k);
         assert!(mpm.clock.cycles() > c0);
         assert_eq!(ck.stats.faults_forwarded, 1);
         ck.begin_trap_forward(&mut mpm, 0, t.slot, 7, [0; 4])
@@ -197,13 +204,14 @@ mod tests {
 
     #[test]
     fn optimized_resume_cheaper_than_separate() {
-        let (mut ck, mut mpm, srm) = setup();
-        let sp = ck.load_space(srm, SpaceDesc::default(), &mut mpm).unwrap();
+        let (mut ck, mut mpm, k) = setup();
+        let sp = ck.load_space(k, SpaceDesc::default(), &mut mpm).unwrap();
 
-        // Separate: load_mapping + end_forward.
+        // Separate: load_mapping + end_forward. Both mappings land in
+        // page group 0, inside the scoped grant.
         let c0 = mpm.clock.cycles();
         ck.load_mapping(
-            srm,
+            k,
             sp,
             Vaddr(0x1000),
             Paddr(0x2000),
@@ -219,7 +227,7 @@ mod tests {
         // Combined call.
         let c1 = mpm.clock.cycles();
         ck.load_mapping_and_resume(
-            srm,
+            k,
             sp,
             Vaddr(0x3000),
             Paddr(0x4000),

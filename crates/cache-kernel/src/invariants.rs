@@ -11,7 +11,7 @@ use crate::counters::{Counters, STAT_MAPPING};
 use crate::ids::ObjKind;
 use crate::objects::ThreadState;
 use crate::physmap::{CTX_COW, CTX_SIGNAL};
-use hw::Vaddr;
+use hw::{Mpm, Vaddr};
 use std::collections::{BTreeMap, HashSet};
 
 impl CacheKernel {
@@ -234,6 +234,128 @@ impl CacheKernel {
             != wb_queued.values().map(|&n| u64::from(n)).sum::<u64>()
         {
             return Err("wb_pending total does not match queued writebacks".into());
+        }
+
+        // 10. Capability visibility (`caps_enforce` only, first kernel
+        //     exempt): no PTE and no signal registration of a non-first
+        //     kernel may reference a physical frame outside that
+        //     kernel's grant. This is the structural form of the §6
+        //     containment claim — whatever the interleaving of loads,
+        //     grants, crashes and recoveries did, a kernel's hardware
+        //     reach never exceeds its memory access array. (The
+        //     per-CPU reverse-TLB side needs the machine; see
+        //     [`check_visibility`](CacheKernel::check_visibility).)
+        if self.config.caps_enforce {
+            let first = self.first_kernel;
+            for (sid, s) in self.spaces.iter() {
+                if Some(s.owner) == first {
+                    continue;
+                }
+                let Some(k) = self.kernels.get(s.owner) else {
+                    continue; // unreachable: invariant 2 checked it
+                };
+                for (vpn, pte) in s.pt.iter() {
+                    let needed = if pte.has(hw::Pte::WRITABLE) {
+                        hw::Access::Write
+                    } else {
+                        hw::Access::Read
+                    };
+                    if !k
+                        .desc
+                        .memory_access
+                        .rights_for_frame(pte.pfn())
+                        .allows(needed)
+                    {
+                        return Err(format!(
+                            "visibility: space {sid:?} of kernel {:?} maps va {:#x} to \
+                             out-of-grant frame {:#x}",
+                            s.owner,
+                            vpn.base().0,
+                            pte.pfn().base().0
+                        ));
+                    }
+                }
+            }
+            // Signal registrations: the receiving thread's kernel must
+            // hold rights on the page it registered for.
+            let mut frame_of_handle: BTreeMap<u32, u32> = BTreeMap::new();
+            self.physmap.visit_records(|h, r| {
+                if r.context < CTX_COW {
+                    frame_of_handle.insert(h, r.key);
+                }
+            });
+            let mut sig_err: Option<String> = None;
+            self.physmap.visit_records(|_, r| {
+                if sig_err.is_some() || r.context != CTX_SIGNAL {
+                    return;
+                }
+                let Some(&ppage) = frame_of_handle.get(&r.key) else {
+                    return; // dead-handle attach already failed invariant 4
+                };
+                let Some(t) = self.threads.get_slot(r.dependent as u16) else {
+                    return;
+                };
+                if Some(t.owner) == first {
+                    return;
+                }
+                let Some(k) = self.kernels.get(t.owner) else {
+                    return;
+                };
+                if !k
+                    .desc
+                    .memory_access
+                    .rights_for(hw::Paddr(ppage))
+                    .allows(hw::Access::Read)
+                {
+                    sig_err = Some(format!(
+                        "visibility: signal registration for thread slot {} of kernel \
+                         {:?} on out-of-grant page {ppage:#x}",
+                        r.dependent, t.owner
+                    ));
+                }
+            });
+            if let Some(e) = sig_err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// The hardware-cache side of the capability visibility invariant:
+    /// no reverse-TLB entry on any CPU resolves a frame for a thread
+    /// whose kernel's grant does not cover it. Separate from
+    /// [`check_invariants`](CacheKernel::check_invariants) because the
+    /// rTLBs live per-CPU in the machine, which the Cache Kernel does
+    /// not own. A no-op unless `caps_enforce` is armed; the first
+    /// kernel is exempt.
+    pub fn check_visibility(&self, mpm: &Mpm) -> Result<(), String> {
+        if !self.config.caps_enforce {
+            return Ok(());
+        }
+        for (i, cpu) in mpm.cpus.iter().enumerate() {
+            for (pfn, entry) in cpu.rtlb.iter() {
+                let Some(t) = self.threads.get_slot(entry.thread as u16) else {
+                    continue; // stale entry awaiting invalidation
+                };
+                if Some(t.owner) == self.first_kernel {
+                    continue;
+                }
+                let Some(k) = self.kernels.get(t.owner) else {
+                    continue;
+                };
+                if !k
+                    .desc
+                    .memory_access
+                    .rights_for_frame(pfn)
+                    .allows(hw::Access::Read)
+                {
+                    return Err(format!(
+                        "visibility: cpu {i} rTLB resolves out-of-grant frame {:#x} \
+                         for kernel {:?}",
+                        pfn.0, t.owner
+                    ));
+                }
+            }
         }
         Ok(())
     }

@@ -61,6 +61,7 @@
 pub mod account;
 pub mod appkernel;
 pub mod cache;
+pub mod caps;
 pub mod ck;
 pub mod counters;
 pub mod drivers;
@@ -84,7 +85,11 @@ pub mod shardmsg;
 pub mod shootdown;
 pub mod sigbatch;
 
+#[cfg(test)]
+pub(crate) mod test_support;
+
 pub use appkernel::{AppKernel, Env, NullKernel};
+pub use caps::{opaque_payload, CapOp};
 pub use ck::{CacheKernel, CkConfig, CkStats, MappingState, Writeback, STAT_MAPPING};
 pub use counters::Counters;
 pub use drivers::EtherDriver;

@@ -7,6 +7,7 @@
 //! in the physical memory map, and installs the PTE; displacement goes
 //! through the FIFO-with-second-chance reclaim in `reclaim.rs`.
 
+use crate::caps::CapOp;
 use crate::ck::CacheKernel;
 use crate::error::{CkError, CkResult};
 use crate::events::MappingState;
@@ -45,22 +46,39 @@ impl CacheKernel {
         cow_source: Option<Paddr>,
         mpm: &mut Mpm,
     ) -> CkResult<()> {
-        let k = self.kernel(caller)?;
         // Rights: writable (even deferred) mappings need ReadWrite.
         let needed = if flags & Pte::WRITABLE != 0 {
             Access::Write
         } else {
             Access::Read
         };
-        if !k.desc.memory_access.rights_for(paddr).allows(needed) {
-            return Err(CkError::NoAccess(paddr));
+        // Copy the verdicts out so the borrow of the kernel object ends
+        // before the (mutating) capability-denial path runs.
+        let (rights_ok, cow_ok, quota_ok) = {
+            let k = self.kernel(caller)?;
+            (
+                k.desc.memory_access.rights_for(paddr).allows(needed),
+                cow_source
+                    .is_none_or(|src| k.desc.memory_access.rights_for(src).allows(Access::Read)),
+                !(flags & Pte::LOCKED != 0 && k.locked_mappings >= k.desc.locked_quota.mappings),
+            )
+        };
+        if !rights_ok {
+            // A signal registration on a page outside the grant is a
+            // distinct violation surface: the attacker is aiming at a
+            // bystander's message page, not just at memory.
+            let op = if signal_thread.is_some() {
+                CapOp::SignalPage
+            } else {
+                CapOp::Map
+            };
+            return Err(self.cap_denied(caller, paddr, op));
         }
-        if let Some(src) = cow_source {
-            if !k.desc.memory_access.rights_for(src).allows(Access::Read) {
-                return Err(CkError::NoAccess(src));
-            }
+        if !cow_ok {
+            let src = cow_source.expect("cow_ok is false only with a source");
+            return Err(self.cap_denied(caller, src, CapOp::CowSource));
         }
-        if flags & Pte::LOCKED != 0 && k.locked_mappings >= k.desc.locked_quota.mappings {
+        if !quota_ok {
             return Err(CkError::LockQuota);
         }
         {

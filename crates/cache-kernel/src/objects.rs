@@ -53,15 +53,25 @@ impl MemoryAccessArray {
         }
     }
 
-    /// Rights recorded for page group `group`.
+    /// Rights recorded for page group `group`. A group index beyond the
+    /// array (≥ [`PAGE_GROUPS_TOTAL`]) names no physical memory and
+    /// reads as [`Rights::None`] — fail-closed, never an index panic.
     pub fn get(&self, group: u32) -> Rights {
+        if group >= PAGE_GROUPS_TOTAL {
+            return Rights::None;
+        }
         let byte = (group / 4) as usize;
         let shift = (group % 4) * 2;
         Rights::from_bits((self.bits[byte] >> shift) & 0b11)
     }
 
-    /// Set rights for page group `group`.
+    /// Set rights for page group `group`. An out-of-range group is a
+    /// no-op (there is nothing to grant there; callers that care, like
+    /// `modify_kernel_grant`, range-check first and report `Invalid`).
     pub fn set(&mut self, group: u32, rights: Rights) {
+        if group >= PAGE_GROUPS_TOTAL {
+            return;
+        }
         let byte = (group / 4) as usize;
         let shift = (group % 4) * 2;
         self.bits[byte] &= !(0b11 << shift);
@@ -312,6 +322,47 @@ mod tests {
         a.set(0, Rights::None);
         assert_eq!(a.get(0), Rights::None);
         assert_eq!(a.get(1), Rights::Read, "neighbors unaffected");
+    }
+
+    #[test]
+    fn access_array_last_group_and_out_of_range() {
+        let mut a = MemoryAccessArray::none();
+        // The last valid group works normally.
+        a.set(PAGE_GROUPS_TOTAL - 1, Rights::ReadWrite);
+        assert_eq!(a.get(PAGE_GROUPS_TOTAL - 1), Rights::ReadWrite);
+        // One past the end and far past the end: fail-closed reads,
+        // no-op writes — never a panic.
+        assert_eq!(a.get(PAGE_GROUPS_TOTAL), Rights::None);
+        assert_eq!(a.get(u32::MAX), Rights::None);
+        a.set(PAGE_GROUPS_TOTAL, Rights::ReadWrite);
+        a.set(u32::MAX, Rights::ReadWrite);
+        assert_eq!(a.get(PAGE_GROUPS_TOTAL), Rights::None);
+        assert_eq!(
+            a.get(PAGE_GROUPS_TOTAL - 1),
+            Rights::ReadWrite,
+            "last group untouched"
+        );
+    }
+
+    #[test]
+    fn rights_for_straddles_group_boundary() {
+        let mut a = MemoryAccessArray::none();
+        a.set(3, Rights::Read);
+        a.set(4, Rights::ReadWrite);
+        let boundary = 4 * hw::PAGE_GROUP_SIZE;
+        // Last byte of group 3 vs first byte of group 4: adjacent
+        // addresses, different verdicts.
+        assert_eq!(a.rights_for(Paddr(boundary - 1)), Rights::Read);
+        assert_eq!(a.rights_for(Paddr(boundary)), Rights::ReadWrite);
+        // Frame-number form agrees at the same boundary.
+        assert_eq!(
+            a.rights_for_frame(Pfn(4 * hw::PAGE_GROUP_PAGES - 1)),
+            Rights::Read
+        );
+        assert_eq!(
+            a.rights_for_frame(Pfn(4 * hw::PAGE_GROUP_PAGES)),
+            Rights::ReadWrite
+        );
     }
 
     #[test]

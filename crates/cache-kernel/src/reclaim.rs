@@ -115,12 +115,22 @@ impl CacheKernel {
             flags: pte.flags(),
         };
         if queue_wb {
+            // Metadata-only mode: the Cache Kernel cannot read the page,
+            // so the writeback carries a content-free handle the owner
+            // joins against its own backing store.
+            let payload = if self.config.metadata_only {
+                self.stats.metadata_writebacks += 1;
+                crate::caps::opaque_payload(paddr)
+            } else {
+                0
+            };
             self.queue_writeback(Writeback::Mapping {
                 owner,
                 space,
                 vaddr,
                 paddr,
                 flags: pte.flags(),
+                payload,
             });
         }
 
@@ -1056,7 +1066,7 @@ mod tests {
         let k = ck
             .load_kernel(srm, KernelDesc::default(), &mut mpm)
             .unwrap();
-        ck.modify_kernel_grant(srm, k, 0, 2, Rights::ReadWrite)
+        ck.modify_kernel_grant(srm, k, 0, 2, Rights::ReadWrite, &mut mpm)
             .unwrap();
         assert_eq!(
             ck.kernel(k).unwrap().desc.memory_access.get(1),
@@ -1067,7 +1077,7 @@ mod tests {
         assert_eq!(ck.kernel(k).unwrap().desc.max_priority, 12);
         // Non-first kernels may not call these.
         assert_eq!(
-            ck.modify_kernel_grant(k, k, 0, 1, Rights::Read),
+            ck.modify_kernel_grant(k, k, 0, 1, Rights::Read, &mut mpm),
             Err(CkError::FirstKernelOnly)
         );
     }

@@ -1,0 +1,38 @@
+//! Shared unit-test fixtures: a booted Cache Kernel with a configurable
+//! `CkConfig`, and minimal scoped grants so tests exercise capability
+//! checking instead of blanket `MemoryAccessArray::all()` kernels.
+
+use crate::ck::{CacheKernel, CkConfig};
+use crate::ids::ObjId;
+use crate::objects::{KernelDesc, MemoryAccessArray};
+use hw::{MachineConfig, Mpm, Rights};
+
+/// Boot a Cache Kernel under `config` with the conventional all-access
+/// first kernel, on a small 1024-frame machine.
+pub(crate) fn setup_with(config: CkConfig) -> (CacheKernel, Mpm, ObjId) {
+    let mut ck = CacheKernel::new(config);
+    let mpm = Mpm::new(MachineConfig {
+        phys_frames: 1024,
+        l2_bytes: 64 * 1024,
+        ..MachineConfig::default()
+    });
+    let srm = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    (ck, mpm, srm)
+}
+
+/// A kernel descriptor granted ReadWrite on exactly the named page
+/// groups and nothing else — the minimal scoped grant tests should
+/// prefer over `MemoryAccessArray::all()`.
+pub(crate) fn grant_groups(groups: &[u32]) -> KernelDesc {
+    let mut memory_access = MemoryAccessArray::none();
+    for &g in groups {
+        memory_access.set(g, Rights::ReadWrite);
+    }
+    KernelDesc {
+        memory_access,
+        ..KernelDesc::default()
+    }
+}

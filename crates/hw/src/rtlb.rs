@@ -128,6 +128,14 @@ impl Rtlb {
     pub fn invalidate_all(&mut self) {
         self.slots.iter_mut().for_each(|s| *s = None);
     }
+
+    /// Walk the live reverse translations, in slot order. The capability
+    /// visibility invariant uses this to assert that no cached frame →
+    /// receiver entry references a frame outside the receiver's kernel
+    /// grant; it is a read-only walk and counts neither hits nor misses.
+    pub fn iter(&self) -> impl Iterator<Item = (Pfn, RtlbEntry)> + '_ {
+        self.slots.iter().filter_map(|s| *s)
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +193,30 @@ mod tests {
         r.invalidate_thread(7);
         assert_eq!(r.lookup(Pfn(2)), None);
         assert!(r.lookup(Pfn(3)).is_some());
+    }
+
+    #[test]
+    fn iter_walks_live_entries_without_counting() {
+        let mut r = Rtlb::new(8);
+        r.insert(
+            Pfn(1),
+            RtlbEntry {
+                vaddr: Vaddr(0x1000),
+                thread: 1,
+            },
+        );
+        r.insert(
+            Pfn(6),
+            RtlbEntry {
+                vaddr: Vaddr(0x6000),
+                thread: 2,
+            },
+        );
+        let got: Vec<(Pfn, RtlbEntry)> = r.iter().collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().any(|(p, e)| *p == Pfn(1) && e.thread == 1));
+        assert!(got.iter().any(|(p, e)| *p == Pfn(6) && e.thread == 2));
+        assert_eq!(r.stats, RtlbStats::default(), "iter is not a lookup");
     }
 
     #[test]

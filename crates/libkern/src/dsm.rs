@@ -370,6 +370,36 @@ impl Dsm {
         n
     }
 
+    /// Audit the directory against the owning kernel's page-group
+    /// grant: every line this node *owns* must reference physical
+    /// memory the kernel may at least read. This is the DSM clause of
+    /// the Cache Kernel's no-cross-kernel-visibility invariant — DSM
+    /// lives above the Cache Kernel, so the check for its directory is
+    /// a library-level companion rather than part of
+    /// `check_invariants`. Returns the first violation as a message.
+    pub fn check_grant_visibility(
+        &self,
+        grant: &cache_kernel::MemoryAccessArray,
+    ) -> Result<(), String> {
+        let mut owned: Vec<u32> = self
+            .lines
+            .iter()
+            .filter(|(_, e)| e.owner == self.node)
+            .map(|(l, _)| *l)
+            .collect();
+        owned.sort_unstable();
+        for line in owned {
+            let addr = Paddr(line * CACHE_LINE_SIZE);
+            if !grant.rights_for(addr).allows(hw::Access::Read) {
+                return Err(format!(
+                    "dsm: node {} owns line {:#x} outside its kernel's grant",
+                    self.node, addr.0
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Dispatch one DSM-channel frame from node `src`. Malformed or
     /// misaddressed frames are counted and dropped — never panicked on;
     /// stale-epoch traffic is fenced and counted.
@@ -656,6 +686,29 @@ mod tests {
         assert_eq!((d1.fetches, d0.serves), (1, 1));
         // The stamp advanced with the migration.
         assert_eq!(d1.entry_of(line_addr).unwrap().xfer, 1);
+    }
+
+    #[test]
+    fn grant_visibility_audit_catches_out_of_grant_lines() {
+        use cache_kernel::MemoryAccessArray;
+        let mut m0 = mpm(0);
+        let mut d0 = Dsm::new(0);
+        // Node 0 owns a line in page group 0 and one in group 1.
+        d0.share_lines(&mut m0, Paddr(0x5000), 1, 0);
+        d0.share_lines(&mut m0, Paddr(hw::PAGE_GROUP_SIZE), 1, 0);
+        let mut grant = MemoryAccessArray::none();
+        grant.set(0, hw::Rights::ReadWrite);
+        grant.set(1, hw::Rights::ReadWrite);
+        assert!(d0.check_grant_visibility(&grant).is_ok());
+        // Narrow the grant to group 0: the group-1 line is now a
+        // visibility violation.
+        grant.set(1, hw::Rights::None);
+        let err = d0.check_grant_visibility(&grant).unwrap_err();
+        assert!(err.contains("outside its kernel's grant"), "{err}");
+        // Lines merely *known about* but owned elsewhere don't count.
+        d0.share_lines(&mut m0, Paddr(2 * hw::PAGE_GROUP_SIZE), 1, 1);
+        grant.set(1, hw::Rights::ReadWrite);
+        assert!(d0.check_grant_visibility(&grant).is_ok());
     }
 
     #[test]

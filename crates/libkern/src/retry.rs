@@ -39,14 +39,22 @@ impl Backoff {
     }
 }
 
-/// Drive `op` until it stops returning [`CkError::Again`] or the policy
+/// Drive `op` until it stops returning a retryable error or the policy
 /// runs out of attempts. The closure receives the wait (in simulated
 /// cycles) to charge to its clock *before* re-issuing the call — `0` on
 /// the first attempt — so backed-off retries cost simulated time
 /// instead of spinning for free.
 ///
-/// Returns the operation's result, or the final `Again` if every
-/// attempt was shed.
+/// Two errors are retryable: [`CkError::Again`] (overload shed, with a
+/// suggested wait) and [`CkError::CapDenied`] with `retryable: true`
+/// (partial rights on the page group — the grant may be renegotiated
+/// with the SRM between attempts, e.g. during a restart's grant
+/// re-extension). A non-retryable `CapDenied` passes through at once:
+/// the target is wholly outside the grant and no amount of waiting
+/// fixes a forged request.
+///
+/// Returns the operation's result, or the final retryable error if
+/// every attempt failed.
 pub fn retry<T>(policy: Backoff, mut op: impl FnMut(u32) -> CkResult<T>) -> CkResult<T> {
     let mut wait = 0u32;
     let mut last = CkError::Again { backoff: 0 };
@@ -55,6 +63,16 @@ pub fn retry<T>(policy: Backoff, mut op: impl FnMut(u32) -> CkResult<T>) -> CkRe
             Err(CkError::Again { backoff }) => {
                 last = CkError::Again { backoff };
                 wait = policy.wait_for(attempt, backoff);
+            }
+            Err(CkError::CapDenied {
+                paddr,
+                retryable: true,
+            }) => {
+                last = CkError::CapDenied {
+                    paddr,
+                    retryable: true,
+                };
+                wait = policy.wait_for(attempt, 0);
             }
             other => return other,
         }
@@ -132,5 +150,42 @@ mod tests {
         });
         assert_eq!(calls, 1);
         assert_eq!(r, Err(CkError::CacheFull));
+    }
+
+    #[test]
+    fn retryable_cap_denial_retries_fatal_does_not() {
+        use hw::Paddr;
+        // Partial rights: retried until the (renegotiated) grant lets
+        // the call through.
+        let mut calls = 0u32;
+        let r = retry(Backoff::default(), |_| {
+            calls += 1;
+            if calls < 3 {
+                Err(CkError::CapDenied {
+                    paddr: Paddr(0x4000),
+                    retryable: true,
+                })
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r, Ok(3));
+        // Wholly outside the grant: surfaced immediately.
+        let mut calls = 0u32;
+        let r: CkResult<()> = retry(Backoff::default(), |_| {
+            calls += 1;
+            Err(CkError::CapDenied {
+                paddr: Paddr(0x4000),
+                retryable: false,
+            })
+        });
+        assert_eq!(calls, 1);
+        assert!(matches!(
+            r,
+            Err(CkError::CapDenied {
+                retryable: false,
+                ..
+            })
+        ));
     }
 }

@@ -263,9 +263,37 @@ impl Srm {
         let first = self.next_group;
         self.next_group += groups;
         env.ck
-            .modify_kernel_grant(self.me, kernel, first, groups, Rights::ReadWrite)?;
+            .modify_kernel_grant(self.me, kernel, first, groups, Rights::ReadWrite, env.mpm)?;
         if let Some(g) = self.grants.get_mut(&kernel) {
             g.group_count += groups;
+        }
+        Ok(())
+    }
+
+    /// Narrow a kernel's memory grant to its first `keep_groups` page
+    /// groups, revoking rights on the rest. With capability enforcement
+    /// on, the Cache Kernel tears down the kernel's mappings beyond the
+    /// narrowed grant in one batched shootdown round — the
+    /// restart-under-reduced-grant discipline: a kernel brought back
+    /// after a crash need not get its full original footprint, and
+    /// whatever stale mappings exceed the new grant cannot survive.
+    pub fn shrink_grant(&mut self, env: &mut Env, kernel: ObjId, keep_groups: u32) -> CkResult<()> {
+        let g = self.grants.get(&kernel).cloned().ok_or(CkError::Invalid)?;
+        if keep_groups >= g.group_count {
+            return Ok(());
+        }
+        let revoke_first = g.group_first + keep_groups;
+        let revoke_count = g.group_count - keep_groups;
+        env.ck.modify_kernel_grant(
+            self.me,
+            kernel,
+            revoke_first,
+            revoke_count,
+            Rights::None,
+            env.mpm,
+        )?;
+        if let Some(g) = self.grants.get_mut(&kernel) {
+            g.group_count = keep_groups;
         }
         Ok(())
     }

@@ -52,7 +52,7 @@ fn main() {
     // messaging model directly, §2.2).
     let time_page = ex.mpm.clockdev.time_page();
     ex.ck
-        .modify_kernel_grant(srm_id, rt, time_page.group(), 1, Rights::Read)
+        .modify_kernel_grant(srm_id, rt, time_page.group(), 1, Rights::Read, &mut ex.mpm)
         .unwrap();
 
     // RT kernel state: a locked space and a locked thread that fields

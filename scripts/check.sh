@@ -50,6 +50,14 @@ echo "== fan-out ring drain (lockstep + threaded + panic) =="
 cargo test -q -p workloads fanout::
 cargo test -q -p cache-kernel shard::tests::panicked_shard_drains_fanout_ring
 
+echo "== adversarial pinned seeds (capability containment) =="
+cargo test -q -p vpp --test prop_chaos pinned_seed_adversarial
+cargo test -q -p vpp --test prop_chaos adversarial_caps_off_is_inert
+cargo test -q -p vpp --test integration_recovery restart_under_reduced_grant
+
+echo "== caps report smoke =="
+cargo run -q --release -p bench --bin report -- caps --json > /dev/null
+
 echo "== messaging report smoke =="
 cargo run -q --release -p bench --bin report -- msg > /dev/null
 

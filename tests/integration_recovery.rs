@@ -6,10 +6,10 @@
 //! kernel on the same MPM never notices.
 
 use vpp::cache_kernel::{
-    AppKernel, Env, FaultDisposition, ForkableFn, LockedQuota, ObjId, Script, SpaceDesc, Step,
-    ThreadCtx, TrapDisposition, MAX_CPUS,
+    AppKernel, CkError, Env, FaultDisposition, ForkableFn, LockedQuota, NullKernel, ObjId, Script,
+    SpaceDesc, Step, ThreadCtx, TrapDisposition, MAX_CPUS,
 };
-use vpp::hw::{Fault, Paddr, Pte, Vaddr, PAGE_SIZE};
+use vpp::hw::{Fault, Paddr, Pte, Vaddr, PAGE_GROUP_PAGES, PAGE_SIZE};
 use vpp::srm::Srm;
 use vpp::unix_emu::proc::ProcState;
 use vpp::unix_emu::{syscall, UnixConfig, UnixEmulator};
@@ -249,6 +249,138 @@ fn crash_mid_fork_contained_and_restarted() {
     );
     baseline_ex.ck.check_invariants().unwrap();
     assert_eq!(baseline_ex.ck.stats.kernels_failed, 0);
+}
+
+/// Restart under a reduced grant: a crashed kernel is restarted from
+/// its written-back state, remaps a working set spanning its original
+/// two page groups, and then the SRM narrows the grant to one group.
+/// With capability enforcement on, every mapping beyond the narrowed
+/// grant is torn down in a single batched shootdown round, the revoked
+/// range is no longer mappable, and a bystander kernel computes its
+/// fault-free output throughout.
+#[test]
+fn restart_under_reduced_grant_revokes_stale_mappings() {
+    let (mut ex, srm) = boot_node(BootConfig {
+        ck: vpp::cache_kernel::CkConfig {
+            caps_enforce: true,
+            ..vpp::cache_kernel::CkConfig::default()
+        },
+        ..BootConfig::default()
+    });
+    ex.with_kernel::<Srm, _>(srm, |s, _| s.heartbeat_timeout = 50_000);
+    let bystander = start_bystander(&mut ex, srm);
+    let worker = ex
+        .with_kernel::<Srm, _>(srm, |s, env| {
+            s.start_kernel(env, "worker", 2, [10; MAX_CPUS], 10, LockedQuota::default())
+        })
+        .unwrap()
+        .expect("grant available");
+    ex.register_kernel(worker, Box::new(NullKernel));
+    ex.on_restart("worker", |_id| Box::new(NullKernel));
+
+    // Crash it and run until the SRM brings it back under a fresh id.
+    ex.run(20);
+    ex.crash_kernel(worker.slot);
+    let deadline = ex.mpm.clock.cycles() + 3_000_000;
+    let new_worker = loop {
+        ex.run(5);
+        if let Some(id) = ex
+            .with_kernel::<Srm, _>(srm, |s, _| s.kernel_named("worker"))
+            .unwrap()
+        {
+            if id != worker {
+                break id;
+            }
+        }
+        assert!(ex.mpm.clock.cycles() < deadline, "worker never restarted");
+    };
+
+    // The restart restored the original two-group grant; remap a working
+    // set spanning both groups.
+    let frame_first = ex
+        .with_kernel::<Srm, _>(srm, |s, _| s.grant_of(new_worker).map(|g| g.frame_first()))
+        .unwrap()
+        .expect("restarted kernel keeps its grant");
+    let sp = ex
+        .ck
+        .load_space(new_worker, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    for i in 0..2u32 {
+        for (va_base, frame) in [
+            (0x50_0000, frame_first + i),
+            (0x60_0000, frame_first + PAGE_GROUP_PAGES + i),
+        ] {
+            ex.ck
+                .load_mapping(
+                    new_worker,
+                    sp,
+                    Vaddr(va_base + i * PAGE_SIZE),
+                    Paddr(frame * PAGE_SIZE),
+                    Pte::WRITABLE | Pte::CACHEABLE,
+                    None,
+                    None,
+                    &mut ex.mpm,
+                )
+                .unwrap();
+        }
+    }
+
+    // Narrow the grant to the first group: the second group's mappings
+    // are stale and must die in one batched shootdown round.
+    let rounds_before = ex.ck.stats.shootdown_rounds;
+    ex.with_kernel::<Srm, _>(srm, |s, env| s.shrink_grant(env, new_worker, 1))
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        ex.ck.stats.shootdown_rounds,
+        rounds_before + 1,
+        "revocation is one batched round"
+    );
+    for i in 0..2u32 {
+        assert!(
+            ex.ck
+                .query_mapping(new_worker, sp, Vaddr(0x50_0000 + i * PAGE_SIZE))
+                .is_ok(),
+            "in-grant mapping survives"
+        );
+        assert!(
+            ex.ck
+                .query_mapping(new_worker, sp, Vaddr(0x60_0000 + i * PAGE_SIZE))
+                .is_err(),
+            "out-of-grant mapping torn down"
+        );
+    }
+    // And the revoked range cannot simply be remapped: the narrowed
+    // grant denies it at the boundary.
+    let err = ex
+        .ck
+        .load_mapping(
+            new_worker,
+            sp,
+            Vaddr(0x70_0000),
+            Paddr((frame_first + PAGE_GROUP_PAGES) * PAGE_SIZE),
+            Pte::WRITABLE,
+            None,
+            None,
+            &mut ex.mpm,
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CkError::CapDenied {
+            retryable: false,
+            ..
+        }
+    ));
+    ex.ck.check_invariants().unwrap();
+    ex.ck.check_visibility(&ex.mpm).unwrap();
+
+    // The bystander never noticed any of it.
+    ex.run_until_idle(2000);
+    let log = ex
+        .with_kernel::<Recorder, _>(bystander, |r, _| r.log.clone())
+        .unwrap();
+    assert_eq!(log, expected_log());
 }
 
 /// A granted kernel that never responds — no registered application

@@ -4,13 +4,20 @@
 //! Cache Kernel's structural invariants hold, the object-traffic
 //! counters balance, and a survivor kernel's output is identical to a
 //! fault-free run — crashes are contained and recovery is reclamation.
+//!
+//! The adversarial section composes the same fault schedules with a
+//! *malicious* kernel that attacks the capability boundary (forged
+//! writeback targets, out-of-grant maps, grant-escalation retries,
+//! signal registration on bystander pages): every attack is denied and
+//! counted, and the bystander's output stays byte-identical.
 
 use proptest::prelude::*;
 use vpp::cache_kernel::{
     AppKernel, CkError, Counters, Env, Executive, FaultDisposition, ForkableFn, LockedQuota, ObjId,
-    ReservedSlots, SpaceDesc, Step, ThreadCtx, TrapDisposition, MAX_CPUS,
+    ReservedSlots, SpaceDesc, Step, ThreadCtx, TrapDisposition, Writeback, MAX_CPUS,
 };
-use vpp::hw::{Fault, FaultPlan, Paddr, Pte, Vaddr, PAGE_SIZE};
+use vpp::hw::{Fault, FaultPlan, Paddr, Pte, Rights, Vaddr, PAGE_SIZE};
+use vpp::libkern::{retry, Backoff};
 use vpp::srm::Srm;
 use vpp::{boot_node, BootConfig};
 
@@ -300,6 +307,338 @@ fn pinned_seed_a() {
 #[test]
 fn pinned_seed_b() {
     check_seed(0x9e37_79b9_7f4a_7c15);
+}
+
+// ---------------------------------------------------------------------
+// Adversarial chaos: a malicious kernel attacks the capability boundary
+// while the fault plan kills the victim around it.
+// ---------------------------------------------------------------------
+
+/// Malicious application kernel: each trap from its driver thread fires
+/// one attack from a rotating schedule — an out-of-grant map, a forged
+/// writeback addressed to the bystander, a grant-escalation retry and a
+/// signal-page registration on a bystander page. It counts its own
+/// denials so the run can balance them against
+/// [`Counters::cap_denied`]; with enforcement off it asserts the legacy
+/// error shapes instead (the checking paths must be inert).
+struct Saboteur {
+    me: ObjId,
+    /// Its own (legitimately granted) space — the vehicle for the map
+    /// and signal attacks.
+    space: ObjId,
+    /// The kernel whose pages and writeback channel are under attack.
+    bystander: ObjId,
+    /// A physical page inside the bystander's grant.
+    bystander_page: Paddr,
+    denied: u64,
+    attempts: u64,
+    caps_on: bool,
+}
+
+impl AppKernel for Saboteur {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn on_page_fault(&mut self, _env: &mut Env, _t: ObjId, _f: Fault) -> FaultDisposition {
+        FaultDisposition::Kill
+    }
+    fn on_trap(
+        &mut self,
+        env: &mut Env,
+        thread: ObjId,
+        _no: u32,
+        _args: [u32; 4],
+    ) -> TrapDisposition {
+        let attack = self.attempts % 4;
+        self.attempts += 1;
+        let me = self.me;
+        match attack {
+            0 => {
+                // Out-of-grant map: write access to the bystander's page.
+                let err = env
+                    .ck
+                    .load_mapping(
+                        me,
+                        self.space,
+                        Vaddr(0x40_0000),
+                        self.bystander_page,
+                        Pte::WRITABLE | Pte::CACHEABLE,
+                        None,
+                        None,
+                        env.mpm,
+                    )
+                    .unwrap_err();
+                if self.caps_on {
+                    assert!(matches!(
+                        err,
+                        CkError::CapDenied {
+                            retryable: false,
+                            ..
+                        }
+                    ));
+                } else {
+                    assert_eq!(err, CkError::NoAccess(self.bystander_page));
+                }
+                self.denied += 1;
+            }
+            1 => {
+                // Forged writeback: displaced state addressed into the
+                // bystander's writeback channel. Only fired with caps on
+                // — with them off this boundary is trusted (the exact
+                // hole the capability layer closes) and the forgery
+                // would be queued.
+                if self.caps_on {
+                    let err = env
+                        .ck
+                        .submit_writeback(
+                            me,
+                            Writeback::Mapping {
+                                owner: self.bystander,
+                                space: self.bystander,
+                                vaddr: Vaddr(0x1000),
+                                paddr: self.bystander_page,
+                                flags: 0,
+                                payload: 0,
+                            },
+                        )
+                        .unwrap_err();
+                    assert!(matches!(
+                        err,
+                        CkError::CapDenied {
+                            retryable: false,
+                            ..
+                        }
+                    ));
+                    self.denied += 1;
+                }
+            }
+            2 => {
+                // Grant escalation, driven through the library retry
+                // helper: the denial is fatal (not retryable), so the
+                // helper must give up after exactly one attempt.
+                let mut calls = 0u32;
+                let r = retry(
+                    Backoff {
+                        max_attempts: 3,
+                        cap: 100,
+                    },
+                    |_w| {
+                        calls += 1;
+                        env.ck
+                            .modify_kernel_grant(me, me, 0, 1, Rights::ReadWrite, env.mpm)
+                    },
+                );
+                assert_eq!(calls, 1, "escalation denial must not be retried");
+                if self.caps_on {
+                    assert!(matches!(
+                        r,
+                        Err(CkError::CapDenied {
+                            retryable: false,
+                            ..
+                        })
+                    ));
+                } else {
+                    assert_eq!(r, Err(CkError::FirstKernelOnly));
+                }
+                self.denied += 1;
+            }
+            _ => {
+                // Signal-page registration on a bystander page: aiming a
+                // message-delivery surface at memory outside the grant.
+                let err = env
+                    .ck
+                    .load_mapping(
+                        me,
+                        self.space,
+                        Vaddr(0x41_0000),
+                        self.bystander_page,
+                        Pte::CACHEABLE,
+                        Some(thread),
+                        None,
+                        env.mpm,
+                    )
+                    .unwrap_err();
+                if self.caps_on {
+                    assert!(matches!(err, CkError::CapDenied { .. }));
+                } else {
+                    assert_eq!(err, CkError::NoAccess(self.bystander_page));
+                }
+                self.denied += 1;
+            }
+        }
+        TrapDisposition::Return(0)
+    }
+    fn name(&self) -> &str {
+        "saboteur"
+    }
+}
+
+/// A thread that traps `count` times with compute gaps: the saboteur's
+/// attack driver (it never touches memory itself).
+fn trapper(count: u32) -> Box<ForkableFn<impl FnMut(&mut ThreadCtx) -> Step + Clone>> {
+    Box::new(ForkableFn({
+        let mut stage = 0u32;
+        move |_ctx: &mut ThreadCtx| {
+            let s = stage;
+            stage += 1;
+            if s >= 2 * count {
+                return Step::Exit(0);
+            }
+            if s.is_multiple_of(2) {
+                Step::Trap {
+                    no: 9,
+                    args: [s, 0, 0, 0],
+                }
+            } else {
+                Step::Compute(1_500)
+            }
+        }
+    }))
+}
+
+struct AdvResult {
+    stats: Counters,
+    survivor_log: Vec<u32>,
+    denied: u64,
+}
+
+/// The chaos workload plus a saboteur: the same victim/survivor pagers
+/// and fault plan as [`chaos_run`], with a third, malicious kernel
+/// attacking the capability boundary throughout.
+fn adversarial_run(seed: Option<u64>, caps_on: bool) -> AdvResult {
+    let (mut ex, srm) = boot_node(BootConfig {
+        ck: vpp::cache_kernel::CkConfig {
+            mapping_capacity: 24,
+            caps_enforce: caps_on,
+            ..vpp::cache_kernel::CkConfig::default()
+        },
+        ..BootConfig::default()
+    });
+    ex.with_kernel::<Srm, _>(srm, |s, _| {
+        s.heartbeat_timeout = 400_000;
+        s.restart_budget = 0;
+    });
+    let victim = start_pager(&mut ex, srm, "victim");
+    let survivor = start_pager(&mut ex, srm, "survivor");
+    let sab = ex
+        .with_kernel::<Srm, _>(srm, |s, env| {
+            s.start_kernel(
+                env,
+                "saboteur",
+                2,
+                [50; MAX_CPUS],
+                20,
+                LockedQuota::default(),
+            )
+        })
+        .unwrap()
+        .expect("grant available");
+    let bystander_frame = ex
+        .with_kernel::<Srm, _>(srm, |s, _| s.grant_of(survivor).map(|g| g.frame_first()))
+        .unwrap()
+        .unwrap();
+    ex.register_kernel(
+        sab,
+        Box::new(Saboteur {
+            me: sab,
+            space: sab, // placeholder until the space is loaded below
+            bystander: survivor,
+            bystander_page: Paddr(bystander_frame * PAGE_SIZE),
+            denied: 0,
+            attempts: 0,
+            caps_on,
+        }),
+    );
+
+    let vsp = ex
+        .ck
+        .load_space(victim, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    for t in 0..3u32 {
+        ex.spawn_thread(victim, vsp, reporter(60, 1000 + t * 100), 14)
+            .unwrap();
+    }
+    let ssp = ex
+        .ck
+        .load_space(survivor, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    ex.spawn_thread(survivor, ssp, reporter(12, 5), 12).unwrap();
+    let sabsp = ex
+        .ck
+        .load_space(sab, SpaceDesc::default(), &mut ex.mpm)
+        .unwrap();
+    ex.with_kernel::<Saboteur, _>(sab, |s, _| s.space = sabsp);
+    ex.spawn_thread(sab, sabsp, trapper(40), 10).unwrap();
+
+    if let Some(seed) = seed {
+        ex.faults = Some(FaultPlan::chaos(seed, &[victim.slot]));
+    }
+    let target = ex.mpm.clock.cycles() + 1_200_000;
+    while ex.mpm.clock.cycles() < target {
+        ex.run(5);
+    }
+    ex.run_until_idle(100);
+
+    ex.ck.check_invariants().unwrap();
+    // No-cross-kernel visibility: with caps on, nothing the rTLB can
+    // resolve reaches a frame outside the resolving kernel's grant.
+    ex.ck.check_visibility(&ex.mpm).unwrap();
+    let survivor_log = ex
+        .with_kernel::<Pager, _>(survivor, |p, _| p.log.clone())
+        .expect("survivor kernel still registered");
+    let denied = ex.with_kernel::<Saboteur, _>(sab, |s, _| s.denied).unwrap();
+    assert!(
+        !ex.ck.kernel_failed(survivor),
+        "the bystander was never a casualty"
+    );
+    AdvResult {
+        stats: ex.ck.stats,
+        survivor_log,
+        denied,
+    }
+}
+
+fn check_adversarial(seed: u64) {
+    let r = adversarial_run(Some(seed), true);
+    // The saboteur got traction (its driver thread ran attacks) and
+    // every one of its denials is balanced in the counter — and nothing
+    // else in the run tripped a capability check.
+    assert!(r.denied > 0, "seed {seed:#x}: the saboteur never attacked");
+    assert_eq!(
+        r.denied, r.stats.cap_denied,
+        "seed {seed:#x}: saboteur denials must balance the cap_denied counter"
+    );
+    // Containment: the bystander's output is byte-identical to the
+    // fault-free, saboteur-free baseline while violations fire.
+    let baseline = chaos_run(None, false);
+    assert_eq!(
+        r.survivor_log, baseline.survivor_log,
+        "seed {seed:#x}: bystander output diverged under adversarial chaos"
+    );
+}
+
+/// Pinned adversarial seeds for `scripts/check.sh`.
+#[test]
+fn pinned_seed_adversarial_a() {
+    check_adversarial(0x00c0_ffee_dead_beef);
+}
+
+#[test]
+fn pinned_seed_adversarial_b() {
+    check_adversarial(0x9e37_79b9_7f4a_7c15);
+}
+
+/// The same adversarial schedule with enforcement off is the defaults
+/// pin: the attacks bounce off the legacy error shapes (asserted inside
+/// the saboteur), no violation is counted, and the bystander's output
+/// is still the baseline — the new paths are provably inert.
+#[test]
+fn adversarial_caps_off_is_inert() {
+    let r = adversarial_run(Some(0x00c0_ffee_dead_beef), false);
+    assert!(r.denied > 0, "the saboteur never attacked");
+    assert_eq!(r.stats.cap_denied, 0, "no counter moves with caps off");
+    let baseline = chaos_run(None, false);
+    assert_eq!(r.survivor_log, baseline.survivor_log);
 }
 
 /// The pinned overload seed must genuinely compose the two mechanisms:

@@ -16,7 +16,7 @@ use crate::events::KernelEvent;
 use crate::ids::ObjKind;
 
 /// Operation counters, read by the evaluation harness.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Object loads by kind: kernels, spaces, threads, mappings.
     pub loads: [u64; 4],
@@ -150,6 +150,18 @@ pub struct Counters {
     /// metadata-only mode (`metadata_only`). Never moves with the knob
     /// off.
     pub metadata_writebacks: u64,
+    /// Serving workload: requests admitted by a front kernel (folded
+    /// from `web_serving` stats; never moves without the workload).
+    pub requests_admitted: u64,
+    /// Serving workload: requests completed (hit + miss + remote).
+    pub requests_completed: u64,
+    /// Serving workload: requests shed at the admission bound.
+    pub requests_shed: u64,
+    /// Serving workload: per-request deadlines that expired in flight.
+    pub deadlines_expired: u64,
+    /// Serving workload: retries denied by a drained per-kernel
+    /// `RetryBudget` — each is a counted drop, never a re-drive.
+    pub retry_budget_denied: u64,
 }
 
 /// The historical name: the counters began as the Cache Kernel's stats

@@ -62,6 +62,6 @@ pub use mem::{
     SegmentManager,
 };
 pub use reliable::{Inbound, LinkCounters, ReliableLink, RELIABLE_MAGIC};
-pub use retry::{retry, Backoff};
+pub use retry::{retry, retry_budgeted, Backoff, Deadline, RetryBudget};
 pub use rpc::{Demarshal, Marshal, RpcClient, RpcMessage, RpcServer, RESPONSE};
 pub use thread::{codeschedule, coschedule, Event, SleepQueue};

@@ -275,9 +275,11 @@ impl AppKernel for DsmNodeKernel {
             if self.dsm.owner_of(addr) == Some(self.cfg.node) {
                 self.complete(env, line);
             } else {
-                let p = self.pending.as_mut().expect("checked above");
-                p.age += 1;
-                if p.age > self.cfg.retry_ticks {
+                let overdue = self.pending.as_mut().is_some_and(|p| {
+                    p.age += 1;
+                    p.age > self.cfg.retry_ticks
+                });
+                if overdue {
                     let owner = self.dsm.owner_of(addr);
                     if owner.is_some_and(|o| self.alive[o]) || self.majority() {
                         self.drive_fetch(env, line);

@@ -68,6 +68,10 @@ pub struct FanoutDriver {
     pub received: u64,
     /// Listener threads that exited on this shard.
     pub completed: u64,
+    /// Boot-time loads this shard gave up on after retries (the cache
+    /// kernel counts the underlying sheds in `stats.loads_shed`); a
+    /// skipped piece degrades the shard instead of panicking the run.
+    pub setup_skips: u64,
 }
 
 impl cache_kernel::AppKernel for FanoutDriver {
@@ -124,16 +128,36 @@ pub fn build(spec: &FanoutSpec) -> Machine {
         ..ShardConfig::default()
     });
     let rounds = spec.rounds;
+    // Boot-time loads shed under cache pressure like any other load:
+    // retry through the capped-backoff helper (charging the waits to
+    // the shard's clock) and degrade a persistent failure to a counted
+    // skip of that piece instead of panicking the run.
+    let setup = libkern::Backoff {
+        max_attempts: 4,
+        cap: 4_000,
+        jitter_permille: 0,
+    };
     for i in 0..m.shards() {
         let node = &mut m.nodes[i];
+        let mut driver = FanoutDriver::default();
         let kernel = node.ck.boot(KernelDesc {
             memory_access: MemoryAccessArray::all(),
             ..KernelDesc::default()
         });
-        let space = node
-            .ck
-            .load_space(kernel, cache_kernel::SpaceDesc::default(), &mut node.mpm)
-            .expect("boot space on shard");
+        let space = match libkern::retry(setup, |wait| {
+            node.mpm.clock.charge(u64::from(wait));
+            node.ck
+                .load_space(kernel, cache_kernel::SpaceDesc::default(), &mut node.mpm)
+        }) {
+            Ok(sp) => sp,
+            Err(_) => {
+                // No space, no shard: register the driver so the skip
+                // is visible in the totals and move on.
+                driver.setup_skips += 1;
+                node.register_kernel(kernel, Box::new(driver));
+                continue;
+            }
+        };
 
         // Listener: consume `rounds` signals, exit with the count.
         let pc = node.code.register(Box::new(FnProgram({
@@ -149,29 +173,41 @@ pub fn build(spec: &FanoutSpec) -> Machine {
                 }
             }
         })));
-        let listener = node
-            .ck
-            .load_thread(
+        let listener = match libkern::retry(setup, |wait| {
+            node.mpm.clock.charge(u64::from(wait));
+            node.ck.load_thread(
                 kernel,
                 cache_kernel::ThreadDesc::new(space, pc, 12),
                 false,
                 &mut node.mpm,
             )
-            .expect("load listener");
-        node.ck
-            .load_mapping(
-                kernel,
-                space,
-                SIG_VA,
-                SIG_FRAME,
-                Pte::MESSAGE,
-                Some(listener),
-                None,
-                &mut node.mpm,
-            )
-            .expect("map message frame");
+        }) {
+            Ok(t) => Some(t),
+            Err(_) => {
+                driver.setup_skips += 1;
+                None
+            }
+        };
+        if let Some(listener) = listener {
+            if libkern::retry(setup, |wait| {
+                node.mpm.clock.charge(u64::from(wait));
+                node.ck.load_mapping(
+                    kernel,
+                    space,
+                    SIG_VA,
+                    SIG_FRAME,
+                    Pte::MESSAGE,
+                    Some(listener),
+                    None,
+                    &mut node.mpm,
+                )
+            })
+            .is_err()
+            {
+                driver.setup_skips += 1;
+            }
+        }
         node.job_target = Some((kernel, space));
-        node.register_kernel(kernel, Box::new(FanoutDriver::default()));
 
         if i == 0 {
             let mut steps = Vec::new();
@@ -186,17 +222,29 @@ pub fn build(spec: &FanoutSpec) -> Machine {
             }
             steps.push(Step::Exit(0));
             let pub_pc = node.code.register(Box::new(Script::new(steps)));
-            node.ck
-                .load_thread(
+            if libkern::retry(setup, |wait| {
+                node.mpm.clock.charge(u64::from(wait));
+                node.ck.load_thread(
                     kernel,
                     cache_kernel::ThreadDesc::new(space, pub_pc, 10 as Priority),
                     false,
                     &mut node.mpm,
                 )
-                .expect("load publisher");
+            })
+            .is_err()
+            {
+                driver.setup_skips += 1;
+            }
         }
+        node.register_kernel(kernel, Box::new(driver));
     }
     m
+}
+
+/// Sum of boot-time pieces shards gave up on (see
+/// [`FanoutDriver::setup_skips`]).
+pub fn setup_skips(m: &mut Machine) -> u64 {
+    driver_total(m, |d| d.setup_skips)
 }
 
 /// Sum of signals consumed by exited listeners across the machine.

@@ -9,6 +9,7 @@
 pub mod dsm_cluster;
 pub mod fanout;
 pub mod throughput;
+pub mod web_serving;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,7 +45,16 @@ impl Zipf {
     /// Draw one index.
     pub fn sample(&self, rng: &mut StdRng) -> u32 {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+        self.sample_unit(u)
+    }
+
+    /// Map a uniform variate in [0, 1) to an index — the inverse-CDF
+    /// step alone, for callers bringing their own uniform stream.
+    pub fn sample_unit(&self, u: f64) -> u32 {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
+        {
             Ok(i) | Err(i) => (i as u32).min(self.cdf.len() as u32 - 1),
         }
     }

@@ -267,10 +267,27 @@ pub fn build(spec: &ThroughputSpec) -> Machine {
             memory_access: MemoryAccessArray::all(),
             ..KernelDesc::default()
         });
-        let space = node
-            .ck
-            .load_space(kernel, SpaceDesc::default(), &mut node.mpm)
-            .expect("boot space on shard");
+        // Boot-time loads shed under cache pressure like any other
+        // load: retry through the capped-backoff helper, and degrade a
+        // persistent failure to a skipped shard — the shed is counted
+        // in `ck.stats.loads_shed` and the structural totals (jobs
+        // admitted, thread exits) expose the gap — instead of
+        // panicking the run.
+        let space = match libkern::retry(
+            libkern::Backoff {
+                max_attempts: 4,
+                cap: 4_000,
+                jitter_permille: 0,
+            },
+            |wait| {
+                node.mpm.clock.charge(u64::from(wait));
+                node.ck
+                    .load_space(kernel, SpaceDesc::default(), &mut node.mpm)
+            },
+        ) {
+            Ok(sp) => sp,
+            Err(_) => continue,
+        };
         node.job_target = Some((kernel, space));
         node.register_channel(CHANNEL, kernel);
         let driver = ShardDriver::new(kernel, space, spec.frames_per_shard as u32);

@@ -61,6 +61,15 @@ cargo run -q --release -p bench --bin report -- caps --json > /dev/null
 echo "== messaging report smoke =="
 cargo run -q --release -p bench --bin report -- msg > /dev/null
 
+echo "== serving-under-chaos pinned gates (cut smoke, replay, inertness, budget drain) =="
+cargo test -q -p vpp --test integration_serve serve_smoke_cut_midrun
+cargo test -q -p vpp --test integration_serve serve_replay_is_byte_identical
+cargo test -q -p vpp --test integration_serve serve_knobs_off_is_inert
+cargo test -q -p vpp --test prop_overload pinned_budget_drain_replays
+
+echo "== serve sweep report smoke =="
+cargo run -q --release -p bench --bin report -- serve > /dev/null
+
 echo "== messaging bench smoke (criterion baselines) =="
 cargo bench -q -p bench --bench signal_latency -- --save-baseline msg-gate > /dev/null
 cargo bench -q -p bench --bench ipc_channel -- --save-baseline msg-gate > /dev/null

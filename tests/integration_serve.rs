@@ -1,0 +1,317 @@
+//! Serving under chaos: the web workload across a fabric-connected
+//! cluster with cuts mid-traffic (ROADMAP item 2, ISSUE 9).
+//!
+//! `serve_smoke_cut_midrun` is the pinned check.sh gate: ~10k clients
+//! on 2 nodes, one cut mid-run, asserting progress through the cut and
+//! recovery within a fixed MTTR budget. The replay test pins
+//! byte-identical outcomes per seed; the inertness test pins that with
+//! every robustness knob off no new counter moves.
+
+use vpp::cache_kernel::{Cluster, LockedQuota, MAX_CPUS};
+use vpp::hw::FaultPlan;
+use vpp::libkern::{Backoff, RetryBudget};
+use vpp::srm::Srm;
+use vpp::workloads::web_serving::{
+    latency_percentile, mttr, Arrival, WebFrontKernel, WebServingConfig, WebStats, LAT_BUCKETS,
+    WEB_CHANNEL,
+};
+use vpp::{boot_cluster, BootConfig};
+
+const SEED: u64 = 0x5e12_7e00_0000_0001;
+
+/// Everything one run leaves behind, for assertions and replay
+/// comparison.
+#[derive(Clone, Debug, PartialEq)]
+struct ServeOutcome {
+    stats: Vec<WebStats>,
+    budget_spent: Vec<u64>,
+    budget_denied: Vec<u64>,
+    latency: Vec<[u64; LAT_BUCKETS]>,
+    curve: Vec<Vec<u64>>,
+    outstanding: Vec<(usize, usize)>,
+    /// (requests_admitted, requests_completed, requests_shed,
+    /// deadlines_expired, retry_budget_denied) summed over nodes.
+    counters: (u64, u64, u64, u64, u64),
+}
+
+/// Boot `nodes`, register one front kernel per node from `mk_cfg`, run
+/// under `plan` until every node clock passes `run_until`.
+fn run_serve(
+    nodes: usize,
+    run_until: u64,
+    plan: Option<FaultPlan>,
+    mk_cfg: impl Fn(usize) -> WebServingConfig,
+) -> ServeOutcome {
+    let (mut cluster, srms) = boot_cluster(
+        nodes,
+        BootConfig {
+            clock_interval: 5_000,
+            ..BootConfig::default()
+        },
+    );
+    let mut ids = Vec::new();
+    for (node, ex) in cluster.nodes.iter_mut().enumerate() {
+        let id = ex
+            .with_kernel::<Srm, _>(srms[node], |s, env| {
+                s.start_kernel(env, "web", 2, [50; MAX_CPUS], 20, LockedQuota::default())
+            })
+            .unwrap()
+            .expect("grant available");
+        ex.register_kernel(
+            id,
+            Box::new(WebFrontKernel::new(WebServingConfig {
+                node,
+                cluster_nodes: nodes,
+                ..mk_cfg(node)
+            })),
+        );
+        ex.register_channel(WEB_CHANNEL, id);
+        ids.push(id);
+    }
+    cluster.net_faults = plan;
+    step_to(&mut cluster, run_until);
+
+    let mut out = ServeOutcome {
+        stats: Vec::new(),
+        budget_spent: Vec::new(),
+        budget_denied: Vec::new(),
+        latency: Vec::new(),
+        curve: Vec::new(),
+        outstanding: Vec::new(),
+        counters: (0, 0, 0, 0, 0),
+    };
+    for (node, &id) in cluster.nodes.iter_mut().zip(ids.iter()) {
+        if node.mpm.halted {
+            continue;
+        }
+        let s = node.ck.stats;
+        out.counters.0 += s.requests_admitted;
+        out.counters.1 += s.requests_completed;
+        out.counters.2 += s.requests_shed;
+        out.counters.3 += s.deadlines_expired;
+        out.counters.4 += s.retry_budget_denied;
+        node.with_kernel::<WebFrontKernel, _>(id, |k, _| {
+            out.stats.push(k.stats);
+            out.budget_spent.push(k.budget.spent);
+            out.budget_denied.push(k.budget.denied);
+            out.latency.push(k.latency);
+            out.curve.push(k.curve.clone());
+            out.outstanding.push(k.outstanding());
+        })
+        .unwrap();
+        node.ck.check_invariants().unwrap();
+    }
+    out
+}
+
+fn step_to(cluster: &mut Cluster, target: u64) {
+    while cluster
+        .nodes
+        .iter()
+        .map(|n| n.mpm.clock.cycles())
+        .max()
+        .unwrap()
+        < target
+    {
+        cluster.step(5);
+    }
+}
+
+/// The chaos configuration the smoke and replay tests share: 10k
+/// clients on 2 nodes, deadlines, admission bound, budget and jitter
+/// all armed.
+fn chaos_cfg(node: usize) -> WebServingConfig {
+    WebServingConfig {
+        clients: 5_000,
+        keys: 2_048,
+        // Aggregate 0.0015 req/cycle — just under the ~1/700-cycle
+        // serving capacity, so the cycle axis stays fine-grained
+        // (heavily oversubscribed rates compress simulated time by the
+        // utilization factor and RTTs would dwarf the deadlines).
+        arrival: Arrival::Open { per_mcycle: 0.3 },
+        churn_period: 200_000,
+        churn_permille: 200,
+        deadline: 250_000,
+        max_inflight: 256,
+        retry: Backoff {
+            max_attempts: 6,
+            cap: 40_000,
+            jitter_permille: 300,
+        },
+        budget: RetryBudget::new(512, 200),
+        cache_pages: 64,
+        seed: SEED ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ..WebServingConfig::default()
+    }
+}
+
+const CUT_AT: u64 = 1_200_000;
+const HEAL_AT: u64 = 2_000_000;
+const RUN_UNTIL: u64 = 4_000_000;
+/// Recovery must land within this many cycles of the heal (detection
+/// plus rejoin plus the first healthy throughput window; at least one
+/// request deadline has to lapse before the storm drains).
+const MTTR_BUDGET: u64 = 600_000;
+
+fn cut_plan() -> FaultPlan {
+    FaultPlan::new(SEED)
+        .partition(CUT_AT, &[&[0], &[1]])
+        .heal(HEAL_AT)
+}
+
+#[test]
+fn serve_smoke_cut_midrun() {
+    let o = run_serve(2, RUN_UNTIL, Some(cut_plan()), chaos_cfg);
+
+    // Both nodes served real traffic.
+    for (n, s) in o.stats.iter().enumerate() {
+        assert!(
+            s.completed > 1_000,
+            "node {n} barely completed anything: {s:?}"
+        );
+        assert!(s.local_hits > 0 && s.forwarded > 0, "node {n}: {s:?}");
+        // The ledger balances: every arrival is completed, dropped, or
+        // still outstanding.
+        let (inflight, parked) = o.outstanding[n];
+        assert_eq!(
+            s.arrivals,
+            s.completed + s.budget_denied + s.attempts_exhausted + inflight as u64 + parked as u64,
+            "node {n} ledger: {s:?}"
+        );
+    }
+
+    // The cut bit: cross-node traffic expired and the retry machinery
+    // engaged (some through the budget, the excess dropped-and-counted).
+    let expired: u64 = o.stats.iter().map(|s| s.expired).sum();
+    let dropped: u64 = o
+        .stats
+        .iter()
+        .map(|s| s.budget_denied + s.attempts_exhausted)
+        .sum();
+    assert!(expired > 0, "a 400k-cycle cut must expire deadlines");
+    assert!(dropped > 0, "the storm must overrun the budget");
+    assert_eq!(
+        o.counters.3, expired,
+        "deadline expiries fold into the global counters"
+    );
+
+    // Progress through the cut: each node still owns half the keys, so
+    // completions must continue on both sides — in every 3-window
+    // (60k-cycle) span of the cut; single windows may go quiet while
+    // the first post-cut deadlines lapse.
+    for (n, curve) in o.curve.iter().enumerate() {
+        let w0 = (CUT_AT / 20_000) as usize;
+        let w1 = (HEAL_AT / 20_000) as usize;
+        let during: Vec<u64> = curve[w0 + 1..w1].to_vec();
+        assert!(
+            during.chunks(3).all(|c| c.iter().sum::<u64>() > 0),
+            "node {n} stalled during the cut: {during:?}"
+        );
+    }
+
+    // Recovery within the MTTR budget: total throughput returns to
+    // ≥80% of its pre-cut mean within MTTR_BUDGET of the heal.
+    let len = o.curve.iter().map(Vec::len).max().unwrap();
+    let mut total = vec![0u64; len];
+    for curve in &o.curve {
+        for (w, &c) in curve.iter().enumerate() {
+            total[w] += c;
+        }
+    }
+    let recovery = mttr(&total, 20_000, CUT_AT, 800).expect("throughput must recover");
+    assert!(
+        CUT_AT + recovery <= HEAL_AT + MTTR_BUDGET,
+        "recovered {recovery} cycles after the cut; budget was heal ({}) + {MTTR_BUDGET}",
+        HEAL_AT - CUT_AT
+    );
+
+    // Latency percentiles are well-formed.
+    for lat in &o.latency {
+        let p50 = latency_percentile(lat, 0.50);
+        let p99 = latency_percentile(lat, 0.99);
+        assert!(p50 >= 1 && p50 <= p99, "p50 {p50} p99 {p99}");
+    }
+}
+
+#[test]
+fn serve_replay_is_byte_identical() {
+    let a = run_serve(2, RUN_UNTIL, Some(cut_plan()), chaos_cfg);
+    let b = run_serve(2, RUN_UNTIL, Some(cut_plan()), chaos_cfg);
+    assert_eq!(a, b, "same seed must replay byte-identically");
+
+    let c = run_serve(2, RUN_UNTIL, Some(cut_plan()), |node| WebServingConfig {
+        seed: (SEED ^ 0xff) ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ..chaos_cfg(node)
+    });
+    assert_ne!(a.stats, c.stats, "a different seed must diverge");
+}
+
+#[test]
+fn serve_knobs_off_is_inert() {
+    // Every robustness knob at its default (off), no fault plan: the
+    // generator is a plain serving loop — nothing sheds, nothing
+    // expires, the budget never engages, and the new global counters
+    // stay exactly as inert as before the feature existed.
+    let o = run_serve(2, 600_000, None, |node| WebServingConfig {
+        clients: 2_000,
+        keys: 1_024,
+        arrival: Arrival::Open { per_mcycle: 3.0 },
+        seed: SEED ^ node as u64,
+        ..WebServingConfig::default()
+    });
+    let (_, _, shed, expired, denied) = o.counters;
+    assert_eq!((shed, expired, denied), (0, 0, 0), "knobs-off inertness");
+    for (n, s) in o.stats.iter().enumerate() {
+        assert_eq!(s.shed, 0, "node {n}");
+        assert_eq!(s.expired, 0, "node {n}");
+        assert_eq!(s.budget_denied + s.attempts_exhausted, 0, "node {n}");
+        assert!(s.completed > 500, "node {n} still serves: {s:?}");
+    }
+}
+
+#[test]
+fn serve_closed_loop_with_churn_completes() {
+    // The closed-loop shape with churn waves: per-client think times,
+    // waves hanging up 30% of clients and dialing back in.
+    let o = run_serve(2, 1_200_000, None, |node| WebServingConfig {
+        clients: 100,
+        keys: 512,
+        arrival: Arrival::Closed { think: 50_000 },
+        churn_period: 100_000,
+        churn_permille: 300,
+        deadline: 200_000,
+        seed: SEED ^ node as u64,
+        ..WebServingConfig::default()
+    });
+    for (n, s) in o.stats.iter().enumerate() {
+        assert!(s.completed > 500, "node {n}: {s:?}");
+        assert!(s.churn_waves >= 4, "node {n} waves: {}", s.churn_waves);
+    }
+}
+
+#[test]
+fn serve_budget_drain_under_unhealed_cut() {
+    // A cut that never heals: the minority-less 2-node split leaves
+    // each side retrying cross-cut keys until its budget drains; the
+    // excess degrades to counted drops and the ledger still balances.
+    let plan = FaultPlan::new(SEED).partition(300_000, &[&[0], &[1]]);
+    let o = run_serve(2, 2_000_000, Some(plan), |node| WebServingConfig {
+        budget: RetryBudget::new(64, 20),
+        ..chaos_cfg(node)
+    });
+    let denied: u64 = o.budget_denied.iter().sum();
+    assert!(denied > 0, "a drained budget must deny retries");
+    assert_eq!(
+        o.counters.4, denied,
+        "denied retries fold into the global counter"
+    );
+    for (n, s) in o.stats.iter().enumerate() {
+        let (inflight, parked) = o.outstanding[n];
+        assert_eq!(
+            s.arrivals,
+            s.completed + s.budget_denied + s.attempts_exhausted + inflight as u64 + parked as u64,
+            "node {n} ledger: {s:?}"
+        );
+        assert!(s.completed > 0, "node {n} still serves its own stripe");
+    }
+}

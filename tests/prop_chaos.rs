@@ -421,6 +421,7 @@ impl AppKernel for Saboteur {
                     Backoff {
                         max_attempts: 3,
                         cap: 100,
+                        ..Backoff::default()
                     },
                     |_w| {
                         calls += 1;

@@ -108,6 +108,7 @@ fn check_seed(seed: u64) -> Result<Counters, TestCaseError> {
             vpp::libkern::Backoff {
                 max_attempts: 3,
                 cap: 4_000,
+                ..vpp::libkern::Backoff::default()
             },
             |wait| {
                 mpm.clock.charge(u64::from(wait));
@@ -198,12 +199,163 @@ fn check_seed(seed: u64) -> Result<Counters, TestCaseError> {
     Ok(ck.stats)
 }
 
+/// Everything one budget-drain run leaves behind, for the replay
+/// comparison.
+#[derive(Debug, PartialEq)]
+struct DrainOutcome {
+    stats: Counters,
+    completed: Vec<u64>,
+    gave_up: Vec<u64>,
+    budget_spent: u64,
+    budget_denied: u64,
+    attempts: u64,
+    sequences: u64,
+}
+
+/// The same thrash loop driven through `retry_budgeted` with a token
+/// bucket small enough (and refill-free, so it never recovers) to
+/// drain mid-storm: retries beyond the bucket degrade to counted
+/// drop-and-report instead of re-driving into the storm.
+fn check_budget_drain(seed: u64) -> Result<DrainOutcome, TestCaseError> {
+    let mut rng = seed;
+    let nk = 2 + (mix(&mut rng) % 2) as usize;
+    let cap = 16 + (mix(&mut rng) % 9) as usize;
+    let ws = (2 * cap / nk) as u32 + 2;
+
+    let mut ck = CacheKernel::new(CkConfig {
+        mapping_capacity: cap,
+        // A bounded writeback queue plus the drain stall below is what
+        // actually makes loads shed with `Again` mid-run.
+        wb_queue_bound: 8,
+        thrash_window: 48,
+        thrash_threshold: 3,
+        thrash_penalty: 48,
+        shed_backoff: 400,
+        ..CkConfig::default()
+    });
+    let mut mpm = Mpm::new(MachineConfig {
+        phys_frames: 16 * 1024,
+        ..MachineConfig::default()
+    });
+    let srm = ck.boot(KernelDesc {
+        memory_access: MemoryAccessArray::all(),
+        ..KernelDesc::default()
+    });
+    let mut kernels = Vec::new();
+    for _ in 0..nk {
+        let k = ck
+            .load_kernel(
+                srm,
+                KernelDesc {
+                    memory_access: MemoryAccessArray::all(),
+                    ..KernelDesc::default()
+                },
+                &mut mpm,
+            )
+            .unwrap();
+        let sp = ck.load_space(k, SpaceDesc::default(), &mut mpm).unwrap();
+        kernels.push((k, sp));
+    }
+
+    let mut budget = vpp::libkern::RetryBudget::new(4 + (mix(&mut rng) % 5) as u32, 0);
+    let mut cursor = vec![0u32; nk];
+    let mut completed = vec![0u64; nk];
+    let mut gave_up = vec![0u64; nk];
+    let mut attempts = 0u64;
+    let mut sequences = 0u64;
+    for round in 0..900u32 {
+        let i = (round as usize) % nk;
+        let (k, sp) = kernels[i];
+        let va = Vaddr(0x10_0000 + cursor[i] * PAGE_SIZE);
+        let pa = Paddr(0x100_0000 + (i as u32 * ws + cursor[i]) * PAGE_SIZE);
+        sequences += 1;
+        let now = mpm.clock.cycles();
+        let r = vpp::libkern::retry_budgeted(
+            vpp::libkern::Backoff {
+                max_attempts: 4,
+                cap: 4_000,
+                jitter_permille: 250,
+            },
+            &mut budget,
+            now,
+            seed ^ u64::from(round),
+            |wait| {
+                attempts += 1;
+                mpm.clock.charge(u64::from(wait));
+                ck.load_mapping(
+                    k,
+                    sp,
+                    va,
+                    pa,
+                    Pte::WRITABLE | Pte::CACHEABLE,
+                    None,
+                    None,
+                    &mut mpm,
+                )
+            },
+        );
+        match r {
+            Ok(()) => {
+                cursor[i] = (cursor[i] + 1) % ws;
+                completed[i] += 1;
+            }
+            Err(CkError::Again { .. }) => gave_up[i] += 1,
+            Err(e) => panic!("seed {seed:#x}: unexpected load failure {e:?}"),
+        }
+        // The drain stall: a slow consumer mid-run backs the writeback
+        // queues up against their bound, and the resulting `Again`
+        // storm is what drains the bucket.
+        if !(300..600).contains(&round) {
+            while ck.pop_event().is_some() {}
+        }
+    }
+    while ck.pop_event().is_some() {}
+    ck.check_invariants().unwrap();
+
+    // Ledger: every sequence either completed or gave up, every op
+    // invocation beyond the first of its sequence was a granted (spent)
+    // retry, and the cache kernel's own books still balance.
+    let issued: u64 = completed.iter().chain(gave_up.iter()).sum();
+    prop_assert_eq!(issued, sequences, "sequence ledger, seed {:#x}", seed);
+    prop_assert_eq!(
+        attempts - sequences,
+        budget.spent,
+        "spent-retry ledger, seed {:#x}",
+        seed
+    );
+    let live = ck.occupancy();
+    let s = &ck.stats;
+    for (kind, name) in [(0usize, "kernels"), (1, "spaces"), (3, "mappings")] {
+        prop_assert_eq!(
+            s.loads[kind],
+            live[kind].0 as u64 + s.unloads[kind] + s.writebacks[kind],
+            "{} balance, seed {:#x}",
+            name,
+            seed
+        );
+    }
+    Ok(DrainOutcome {
+        stats: ck.stats,
+        completed,
+        gave_up,
+        budget_spent: budget.spent,
+        budget_denied: budget.denied,
+        attempts,
+        sequences,
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
 
     #[test]
     fn overload_invariants_hold(seed in any::<u64>()) {
         check_seed(seed)?;
+    }
+
+    #[test]
+    fn budget_drain_ledger_balances(seed in any::<u64>()) {
+        check_budget_drain(seed)?;
     }
 }
 
@@ -225,4 +377,18 @@ fn pinned_seed_a() {
 #[test]
 fn pinned_seed_b() {
     check_seed(0x0c0a_0000_0000_0003).unwrap();
+}
+
+/// Pinned budget-drain scenario: the bucket must actually drain (denials
+/// counted) while some retries were still granted first, and the whole
+/// run — counters, ledgers, jittered waits — replays byte-identically
+/// from the same seed.
+#[test]
+fn pinned_budget_drain_replays() {
+    let a = check_budget_drain(0x0bad_b007_0000_0001).unwrap();
+    assert!(a.budget_denied > 0, "bucket never drained: {a:?}");
+    assert!(a.budget_spent > 0, "no retry was ever granted: {a:?}");
+    assert!(a.gave_up.iter().sum::<u64>() > 0, "no counted drops: {a:?}");
+    let b = check_budget_drain(0x0bad_b007_0000_0001).unwrap();
+    assert_eq!(a, b, "same seed must replay byte-identically");
 }

@@ -5,10 +5,10 @@
 //! where `<section>` is one of `table1`, `table2`, `trap`, `signal`,
 //! `fault`, `size`, `cache-sweep`, `overhead`, `mp3d`, `policy`,
 //! `quota`, `rtlb`, `teardown`, `recovery`, `overload`, `partition`,
-//! `serve`, `throughput`, `msg`, `caps`, or `all` (default). Output is
-//! what EXPERIMENTS.md records. With `--json`, the `signal`,
-//! `recovery`, `overload`, `partition`, `serve`, `throughput`, `msg`
-//! and `caps` sections additionally write a machine-readable
+//! `serve`, `gray`, `throughput`, `msg`, `caps`, or `all` (default).
+//! Output is what EXPERIMENTS.md records. With `--json`, the `signal`,
+//! `recovery`, `overload`, `partition`, `serve`, `gray`, `throughput`,
+//! `msg` and `caps` sections additionally write a machine-readable
 //! `BENCH_<section>.json` artifact beside the working directory's
 //! manifest (numbers plus the pinned seeds the check gates replay).
 
@@ -85,6 +85,9 @@ fn main() {
     }
     if run("serve") {
         serve();
+    }
+    if run("gray") {
+        gray();
     }
     if run("throughput") {
         throughput();
@@ -2480,6 +2483,427 @@ fn serve() {
             ("heal_at", SERVE_HEAL_AT.to_string()),
             ("curve_window", SERVE_WINDOW.to_string()),
             ("mttr_threshold_permille", 800.to_string()),
+            ("rows", jarr(rows)),
+        ],
+    );
+}
+
+// ---------------------------------------------------------------------
+// A-gray — gray failures: stragglers, hedged requests, slow suspicion
+// ---------------------------------------------------------------------
+
+/// One grid point of the gray-failure sweep: straggler count × delay
+/// magnitude × {hedging, adaptive hedge delay} × fetch tier.
+struct GraySpec {
+    name: &'static str,
+    /// Trailing nodes that limp under the fabric delay schedule.
+    stragglers: usize,
+    /// Per-frame delay multiplier in permille (8_000 = 8× the
+    /// 2_500-cycle straggler base, so 17.5k extra cycles per frame).
+    /// 1_000 means no delay schedule at all.
+    mult_permille: u64,
+    hedge: bool,
+    /// Stretch the hedge delay with the per-node service-time EWMA
+    /// instead of firing at the fixed `hedge_after` floor.
+    adaptive: bool,
+    /// `flat` | `page-io`: the tier backing the last node's front-cache
+    /// misses. `page-io` charges the DbKernel page-in cost on every
+    /// miss — endogenous slowness with no fabric fault at all.
+    fetch: &'static str,
+}
+
+/// Everything one grid point leaves behind.
+struct GrayCell {
+    arrivals: u64,
+    attempts: u64,
+    completed: u64,
+    dropped: u64,
+    budget_spent: u64,
+    parked: u64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    hedges_sent: u64,
+    hedges_won: u64,
+    hedges_wasted: u64,
+    steered: u64,
+    slow_suspects: u64,
+    /// Quorum `NodeDown` mints plus epoch changes — for a delay-only
+    /// schedule both must be zero (a straggler is slow, not dead).
+    false_dead: u64,
+    mttr: Option<u64>,
+}
+
+const GRAY_SEED: u64 = 0x06ea_7f00_0000_0002;
+const GRAY_SLOW_AT: u64 = 300_000;
+const GRAY_RUN_UNTIL: u64 = 2_000_000;
+const GRAY_NODES: usize = 10;
+const GRAY_WINDOW: u64 = 20_000;
+/// Cycles per 1× of straggler multiplier (the default 2_500 is tuned
+/// for membership-margin tests; the bench wants a limp that dwarfs the
+/// healthy round trip).
+const GRAY_STRAGGLER_BASE: u64 = 25_000;
+
+fn gray_once(spec: &GraySpec) -> GrayCell {
+    use vpp::cache_kernel::{LockedQuota, MAX_CPUS};
+    use vpp::hw::FaultPlan;
+    use vpp::libkern::{Backoff, RetryBudget};
+    use vpp::srm::Srm;
+    use vpp::workloads::web_serving::{
+        latency_percentile, mttr, Arrival, PageIoTier, WebFrontKernel, WebServingConfig,
+        LAT_BUCKETS, WEB_CHANNEL,
+    };
+    use vpp::{boot_cluster, BootConfig};
+
+    let n = GRAY_NODES;
+    let plan = if spec.stragglers > 0 && spec.mult_permille > 1_000 {
+        // A deep limp: 25k cycles per 1× of multiplier, so the 8× row
+        // adds 175k cycles per frame — several latency buckets above
+        // the healthy fabric round trip, the regime hedging exists for.
+        let mut p = FaultPlan::new(GRAY_SEED)
+            .with_straggler_base(GRAY_STRAGGLER_BASE)
+            .delay_jitter(GRAY_SLOW_AT, 50);
+        for s in 0..spec.stragglers {
+            let node = n - 1 - s;
+            // Ramp the onset one multiplier step at a time: a constant
+            // delay shifts the whole ad stream, so only the *change*
+            // in delay widens an inter-arrival gap. 25k-cycle
+            // increments keep every gap spike (5 ticks) under the
+            // 12-tick dead threshold while the steady-state limp goes
+            // as deep as the grid asks. Multiple stragglers ramp
+            // staggered — frames *between* two stragglers pay both
+            // penalties, so simultaneous steps would double the spike.
+            let mut at = GRAY_SLOW_AT + 20_000 * s as u64;
+            let mut m = 1_000;
+            while m + 1_000 < spec.mult_permille {
+                m += 1_000;
+                p = p.slow_node(at, node, m);
+                at += 40_000;
+            }
+            p = p.slow_node(at, node, spec.mult_permille);
+        }
+        Some(p)
+    } else {
+        None
+    };
+
+    let (mut cluster, srms) = boot_cluster(
+        n,
+        BootConfig {
+            clock_interval: 5_000,
+            ..BootConfig::default()
+        },
+    );
+    let mut ids = Vec::new();
+    for (node, ex) in cluster.nodes.iter_mut().enumerate() {
+        let seed = GRAY_SEED ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let id = ex
+            .with_kernel::<Srm, _>(srms[node], |s, env| {
+                s.start_kernel(env, "web", 2, [50; MAX_CPUS], 20, LockedQuota::default())
+            })
+            .unwrap()
+            .expect("grant available");
+        ex.register_kernel(
+            id,
+            Box::new(WebFrontKernel::new(WebServingConfig {
+                node,
+                cluster_nodes: n,
+                clients: 2_000,
+                keys: 1_024,
+                // Light load: latency must resolve *under* the
+                // deadline for the straggler's tail to be visible, so
+                // the offered rate stays well below the point where
+                // serving charges dilate the fabric round-trip.
+                arrival: Arrival::Open { per_mcycle: 0.08 },
+                // Wide enough that even the deep straggler's round
+                // trip resolves to a *measured* completion instead of
+                // an expiry — the bench is about the latency tail, and
+                // a survivor-only histogram would hide it.
+                deadline: 1_200_000,
+                max_inflight: 256,
+                retry: Backoff {
+                    max_attempts: 6,
+                    cap: 40_000,
+                    jitter_permille: 300,
+                },
+                budget: RetryBudget::new(512, 200),
+                cache_pages: 64,
+                gen_window: 25_000,
+                hedge_after: if spec.hedge { 30_000 } else { 0 },
+                hedge_ewma_permille: if spec.hedge && spec.adaptive {
+                    2_000
+                } else {
+                    0
+                },
+                steer: spec.hedge,
+                seed,
+                ..WebServingConfig::default()
+            })),
+        );
+        if spec.fetch == "page-io" && node == n - 1 {
+            ex.with_kernel::<WebFrontKernel, _>(id, |k, _| {
+                k.set_fetch_tier(Box::new(PageIoTier::default()));
+            })
+            .unwrap();
+        }
+        ex.register_channel(WEB_CHANNEL, id);
+        ids.push(id);
+    }
+    cluster.net_faults = plan;
+    // Run until the *slowest* clock crosses the horizon: the page-io
+    // row's stalling node charges its clock far ahead of the others,
+    // and a max-based cutoff would end the run before the healthy
+    // nodes served anything.
+    while cluster
+        .nodes
+        .iter()
+        .map(|node| node.mpm.clock.cycles())
+        .min()
+        .unwrap()
+        < GRAY_RUN_UNTIL
+    {
+        cluster.step(5);
+    }
+
+    let mut cell = GrayCell {
+        arrivals: 0,
+        attempts: 0,
+        completed: 0,
+        dropped: 0,
+        budget_spent: 0,
+        parked: 0,
+        p50: 0,
+        p99: 0,
+        p999: 0,
+        hedges_sent: 0,
+        hedges_won: 0,
+        hedges_wasted: 0,
+        steered: 0,
+        slow_suspects: 0,
+        false_dead: 0,
+        mttr: None,
+    };
+    let mut hist = [0u64; LAT_BUCKETS];
+    let mut curve: Vec<u64> = Vec::new();
+    for (idx, (node, &id)) in cluster.nodes.iter_mut().zip(ids.iter()).enumerate() {
+        let s = node.ck.stats;
+        cell.slow_suspects += s.nodes_suspected_slow;
+        cell.false_dead += s.nodes_down + s.epoch_changes;
+        node.with_kernel::<WebFrontKernel, _>(id, |k, _| {
+            let (inflight, parked) = k.outstanding();
+            // The spend ledger the whole hedging design hangs on:
+            // every attempt beyond its arrival was paid for by exactly
+            // one budget token (tokens parked for not-yet-readmitted
+            // retries are still in escrow).
+            assert_eq!(
+                k.stats.attempts - k.stats.arrivals,
+                k.budget.spent - parked as u64,
+                "hedge spend ledger broke on node {idx}"
+            );
+            assert_eq!(
+                k.stats.arrivals,
+                k.stats.completed
+                    + k.stats.budget_denied
+                    + k.stats.attempts_exhausted
+                    + inflight as u64
+                    + parked as u64,
+                "arrival ledger broke on node {idx}"
+            );
+            cell.arrivals += k.stats.arrivals;
+            cell.attempts += k.stats.attempts;
+            cell.completed += k.stats.completed;
+            cell.dropped += k.stats.budget_denied + k.stats.attempts_exhausted;
+            cell.budget_spent += k.budget.spent;
+            cell.parked += parked as u64;
+            cell.hedges_sent += k.stats.hedges_sent;
+            cell.hedges_won += k.stats.hedges_won;
+            cell.hedges_wasted += k.stats.hedges_wasted;
+            cell.steered += k.stats.steered_away;
+            for (b, &c) in k.latency.iter().enumerate() {
+                hist[b] += c;
+            }
+            if curve.len() < k.curve.len() {
+                curve.resize(k.curve.len(), 0);
+            }
+            for (w, &c) in k.curve.iter().enumerate() {
+                curve[w] += c;
+            }
+        })
+        .unwrap();
+        node.ck.check_invariants().unwrap();
+    }
+    cell.p50 = latency_percentile(&hist, 0.50);
+    cell.p99 = latency_percentile(&hist, 0.99);
+    cell.p999 = latency_percentile(&hist, 0.999);
+    if spec.stragglers > 0 || spec.fetch == "page-io" {
+        cell.mttr = mttr(&curve, GRAY_WINDOW, GRAY_SLOW_AT, 800);
+    }
+    cell
+}
+
+fn gray() {
+    println!("## A-gray — gray failures: stragglers, hedging, slow suspicion\n");
+    println!("The serving cluster again, but the fault is a *limp*, not a corpse:");
+    println!("a seeded delay schedule multiplies every frame touching the");
+    println!("straggler (onset ramped so only genuine silence ever looks dead),");
+    println!("with bounded jitter. The grid sweeps straggler fraction × delay");
+    println!("magnitude × {{hedging, adaptive hedge delay}}; one row replaces the");
+    println!("fabric fault with an endogenously slow backing tier (DbKernel's");
+    println!("page-in cost on every front-cache miss). false-dead counts quorum");
+    println!("NodeDown mints plus epoch changes — a delay-only schedule must");
+    println!("leave it at zero while the suspect-slow advisory fires and steers.");
+    println!("Every hedge is paid for from the retry budget; the ledger");
+    println!("`attempts - arrivals == spent - parked` is asserted per node.\n");
+
+    let grid = [
+        GraySpec {
+            name: "quiet",
+            stragglers: 0,
+            mult_permille: 1_000,
+            hedge: false,
+            adaptive: false,
+            fetch: "flat",
+        },
+        GraySpec {
+            name: "1of10-8x",
+            stragglers: 1,
+            mult_permille: 8_000,
+            hedge: false,
+            adaptive: false,
+            fetch: "flat",
+        },
+        GraySpec {
+            name: "1of10-8x-hedge",
+            stragglers: 1,
+            mult_permille: 8_000,
+            hedge: true,
+            adaptive: true,
+            fetch: "flat",
+        },
+        GraySpec {
+            name: "1of10-8x-hedge-fix",
+            stragglers: 1,
+            mult_permille: 8_000,
+            hedge: true,
+            adaptive: false,
+            fetch: "flat",
+        },
+        GraySpec {
+            name: "2of10-8x-hedge",
+            stragglers: 2,
+            mult_permille: 8_000,
+            hedge: true,
+            adaptive: true,
+            fetch: "flat",
+        },
+        GraySpec {
+            name: "1of10-16x-hedge",
+            stragglers: 1,
+            mult_permille: 16_000,
+            hedge: true,
+            adaptive: true,
+            fetch: "flat",
+        },
+        GraySpec {
+            name: "page-io-hedge",
+            stragglers: 0,
+            mult_permille: 1_000,
+            hedge: true,
+            adaptive: true,
+            fetch: "page-io",
+        },
+    ];
+
+    println!("| grid point | stragglers | delay | hedge | adaptive | completed | p50 | p99 | p999 | hedges w/l | steered | slow | false-dead | MTTR kcyc |");
+    println!("|:-----------|-----------:|------:|:------|:---------|----------:|----:|----:|-----:|-----------:|--------:|-----:|-----------:|----------:|");
+    let mut rows = Vec::new();
+    let mut p99_off = 0u64;
+    let mut p99_hedged = 0u64;
+    for spec in &grid {
+        let c = gray_once(spec);
+        if spec.name == "1of10-8x" {
+            p99_off = c.p99;
+        }
+        if spec.name == "1of10-8x-hedge" {
+            p99_hedged = c.p99;
+        }
+        if spec.fetch == "flat" {
+            assert_eq!(
+                c.false_dead, 0,
+                "{}: a delay-only schedule minted an epoch",
+                spec.name
+            );
+        }
+        let mttr_cell = c
+            .mttr
+            .map_or("—".into(), |m| format!("{:.0}", m as f64 / 1e3));
+        println!(
+            "| {:<18} | {:>10} | {:>4}x | {:<5} | {:<8} | {:>9} | {:>4} | {:>6} | {:>6} | {:>5}/{:<5} | {:>7} | {:>4} | {:>10} | {:>9} |",
+            spec.name,
+            spec.stragglers,
+            spec.mult_permille / 1_000,
+            spec.hedge,
+            spec.adaptive,
+            c.completed,
+            c.p50,
+            c.p99,
+            c.p999,
+            c.hedges_won,
+            c.hedges_wasted,
+            c.steered,
+            c.slow_suspects,
+            c.false_dead,
+            mttr_cell,
+        );
+        rows.push(jobj(&[
+            ("name", format!("\"{}\"", spec.name)),
+            ("stragglers", spec.stragglers.to_string()),
+            ("delay_mult_permille", spec.mult_permille.to_string()),
+            ("hedge", spec.hedge.to_string()),
+            ("adaptive", spec.adaptive.to_string()),
+            ("fetch_tier", format!("\"{}\"", spec.fetch)),
+            ("arrivals", c.arrivals.to_string()),
+            ("attempts", c.attempts.to_string()),
+            ("completed", c.completed.to_string()),
+            ("dropped", c.dropped.to_string()),
+            ("budget_spent", c.budget_spent.to_string()),
+            ("parked", c.parked.to_string()),
+            ("p50_cycles", c.p50.to_string()),
+            ("p99_cycles", c.p99.to_string()),
+            ("p999_cycles", c.p999.to_string()),
+            ("hedges_sent", c.hedges_sent.to_string()),
+            ("hedges_won", c.hedges_won.to_string()),
+            ("hedges_wasted", c.hedges_wasted.to_string()),
+            ("steered_away", c.steered.to_string()),
+            ("slow_suspects", c.slow_suspects.to_string()),
+            ("false_dead", c.false_dead.to_string()),
+            (
+                "mttr_cycles",
+                c.mttr.map_or("null".into(), |m| m.to_string()),
+            ),
+        ]));
+    }
+    println!();
+    let ratio = p99_off as f64 / p99_hedged.max(1) as f64;
+    assert!(
+        ratio >= 2.0,
+        "hedging must cut the straggler p99 at least 2x (got {ratio:.2})"
+    );
+    println!("Hedging plus the adaptive delay cuts the 10%-straggler/8x p99 by");
+    println!("{ratio:.1}x: the duplicate beats the limping owner, the slow advisory");
+    println!("steers later forwards around it (no epoch mint, so reintegration on");
+    println!("recovery is free), and every duplicate was paid for by one retry");
+    println!("token — the budget bounds the hedge amplification exactly as it");
+    println!("bounds a retry storm.\n");
+    write_json(
+        "gray",
+        &[
+            ("seed", format!("\"{GRAY_SEED:#x}\"")),
+            ("nodes", GRAY_NODES.to_string()),
+            ("slow_at", GRAY_SLOW_AT.to_string()),
+            ("run_until", GRAY_RUN_UNTIL.to_string()),
+            ("curve_window", GRAY_WINDOW.to_string()),
+            ("p99_improvement", jf(ratio)),
             ("rows", jarr(rows)),
         ],
     );

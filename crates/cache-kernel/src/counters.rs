@@ -162,6 +162,22 @@ pub struct Counters {
     /// Serving workload: retries denied by a drained per-kernel
     /// `RetryBudget` — each is a counted drop, never a re-drive.
     pub retry_budget_denied: u64,
+    /// Peers that crossed the *suspect-slow* membership line (answering,
+    /// but late). Entry edges only; no epoch is minted for these. Never
+    /// moves without a delay schedule.
+    pub nodes_suspected_slow: u64,
+    /// Serving workload: hedged duplicate fetches sent after the hedge
+    /// delay lapsed (each one spent a retry-budget token).
+    pub hedges_sent: u64,
+    /// Serving workload: hedges whose duplicate answered first.
+    pub hedges_won: u64,
+    /// Serving workload: hedges that lost the race (or whose request
+    /// expired) — the duplicate's work was wasted.
+    pub hedges_wasted: u64,
+    /// Reliable-link data frames that arrived out of order (fresh, but
+    /// behind a higher sequence already seen) — possible only once a
+    /// delay schedule reorders the fabric. Delivered normally.
+    pub frames_reordered: u64,
 }
 
 /// The historical name: the counters began as the Cache Kernel's stats
@@ -219,6 +235,11 @@ impl Counters {
                 crate::events::ClusterEvent::NodeDown { .. } => self.nodes_down += 1,
                 crate::events::ClusterEvent::NodeRejoined { .. } => self.nodes_rejoined += 1,
                 crate::events::ClusterEvent::EpochChanged { .. } => self.epoch_changes += 1,
+                crate::events::ClusterEvent::NodeSlow { slow, .. } => {
+                    if *slow {
+                        self.nodes_suspected_slow += 1;
+                    }
+                }
             },
             KernelEvent::CapViolation { .. } => self.cap_denied += 1,
         }

@@ -204,6 +204,17 @@ pub enum ClusterEvent {
         /// Peer the epoch was adopted from, `None` for a local bump.
         adopted_from: Option<usize>,
     },
+    /// A peer crossed (or recrossed) the *suspect-slow* line: it is
+    /// answering, but late. No epoch is minted and nothing is re-homed —
+    /// consumers should steer load away while `slow` and reintegrate on
+    /// the clearing edge. Slow is a reversible advisory state below
+    /// suspect-dead, never a liveness verdict.
+    NodeSlow {
+        /// The straggling peer.
+        node: usize,
+        /// `true` on entry to suspect-slow, `false` when it clears.
+        slow: bool,
+    },
 }
 
 impl KernelEvent {
@@ -277,6 +288,9 @@ impl KernelEvent {
                     epoch,
                     adopted_from,
                 } => format!("epoch-changed epoch={epoch} from={adopted_from:?}"),
+                ClusterEvent::NodeSlow { node, slow } => {
+                    format!("node-slow node={node} slow={slow}")
+                }
             },
             KernelEvent::CapViolation { kernel, paddr, op } => format!(
                 "cap-violation kernel={kernel:?} op={} pa={:#x}",

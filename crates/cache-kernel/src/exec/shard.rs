@@ -73,6 +73,11 @@ pub struct ShardConfig {
     pub threads: bool,
     /// Idle shards steal backlog jobs from their peers.
     pub steal: bool,
+    /// Wall-clock seconds the free-running quiescence watchdog allows a
+    /// run before force-stopping it. Injected delay schedules slow
+    /// *simulated* delivery, not host time, so they must extend a run
+    /// within this bound — never trip it.
+    pub watchdog_secs: u64,
     /// Cache-Kernel configuration template (`shard_fanout` is set to
     /// the shard count automatically).
     pub ck: CkConfig,
@@ -89,6 +94,7 @@ impl Default for ShardConfig {
             ring_capacity: 256,
             threads: false,
             steal: true,
+            watchdog_secs: 60,
             ck: CkConfig::default(),
             machine: MachineConfig::default(),
         }
@@ -224,6 +230,9 @@ pub struct Machine {
     pub mode: RunMode,
     /// Idle shards steal backlog jobs from their peers.
     pub steal: bool,
+    /// Free-running watchdog bound in wall-clock seconds (see
+    /// [`ShardConfig::watchdog_secs`]).
+    pub watchdog_secs: u64,
 }
 
 /// The historical name for the classic multi-MPM configuration: every
@@ -243,6 +252,7 @@ impl Machine {
             mesh: None,
             mode: RunMode::Lockstep,
             steal: false,
+            watchdog_secs: 60,
         }
     }
 
@@ -275,6 +285,7 @@ impl Machine {
                 RunMode::Lockstep
             },
             steal: cfg.steal,
+            watchdog_secs: cfg.watchdog_secs.max(1),
         }
     }
 
@@ -405,8 +416,21 @@ impl Machine {
                             self.fail_node(n);
                         }
                     }
+                    hw::FabricEvent::DelayLink { groups, extra } => {
+                        self.fabric.set_link_delay(&groups, extra);
+                    }
+                    hw::FabricEvent::SlowNode { node, extra } => {
+                        self.fabric.set_node_extra(node, extra);
+                    }
+                    hw::FabricEvent::ClearDelays => self.fabric.clear_delays(),
+                    hw::FabricEvent::DelayJitter { permille, seed } => {
+                        self.fabric.set_delay_jitter(permille, seed);
+                    }
                 }
             }
+            // Advance the fabric clock so delayed frames whose delivery
+            // cycle has arrived mature into the FIFO queues below.
+            self.fabric.set_now(now);
         }
         for node in self.nodes.iter_mut() {
             node.run(quanta);
@@ -592,7 +616,7 @@ impl Machine {
                     })
                 })
                 .collect();
-            coordinate(flags, in_flight, n);
+            coordinate(flags, in_flight, n, self.watchdog_secs);
             for h in handles {
                 used = used.max(h.join().unwrap_or(0));
             }
@@ -617,7 +641,7 @@ impl Machine {
 /// stable double-read really is quiescence). A generous wall-clock
 /// watchdog bounds the run even if a worker misbehaves — the machine
 /// degrades, it never hangs.
-fn coordinate(flags: &RunFlags, in_flight: &AtomicU64, n: usize) {
+fn coordinate(flags: &RunFlags, in_flight: &AtomicU64, n: usize, watchdog_secs: u64) {
     let start = std::time::Instant::now();
     loop {
         if flags.settled(n) && in_flight.load(Ordering::SeqCst) == 0 {
@@ -627,7 +651,7 @@ fn coordinate(flags: &RunFlags, in_flight: &AtomicU64, n: usize) {
                 return;
             }
         }
-        if start.elapsed().as_secs() >= 60 {
+        if start.elapsed().as_secs() >= watchdog_secs {
             flags.stop.store(true, Ordering::SeqCst);
             return;
         }
@@ -1036,5 +1060,53 @@ mod tests {
         // The publisher ran to completion despite the dead peer.
         assert_eq!(c.thread_exits, 1);
         assert!(m.nodes[1].mpm.halted);
+    }
+
+    /// The quiescence watchdog is a config knob, not a 60-second
+    /// constant: the bound plumbs through `ShardConfig`, zero clamps to
+    /// a one-second floor, and a healthy threaded run settles through
+    /// real quiescence well inside even a tight bound — injected delay
+    /// schedules stretch *simulated* delivery, never host time, so they
+    /// extend a run without tripping the wall clock.
+    #[test]
+    fn watchdog_bound_is_configurable() {
+        let m = Machine::sharded(ShardConfig {
+            shards: 2,
+            watchdog_secs: 7,
+            ..ShardConfig::default()
+        });
+        assert_eq!(m.watchdog_secs, 7);
+        let m = Machine::sharded(ShardConfig {
+            shards: 2,
+            watchdog_secs: 0,
+            ..ShardConfig::default()
+        });
+        assert_eq!(m.watchdog_secs, 1, "zero clamps to the one-second floor");
+
+        let mut m = Machine::sharded(ShardConfig {
+            shards: 2,
+            threads: true,
+            ring_capacity: 8,
+            steal: false,
+            watchdog_secs: 20,
+            ..ShardConfig::default()
+        });
+        let mut steps = Vec::new();
+        for _ in 0..16 {
+            steps.push(Step::Trap {
+                no: 1,
+                args: [4, 0, 0, 0],
+            });
+        }
+        steps.push(Step::Exit(0));
+        boot_shard(&mut m.nodes[0], steps, Box::new(Caster));
+        let start = std::time::Instant::now();
+        m.run_until_idle(10_000);
+        assert!(
+            start.elapsed().as_secs() < 20,
+            "healthy run quiesced via settling, not the watchdog"
+        );
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.counters().thread_exits, 1);
     }
 }

@@ -5,7 +5,7 @@
 //! packets enqueue toward a destination node and are drained by the cluster
 //! step loop, which hands them to the destination node's network interface.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// A packet in flight between nodes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,6 +49,42 @@ pub struct Fabric {
     /// Sends dropped because the endpoints were in different partition
     /// groups.
     blocked: u64,
+    /// Frames held back by a delay schedule, keyed by (deliver-at cycle,
+    /// insertion sequence) so draining is deterministic even when many
+    /// frames mature on the same cycle. Drained into the FIFO queues by
+    /// [`Fabric::set_now`].
+    future: BTreeMap<(u64, u64), Packet>,
+    /// Monotone insertion sequence for `future` keys.
+    fseq: u64,
+    /// The fabric's notion of the current cycle (max node clock, advanced
+    /// by the cluster step loop).
+    now: u64,
+    /// Extra delivery cycles charged to any frame sent from or to this
+    /// node (a straggler's service-time penalty).
+    node_extra: Vec<u64>,
+    /// Delay-group per node: frames crossing delay groups pay
+    /// `link_extra` on top of the per-node penalties.
+    delay_group_of: Vec<u32>,
+    /// Extra cycles for crossing delay groups.
+    link_extra: u64,
+    /// Bounded jitter: up to this fraction (permille) of a frame's
+    /// computed delay is subtracted, drawn from `jitter_rng`. The stream
+    /// is consumed only for frames whose delay is nonzero, so an
+    /// unconfigured fabric stays byte-inert.
+    jitter_permille: u32,
+    jitter_rng: u64,
+    /// Frames that took the delay path.
+    delayed: u64,
+}
+
+/// splitmix64 step — the same generator the fault plans use, kept local
+/// so the fabric's jitter stream is independent of every other stream.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl Fabric {
@@ -60,6 +96,15 @@ impl Fabric {
             failed: vec![false; nodes],
             group_of: vec![0; nodes],
             blocked: 0,
+            future: BTreeMap::new(),
+            fseq: 0,
+            now: 0,
+            node_extra: vec![0; nodes],
+            delay_group_of: vec![0; nodes],
+            link_extra: 0,
+            jitter_permille: 0,
+            jitter_rng: 0,
+            delayed: 0,
         }
     }
 
@@ -85,8 +130,94 @@ impl Fabric {
         }
         self.stats[pkt.src].tx_packets += 1;
         self.stats[pkt.src].tx_bytes += pkt.data.len() as u64;
-        self.queues[pkt.dst].push_back(pkt);
+        let mut delay = self.node_extra[pkt.src] + self.node_extra[pkt.dst];
+        if self.delay_group_of[pkt.src] != self.delay_group_of[pkt.dst] {
+            delay += self.link_extra;
+        }
+        if delay == 0 {
+            // The legacy instant-delivery path, byte-identical when no
+            // delay schedule is active.
+            self.queues[pkt.dst].push_back(pkt);
+            return true;
+        }
+        if self.jitter_permille > 0 {
+            // Bounded downward jitter: the delay is the worst case, the
+            // draw shaves off up to jitter_permille/1000 of it.
+            let r = splitmix(&mut self.jitter_rng) % 1_000;
+            delay -= delay * r * self.jitter_permille as u64 / 1_000_000;
+        }
+        self.delayed += 1;
+        self.fseq += 1;
+        self.future.insert((self.now + delay, self.fseq), pkt);
         true
+    }
+
+    /// Advance the fabric clock and mature delayed frames whose
+    /// delivery cycle has arrived, in (deliver-at, send-order) order.
+    /// The cluster step loop calls this with the max node clock before
+    /// draining deliveries.
+    pub fn set_now(&mut self, now: u64) {
+        if now > self.now {
+            self.now = now;
+        }
+        if self.future.is_empty() {
+            return;
+        }
+        let later = self.future.split_off(&(self.now + 1, 0));
+        let due = std::mem::replace(&mut self.future, later);
+        for (_, pkt) in due {
+            self.queues[pkt.dst].push_back(pkt);
+        }
+    }
+
+    /// Charge `extra` cycles to every frame sent from or to `node`.
+    pub fn set_node_extra(&mut self, node: usize, extra: u64) {
+        if node < self.nodes() {
+            self.node_extra[node] = extra;
+        }
+    }
+
+    /// Extra delivery cycles currently charged to `node`.
+    pub fn node_extra(&self, node: usize) -> u64 {
+        self.node_extra.get(node).copied().unwrap_or(0)
+    }
+
+    /// Charge `extra` cycles to frames crossing between the listed
+    /// delay groups (nodes not listed stay in group 0 and also pay when
+    /// talking to a listed group). Unlike a partition, a delayed link
+    /// still carries every frame — just late.
+    pub fn set_link_delay(&mut self, groups: &[Vec<usize>], extra: u64) {
+        let n = self.nodes();
+        self.delay_group_of.iter_mut().for_each(|g| *g = 0);
+        for (i, group) in groups.iter().enumerate() {
+            for &node in group {
+                if node < n {
+                    self.delay_group_of[node] = i as u32 + 1;
+                }
+            }
+        }
+        self.link_extra = extra;
+    }
+
+    /// Remove every delay: per-node penalties, link delays, and jitter.
+    /// Frames already held in the future queue keep their deadlines.
+    pub fn clear_delays(&mut self) {
+        self.node_extra.iter_mut().for_each(|e| *e = 0);
+        self.delay_group_of.iter_mut().for_each(|g| *g = 0);
+        self.link_extra = 0;
+        self.jitter_permille = 0;
+    }
+
+    /// Arm bounded delivery jitter on delayed frames, drawn from a
+    /// dedicated splitmix stream seeded here.
+    pub fn set_delay_jitter(&mut self, permille: u32, seed: u64) {
+        self.jitter_permille = permille.min(1_000);
+        self.jitter_rng = seed;
+    }
+
+    /// Frames that took the delay path so far.
+    pub fn frames_delayed(&self) -> u64 {
+        self.delayed
     }
 
     /// Take the next packet destined for `node`, if any.
@@ -106,7 +237,7 @@ impl Fabric {
     /// cluster-wide quiescence check: zero means no frame is still in
     /// flight anywhere.
     pub fn total_pending(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.queues.iter().map(|q| q.len()).sum::<usize>() + self.future.len()
     }
 
     /// Link statistics for `node`.
@@ -120,6 +251,7 @@ impl Fabric {
     pub fn fail_node(&mut self, node: usize) {
         self.failed[node] = true;
         self.queues[node].clear();
+        self.future.retain(|_, p| p.src != node && p.dst != node);
     }
 
     /// Whether `node` is failed.
@@ -158,6 +290,17 @@ impl Fabric {
                 .collect();
             self.queues[dst] = keep;
         }
+        // Delayed frames are just as in-flight as queued ones: the cut
+        // severs them too.
+        let group_of = &self.group_of;
+        let blocked = &mut self.blocked;
+        self.future.retain(|_, p| {
+            let cut = group_of[p.src] != group_of[p.dst];
+            if cut {
+                *blocked += 1;
+            }
+            !cut
+        });
     }
 
     /// Dissolve all partitions (failed nodes stay failed).
@@ -261,6 +404,110 @@ mod tests {
         assert!(f.send(pkt(0, 1, b"c")));
         // Cross-partition sends don't count toward link stats.
         assert_eq!(f.stats(2).tx_packets, 0);
+    }
+
+    #[test]
+    fn delayed_frame_matures_at_its_cycle() {
+        let mut f = Fabric::new(2);
+        f.set_now(1_000);
+        f.set_node_extra(1, 500);
+        assert!(f.send(pkt(0, 1, b"slow")));
+        assert_eq!(f.pending(1), 0, "held in the future queue");
+        assert_eq!(f.total_pending(), 1, "but still counts as in flight");
+        f.set_now(1_499);
+        assert_eq!(f.pending(1), 0);
+        f.set_now(1_500);
+        assert_eq!(f.recv(1).unwrap().data, b"slow");
+        assert_eq!(f.frames_delayed(), 1);
+    }
+
+    #[test]
+    fn delays_reorder_across_sources() {
+        let mut f = Fabric::new(3);
+        f.set_node_extra(0, 800);
+        assert!(f.send(pkt(0, 2, b"early-but-slow")));
+        assert!(f.send(pkt(1, 2, b"late-but-fast")));
+        f.set_now(800);
+        assert_eq!(f.recv(2).unwrap().data, b"late-but-fast");
+        assert_eq!(f.recv(2).unwrap().data, b"early-but-slow");
+    }
+
+    #[test]
+    fn link_delay_charges_cross_group_only() {
+        let mut f = Fabric::new(3);
+        f.set_link_delay(&[vec![0, 1]], 300);
+        assert!(f.send(pkt(0, 1, b"same-group")));
+        assert_eq!(f.recv(1).unwrap().data, b"same-group");
+        assert!(f.send(pkt(0, 2, b"cross")));
+        assert_eq!(f.pending(2), 0, "cross-group frame is delayed");
+        f.set_now(300);
+        assert_eq!(f.recv(2).unwrap().data, b"cross");
+        f.clear_delays();
+        assert!(f.send(pkt(0, 2, b"after-clear")));
+        assert_eq!(f.recv(2).unwrap().data, b"after-clear");
+    }
+
+    #[test]
+    fn partition_severs_delayed_frames() {
+        let mut f = Fabric::new(2);
+        f.set_node_extra(1, 1_000);
+        assert!(f.send(pkt(0, 1, b"doomed")));
+        f.set_partition(&[vec![0], vec![1]]);
+        assert_eq!(f.total_pending(), 0, "the cut severed the delayed frame");
+        assert_eq!(f.frames_blocked(), 1);
+        f.set_now(2_000);
+        assert_eq!(f.recv(1), None);
+    }
+
+    #[test]
+    fn fail_node_purges_delayed_frames() {
+        let mut f = Fabric::new(3);
+        f.set_node_extra(1, 1_000);
+        assert!(f.send(pkt(0, 1, b"to-dead")));
+        assert!(f.send(pkt(1, 2, b"from-dead")));
+        f.fail_node(1);
+        assert_eq!(f.total_pending(), 0);
+        f.set_now(2_000);
+        assert_eq!(f.recv(1), None);
+        assert_eq!(f.recv(2), None);
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic_and_bounded() {
+        let run = |seed: u64| {
+            let mut f = Fabric::new(2);
+            f.set_node_extra(1, 1_000);
+            f.set_delay_jitter(500, seed);
+            let mut arrivals = Vec::new();
+            for i in 0..8u8 {
+                assert!(f.send(pkt(0, 1, &[i])));
+            }
+            for t in 0..=1_000u64 {
+                f.set_now(t);
+                while let Some(p) = f.recv(1) {
+                    arrivals.push((t, p.data[0]));
+                }
+            }
+            arrivals
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed replays byte-identically");
+        assert_ne!(a, run(43), "a different seed must diverge");
+        for &(t, _) in &a {
+            assert!((500..=1_000).contains(&t), "jitter only shaves downward");
+        }
+    }
+
+    #[test]
+    fn unconfigured_fabric_never_delays() {
+        let mut f = Fabric::new(2);
+        // Jitter armed but no delay configured: the stream must not be
+        // consumed and delivery stays instant (the inertness contract).
+        f.set_delay_jitter(999, 7);
+        assert!(f.send(pkt(0, 1, b"x")));
+        assert_eq!(f.recv(1).unwrap().data, b"x");
+        assert_eq!(f.frames_delayed(), 0);
+        assert_eq!(f.jitter_rng, 7, "jitter stream untouched on the fast path");
     }
 
     #[test]

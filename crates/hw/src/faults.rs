@@ -86,6 +86,36 @@ pub enum FabricEvent {
     /// Halt a whole node: its MPM stops executing and the fabric drops
     /// its traffic permanently.
     NodeDown(usize),
+    /// Charge extra delivery cycles to frames crossing between the
+    /// listed delay groups. Unlike a partition, every frame is still
+    /// carried — just late (and possibly reordered against faster
+    /// paths).
+    DelayLink {
+        /// The delay groups; unlisted nodes form group 0.
+        groups: Vec<Vec<usize>>,
+        /// Extra cycles per crossing frame.
+        extra: u64,
+    },
+    /// Turn a node into a straggler: every frame it sends or receives
+    /// pays this many extra cycles (a service-time multiplier resolved
+    /// against [`FaultPlan::straggler_base`] by the builder).
+    SlowNode {
+        /// The straggler.
+        node: usize,
+        /// Extra cycles per frame touching it.
+        extra: u64,
+    },
+    /// Remove every delay: link delays, per-node penalties, jitter.
+    /// Frames already in flight keep their delivery deadlines.
+    ClearDelays,
+    /// Arm bounded downward jitter (permille of each frame's delay)
+    /// on the fabric's dedicated seeded stream.
+    DelayJitter {
+        /// Fraction of the delay the jitter may shave off, permille.
+        permille: u32,
+        /// Seed for the fabric-local jitter stream.
+        seed: u64,
+    },
 }
 
 /// A fabric event armed at a trigger cycle.
@@ -148,6 +178,10 @@ pub struct FaultPlan {
     device_errors: Vec<(u64, bool)>,
     /// Fabric topology schedule (partitions, heals, node downs).
     fabric: Vec<ScheduledFabricEvent>,
+    /// Cycles one "service-time unit" of straggler delay costs; the
+    /// [`FaultPlan::slow_node`] builder multiplies this by the node's
+    /// multiplier-minus-one to get its per-frame penalty.
+    pub straggler_base: u64,
     /// What the plan has injected so far.
     pub stats: FaultStats,
 }
@@ -163,6 +197,7 @@ impl FaultPlan {
             kills: Vec::new(),
             device_errors: Vec::new(),
             fabric: Vec::new(),
+            straggler_base: 2_500,
             stats: FaultStats::default(),
         }
     }
@@ -176,6 +211,15 @@ impl FaultPlan {
     /// Set the per-mille fabric frame duplication probability.
     pub fn with_frame_dup(mut self, permille: u32) -> Self {
         self.frame_dup_permille = permille.min(1000);
+        self
+    }
+
+    /// Override the straggler service-time unit (cycles per 1× of a
+    /// [`FaultPlan::slow_node`] multiplier; default 2_500). Call it
+    /// before `slow_node` — the per-frame penalty is computed when the
+    /// event is scheduled.
+    pub fn with_straggler_base(mut self, cycles: u64) -> Self {
+        self.straggler_base = cycles;
         self
     }
 
@@ -240,6 +284,71 @@ impl FaultPlan {
         self.fabric.push(ScheduledFabricEvent {
             at,
             event: FabricEvent::NodeDown(node),
+            fired: false,
+        });
+        self
+    }
+
+    /// Schedule a link delay at the first cluster step at or after
+    /// cycle `at`: frames crossing between the listed delay groups pay
+    /// `extra_cycles` each. The link still carries everything — this is
+    /// a gray failure, not a cut.
+    pub fn delay_link(mut self, at: u64, groups: &[&[usize]], extra_cycles: u64) -> Self {
+        self.fabric.push(ScheduledFabricEvent {
+            at,
+            event: FabricEvent::DelayLink {
+                groups: groups.iter().map(|g| g.to_vec()).collect(),
+                extra: extra_cycles,
+            },
+            fired: false,
+        });
+        self
+    }
+
+    /// Schedule node `node` to become a straggler at the first cluster
+    /// step at or after `at`: every frame touching it pays
+    /// `straggler_base × (mult_permille − 1000) / 1000` extra cycles.
+    /// A multiplier of 1000 (1×) or below restores full speed.
+    pub fn slow_node(mut self, at: u64, node: usize, mult_permille: u64) -> Self {
+        let extra = self.straggler_base * mult_permille.saturating_sub(1_000) / 1_000;
+        self.fabric.push(ScheduledFabricEvent {
+            at,
+            event: FabricEvent::SlowNode { node, extra },
+            fired: false,
+        });
+        self
+    }
+
+    /// Schedule a straggler's recovery: from `at`, frames touching
+    /// `node` are full speed again.
+    pub fn recover_node(mut self, at: u64, node: usize) -> Self {
+        self.fabric.push(ScheduledFabricEvent {
+            at,
+            event: FabricEvent::SlowNode { node, extra: 0 },
+            fired: false,
+        });
+        self
+    }
+
+    /// Schedule the removal of every delay (link, per-node, jitter) at
+    /// the first cluster step at or after `at`.
+    pub fn clear_delays(mut self, at: u64) -> Self {
+        self.fabric.push(ScheduledFabricEvent {
+            at,
+            event: FabricEvent::ClearDelays,
+            fired: false,
+        });
+        self
+    }
+
+    /// Arm bounded downward delivery jitter on delayed frames from
+    /// cycle `at`, on a stream derived from the plan seed (so replay
+    /// holds without touching the frame-fate stream).
+    pub fn delay_jitter(mut self, at: u64, permille: u32) -> Self {
+        let seed = self.seed ^ 0x6a77_7e5f_0f5e_ed01;
+        self.fabric.push(ScheduledFabricEvent {
+            at,
+            event: FabricEvent::DelayJitter { permille, seed },
             fired: false,
         });
         self
@@ -447,6 +556,59 @@ mod tests {
         assert_eq!(p.due_fabric_events(900), vec![FabricEvent::Heal]);
         assert!(!p.fabric_events_pending());
         assert_eq!(p.stats.fabric_events, 3);
+    }
+
+    #[test]
+    fn delay_schedule_builders_resolve_and_fire() {
+        let mut p = FaultPlan::new(9)
+            .slow_node(100, 3, 8_000) // 8× → 2_500 × 7 = 17_500 extra
+            .delay_link(200, &[&[0, 1], &[2, 3]], 4_000)
+            .recover_node(300, 3)
+            .clear_delays(400);
+        assert_eq!(
+            p.due_fabric_events(100),
+            vec![FabricEvent::SlowNode {
+                node: 3,
+                extra: 17_500
+            }]
+        );
+        assert_eq!(
+            p.due_fabric_events(250),
+            vec![FabricEvent::DelayLink {
+                groups: vec![vec![0, 1], vec![2, 3]],
+                extra: 4_000
+            }]
+        );
+        assert_eq!(
+            p.due_fabric_events(300),
+            vec![FabricEvent::SlowNode { node: 3, extra: 0 }]
+        );
+        assert_eq!(p.due_fabric_events(400), vec![FabricEvent::ClearDelays]);
+        assert!(!p.fabric_events_pending());
+        assert_eq!(p.stats.fabric_events, 4);
+    }
+
+    #[test]
+    fn delay_jitter_seed_derives_from_plan_seed() {
+        let mut a = FaultPlan::new(5).delay_jitter(0, 300);
+        let mut b = FaultPlan::new(5).delay_jitter(0, 300);
+        assert_eq!(a.due_fabric_events(0), b.due_fabric_events(0));
+        let mut c = FaultPlan::new(6).delay_jitter(0, 300);
+        assert_ne!(a.fabric[0].event, c.due_fabric_events(0)[0]);
+    }
+
+    #[test]
+    fn slow_node_multiplier_floor_is_full_speed() {
+        let mut p = FaultPlan::new(0)
+            .slow_node(0, 1, 1_000)
+            .slow_node(0, 2, 500);
+        let evs = p.due_fabric_events(0);
+        for ev in evs {
+            match ev {
+                FabricEvent::SlowNode { extra, .. } => assert_eq!(extra, 0),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub struct LinkCounters {
     pub dup_dropped: u64,
     /// Sends abandoned after the attempt cap.
     pub gave_up: u64,
+    /// Fresh data frames that arrived behind a higher sequence already
+    /// seen — out-of-order delivery (possible once delay schedules can
+    /// reorder the fabric), delivered normally and counted here.
+    pub frames_reordered: u64,
 }
 
 /// What [`ReliableLink::on_frame`] decoded from an incoming frame.
@@ -65,7 +69,13 @@ struct Pending {
     frame: Vec<u8>,
     next_retry: u64,
     attempts: u32,
+    /// Tick of the first transmission, for RTT sampling (Karn's rule:
+    /// only never-retransmitted frames sample).
+    sent_at: u64,
 }
+
+/// Fixed-point scale of the per-destination RTT EWMA.
+const RTT_SCALE: u64 = 8;
 
 /// Per-source receive state: highest sequence seen and the set of seen
 /// sequence numbers within the window below it.
@@ -88,6 +98,16 @@ pub struct ReliableLink {
     next_seq: HashMap<usize, u32>,
     pending: Vec<Pending>,
     recv: HashMap<usize, RecvState>,
+    /// Smoothed per-destination ack RTT in ticks (fixed-point
+    /// ×[`RTT_SCALE`]), sampled from first-transmission acks only.
+    srtt: HashMap<usize, u64>,
+    /// Persistent per-destination backoff level: raised each time a
+    /// frame toward the destination retransmits, decayed by clean
+    /// first-transmission acks. This is what lets the timer *learn* a
+    /// slow path — under Karn's rule a retransmitted frame never
+    /// samples, so without persistence a path slower than the fixed
+    /// timeout would retransmit every frame forever.
+    rto_level: HashMap<usize, u32>,
     /// Cumulative counters.
     pub counters: LinkCounters,
 }
@@ -102,6 +122,8 @@ impl Default for ReliableLink {
             next_seq: HashMap::new(),
             pending: Vec::new(),
             recv: HashMap::new(),
+            srtt: HashMap::new(),
+            rto_level: HashMap::new(),
             counters: LinkCounters::default(),
         }
     }
@@ -131,15 +153,38 @@ impl ReliableLink {
         *seq += 1;
         let seq = *seq;
         let f = frame(KIND_DATA, seq, payload);
+        let timeout = self.rto_base(dst);
         self.pending.push(Pending {
             dst,
             seq,
             frame: f.clone(),
-            next_retry: self.now + self.base_timeout,
+            next_retry: self.now + timeout,
             attempts: 1,
+            sent_at: self.now,
         });
         self.counters.sent += 1;
         f
+    }
+
+    /// The adaptive first-retransmit timeout toward `dst`: the fixed
+    /// `base_timeout` is a floor; twice the smoothed RTT and the
+    /// persistent backoff level raise it when the path is observed
+    /// slow, capped at the same ceiling the fixed backoff had. A
+    /// destination with no history (or a healthy one, RTT within half
+    /// the base) gets exactly the legacy timeout — the adaptivity is
+    /// byte-inert until slowness is measured.
+    fn rto_base(&self, dst: usize) -> u64 {
+        let cap = self.base_timeout << self.max_backoff;
+        let srtt = self.srtt.get(&dst).copied().unwrap_or(0) / RTT_SCALE;
+        let level = self.rto_level.get(&dst).copied().unwrap_or(0);
+        (self.base_timeout << level.min(self.max_backoff))
+            .max((2 * srtt).min(cap))
+            .min(cap)
+    }
+
+    /// Smoothed ack RTT toward `dst` in ticks (0 = no estimate yet).
+    pub fn srtt_estimate(&self, dst: usize) -> u64 {
+        self.srtt.get(&dst).copied().unwrap_or(0) / RTT_SCALE
     }
 
     /// Process an incoming frame from `src`. Raw (non-magic) frames pass
@@ -165,6 +210,12 @@ impl ReliableLink {
                     self.counters.dup_dropped += 1;
                     return Inbound { payload: None, ack };
                 }
+                if st.highest != 0 && seq < st.highest {
+                    // Fresh but behind the stream head: the fabric
+                    // reordered it (a delayed copy overtaken by later
+                    // sends). Delivered normally, counted for audit.
+                    self.counters.frames_reordered += 1;
+                }
                 st.seen.insert(seq);
                 if seq > st.highest {
                     st.highest = seq;
@@ -177,10 +228,29 @@ impl ReliableLink {
                 }
             }
             KIND_ACK => {
-                let before = self.pending.len();
-                self.pending.retain(|p| !(p.dst == src && p.seq == seq));
-                if self.pending.len() < before {
+                if let Some(pos) = self
+                    .pending
+                    .iter()
+                    .position(|p| p.dst == src && p.seq == seq)
+                {
+                    let p = self.pending.remove(pos);
                     self.counters.acked += 1;
+                    if p.attempts == 1 {
+                        // Karn's rule: only a never-retransmitted frame
+                        // gives an unambiguous RTT sample.
+                        let rtt = self.now.saturating_sub(p.sent_at);
+                        let e = self.srtt.entry(src).or_insert(0);
+                        *e = if *e == 0 {
+                            rtt * RTT_SCALE
+                        } else {
+                            (*e * 7 + rtt * RTT_SCALE) / 8
+                        };
+                        // A clean first-transmission ack walks the
+                        // persistent backoff back toward the baseline.
+                        if let Some(l) = self.rto_level.get_mut(&src) {
+                            *l = l.saturating_sub(1);
+                        }
+                    }
                 }
                 Inbound::default()
             }
@@ -197,6 +267,8 @@ impl ReliableLink {
         let mut out = Vec::new();
         let (base, cap, max_attempts) = (self.base_timeout, self.max_backoff, self.max_attempts);
         let counters = &mut self.counters;
+        let srtt = &self.srtt;
+        let rto_level = &mut self.rto_level;
         self.pending.retain_mut(|p| {
             if now < p.next_retry {
                 return true;
@@ -206,7 +278,19 @@ impl ReliableLink {
                 return false;
             }
             counters.retries += 1;
-            let backoff = base << p.attempts.min(cap);
+            // A retransmission is evidence the destination's timeout is
+            // too short: raise its persistent level so *subsequent*
+            // frames start patient (Karn's rule forbids retransmitted
+            // frames from sampling RTT, so without this the link could
+            // never learn a path slower than the fixed timeout).
+            let level = rto_level.entry(p.dst).or_insert(0);
+            *level = (*level + 1).min(cap);
+            let ceiling = base << cap;
+            let dst_floor = {
+                let s = srtt.get(&p.dst).copied().unwrap_or(0) / RTT_SCALE;
+                (2 * s).min(ceiling)
+            };
+            let backoff = (base << p.attempts.min(cap)).max(dst_floor).min(ceiling);
             p.attempts += 1;
             p.next_retry = now + backoff;
             out.push((p.dst, p.frame.clone()));
@@ -228,6 +312,18 @@ impl ReliableLink {
         let before = self.pending.len();
         self.pending.retain(|p| p.dst != dst);
         self.counters.gave_up += (before - self.pending.len()) as u64;
+    }
+
+    /// Discard the learned timeout state toward `dst`. Retransmissions
+    /// into a partition or a dead peer saturate the persistent backoff
+    /// level — that level measures the *outage*, not the path — so when
+    /// membership reports the peer back, the caller resets it here and
+    /// the first lost frame after the heal retries at `base_timeout`
+    /// instead of the backoff ceiling. The RTT estimate is dropped too:
+    /// the peer may have restarted on different hardware.
+    pub fn reset_dst_timing(&mut self, dst: usize) {
+        self.srtt.remove(&dst);
+        self.rto_level.remove(&dst);
     }
 }
 
@@ -327,8 +423,136 @@ mod tests {
         // f2 arrives first (reordering), then f1.
         assert!(b.on_frame(0, &f2).payload.is_some());
         assert!(b.on_frame(0, &f1).payload.is_some());
+        assert_eq!(b.counters.frames_reordered, 1, "the late f1 is counted");
         // Replays of both are duplicates now.
         assert!(b.on_frame(0, &f1).payload.is_none());
         assert!(b.on_frame(0, &f2).payload.is_none());
+        assert_eq!(b.counters.dup_dropped, 2);
+        assert_eq!(
+            b.counters.frames_reordered, 1,
+            "duplicates never count as reorders"
+        );
+    }
+
+    /// The satellite pin: a path whose acks consistently arrive *after*
+    /// the fixed timeout must not retransmit every frame forever. The
+    /// persistent backoff level plus the RTT EWMA teach the timer the
+    /// path's real latency, so the retransmit storm dies out and steady
+    /// state sends each frame exactly once.
+    #[test]
+    fn delayed_then_delivered_frames_never_storm() {
+        const DELAY: u64 = 10; // ticks from send to ack, every frame
+        let mut a = ReliableLink::new();
+        let mut b = ReliableLink::new();
+        let mut per_round = Vec::new();
+        let mut t = 0u64;
+        for round in 0..12u32 {
+            let f = a.send(1, &round.to_le_bytes());
+            let ack_at = t + DELAY;
+            let mut acks = vec![(ack_at, f)];
+            let retries_before = a.counters.retries;
+            while t < ack_at + 1 {
+                t += 1;
+                for (_, retry) in a.tick() {
+                    // Retransmitted copies also reach the receiver and
+                    // come back acked after the same delay.
+                    acks.push((t + DELAY, retry));
+                }
+                acks.retain(|(when, data)| {
+                    if *when > t {
+                        return true;
+                    }
+                    if let Some(ack) = b.on_frame(0, data).ack {
+                        a.on_frame(1, &ack);
+                    }
+                    false
+                });
+            }
+            assert_eq!(a.in_flight(), 0, "round {round} never acked");
+            per_round.push(a.counters.retries - retries_before);
+        }
+        assert!(
+            per_round[..3].iter().sum::<u64>() > 0,
+            "the fixed timeout must start too eager: {per_round:?}"
+        );
+        assert_eq!(
+            per_round[6..],
+            [0, 0, 0, 0, 0, 0],
+            "the adaptive timer must kill the storm: {per_round:?}"
+        );
+        assert!(a.srtt_estimate(1) >= DELAY - 2, "the EWMA learned the path");
+        assert_eq!(a.counters.gave_up, 0, "nothing was abandoned");
+    }
+
+    /// Adaptivity is byte-inert on a healthy path: acks within half the
+    /// base timeout leave the retransmit schedule exactly at the fixed
+    /// defaults.
+    #[test]
+    fn healthy_path_keeps_legacy_timeouts() {
+        let mut a = ReliableLink::new();
+        let mut b = ReliableLink::new();
+        // Warm the EWMA with instant acks.
+        for i in 0..8u32 {
+            let f = a.send(1, &i.to_le_bytes());
+            let ack = b.on_frame(0, &f).ack.unwrap();
+            a.on_frame(1, &ack);
+            a.tick();
+        }
+        assert_eq!(a.srtt_estimate(1), 0);
+        // A frame that then goes unanswered retransmits on the legacy
+        // schedule: first retry base_timeout ticks after the send.
+        let _lost = a.send(1, b"lost");
+        let mut first_retry = None;
+        for t in 1..=8u64 {
+            if !a.tick().is_empty() {
+                first_retry = Some(t);
+                break;
+            }
+        }
+        assert_eq!(first_retry, Some(2), "legacy base timeout preserved");
+    }
+
+    /// An outage saturates the persistent backoff level — every frame
+    /// toward the cut peer retransmits with no ack ever walking the
+    /// level back. `reset_dst_timing` (membership's `NodeRejoined`
+    /// hook) must return the first post-heal loss to the base timeout;
+    /// without it the retry would wait at the backoff ceiling.
+    #[test]
+    fn rejoin_reset_returns_outage_backoff_to_baseline() {
+        let mut a = ReliableLink::new();
+        // Cut: frames toward node 1 vanish; run past the attempt cap so
+        // the persistent level saturates.
+        a.send(1, b"into the void");
+        for _ in 0..600 {
+            a.tick();
+            a.send(1, b"ad");
+        }
+        a.forget_dst(1);
+        // Heal without the reset: a lost frame waits at the ceiling.
+        let _lost = a.send(1, b"post-heal");
+        let mut first_retry = None;
+        for t in 1..=200u64 {
+            if !a.tick().is_empty() {
+                first_retry = Some(t);
+                break;
+            }
+        }
+        assert_eq!(
+            first_retry,
+            Some(a.base_timeout << a.max_backoff),
+            "saturated level holds the pre-reset retry at the ceiling"
+        );
+        a.forget_dst(1);
+        // Heal with the reset: back to the legacy schedule.
+        a.reset_dst_timing(1);
+        let _lost = a.send(1, b"post-heal, reset");
+        let mut first_retry = None;
+        for t in 1..=8u64 {
+            if !a.tick().is_empty() {
+                first_retry = Some(t);
+                break;
+            }
+        }
+        assert_eq!(first_retry, Some(2), "reset returns to the base timeout");
     }
 }

@@ -159,6 +159,7 @@ impl Peers {
         let c = self.link.counters;
         env.ck.stats.rpc_retries += c.retries - self.reported.retries;
         env.ck.stats.rpc_duplicates_dropped += c.dup_dropped - self.reported.dup_dropped;
+        env.ck.stats.frames_reordered += c.frames_reordered - self.reported.frames_reordered;
         self.reported = c;
     }
 
@@ -258,6 +259,17 @@ impl Peers {
     pub fn forget_peer(&mut self, node: usize) {
         self.table.retain(|p| p.node != node);
         self.link.forget_dst(node);
+    }
+
+    /// A dead or partitioned peer came back (membership emitted
+    /// `NodeRejoined`): drop the backoff level and RTT estimate the link
+    /// accumulated retransmitting into the outage, so post-heal losses
+    /// retry at the base timeout instead of the ceiling. Ads keep
+    /// flowing to every configured node through an outage, so this
+    /// cannot happen at `forget_peer` time — the level would simply
+    /// re-saturate before the heal.
+    pub fn revive_peer(&mut self, node: usize) {
+        self.link.reset_dst_timing(node);
     }
 }
 

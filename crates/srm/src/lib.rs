@@ -454,17 +454,26 @@ impl Srm {
         if self.membership.degraded {
             return env.node;
         }
-        self.peers.least_loaded(env.node, my_ready)
+        let chosen = self.peers.least_loaded(env.node, my_ready);
+        // Suspect-slow steering: a peer that is answering late keeps its
+        // membership but gets no new work until it clears.
+        if chosen != env.node && self.membership.slow(chosen) {
+            return env.node;
+        }
+        chosen
     }
 
     /// Drain membership transitions: emit each through the pipeline
     /// choke point (fanned out to every kernel next pump) and apply the
     /// SRM-local reactions — dead peers are dropped from the peer table
-    /// and their queued retransmissions abandoned.
+    /// and their queued retransmissions abandoned; a returning peer gets
+    /// its outage-saturated link backoff reset.
     fn pump_membership_events(&mut self, env: &mut Env) {
         for ev in self.membership.take_events() {
-            if let ClusterEvent::NodeDown { node, .. } = ev {
-                self.peers.forget_peer(node);
+            match ev {
+                ClusterEvent::NodeDown { node, .. } => self.peers.forget_peer(node),
+                ClusterEvent::NodeRejoined { node, .. } => self.peers.revive_peer(node),
+                _ => {}
             }
             env.ck.emit(KernelEvent::Cluster(ev));
         }

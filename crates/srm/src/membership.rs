@@ -44,14 +44,34 @@ pub struct Membership {
     /// Advertisements go out every 4 ticks; the default of 12 tolerates
     /// two lost ads and one retransmission round.
     pub suspicion_ticks: u64,
+    /// Delivered ticks of silence before a peer is suspected *slow* —
+    /// the reversible advisory level below suspect-dead: load steers
+    /// away, no epoch is minted, and the next advertisement clears it.
+    /// The default of 8 sits safely above the 4-tick ad cadence so a
+    /// healthy cluster never trips it.
+    pub slow_ticks: u64,
+    /// Adapt both suspicion thresholds to each peer's observed inter-ad
+    /// gap EWMA: slow fires at `max(slow_ticks, 2×gap)`, dead at
+    /// `max(suspicion_ticks, 3×gap)`. The fixed knobs are floors, so a
+    /// healthy peer (gap ≈ ad cadence) is detected in exactly the same
+    /// tick budget as before — only *observed* slowness raises the bar.
+    pub adaptive: bool,
     /// Whether this node degraded to standalone scheduling (minority
     /// side of a partition): peer table frozen, placement local.
     pub degraded: bool,
     alive: Vec<bool>,
+    /// Peers currently in the suspect-slow state.
+    slow: Vec<bool>,
     last_heard: Vec<u64>,
+    /// Fixed-point (×[`EWMA_SCALE`]) EWMA of each peer's inter-ad gap in
+    /// delivered ticks; 0 = no estimate yet.
+    gap_ewma: Vec<u64>,
     ticks: u64,
     events: Vec<ClusterEvent>,
 }
+
+/// Fixed-point scale of the per-peer gap EWMA.
+const EWMA_SCALE: u64 = 8;
 
 impl Membership {
     /// An inert (standalone) membership instance; call [`join`] to arm.
@@ -61,6 +81,8 @@ impl Membership {
         Membership {
             epoch: 1,
             suspicion_ticks: 12,
+            slow_ticks: 8,
+            adaptive: true,
             ..Membership::default()
         }
     }
@@ -71,7 +93,9 @@ impl Membership {
         self.node = node;
         self.cluster_nodes = cluster_nodes;
         self.alive = vec![true; cluster_nodes];
+        self.slow = vec![false; cluster_nodes];
         self.last_heard = vec![self.ticks; cluster_nodes];
+        self.gap_ewma = vec![0; cluster_nodes];
         self.degraded = false;
     }
 
@@ -83,6 +107,17 @@ impl Membership {
     /// Whether `node` is currently believed alive.
     pub fn alive(&self, node: usize) -> bool {
         self.alive.get(node).copied().unwrap_or(false)
+    }
+
+    /// Whether `node` is currently suspected slow (alive, but late).
+    pub fn slow(&self, node: usize) -> bool {
+        self.slow.get(node).copied().unwrap_or(false)
+    }
+
+    /// This peer's observed inter-ad gap EWMA in delivered ticks
+    /// (rounded down; 0 = no estimate yet).
+    pub fn gap_estimate(&self, node: usize) -> u64 {
+        self.gap_ewma.get(node).copied().unwrap_or(0) / EWMA_SCALE
     }
 
     /// Nodes currently believed alive (self included).
@@ -119,7 +154,28 @@ impl Membership {
         if !self.active() || peer >= self.cluster_nodes || peer == self.node {
             return;
         }
+        // Sample the inter-ad gap while the peer is believed alive (a
+        // rejoin gap says nothing about its serving cadence) — this is
+        // the RTT-EWMA the adaptive suspicion thresholds scale from.
+        let gap = self.ticks.saturating_sub(self.last_heard[peer]);
+        if self.alive[peer] && gap > 0 {
+            let e = &mut self.gap_ewma[peer];
+            *e = if *e == 0 {
+                gap * EWMA_SCALE
+            } else {
+                (*e * 7 + gap * EWMA_SCALE) / 8
+            };
+        }
         self.last_heard[peer] = self.ticks;
+        if self.slow[peer] {
+            // The straggler answered: clear suspect-slow on the spot so
+            // consumers reintegrate it. No epoch was ever minted for it.
+            self.slow[peer] = false;
+            self.events.push(ClusterEvent::NodeSlow {
+                node: peer,
+                slow: false,
+            });
+        }
         if peer_epoch > self.epoch {
             self.epoch = peer_epoch;
             self.events.push(ClusterEvent::EpochChanged {
@@ -165,8 +221,31 @@ impl Membership {
             if peer == self.node || !self.alive[peer] {
                 continue;
             }
-            if self.ticks.saturating_sub(self.last_heard[peer]) > self.suspicion_ticks {
+            let silence = self.ticks.saturating_sub(self.last_heard[peer]);
+            // Adaptive thresholds scale with the peer's observed inter-ad
+            // gap, floored at the fixed knobs: a healthy peer keeps the
+            // legacy dead budget exactly, while a peer *observed* slow
+            // earns headroom before either level fires.
+            let gap = self.gap_ewma[peer] / EWMA_SCALE;
+            let (slow_at, dead_at) = if self.adaptive {
+                (
+                    self.slow_ticks.max(2 * gap),
+                    self.suspicion_ticks.max(3 * gap),
+                )
+            } else {
+                (self.slow_ticks, self.suspicion_ticks)
+            };
+            if silence > dead_at {
                 suspects.push(peer);
+            } else if silence > slow_at && !self.slow[peer] {
+                // Level one: answering-but-late. Advisory only — load
+                // steers away, nothing is re-homed, no epoch is minted,
+                // and the next advertisement clears it.
+                self.slow[peer] = true;
+                self.events.push(ClusterEvent::NodeSlow {
+                    node: peer,
+                    slow: true,
+                });
             }
         }
         if suspects.is_empty() {
@@ -174,6 +253,8 @@ impl Membership {
         }
         for &peer in &suspects {
             self.alive[peer] = false;
+            // Dead supersedes slow; the NodeDown below carries the news.
+            self.slow[peer] = false;
         }
         if self.majority() {
             self.epoch += 1;
@@ -243,6 +324,12 @@ mod tests {
         assert_eq!(
             evs,
             vec![
+                // Level one fired first: the silent peer crossed the
+                // suspect-slow line before the dead line.
+                ClusterEvent::NodeSlow {
+                    node: 2,
+                    slow: true
+                },
                 ClusterEvent::EpochChanged {
                     epoch: 2,
                     adopted_from: None
@@ -265,8 +352,12 @@ mod tests {
         assert!(m.degraded);
         assert_eq!(m.epoch, 1, "minority never bumps");
         let evs = m.take_events();
-        assert_eq!(evs.len(), 2);
-        assert!(evs.iter().all(|e| matches!(
+        let downs: Vec<_> = evs
+            .iter()
+            .filter(|e| matches!(e, ClusterEvent::NodeDown { .. }))
+            .collect();
+        assert_eq!(downs.len(), 2);
+        assert!(downs.iter().all(|e| matches!(
             e,
             ClusterEvent::NodeDown {
                 epoch: 1,
@@ -274,6 +365,12 @@ mod tests {
                 ..
             }
         )));
+        // Both peers passed through suspect-slow on the way down.
+        let slows = evs
+            .iter()
+            .filter(|e| matches!(e, ClusterEvent::NodeSlow { slow: true, .. }))
+            .count();
+        assert_eq!(slows, 2);
     }
 
     #[test]
@@ -358,6 +455,99 @@ mod tests {
             .take_events()
             .iter()
             .any(|e| matches!(e, ClusterEvent::NodeRejoined { node: 1, .. })));
+    }
+
+    #[test]
+    fn slow_fires_then_clears_without_minting_an_epoch() {
+        let mut m = Membership::new();
+        m.join(0, 3);
+        // Peer 1 keeps advertising; peer 2 goes quiet for 9 ticks —
+        // past the slow line (8), short of the dead line (12).
+        for _ in 0..9 {
+            m.on_tick();
+            m.heard(1, 1);
+        }
+        assert!(m.alive(2) && m.slow(2));
+        assert_eq!(m.epoch, 1, "suspect-slow never mints");
+        assert_eq!(
+            m.take_events(),
+            vec![ClusterEvent::NodeSlow {
+                node: 2,
+                slow: true
+            }]
+        );
+        // The straggler answers: the state clears on the spot, still
+        // with no epoch traffic and no rejoin (it was never dead).
+        m.heard(2, 1);
+        assert!(!m.slow(2));
+        assert_eq!(
+            m.take_events(),
+            vec![ClusterEvent::NodeSlow {
+                node: 2,
+                slow: false
+            }]
+        );
+        assert_eq!(m.epoch, 1);
+    }
+
+    #[test]
+    fn adaptive_threshold_tolerates_observed_slow_cadence() {
+        // A steady 10-tick cadence teaches the EWMA; afterwards 15
+        // silent ticks stay under 2× the observed gap — neither level
+        // fires where the fixed detector would have declared death.
+        let mut m = Membership::new();
+        m.join(0, 2);
+        for _ in 0..5 {
+            ticks(&mut m, 10);
+            m.heard(1, 1);
+        }
+        m.take_events();
+        assert!(m.gap_estimate(1) >= 9, "ewma {}", m.gap_estimate(1));
+        ticks(&mut m, 15);
+        assert!(m.alive(1) && !m.slow(1));
+        assert!(m.take_events().is_empty());
+
+        // The same schedule with adaptivity off false-kills the peer.
+        let mut f = Membership::new();
+        f.join(0, 2);
+        f.adaptive = false;
+        for _ in 0..5 {
+            ticks(&mut f, 10);
+            f.heard(1, 1);
+        }
+        f.take_events();
+        ticks(&mut f, 15);
+        assert!(
+            !f.alive(1),
+            "fixed thresholds false-kill a steady straggler"
+        );
+    }
+
+    #[test]
+    fn dead_detection_budget_unchanged_for_healthy_peers() {
+        // A peer advertising at the healthy 4-tick cadence keeps the
+        // EWMA at the cadence, so 3×gap equals the fixed 12-tick floor:
+        // a genuinely dead peer is detected on exactly the same tick as
+        // the pre-adaptive detector.
+        let mut m = Membership::new();
+        m.join(0, 3);
+        for _ in 0..5 {
+            ticks(&mut m, 4);
+            m.heard(1, 1);
+            m.heard(2, 1);
+        }
+        m.take_events();
+        let mut died_at = None;
+        for t in 1..=20u64 {
+            m.on_tick();
+            if t % 4 == 0 {
+                m.heard(1, 1);
+            }
+            if !m.alive(2) && died_at.is_none() {
+                died_at = Some(t);
+            }
+        }
+        assert_eq!(died_at, Some(13), "same tick budget as the fixed detector");
     }
 
     #[test]

@@ -396,6 +396,10 @@ impl AppKernel for DsmNodeKernel {
                 env.outbox.push(claims);
                 self.note(env, format!("node-rejoined peer={node} epoch={epoch}"));
             }
+            ClusterEvent::NodeSlow { .. } => {
+                // Advisory only: a straggler keeps its DSM lines and its
+                // membership — nothing here is re-homed or fenced.
+            }
             ClusterEvent::EpochChanged {
                 epoch,
                 adopted_from,

@@ -59,6 +59,9 @@ use std::collections::BTreeMap;
 /// Fabric channel for front-kernel request forwarding.
 pub const WEB_CHANNEL: u32 = 0xffff_0004;
 
+/// Fixed-point scale for the per-peer reply-time EWMA.
+const SRTT_SCALE: u64 = 8;
+
 /// Latency histogram buckets (log2 of cycles, saturating).
 pub const LAT_BUCKETS: usize = 40;
 
@@ -113,6 +116,20 @@ pub struct WebServingConfig {
     pub cache_pages: usize,
     /// Cycles charged for a front-cache miss (storage-tier fetch).
     pub miss_fetch: u64,
+    /// Hedge a forwarded request that has waited this many cycles by
+    /// duplicating it to a second node (0 = hedging off). Every hedge
+    /// spends the retry budget — a drained bucket denies the hedge and
+    /// the primary stays the only copy.
+    pub hedge_after: u64,
+    /// Adaptive hedge delay: when non-zero, the delay is
+    /// `max(hedge_after, srtt(primary) * permille / 1000)` so a
+    /// measured-fast path hedges at the floor and a measured-slow path
+    /// waits proportionally longer (0 = fixed `hedge_after`).
+    pub hedge_ewma_permille: u32,
+    /// Steer forwards away from suspect-slow owners to the
+    /// lowest-latency live peer, probing the owner every 16th request
+    /// so it reintegrates gracefully when it recovers.
+    pub steer: bool,
     /// Arrival-stream cycles generated per tick, at most — the
     /// feedback bound described in the module docs.
     pub gen_window: u64,
@@ -137,9 +154,60 @@ impl Default for WebServingConfig {
             budget: RetryBudget::default(),
             cache_pages: 64,
             miss_fetch: 1_500,
+            hedge_after: 0,
+            hedge_ewma_permille: 0,
+            steer: false,
             gen_window: 5_000,
             seed: 1,
         }
+    }
+}
+
+/// Storage tier behind the front cache: a miss charges
+/// `fetch(page)` cycles on top of the memory access. Pluggable so the
+/// flat synthetic fetch can be swapped for the database kernel's page
+/// I/O cost — an *endogenous* straggler whose slowness comes from the
+/// workload itself rather than an injected fault.
+pub trait FetchTier: Send {
+    /// Cycles one storage-tier fetch of `page` costs.
+    fn fetch(&mut self, page: u32) -> u64;
+    /// Tier name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Flat fetch cost — the default tier; behaves byte-identically to the
+/// pre-hook `miss_fetch` charge.
+pub struct FlatTier(pub u64);
+
+impl FetchTier for FlatTier {
+    fn fetch(&mut self, _page: u32) -> u64 {
+        self.0
+    }
+    fn name(&self) -> &str {
+        "flat"
+    }
+}
+
+/// Database-backed fetch: every miss pays the same 250k-cycle page I/O
+/// the DB kernel charges (`hw::clock` cost table), so a node serving
+/// cold keys becomes a straggler without any injected fault.
+pub struct PageIoTier {
+    /// Cycles per page I/O (the DB kernel's `page_io` cost).
+    pub page_io: u64,
+}
+
+impl Default for PageIoTier {
+    fn default() -> Self {
+        PageIoTier { page_io: 250_000 }
+    }
+}
+
+impl FetchTier for PageIoTier {
+    fn fetch(&mut self, _page: u32) -> u64 {
+        self.page_io
+    }
+    fn name(&self) -> &str {
+        "page-io"
     }
 }
 
@@ -177,6 +245,21 @@ pub struct WebStats {
     /// Requests abandoned because the owner is across a cut and this
     /// side holds no quorum (degraded minority).
     pub degraded_drops: u64,
+    /// Send attempts: every entry into admission (fresh or re-admitted
+    /// retry) plus every hedge duplicate. The spend ledger the tests
+    /// balance: `attempts - arrivals == budget.spent - parked`.
+    pub attempts: u64,
+    /// Hedge duplicates sent to a second node.
+    pub hedges_sent: u64,
+    /// Hedges whose duplicate replied first — latency the hedge saved.
+    pub hedges_won: u64,
+    /// Hedges the primary beat anyway, or that expired — budget spent
+    /// for nothing.
+    pub hedges_wasted: u64,
+    /// Hedges denied by the drained retry budget.
+    pub hedges_denied: u64,
+    /// Forwards steered off a suspect-slow owner to a faster peer.
+    pub steered_away: u64,
 }
 
 /// One outstanding request.
@@ -188,6 +271,15 @@ struct Req {
     arrival: u64,
     deadline: Deadline,
     attempt: u32,
+    /// When the current forward left this node (hedge timer base).
+    sent_at: u64,
+    /// Node the forward went to.
+    primary: usize,
+    /// 0 = not hedged, 1 = hedge in flight, 2 = will not hedge
+    /// (no eligible peer, or the budget denied it).
+    hedged: u8,
+    /// Where the hedge duplicate went (valid when `hedged == 1`).
+    hedge_dst: usize,
 }
 
 /// One step of splitmix64 (same mix `hw::FaultRng` uses).
@@ -264,8 +356,17 @@ pub struct WebFrontKernel {
     me: ObjId,
     /// Front page cache for this node's serving (hit-rate axis).
     cache: FrontCache,
+    /// Storage tier charged on front-cache misses.
+    tier: Box<dyn FetchTier>,
     /// Membership mirror from cluster events.
     alive: Vec<bool>,
+    /// Suspect-slow advisory mirror (below suspect-dead; reversible).
+    slow: Vec<bool>,
+    /// Per-peer reply-time EWMA, scaled by [`SRTT_SCALE`] (0 = no
+    /// sample yet). Feeds hedge delays and steering.
+    srtt: Vec<u64>,
+    /// Steering probe counter (every 16th forward tries the owner).
+    probe: u64,
     /// Zipf CDF over the key space.
     zipf: crate::Zipf,
     /// Key-draw RNG stream.
@@ -326,7 +427,11 @@ impl WebFrontKernel {
         WebFrontKernel {
             me: ObjId::new(cache_kernel::ObjKind::Kernel, 0, 0),
             cache: FrontCache::new(cfg.cache_pages),
+            tier: Box::new(FlatTier(cfg.miss_fetch)),
             alive: vec![true; cfg.cluster_nodes.max(1)],
+            slow: vec![false; cfg.cluster_nodes.max(1)],
+            srtt: vec![0; cfg.cluster_nodes.max(1)],
+            probe: 0,
             zipf: crate::Zipf::new(cfg.keys.max(1), cfg.zipf_theta),
             keys_rng: seed ^ 0xb002,
             arrivals_rng,
@@ -390,6 +495,9 @@ impl WebFrontKernel {
         env.ck.stats.requests_shed += s.shed - f.shed;
         env.ck.stats.deadlines_expired += s.expired - f.expired;
         env.ck.stats.retry_budget_denied += self.budget.denied - self.folded_budget_denied;
+        env.ck.stats.hedges_sent += s.hedges_sent - f.hedges_sent;
+        env.ck.stats.hedges_won += s.hedges_won - f.hedges_won;
+        env.ck.stats.hedges_wasted += s.hedges_wasted - f.hedges_wasted;
         self.folded = s;
         self.folded_budget_denied = self.budget.denied;
     }
@@ -455,9 +563,86 @@ impl WebFrontKernel {
             env.mpm.clock.charge(cost);
         } else {
             self.stats.local_misses += 1;
-            env.mpm.clock.charge(cost + self.cfg.miss_fetch);
+            let fetch = self.tier.fetch(page);
+            env.mpm.clock.charge(cost + fetch);
         }
         hit
+    }
+
+    /// Swap the storage tier behind the front cache (the default
+    /// [`FlatTier`] charges exactly `cfg.miss_fetch`).
+    pub fn set_fetch_tier(&mut self, tier: Box<dyn FetchTier>) {
+        self.tier = tier;
+    }
+
+    /// Smoothed reply time to `node` in cycles (0 = no sample yet).
+    pub fn srtt_estimate(&self, node: usize) -> u64 {
+        self.srtt.get(node).map_or(0, |&s| s / SRTT_SCALE)
+    }
+
+    /// Fold one observed reply time into the peer's EWMA. The gain is
+    /// asymmetric — 1/2 on the way up, 1/8 on the way down — so a node
+    /// that starts limping is noticed within a sample or two while a
+    /// single fast reply does not prematurely reintegrate it.
+    fn sample_srtt(&mut self, node: usize, rtt: u64) {
+        if node >= self.srtt.len() {
+            return;
+        }
+        let scaled = rtt * SRTT_SCALE;
+        let e = &mut self.srtt[node];
+        *e = if *e == 0 {
+            scaled
+        } else if scaled > *e {
+            (*e + scaled) / 2
+        } else {
+            (*e * 7 + scaled) / 8
+        };
+    }
+
+    /// Lowest-measured-latency live peer excluding this node and
+    /// `exclude` (unsampled peers sort first so every peer gets
+    /// probed). Skips suspect-slow peers; `None` when no peer
+    /// qualifies.
+    fn best_peer(&self, exclude: usize) -> Option<usize> {
+        (0..self.alive.len())
+            .filter(|&n| n != self.cfg.node && n != exclude && self.alive[n] && !self.slow[n])
+            .min_by_key(|&n| (self.srtt[n], n))
+    }
+
+    /// Whether forwards to `owner` should be steered around it: either
+    /// membership has it suspect-slow (the advisory), or its own
+    /// service-time EWMA runs more than the hedge trigger ahead of the
+    /// best alternative's — the same yardstick for "abnormally late"
+    /// that arms a hedge. A constant limp is invisible to gap-based
+    /// suspicion (only the *change* in delay widens an ad gap), so the
+    /// EWMA test is what keeps a steady straggler steered around.
+    /// Requires a sampled alternative; with `hedge_after` at 0 there is
+    /// no yardstick and only the advisory steers.
+    fn steer_worthy(&self, owner: usize) -> bool {
+        if self.slow[owner] {
+            return true;
+        }
+        if self.cfg.hedge_after == 0 {
+            return false;
+        }
+        let o = self.srtt_estimate(owner);
+        let b = self
+            .best_peer(owner)
+            .map_or(0, |alt| self.srtt_estimate(alt));
+        o > 0 && b > 0 && o.saturating_sub(b) > self.cfg.hedge_after
+    }
+
+    /// Cycles a forward to `primary` waits before being hedged: the
+    /// configured floor, stretched by the measured reply time when the
+    /// adaptive knob is on — hedge when the wait is abnormal for this
+    /// path, not merely when the path is slow.
+    fn hedge_delay(&self, primary: usize) -> u64 {
+        let base = self.cfg.hedge_after;
+        if self.cfg.hedge_ewma_permille == 0 {
+            return base;
+        }
+        let srtt = self.srtt_estimate(primary);
+        base.max(srtt * self.cfg.hedge_ewma_permille as u64 / 1000)
     }
 
     /// Serve `key` locally and complete the request; local serving
@@ -475,7 +660,12 @@ impl WebFrontKernel {
     /// outstanding slot, so the bound applies only to forwards — a cut
     /// that pins the inflight table full of dead forwards must not
     /// choke the local stripe.
-    fn admit(&mut self, env: &mut Env, now: u64, req: Req) {
+    fn admit(&mut self, env: &mut Env, now: u64, mut req: Req) {
+        // Every admission entry is one send attempt — fresh arrivals
+        // enter once for free, every re-entry paid a budget token, and
+        // hedge duplicates count where they are sent. That is the
+        // ledger: `attempts - arrivals == budget.spent - parked`.
+        self.stats.attempts += 1;
         let owner = self.owner_of(req.key);
         if owner == self.cfg.node {
             self.stats.admitted += 1;
@@ -495,16 +685,40 @@ impl WebFrontKernel {
             self.maybe_retry(now, req);
             return;
         }
+        // Steering: a slow owner (by advisory or by its service-time
+        // EWMA) is sidestepped to the fastest live peer (every node's
+        // table covers the key space, so any peer can serve it via the
+        // unchecked hedge frame). Every 32nd steer-worthy forward still
+        // probes the owner so its EWMA keeps tracking and it
+        // reintegrates the moment it speeds back up.
+        let mut dst = owner;
+        if self.cfg.steer && self.steer_worthy(owner) {
+            self.probe += 1;
+            if !self.probe.is_multiple_of(32) {
+                if let Some(alt) = self.best_peer(owner) {
+                    dst = alt;
+                    self.stats.steered_away += 1;
+                }
+            }
+        }
         self.stats.admitted += 1;
         self.stats.forwarded += 1;
+        req.sent_at = now;
+        req.primary = dst;
+        req.hedged = 0;
         let id = self.next_id;
         self.next_id += 1;
         self.inflight.insert(id, req);
+        let data = if dst == owner {
+            encode_request(id, req.key)
+        } else {
+            encode_hedge(id, req.key)
+        };
         env.outbox.push(Packet {
             src: self.cfg.node,
-            dst: owner,
+            dst,
             channel: WEB_CHANNEL,
-            data: encode_request(id, req.key),
+            data,
         });
     }
 
@@ -521,6 +735,10 @@ impl WebFrontKernel {
             arrival: t,
             deadline,
             attempt: 0,
+            sent_at: t,
+            primary: self.cfg.node,
+            hedged: 0,
+            hedge_dst: self.cfg.node,
         }
     }
 
@@ -606,7 +824,8 @@ impl WebFrontKernel {
         }
     }
 
-    /// Expire overdue requests and re-admit parked retries.
+    /// Expire overdue requests, fire due hedges, re-admit parked
+    /// retries.
     fn pump_timers(&mut self, env: &mut Env, now: u64) {
         if self.cfg.deadline > 0 {
             let expired: Vec<u64> = self
@@ -618,10 +837,16 @@ impl WebFrontKernel {
             for id in expired {
                 if let Some(req) = self.inflight.remove(&id) {
                     self.stats.expired += 1;
+                    if req.hedged == 1 {
+                        // Neither copy answered in time: the hedge
+                        // token bought nothing.
+                        self.stats.hedges_wasted += 1;
+                    }
                     self.maybe_retry(now, req);
                 }
             }
         }
+        self.pump_hedges(env, now);
         while let Some((&(due, id), _)) = self.parked.iter().next() {
             if due > now {
                 break;
@@ -632,6 +857,57 @@ impl WebFrontKernel {
                 }
                 self.admit(env, now, req);
             }
+        }
+    }
+
+    /// Duplicate every un-hedged forward that has out-waited its
+    /// adaptive hedge delay to a second node. First reply wins; the
+    /// loser's reply arrives to a dead id and is dropped. Each hedge
+    /// spends one retry-budget token — a drained bucket denies it and
+    /// the request keeps waiting on the primary alone.
+    fn pump_hedges(&mut self, env: &mut Env, now: u64) {
+        if self.cfg.hedge_after == 0 {
+            return;
+        }
+        let due: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, r)| {
+                r.hedged == 0 && now.saturating_sub(r.sent_at) >= self.hedge_delay(r.primary)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            let Some(&req) = self.inflight.get(&id) else {
+                continue;
+            };
+            let Some(dst) = self.best_peer(req.primary) else {
+                // Nowhere to hedge to (two-node cluster, or every peer
+                // suspect): stop rescanning this request.
+                if let Some(r) = self.inflight.get_mut(&id) {
+                    r.hedged = 2;
+                }
+                continue;
+            };
+            if !self.budget.try_spend(now) {
+                self.stats.hedges_denied += 1;
+                if let Some(r) = self.inflight.get_mut(&id) {
+                    r.hedged = 2;
+                }
+                continue;
+            }
+            self.stats.attempts += 1;
+            self.stats.hedges_sent += 1;
+            if let Some(r) = self.inflight.get_mut(&id) {
+                r.hedged = 1;
+                r.hedge_dst = dst;
+            }
+            env.outbox.push(Packet {
+                src: self.cfg.node,
+                dst,
+                channel: WEB_CHANNEL,
+                data: encode_hedge(id, req.key),
+            });
         }
     }
 
@@ -664,10 +940,22 @@ fn encode_reply(id: u64, hit: bool) -> Vec<u8> {
     d
 }
 
+/// Hedge frame: `[2, id:8, key:4]` — served by any node without the
+/// owner check (every node's table covers the key space), so a
+/// duplicate or a steered forward lands wherever it is sent.
+fn encode_hedge(id: u64, key: u32) -> Vec<u8> {
+    let mut d = Vec::with_capacity(13);
+    d.push(2u8);
+    d.extend_from_slice(&id.to_le_bytes());
+    d.extend_from_slice(&key.to_le_bytes());
+    d
+}
+
 /// Decoded web frame.
 enum Frame {
     Request { id: u64, key: u32 },
     Reply { id: u64 },
+    Hedge { id: u64, key: u32 },
 }
 
 fn decode(data: &[u8]) -> Option<Frame> {
@@ -679,6 +967,10 @@ fn decode(data: &[u8]) -> Option<Frame> {
             key: u32::from_le_bytes(rest.get(8..12)?.try_into().ok()?),
         }),
         1 => Some(Frame::Reply { id }),
+        2 => Some(Frame::Hedge {
+            id,
+            key: u32::from_le_bytes(rest.get(8..12)?.try_into().ok()?),
+        }),
         _ => None,
     }
 }
@@ -731,8 +1023,36 @@ impl AppKernel for WebFrontKernel {
                     data: encode_reply(id, hit),
                 });
             }
+            Some(Frame::Hedge { id, key }) => {
+                // A hedge duplicate (or steered forward) is served
+                // unconditionally — ownership does not gate it, the
+                // sender already decided where the work should land.
+                let page = self.page_of(key);
+                let hit = self.serve_page(env, page);
+                self.stats.served_remote += 1;
+                env.outbox.push(Packet {
+                    src: self.cfg.node,
+                    dst: src,
+                    channel: WEB_CHANNEL,
+                    data: encode_reply(id, hit),
+                });
+            }
             Some(Frame::Reply { id }) => {
                 if let Some(req) = self.inflight.remove(&id) {
+                    // First reply wins; the loser's reply finds the id
+                    // gone and is dropped right here. Only the primary
+                    // path samples the EWMA — the hedge left later than
+                    // `sent_at`, so its wait would be overstated.
+                    if src == req.primary {
+                        self.sample_srtt(src, now.saturating_sub(req.sent_at).max(1));
+                    }
+                    if req.hedged == 1 {
+                        if src == req.hedge_dst {
+                            self.stats.hedges_won += 1;
+                        } else {
+                            self.stats.hedges_wasted += 1;
+                        }
+                    }
                     self.complete(now, req);
                 }
             }
@@ -748,6 +1068,8 @@ impl AppKernel for WebFrontKernel {
             ClusterEvent::NodeDown { node, quorum, .. } => {
                 if node < self.alive.len() {
                     self.alive[node] = false;
+                    // Dead supersedes slow.
+                    self.slow[node] = false;
                 }
                 // Quorum side: the dead stripe re-homes implicitly via
                 // `owner_of`. Minority side: requests to unreachable
@@ -757,6 +1079,17 @@ impl AppKernel for WebFrontKernel {
             ClusterEvent::NodeRejoined { node, .. } => {
                 if node < self.alive.len() {
                     self.alive[node] = true;
+                    self.slow[node] = false;
+                    // Stale latency history must not keep steering
+                    // traffic off a recovered node.
+                    self.srtt[node] = 0;
+                }
+            }
+            ClusterEvent::NodeSlow { node, slow } => {
+                // Advisory from membership: steer (if enabled) but do
+                // not re-home — the straggler still owns its stripe.
+                if node < self.slow.len() {
+                    self.slow[node] = slow;
                 }
             }
             ClusterEvent::EpochChanged { .. } => {}
@@ -868,8 +1201,133 @@ mod tests {
         ));
         let p = encode_reply(78, true);
         assert!(matches!(decode(&p), Some(Frame::Reply { id: 78 })));
+        let h = encode_hedge(79, 4321);
+        assert!(matches!(
+            decode(&h),
+            Some(Frame::Hedge { id: 79, key: 4321 })
+        ));
         assert!(decode(&[]).is_none());
         assert!(decode(&[9, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn best_peer_prefers_fast_and_skips_slow_and_dead() {
+        let mut k = WebFrontKernel::new(WebServingConfig {
+            node: 0,
+            cluster_nodes: 4,
+            ..WebServingConfig::default()
+        });
+        // Unsampled peers sort first (srtt 0), lowest index wins.
+        assert_eq!(k.best_peer(usize::MAX), Some(1));
+        for n in 1..4 {
+            k.sample_srtt(n, 100 * n as u64);
+        }
+        assert_eq!(k.best_peer(usize::MAX), Some(1), "fastest sampled peer");
+        assert_eq!(k.best_peer(1), Some(2), "exclusion respected");
+        k.slow[1] = true;
+        assert_eq!(k.best_peer(usize::MAX), Some(2), "suspect-slow skipped");
+        k.alive[2] = false;
+        assert_eq!(k.best_peer(usize::MAX), Some(3), "dead skipped");
+        k.slow[3] = true;
+        assert_eq!(k.best_peer(usize::MAX), None, "no eligible peer");
+    }
+
+    #[test]
+    fn hedge_delay_is_floored_and_stretches_with_srtt() {
+        let mut k = WebFrontKernel::new(WebServingConfig {
+            node: 0,
+            cluster_nodes: 2,
+            hedge_after: 1_000,
+            hedge_ewma_permille: 2_000,
+            ..WebServingConfig::default()
+        });
+        assert_eq!(
+            k.hedge_delay(1),
+            1_000,
+            "unsampled path hedges at the floor"
+        );
+        for _ in 0..32 {
+            k.sample_srtt(1, 5_000);
+        }
+        assert_eq!(k.srtt_estimate(1), 5_000);
+        assert_eq!(k.hedge_delay(1), 10_000, "2x the measured reply time");
+        let fixed = WebFrontKernel::new(WebServingConfig {
+            hedge_after: 700,
+            hedge_ewma_permille: 0,
+            ..WebServingConfig::default()
+        });
+        assert_eq!(fixed.hedge_delay(1), 700, "ewma knob off = fixed delay");
+    }
+
+    #[test]
+    fn srtt_ewma_converges_and_rejoin_resets_it() {
+        let mut k = WebFrontKernel::new(WebServingConfig {
+            node: 0,
+            cluster_nodes: 2,
+            ..WebServingConfig::default()
+        });
+        assert_eq!(k.srtt_estimate(1), 0);
+        k.sample_srtt(1, 800);
+        assert_eq!(k.srtt_estimate(1), 800, "first sample seeds the estimate");
+        for _ in 0..64 {
+            k.sample_srtt(1, 100);
+        }
+        let settled = k.srtt_estimate(1);
+        assert!(settled <= 110, "converges toward the new level: {settled}");
+        // Asymmetric gain: one limping reply moves the estimate
+        // halfway up immediately — far faster than the 1/8 descent.
+        k.sample_srtt(1, 10 * settled);
+        assert!(
+            k.srtt_estimate(1) >= 5 * settled,
+            "a slow reply must register fast: {}",
+            k.srtt_estimate(1)
+        );
+        k.slow[1] = true;
+        k.srtt[1] = 0; // what NodeRejoined does
+        assert_eq!(k.srtt_estimate(1), 0);
+    }
+
+    #[test]
+    fn steer_gate_fires_on_advisory_or_ewma_gap() {
+        let mut k = WebFrontKernel::new(WebServingConfig {
+            node: 0,
+            cluster_nodes: 3,
+            hedge_after: 1_000,
+            steer: true,
+            ..WebServingConfig::default()
+        });
+        assert!(!k.steer_worthy(1), "no samples, no advisory: no steering");
+        k.sample_srtt(1, 5_000);
+        assert!(
+            !k.steer_worthy(1),
+            "an unsampled alternative is no alternative"
+        );
+        k.sample_srtt(2, 500);
+        assert!(k.steer_worthy(1), "EWMA gap over the hedge trigger steers");
+        assert!(!k.steer_worthy(2), "the fast peer itself is not steered");
+        // The advisory steers regardless of samples.
+        let mut adv = WebFrontKernel::new(WebServingConfig {
+            node: 0,
+            cluster_nodes: 3,
+            steer: true,
+            ..WebServingConfig::default()
+        });
+        adv.slow[1] = true;
+        assert!(adv.steer_worthy(1));
+        assert!(
+            !adv.steer_worthy(2),
+            "hedge_after 0 leaves only the advisory"
+        );
+    }
+
+    #[test]
+    fn fetch_tiers_report_their_costs() {
+        let mut flat = FlatTier(1_500);
+        assert_eq!(flat.fetch(7), 1_500);
+        assert_eq!(flat.name(), "flat");
+        let mut db = PageIoTier::default();
+        assert_eq!(db.fetch(7), 250_000, "matches the DB kernel page_io cost");
+        assert_eq!(db.name(), "page-io");
     }
 
     #[test]

@@ -33,6 +33,7 @@ const PARTITION_AT: u64 = 300_000;
 const HEAL_AT: u64 = 900_000;
 const NODE_DOWN_AT: u64 = 1_200_000;
 const RUN_UNTIL: u64 = 1_600_000;
+const DRAIN_UNTIL: u64 = 2_000_000;
 
 fn main() {
     let (mut cluster, srms) = boot_cluster(
@@ -87,6 +88,28 @@ fn main() {
         .max()
         .unwrap()
         < RUN_UNTIL
+    {
+        cluster.step(5);
+    }
+
+    // Directory identity is a *quiescent* property — while accesses are
+    // still migrating lines, two honest directories can disagree about
+    // a transfer in flight. Freeze the workload (no new accesses) and
+    // drain so gossip converges before comparing, exactly as the
+    // partition property tests do.
+    for (node, &id) in cluster.nodes.iter_mut().zip(ids.iter()) {
+        if !node.mpm.halted {
+            node.with_kernel::<DsmNodeKernel, _>(id, |k, _| k.freeze())
+                .unwrap();
+        }
+    }
+    while cluster
+        .nodes
+        .iter()
+        .map(|n| n.mpm.clock.cycles())
+        .max()
+        .unwrap()
+        < DRAIN_UNTIL
     {
         cluster.step(5);
     }

@@ -36,6 +36,9 @@ cargo test -q -p vpp --test prop_partition fault_free_run_is_inert
 echo "== partition report smoke =="
 cargo run -q --release -p bench --bin report -- partition > /dev/null
 
+echo "== partition example end-to-end (cut, heal, node-down, quiesced directories) =="
+cargo run -q --release -p vpp --example partition > /dev/null
+
 echo "== threaded/lockstep pinned seeds (sharded executives) =="
 cargo test -q -p vpp --test prop_threaded pinned_threaded_seed
 cargo test -q -p vpp --test prop_threaded pinned_lockstep_replay
@@ -69,6 +72,20 @@ cargo test -q -p vpp --test prop_overload pinned_budget_drain_replays
 
 echo "== serve sweep report smoke =="
 cargo run -q --release -p bench --bin report -- serve > /dev/null
+
+echo "== gray-failure pinned gates (no false epochs, dead detection, inertness, hedge ledger, replay) =="
+cargo test -q -p vpp --test prop_gray pure_delay_schedule_never_mints_an_epoch
+cargo test -q -p vpp --test prop_gray dead_node_is_still_detected_within_the_legacy_budget
+cargo test -q -p vpp --test prop_gray all_knobs_off_leaves_gray_counters_inert
+cargo test -q -p vpp --test prop_gray hedges_fire_win_and_balance_the_budget_ledger
+cargo test -q -p vpp --test prop_gray delayed_hedged_run_replays_byte_identically
+
+echo "== gray composition gates (delay × partition, delay × chaos) =="
+cargo test -q -p vpp --test prop_partition pinned_partition_composes_with_delay_schedule
+cargo test -q -p vpp --test prop_chaos adversarial_chaos_composes_with_delay_schedules
+
+echo "== gray sweep report smoke (asserts the p99 cut and per-node ledgers) =="
+cargo run -q --release -p bench --bin report -- gray > /dev/null
 
 echo "== messaging bench smoke (criterion baselines) =="
 cargo bench -q -p bench --bench signal_latency -- --save-baseline msg-gate > /dev/null

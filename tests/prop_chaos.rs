@@ -19,7 +19,7 @@ use vpp::cache_kernel::{
 use vpp::hw::{Fault, FaultPlan, Paddr, Pte, Rights, Vaddr, PAGE_SIZE};
 use vpp::libkern::{retry, Backoff};
 use vpp::srm::Srm;
-use vpp::{boot_node, BootConfig};
+use vpp::{boot_cluster, boot_node, BootConfig};
 
 /// Identity pager with a trap log: the workload kernel for both the
 /// chaos victim and the bystander whose output must stay fault-free.
@@ -640,6 +640,169 @@ fn adversarial_caps_off_is_inert() {
     assert_eq!(r.stats.cap_denied, 0, "no counter moves with caps off");
     let baseline = chaos_run(None, false);
     assert_eq!(r.survivor_log, baseline.survivor_log);
+}
+
+/// Gray-failure composition (ISSUE 10 satellite): the adversarial
+/// schedule runs on node 0 of a two-node cluster while a pure-delay
+/// schedule stretches every frame touching node 1 — SRM membership ads
+/// limp across the fabric in both directions throughout the attack.
+/// Containment must not care: every saboteur attack is denied and
+/// balanced in the counter, the bystander's output is byte-identical
+/// to the fault-free single-node baseline, and the delays mint zero
+/// membership epochs — slow is not dead, even under adversarial load.
+#[test]
+fn adversarial_chaos_composes_with_delay_schedules() {
+    let seed = 0x00c0_ffee_dead_beef_u64;
+    let run = || {
+        let (mut cluster, srms) = boot_cluster(
+            2,
+            BootConfig {
+                ck: vpp::cache_kernel::CkConfig {
+                    mapping_capacity: 24,
+                    caps_enforce: true,
+                    ..vpp::cache_kernel::CkConfig::default()
+                },
+                clock_interval: 5_000,
+                ..BootConfig::default()
+            },
+        );
+        // Node 0 carries the whole adversarial workload, same shape as
+        // `adversarial_run`; node 1 only gossips membership.
+        let ex = &mut cluster.nodes[0];
+        let srm = srms[0];
+        ex.with_kernel::<Srm, _>(srm, |s, _| {
+            s.heartbeat_timeout = 400_000;
+            s.restart_budget = 0;
+        });
+        let victim = start_pager(ex, srm, "victim");
+        let survivor = start_pager(ex, srm, "survivor");
+        let sab = ex
+            .with_kernel::<Srm, _>(srm, |s, env| {
+                s.start_kernel(
+                    env,
+                    "saboteur",
+                    2,
+                    [50; MAX_CPUS],
+                    20,
+                    LockedQuota::default(),
+                )
+            })
+            .unwrap()
+            .expect("grant available");
+        let bystander_frame = ex
+            .with_kernel::<Srm, _>(srm, |s, _| s.grant_of(survivor).map(|g| g.frame_first()))
+            .unwrap()
+            .unwrap();
+        ex.register_kernel(
+            sab,
+            Box::new(Saboteur {
+                me: sab,
+                space: sab,
+                bystander: survivor,
+                bystander_page: Paddr(bystander_frame * PAGE_SIZE),
+                denied: 0,
+                attempts: 0,
+                caps_on: true,
+            }),
+        );
+        let vsp = ex
+            .ck
+            .load_space(victim, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        for t in 0..3u32 {
+            ex.spawn_thread(victim, vsp, reporter(60, 1000 + t * 100), 14)
+                .unwrap();
+        }
+        let ssp = ex
+            .ck
+            .load_space(survivor, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        ex.spawn_thread(survivor, ssp, reporter(12, 5), 12).unwrap();
+        let sabsp = ex
+            .ck
+            .load_space(sab, SpaceDesc::default(), &mut ex.mpm)
+            .unwrap();
+        ex.with_kernel::<Saboteur, _>(sab, |s, _| s.space = sabsp);
+        ex.spawn_thread(sab, sabsp, trapper(40), 10).unwrap();
+        let victim_slot = victim.slot;
+        cluster.nodes[0].faults = Some(FaultPlan::chaos(seed, &[victim_slot]));
+        // The delay schedule: node 1 ramps to a 20x limp with bounded
+        // jitter — every membership ad either way is late. The ramp
+        // keeps each onset's delivery-gap spike under the dead
+        // threshold (a constant delay shifts the whole ad stream, so
+        // only the *change* in delay widens a gap).
+        cluster.net_faults = Some(
+            FaultPlan::new(seed)
+                .delay_jitter(100_000, 400)
+                .slow_node(100_000, 1, 8_000)
+                .slow_node(160_000, 1, 14_000)
+                .slow_node(220_000, 1, 20_000),
+        );
+
+        while cluster
+            .nodes
+            .iter()
+            .map(|n| n.mpm.clock.cycles())
+            .min()
+            .unwrap()
+            < 1_200_000
+        {
+            cluster.step(5);
+        }
+
+        let frames_delayed = cluster.fabric.frames_delayed();
+        let ex = &mut cluster.nodes[0];
+        ex.ck.check_invariants().unwrap();
+        ex.ck.check_visibility(&ex.mpm).unwrap();
+        let survivor_log = ex
+            .with_kernel::<Pager, _>(survivor, |p, _| p.log.clone())
+            .expect("survivor kernel still registered");
+        let denied = ex.with_kernel::<Saboteur, _>(sab, |s, _| s.denied).unwrap();
+        assert!(!ex.ck.kernel_failed(survivor), "bystander was a casualty");
+        let mut nodes_down = 0;
+        let mut epochs = 0;
+        let mut slow = 0;
+        for n in &cluster.nodes {
+            nodes_down += n.ck.stats.nodes_down;
+            epochs += n.ck.stats.epoch_changes;
+            slow += n.ck.stats.nodes_suspected_slow;
+        }
+        (
+            cluster.nodes[0].ck.stats,
+            survivor_log,
+            denied,
+            frames_delayed,
+            nodes_down,
+            epochs,
+            slow,
+        )
+    };
+
+    let (stats, survivor_log, denied, frames_delayed, nodes_down, epochs, _slow) = run();
+    assert!(denied > 0, "the saboteur never attacked");
+    assert_eq!(
+        denied, stats.cap_denied,
+        "saboteur denials must balance the cap_denied counter"
+    );
+    assert!(frames_delayed > 0, "the delay schedule never engaged");
+    // The chaos plan *drops* some of node 0's outgoing ads (frame
+    // fates), so suspicion may legitimately fire on real loss — but a
+    // two-node split can never hold a quorum, so no epoch is minted,
+    // delayed ads or not.
+    let _ = nodes_down;
+    assert_eq!(epochs, 0, "a minority suspicion must never mint an epoch");
+    let baseline = chaos_run(None, false);
+    assert_eq!(
+        baseline.survivor_log, survivor_log,
+        "bystander output diverged under adversarial chaos plus delays"
+    );
+
+    // Determinism of the whole composition.
+    let (stats2, survivor_log2, denied2, frames_delayed2, ..) = run();
+    assert_eq!(stats, stats2, "composition replay diverged");
+    assert_eq!(survivor_log, survivor_log2);
+    assert_eq!(denied, denied2);
+    assert_eq!(frames_delayed, frames_delayed2);
 }
 
 /// The pinned overload seed must genuinely compose the two mechanisms:

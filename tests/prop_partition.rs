@@ -120,7 +120,7 @@ struct NodeDigest {
     cluster_counts: [u64; 5],
 }
 
-fn partition_run(seed: u64, n: usize, faulted: bool) -> Vec<NodeDigest> {
+fn partition_run(seed: u64, n: usize, faulted: bool, delayed: bool) -> Vec<NodeDigest> {
     let sched = schedule(seed, n);
     let (mut cluster, _srms, dsm_ids) = boot_dsm_cluster(n, seed);
     if faulted {
@@ -129,6 +129,33 @@ fn partition_run(seed: u64, n: usize, faulted: bool) -> Vec<NodeDigest> {
             .heal(HEAL_AT);
         if let Some(victim) = sched.node_down {
             plan = plan.node_down(NODE_DOWN_AT, victim);
+        }
+        if delayed {
+            // Gray-failure composition (ISSUE 10): the last node ramps
+            // to a 20x limp with jitter before the cut and limps again
+            // between the heal and the drain. Two shape constraints
+            // keep the composition honest: the ramp keeps each onset's
+            // delivery-gap spike under the dead threshold (a constant
+            // delay shifts the whole ad stream; only the *change*
+            // widens a gap), and each limp window closes one maximum
+            // delay (~47.5k cycles) before the next purge event (the
+            // cut severs cross-cut in-flight frames; a one-shot
+            // ownership announcement eaten there is a loss the
+            // owned-only gossip cannot repair — that failure mode
+            // belongs to loss schedules, not delay schedules).
+            let straggler = n - 1;
+            plan = plan
+                .delay_jitter(100_000, 400)
+                .slow_node(100_000, straggler, 8_000)
+                .slow_node(150_000, straggler, 14_000)
+                .slow_node(200_000, straggler, 20_000)
+                .clear_delays(PARTITION_AT - 55_000)
+                .slow_node(HEAL_AT + 100_000, straggler, 8_000)
+                .slow_node(HEAL_AT + 160_000, straggler, 14_000)
+                // The straggler recovers when the workload freezes so
+                // the drain reaches directory quiescence; the pinned
+                // schedule's whole-node victim is never the straggler.
+                .clear_delays(RUN_UNTIL);
         }
         cluster.net_faults = Some(plan);
     }
@@ -227,10 +254,10 @@ fn partition_run(seed: u64, n: usize, faulted: bool) -> Vec<NodeDigest> {
 }
 
 fn check_seed(seed: u64, n: usize) {
-    let first = partition_run(seed, n, true);
+    let first = partition_run(seed, n, true, false);
     // Same seed, same topology: byte-identical replay — every counter,
     // directory entry and timeline string.
-    let replay = partition_run(seed, n, true);
+    let replay = partition_run(seed, n, true, false);
     assert_eq!(first, replay, "replay diverged, seed {seed:#x}");
 }
 
@@ -260,7 +287,7 @@ fn pinned_partition_four_nodes() {
 /// its lines under a bumped epoch, and the heal rejoins it.
 #[test]
 fn pinned_partition_exercises_recovery() {
-    let digests = partition_run(0x00c0_ffee_dead_beef, 3, true);
+    let digests = partition_run(0x00c0_ffee_dead_beef, 3, true, false);
     let down: u64 = digests.iter().map(|d| d.cluster_counts[0]).sum();
     let rejoined: u64 = digests.iter().map(|d| d.cluster_counts[1]).sum();
     let rehomed: u64 = digests.iter().map(|d| d.cluster_counts[4]).sum();
@@ -273,11 +300,36 @@ fn pinned_partition_exercises_recovery() {
     );
 }
 
+/// Gray-failure composition (ISSUE 10 satellite): the pinned three-node
+/// cut/heal schedule with a ramped straggler limping underneath it the
+/// whole time. Every partition invariant must survive the composition —
+/// progress through the cut, post-heal directory identity, epoch
+/// convergence — and the composed schedule must replay byte-identically.
+#[test]
+fn pinned_partition_composes_with_delay_schedule() {
+    let seed = 0x00c0_ffee_dead_beef;
+    let first = partition_run(seed, 3, true, true);
+    let replay = partition_run(seed, 3, true, true);
+    assert_eq!(first, replay, "delayed replay diverged, seed {seed:#x}");
+    // The composed run still exercises real recovery (the cut's own
+    // epochs), and the straggler's delays genuinely changed the run —
+    // the digests differ from the delay-free schedule somewhere.
+    let undelayed = partition_run(seed, 3, true, false);
+    assert!(
+        first.iter().all(|d| d.epoch > 1 || d.halted),
+        "the cut never advanced an epoch under delays"
+    );
+    assert_ne!(
+        first, undelayed,
+        "the delay schedule was a no-op on the composed run"
+    );
+}
+
 /// Fault-free fast path: without a fabric schedule the membership layer
 /// and the fencing machinery are completely inert.
 #[test]
 fn fault_free_run_is_inert() {
-    let digests = partition_run(0x1234_5678_9abc_def0, 3, false);
+    let digests = partition_run(0x1234_5678_9abc_def0, 3, false, false);
     for (i, d) in digests.iter().enumerate() {
         assert!(!d.halted);
         assert_eq!(d.epoch, 1, "node {i} epoch moved without faults");
